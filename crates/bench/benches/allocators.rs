@@ -1,0 +1,60 @@
+//! Criterion benches behind Figures 12/13: allocation time of the
+//! heuristic, TelaMalloc, and the solver baselines on representative
+//! model workloads.
+//!
+//! The ILP/CP baselines are benched only on the models they solve
+//! quickly; the experiment binaries (`fig12`, `fig13`) cover the full
+//! set with timeouts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tela_model::Budget;
+use tela_workloads::{problem_with_slack, ModelKind};
+use telamalloc::{solve, TelaConfig};
+
+fn bench_allocators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocators");
+    group.sample_size(10);
+
+    // One easy and one hard (for the heuristic) model.
+    for kind in [
+        ModelKind::OpenPose,
+        ModelKind::ConvNet2d,
+        ModelKind::Segmentation,
+    ] {
+        let problem = problem_with_slack(kind.generate(0), 10);
+        group.bench_function(format!("greedy/{}", kind.name()), |b| {
+            b.iter(|| black_box(tela_heuristics::greedy::solve(black_box(&problem))))
+        });
+        group.bench_function(format!("telamalloc/{}", kind.name()), |b| {
+            b.iter(|| {
+                let r = solve(
+                    black_box(&problem),
+                    &Budget::steps(500_000),
+                    &TelaConfig::default(),
+                );
+                assert!(r.outcome.is_solved());
+            })
+        });
+    }
+
+    // Solver baselines on a model they can finish (Figure 13's easy end).
+    let easy = problem_with_slack(ModelKind::ConvNet2d.generate(0), 10);
+    group.bench_function("ilp/ConvNet2D", |b| {
+        b.iter(|| {
+            let (outcome, _) = tela_ilp::solve_ilp(black_box(&easy), &Budget::steps(500_000));
+            assert!(outcome.is_solved());
+        })
+    });
+    group.bench_function("cp-only/ConvNet2D", |b| {
+        b.iter(|| {
+            let (outcome, _) =
+                tela_cp::search::solve_cp_only(black_box(&easy), &Budget::steps(500_000));
+            assert!(outcome.is_solved());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocators);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion benches behind Figure 16: gradient-boosted-forest inference
+//! latency per candidate, batched as the deployed policy batches its
+//! backtrack targets.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use tela_learned::{Gbt, GbtParams};
+
+fn model() -> Gbt {
+    let rows: Vec<Vec<f64>> = (0..2_000)
+        .map(|i| (0..9).map(|f| ((i * (f + 3)) % 97) as f64 / 97.0).collect())
+        .collect();
+    let targets: Vec<f64> = rows
+        .iter()
+        .map(|r| 10.0 - 5.0 * r[3] + 2.0 * r[2])
+        .collect();
+    Gbt::fit(&rows, &targets, &GbtParams::default())
+}
+
+fn bench_gbt(c: &mut Criterion) {
+    let model = model();
+    let mut group = c.benchmark_group("gbt-inference");
+    for batch in [1usize, 8, 32, 128] {
+        let rows: Vec<Vec<f64>> = (0..batch)
+            .map(|i| {
+                (0..9)
+                    .map(|f| ((i * 31 + f * 7) % 89) as f64 / 89.0)
+                    .collect()
+            })
+            .collect();
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_function(format!("batch-{batch}"), |b| {
+            b.iter(|| black_box(model.predict_batch(black_box(&rows))))
+        });
+    }
+    group.finish();
+
+    let mut training = c.benchmark_group("gbt-training");
+    training.sample_size(10);
+    let rows: Vec<Vec<f64>> = (0..500)
+        .map(|i| (0..9).map(|f| ((i * (f + 3)) % 97) as f64 / 97.0).collect())
+        .collect();
+    let targets: Vec<f64> = rows.iter().map(|r| r[0] + r[1]).collect();
+    training.bench_function("fit-500x9", |b| {
+        b.iter(|| {
+            black_box(Gbt::fit(
+                black_box(&rows),
+                black_box(&targets),
+                &GbtParams {
+                    n_trees: 20,
+                    ..GbtParams::default()
+                },
+            ))
+        })
+    });
+    training.finish();
+}
+
+criterion_group!(benches, bench_gbt);
+criterion_main!(benches);

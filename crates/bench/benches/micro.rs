@@ -1,0 +1,43 @@
+//! Criterion benches behind Table 1: per-step cost of the TelaMalloc
+//! machinery on non-overlapping and fully-overlapping inputs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tela_model::Budget;
+use telamalloc::{solve, TelaConfig};
+
+fn bench_micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+
+    for n in [100u32, 1_000] {
+        let problem = tela_workloads::micro::non_overlapping(n);
+        group.bench_function(format!("non-overlapping-{n}"), |b| {
+            b.iter(|| {
+                let r = solve(
+                    black_box(&problem),
+                    &Budget::unlimited(),
+                    &TelaConfig::default(),
+                );
+                assert!(r.outcome.is_solved());
+            })
+        });
+    }
+    for n in [50u32, 100, 200] {
+        let problem = tela_workloads::micro::full_overlap(n);
+        group.bench_function(format!("full-overlap-{n}"), |b| {
+            b.iter(|| {
+                let r = solve(
+                    black_box(&problem),
+                    &Budget::unlimited(),
+                    &TelaConfig::default(),
+                );
+                assert!(r.outcome.is_solved());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_micro);
+criterion_main!(benches);

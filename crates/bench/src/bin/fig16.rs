@@ -1,0 +1,52 @@
+//! Figure 16: learned-model inference time per candidate as a function
+//! of batch size (paper §7.3: ~2µs per candidate; fast enough because
+//! the model only runs on major backtracks).
+
+use std::time::Instant;
+
+use tela_bench::TextTable;
+use tela_learned::{Gbt, GbtParams};
+
+fn synthetic_model() -> Gbt {
+    // 9 features like the deployment model; trained on synthetic scores.
+    let rows: Vec<Vec<f64>> = (0..2_000)
+        .map(|i| (0..9).map(|f| ((i * (f + 3)) % 97) as f64 / 97.0).collect())
+        .collect();
+    let targets: Vec<f64> = rows
+        .iter()
+        .map(|r| 10.0 - 5.0 * r[3] + 2.0 * r[2] - r[6])
+        .collect();
+    Gbt::fit(&rows, &targets, &GbtParams::default())
+}
+
+fn main() {
+    println!("# Figure 16: model running time per candidate vs batch size");
+    println!("# (100-tree forest, 9 features; paper: ~2us per candidate)\n");
+
+    let model = synthetic_model();
+    let mut table = TextTable::new(["Batch size", "Total", "Per candidate"]);
+    for batch in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+        let rows: Vec<Vec<f64>> = (0..batch)
+            .map(|i| {
+                (0..9)
+                    .map(|f| ((i * 31 + f * 7) % 89) as f64 / 89.0)
+                    .collect()
+            })
+            .collect();
+        // Warm up, then measure many repetitions.
+        let reps = (100_000 / batch).max(100);
+        let _ = model.predict_batch(&rows);
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(model.predict_batch(std::hint::black_box(&rows)));
+        }
+        let total = t0.elapsed();
+        let per_candidate = total / (reps * batch) as u32;
+        table.row([
+            batch.to_string(),
+            format!("{:.2?}", total / reps as u32),
+            format!("{per_candidate:.2?}"),
+        ]);
+    }
+    print!("{}", table.render());
+}

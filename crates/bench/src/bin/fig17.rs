@@ -1,0 +1,64 @@
+//! Figure 17: importance of the backtrack-target features, measured as
+//! the mean RMSE increase when each feature is permuted (paper §7.3).
+//!
+//! Paper finding: lifetime and contention matter most, along with the
+//! decision level and the number of backtracks so far; the region
+//! feature matters least (the phase heuristic already uses it).
+
+use tela_bench::{arg_usize, TextTable};
+use tela_learned::{collect_dataset, permutation_importance, CollectConfig, Gbt, GbtParams};
+use tela_model::{Budget, Problem};
+use telamalloc::{TargetFeatures, TelaConfig};
+
+fn main() {
+    let train_instances = arg_usize("--instances", 10);
+    println!("# Figure 17: permutation feature importance (RMSE increase)\n");
+
+    eprintln!("collecting training data on {train_instances} certified instances...");
+    let problems: Vec<(String, Problem)> = (500..500 + train_instances as u64)
+        .map(|s| {
+            (
+                format!("cert-{s}"),
+                tela_workloads::sweep::certified_solvable(s),
+            )
+        })
+        .collect();
+    let samples = collect_dataset(
+        &problems,
+        &[0, 1, 3],
+        &Budget::steps(15_000),
+        &TelaConfig::default(),
+        &CollectConfig::default(),
+        17,
+    );
+    eprintln!("collected {} samples", samples.len());
+    if samples.len() < 50 {
+        println!("(not enough backtracking events harvested; rerun with --instances N)");
+        return;
+    }
+
+    // Train/validation split.
+    let split = samples.len() * 4 / 5;
+    let rows: Vec<Vec<f64>> = samples.iter().map(|s| s.features.to_vec()).collect();
+    let targets: Vec<f64> = samples.iter().map(|s| s.score).collect();
+    let model = Gbt::fit(&rows[..split], &targets[..split], &GbtParams::default());
+    let importance = permutation_importance(&model, &rows[split..], &targets[split..], 0);
+
+    let mut ranked: Vec<(usize, f64)> = importance.iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+
+    let mut table = TextTable::new(["Rank", "Feature", "RMSE increase"]);
+    for (rank, (feature, rmse)) in ranked.iter().enumerate() {
+        table.row([
+            (rank + 1).to_string(),
+            TargetFeatures::NAMES[*feature].to_string(),
+            format!("{rmse:.4}"),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\n# validation RMSE of the model itself: {:.4} over {} samples",
+        model.rmse(&rows[split..], &targets[split..]),
+        samples.len() - split
+    );
+}

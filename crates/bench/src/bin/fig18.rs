@@ -1,0 +1,55 @@
+//! Figure 18: execution-time speedup of compiled TPU programs when the
+//! XLA repacker uses TelaMalloc instead of the best-fit algorithm
+//! (paper §7.4: up to ~7%, muted on non-memory-bound models, with no
+//! significant compile-time regression).
+
+use std::time::Instant;
+
+use tela_bench::{fmt_duration, TextTable};
+use tela_xla::{assign_memory_space, execution_time, MemoryConfig, Packer};
+
+fn main() {
+    println!("# Figure 18: program speedup with the TelaMalloc repacker vs best-fit\n");
+
+    let config = MemoryConfig::default();
+    let mut table = TextTable::new([
+        "Program",
+        "Speedup",
+        "SRAM traffic (tela)",
+        "SRAM traffic (best-fit)",
+        "Repack time (tela)",
+        "Repack time (bf)",
+    ]);
+    let mut speedups = Vec::new();
+    for program in tela_xla::tpu_workloads(0) {
+        let t0 = Instant::now();
+        let best_fit = assign_memory_space(&program, &config, Packer::BestFit);
+        let bf_compile = t0.elapsed();
+        let t0 = Instant::now();
+        let tela = assign_memory_space(&program, &config, Packer::TelaMalloc);
+        let tela_compile = t0.elapsed();
+        let t_bf = execution_time(&program, &best_fit, &config);
+        let t_tela = execution_time(&program, &tela, &config);
+        let speedup = t_bf / t_tela;
+        speedups.push(speedup);
+        let traffic = program.total_traffic().max(1);
+        table.row([
+            program.name.clone(),
+            format!("{:+.2}%", (speedup - 1.0) * 100.0),
+            format!("{:.0}%", tela.sram_traffic as f64 / traffic as f64 * 100.0),
+            format!(
+                "{:.0}%",
+                best_fit.sram_traffic as f64 / traffic as f64 * 100.0
+            ),
+            fmt_duration(tela_compile),
+            fmt_duration(bf_compile),
+        ]);
+    }
+    print!("{}", table.render());
+    let max = speedups.iter().cloned().fold(1.0f64, f64::max);
+    println!(
+        "\nmax speedup: {:+.2}% (paper: up to ~7%, muted on",
+        (max - 1.0) * 100.0
+    );
+    println!("# non-memory-bound programs; compile time within noise)");
+}

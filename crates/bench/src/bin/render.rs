@@ -1,0 +1,60 @@
+//! Renders the paper's key pictures as SVG files under `results/svg/`:
+//! the Figure 1 running example (packed), the Figure 3 live-memory
+//! comparison, and the Figure 19 OpenPose structure.
+//!
+//! Flags: `--out DIR` (default `results/svg`).
+
+use std::path::PathBuf;
+
+use tela_model::{Budget, Solution};
+use tela_viz::{render_packing, render_problem, render_series, Style};
+use tela_workloads::{problem_with_slack, ModelKind};
+use telamalloc::{solve, TelaConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let out: PathBuf = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results/svg"));
+    std::fs::create_dir_all(&out)?;
+
+    // Figure 1: the running example, packed by TelaMalloc.
+    let fig1 = tela_model::examples::figure1();
+    let result = solve(&fig1, &Budget::steps(100_000), &TelaConfig::default());
+    let solution = result.outcome.solution().expect("figure1 solves");
+    let style = Style {
+        labels: true,
+        ..Style::default()
+    };
+    std::fs::write(out.join("figure1.svg"), render_packing(&fig1, solution, &style))?;
+
+    // Figure 3: live memory of BFC vs heuristic vs solver on ConvNet2D.
+    let problem = problem_with_slack(ModelKind::ConvNet2d.generate(0), 10);
+    let unbounded = problem.with_capacity(u64::MAX)?;
+    let profile = |s: &Solution| s.live_profile(&unbounded);
+    let bfc = tela_heuristics::bfc::solve(&unbounded).solution.expect("unbounded bfc");
+    let greedy = tela_heuristics::greedy::solve(&unbounded).solution.expect("unbounded greedy");
+    let tela = solve(&problem, &Budget::steps(1_000_000), &TelaConfig::default());
+    let series = vec![
+        ("bfc", profile(&bfc)),
+        ("heuristic", profile(&greedy)),
+        (
+            "telamalloc",
+            profile(tela.outcome.solution().expect("solver handles ConvNet2D")),
+        ),
+    ];
+    std::fs::write(
+        out.join("figure3.svg"),
+        render_series(&problem, &series, &Style::default()),
+    )?;
+
+    // Figure 19: OpenPose input structure.
+    let openpose = problem_with_slack(ModelKind::OpenPose.generate(0), 10);
+    std::fs::write(out.join("figure19.svg"), render_problem(&openpose))?;
+
+    println!("wrote {}", out.display());
+    Ok(())
+}

@@ -1,0 +1,116 @@
+use tela_heuristics::SelectionStrategy;
+
+/// Tuning knobs for the TelaMalloc search.
+///
+/// The defaults correspond to the full system described in the paper
+/// (§5); individual features can be disabled for ablation studies (the
+/// paper's Figure 14 compares block-selection strategies this way).
+///
+/// # Example
+///
+/// ```
+/// use telamalloc::TelaConfig;
+/// use tela_heuristics::SelectionStrategy;
+///
+/// // Ablation: single max-size selection, no contention grouping.
+/// let config = TelaConfig {
+///     selection: vec![SelectionStrategy::MaxSize],
+///     contention_grouping: false,
+///     ..TelaConfig::default()
+/// };
+/// assert!(config.solver_guided_placement);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TelaConfig {
+    /// Block-selection heuristics tried at every step, in order
+    /// (§5.1: longest lifetime, largest size, largest area).
+    pub selection: Vec<SelectionStrategy>,
+    /// Place blocks at the solver's lowest feasible position (§5.2,
+    /// Figure 8b). When false, blocks are placed on top of the skyline of
+    /// already-placed overlapping blocks (Figure 8a).
+    pub solver_guided_placement: bool,
+    /// Identify contention phases and place blocks phase by phase (§5.3,
+    /// Figure 9).
+    pub contention_grouping: bool,
+    /// On a major backtrack, jump to the second-to-last conflicting
+    /// placement instead of a fixed number of steps (§5.4).
+    pub conflict_guided_backtracking: bool,
+    /// Steps to rewind on a major backtrack when conflict-guided
+    /// backtracking is disabled (the paper's initial implementation used
+    /// 1–2).
+    pub fixed_backtrack_steps: usize,
+    /// Prepend the failing decision point's candidates at the backtrack
+    /// target (§5.4).
+    pub candidate_prepending: bool,
+    /// Maximum number of candidate blocks kept at one decision point;
+    /// further candidates are dropped (§5.4).
+    pub max_candidates_per_level: usize,
+    /// Once more than this many backtracks occur within one subtree, the
+    /// search escapes to the shallowest such point (§5.4; the paper uses
+    /// a constant around 100).
+    pub stuck_subtree_limit: u64,
+    /// Solve time-disjoint sub-problems independently (§5.3).
+    pub split_independent: bool,
+    /// Shrink conflict explanations to irreducible sets before deriving
+    /// backtrack targets (an extension over the paper; see
+    /// `tela_cp::explain`). Costs extra solver probes per major
+    /// backtrack.
+    pub minimize_conflicts: bool,
+}
+
+impl Default for TelaConfig {
+    fn default() -> Self {
+        TelaConfig {
+            selection: SelectionStrategy::TELAMALLOC_ORDER.to_vec(),
+            solver_guided_placement: true,
+            contention_grouping: true,
+            conflict_guided_backtracking: true,
+            fixed_backtrack_steps: 1,
+            candidate_prepending: true,
+            max_candidates_per_level: 16,
+            stuck_subtree_limit: 100,
+            split_independent: true,
+            minimize_conflicts: false,
+        }
+    }
+}
+
+impl TelaConfig {
+    /// The configuration used for the paper's Figure 14 strategy
+    /// comparison: a single block-selection strategy, lowest-position
+    /// placement, and chronological ("last valid point") backtracking.
+    pub fn single_strategy(strategy: SelectionStrategy) -> Self {
+        TelaConfig {
+            selection: vec![strategy],
+            contention_grouping: false,
+            conflict_guided_backtracking: false,
+            candidate_prepending: false,
+            ..TelaConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = TelaConfig::default();
+        assert_eq!(c.selection, SelectionStrategy::TELAMALLOC_ORDER.to_vec());
+        assert!(c.solver_guided_placement);
+        assert!(c.contention_grouping);
+        assert!(c.conflict_guided_backtracking);
+        assert!(c.candidate_prepending);
+        assert_eq!(c.stuck_subtree_limit, 100);
+    }
+
+    #[test]
+    fn single_strategy_disables_search_smarts() {
+        let c = TelaConfig::single_strategy(SelectionStrategy::MaxSize);
+        assert_eq!(c.selection, vec![SelectionStrategy::MaxSize]);
+        assert!(!c.contention_grouping);
+        assert!(!c.conflict_guided_backtracking);
+        assert!(!c.candidate_prepending);
+    }
+}

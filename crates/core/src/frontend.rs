@@ -1,0 +1,124 @@
+//! The production allocation pipeline (paper §2.3, §5.6).
+//!
+//! The Pixel 6 compiler first tries the fast greedy heuristic; only when
+//! that fails does it fall back to TelaMalloc (which replaced the ILP
+//! stage). This module packages that pipeline behind one call.
+
+use tela_model::{Budget, Problem, SolveOutcome, SolveStats};
+
+use crate::config::TelaConfig;
+use crate::search::{solve, TelaResult};
+
+/// Which stage of the pipeline produced the answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// The greedy heuristic solved it (the common, fast path).
+    Heuristic,
+    /// TelaMalloc's search solved it (or gave the final answer).
+    TelaMalloc,
+}
+
+/// Result of running the full allocation pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelineResult {
+    /// The final outcome.
+    pub outcome: SolveOutcome,
+    /// Which stage answered.
+    pub stage: Stage,
+    /// Search statistics (zero for the heuristic stage).
+    pub stats: SolveStats,
+}
+
+/// The production allocator front-end: greedy heuristic first, then the
+/// TelaMalloc search (§5.6).
+///
+/// # Example
+///
+/// ```
+/// use telamalloc::{Allocator, Stage};
+/// use tela_model::{examples, Budget};
+///
+/// let allocator = Allocator::default();
+/// // An easy instance is handled by the heuristic stage...
+/// let easy = allocator.allocate(&examples::tiny(), &Budget::unlimited());
+/// assert_eq!(easy.stage, Stage::Heuristic);
+/// // ...while the tight Figure 1 instance needs the search.
+/// let hard = allocator.allocate(&examples::figure1(), &Budget::unlimited());
+/// assert_eq!(hard.stage, Stage::TelaMalloc);
+/// assert!(hard.outcome.is_solved());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Allocator {
+    config: TelaConfig,
+}
+
+impl Allocator {
+    /// Creates a pipeline with an explicit TelaMalloc configuration.
+    pub fn new(config: TelaConfig) -> Self {
+        Allocator { config }
+    }
+
+    /// The TelaMalloc configuration in use.
+    pub fn config(&self) -> &TelaConfig {
+        &self.config
+    }
+
+    /// Runs the pipeline on `problem` within `budget` (the budget applies
+    /// to the TelaMalloc stage; the heuristic is effectively free).
+    pub fn allocate(&self, problem: &Problem, budget: &Budget) -> PipelineResult {
+        let heuristic = tela_heuristics::greedy::solve(problem);
+        if let Some(solution) = heuristic.solution {
+            return PipelineResult {
+                outcome: SolveOutcome::Solved(solution),
+                stage: Stage::Heuristic,
+                stats: SolveStats::default(),
+            };
+        }
+        let TelaResult { outcome, stats, .. } = solve(problem, budget, &self.config);
+        PipelineResult {
+            outcome,
+            stage: Stage::TelaMalloc,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tela_model::examples;
+
+    #[test]
+    fn heuristic_handles_easy_case() {
+        let r = Allocator::default().allocate(&examples::tiny(), &Budget::unlimited());
+        assert_eq!(r.stage, Stage::Heuristic);
+        assert!(r.outcome.is_solved());
+        assert_eq!(r.stats.steps, 0);
+    }
+
+    #[test]
+    fn search_handles_tight_case() {
+        let p = examples::figure1();
+        let r = Allocator::default().allocate(&p, &Budget::steps(500_000));
+        assert_eq!(r.stage, Stage::TelaMalloc);
+        assert!(r.outcome.solution().unwrap().validate(&p).is_ok());
+        assert!(r.stats.steps > 0);
+    }
+
+    #[test]
+    fn infeasible_reported_by_search_stage() {
+        let r = Allocator::default().allocate(&examples::infeasible(), &Budget::unlimited());
+        assert_eq!(r.stage, Stage::TelaMalloc);
+        assert_eq!(r.outcome, SolveOutcome::Infeasible);
+    }
+
+    #[test]
+    fn solutions_from_either_stage_validate() {
+        for p in [examples::tiny(), examples::figure1(), examples::aligned()] {
+            let r = Allocator::default().allocate(&p, &Budget::steps(500_000));
+            if let Some(s) = r.outcome.solution() {
+                assert!(s.validate(&p).is_ok());
+            }
+        }
+    }
+}

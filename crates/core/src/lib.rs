@@ -1,0 +1,47 @@
+//! TelaMalloc: hybrid heuristic × constraint-solver memory allocation
+//! for ML accelerators — the core of the ASPLOS 2023 paper reproduction.
+//!
+//! The allocator solves the on-chip memory allocation problem: choose a
+//! base address for every buffer of a static dataflow graph such that
+//! time-overlapping buffers never overlap in space and everything fits
+//! in the device memory. TelaMalloc's contribution is how it explores
+//! this NP-hard search space (§4):
+//!
+//! - domain-specific heuristics pick *which* block to place next
+//!   (longest-lifetime / largest-size / largest-area, §5.1), restricted
+//!   to the current contention phase (§5.3);
+//! - the CP solver (the `tela-cp` crate) answers *where* it can go —
+//!   the lowest feasible address (§5.2) — and proves early when a
+//!   placement made the rest unsolvable;
+//! - backtracking is guided by the solver's conflict explanations and,
+//!   optionally, a learned model (§5.4, §6; see the `tela-learned`
+//!   crate).
+//!
+//! # Quick start
+//!
+//! ```
+//! use telamalloc::{Allocator, TelaConfig};
+//! use tela_model::{examples, Budget};
+//!
+//! let allocator = Allocator::new(TelaConfig::default());
+//! let problem = examples::figure1();
+//! let result = allocator.allocate(&problem, &Budget::steps(100_000));
+//! let solution = result.outcome.solution().expect("figure1 is solvable");
+//! assert!(solution.validate(&problem).is_ok());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod backtrack;
+mod config;
+mod frontend;
+mod search;
+
+pub use backtrack::{
+    BacktrackChoice, BacktrackContext, BacktrackPolicy, BacktrackTarget, ConflictGuidedPolicy,
+    FixedStepPolicy, NullObserver, PlacedDecision, SearchObserver, StepContext, TargetFeatures,
+};
+pub use config::TelaConfig;
+pub use frontend::{Allocator, PipelineResult, Stage};
+pub use search::{solve, solve_with, TelaResult};

@@ -1,0 +1,958 @@
+//! The TelaMalloc search engine (paper §4, §5).
+//!
+//! The engine walks a search tree whose nodes are *decision points*: at
+//! each point a candidate block is chosen (by the §5.1 selection
+//! heuristics, restricted to the current contention phase per §5.3) and
+//! placed at the CP solver's lowest feasible position (§5.2). The solver
+//! propagates after every placement; an immediate conflict is a *minor
+//! backtrack* (try the next candidate), an exhausted candidate queue is a
+//! *major backtrack* (jump up the tree, guided by the solver's conflict
+//! explanation and the configured [`BacktrackPolicy`], §5.4/§6).
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use tela_cp::{Conflict, CpSolver};
+use tela_heuristics::SelectionStrategy;
+use tela_model::{Address, Budget, BufferId, PhasePartition, Problem, SolveOutcome, SolveStats};
+
+use crate::backtrack::{
+    BacktrackChoice, BacktrackContext, BacktrackPolicy, BacktrackTarget, ConflictGuidedPolicy,
+    FixedStepPolicy, NullObserver, PlacedDecision, SearchObserver, StepContext, TargetFeatures,
+};
+use crate::config::TelaConfig;
+
+/// Result of one TelaMalloc run.
+#[derive(Debug, Clone)]
+pub struct TelaResult {
+    /// Solved, gave up (search exhausted — not a proof of
+    /// infeasibility), infeasible (proven before search), or out of
+    /// budget.
+    pub outcome: SolveOutcome,
+    /// Steps and backtrack counts (steps = placement attempts, matching
+    /// the paper's Figure 14 metric).
+    pub stats: SolveStats,
+    /// The successful decision path (placement order), empty unless
+    /// solved.
+    pub decisions: Vec<PlacedDecision>,
+}
+
+/// Solves `problem` with the default configuration and backtrack policy.
+///
+/// # Example
+///
+/// ```
+/// use telamalloc::{solve, TelaConfig};
+/// use tela_model::{examples, Budget};
+///
+/// let problem = examples::figure1();
+/// let result = solve(&problem, &Budget::steps(100_000), &TelaConfig::default());
+/// let solution = result.outcome.solution().expect("figure1 is solvable");
+/// assert!(solution.validate(&problem).is_ok());
+/// ```
+pub fn solve(problem: &Problem, budget: &Budget, config: &TelaConfig) -> TelaResult {
+    let mut policy = default_policy(config);
+    let mut observer = NullObserver;
+    solve_with(problem, budget, config, policy.as_mut(), &mut observer)
+}
+
+fn default_policy(config: &TelaConfig) -> Box<dyn BacktrackPolicy> {
+    if config.conflict_guided_backtracking {
+        Box::new(ConflictGuidedPolicy)
+    } else {
+        Box::new(FixedStepPolicy(config.fixed_backtrack_steps))
+    }
+}
+
+/// Solves `problem` with an explicit backtrack policy and observer
+/// (used by the learned policy and the imitation-learning data
+/// collector).
+pub fn solve_with(
+    problem: &Problem,
+    budget: &Budget,
+    config: &TelaConfig,
+    policy: &mut dyn BacktrackPolicy,
+    observer: &mut dyn SearchObserver,
+) -> TelaResult {
+    let start = Instant::now();
+    if config.split_independent {
+        let groups = tela_model::split_independent(problem);
+        if groups.len() > 1 {
+            return solve_split(problem, budget, config, policy, observer, groups, start);
+        }
+    }
+    let mut result = Engine::run(problem, budget, config, policy, observer);
+    result.stats.elapsed = start.elapsed();
+    result
+}
+
+/// Solves each time-disjoint group independently and merges (§5.3).
+#[allow(clippy::too_many_arguments)]
+fn solve_split(
+    problem: &Problem,
+    budget: &Budget,
+    config: &TelaConfig,
+    policy: &mut dyn BacktrackPolicy,
+    observer: &mut dyn SearchObserver,
+    groups: Vec<Vec<BufferId>>,
+    start: Instant,
+) -> TelaResult {
+    let mut stats = SolveStats::default();
+    let mut addresses = vec![0u64; problem.len()];
+    let mut decisions = Vec::new();
+    for group in groups {
+        let buffers = group.iter().map(|&id| *problem.buffer(id)).collect();
+        let sub = Problem::new(buffers, problem.capacity())
+            .expect("sub-problem inherits a valid capacity");
+        let sub_result = Engine::run(&sub, budget, config, policy, observer);
+        stats.absorb(&sub_result.stats);
+        match sub_result.outcome {
+            SolveOutcome::Solved(sub_solution) => {
+                for (sub_idx, &orig) in group.iter().enumerate() {
+                    let addr = sub_solution.address(BufferId::new(sub_idx));
+                    addresses[orig.index()] = addr;
+                }
+                decisions.extend(sub_result.decisions.iter().map(|d| PlacedDecision {
+                    block: group[d.block.index()],
+                    address: d.address,
+                }));
+            }
+            other => {
+                stats.elapsed = start.elapsed();
+                return TelaResult {
+                    outcome: other,
+                    stats,
+                    decisions: Vec::new(),
+                };
+            }
+        }
+    }
+    let solution = tela_model::Solution::new(addresses);
+    debug_assert!(solution.validate(problem).is_ok());
+    stats.elapsed = start.elapsed();
+    TelaResult {
+        outcome: SolveOutcome::Solved(solution),
+        stats,
+        decisions,
+    }
+}
+
+/// One decision point of the search tree.
+#[derive(Debug)]
+struct Frame {
+    /// Candidates not yet tried (front is next).
+    queue: VecDeque<BufferId>,
+    queue_built: bool,
+    /// Candidates already tried (and failed, unless this frame is
+    /// committed).
+    tried: Vec<BufferId>,
+    /// The successful placement made at this point, if committed.
+    placed: Option<(BufferId, Address)>,
+    /// Contention phase of the block placed by the *previous* decision
+    /// (the phase context for candidate generation).
+    context_phase: Option<usize>,
+    /// How often the search backtracked to this point.
+    backtracks_to: u64,
+    /// Global backtrack count when this point was (last) opened; the
+    /// subtree backtrack counter is the difference to the current count.
+    opened_at_backtracks: u64,
+    /// Most recent conflict seen at this point, with the candidate
+    /// placement that triggered it.
+    last_conflict: Option<(Conflict, BufferId, Address)>,
+}
+
+impl Frame {
+    fn new(context_phase: Option<usize>, opened_at_backtracks: u64) -> Self {
+        Frame {
+            queue: VecDeque::new(),
+            queue_built: false,
+            tried: Vec::new(),
+            placed: None,
+            context_phase,
+            backtracks_to: 0,
+            opened_at_backtracks,
+            last_conflict: None,
+        }
+    }
+}
+
+struct Engine<'a> {
+    problem: &'a Problem,
+    config: &'a TelaConfig,
+    solver: CpSolver,
+    phases: Option<PhasePartition>,
+    buffer_contention: Vec<u64>,
+    culprit_counts: Vec<u64>,
+    frames: Vec<Frame>,
+    current: Frame,
+    global_backtracks: u64,
+    stats: SolveStats,
+}
+
+impl<'a> Engine<'a> {
+    fn run(
+        problem: &'a Problem,
+        budget: &Budget,
+        config: &'a TelaConfig,
+        policy: &mut dyn BacktrackPolicy,
+        observer: &mut dyn SearchObserver,
+    ) -> TelaResult {
+        let solver = match CpSolver::new(problem) {
+            Ok(s) => s,
+            Err(_) => {
+                return TelaResult {
+                    outcome: SolveOutcome::Infeasible,
+                    stats: SolveStats::default(),
+                    decisions: Vec::new(),
+                }
+            }
+        };
+        let phases = config
+            .contention_grouping
+            .then(|| PhasePartition::compute(problem));
+        let contention = problem.contention();
+        let buffer_contention = problem
+            .buffers()
+            .iter()
+            .map(|b| {
+                (b.start()..b.end())
+                    .map(|t| contention.at(t))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let mut engine = Engine {
+            problem,
+            config,
+            solver,
+            phases,
+            buffer_contention,
+            culprit_counts: vec![0; problem.len()],
+            frames: Vec::new(),
+            current: Frame::new(None, 0),
+            global_backtracks: 0,
+            stats: SolveStats::default(),
+        };
+        engine.search(budget, policy, observer)
+    }
+
+    fn search(
+        &mut self,
+        budget: &Budget,
+        policy: &mut dyn BacktrackPolicy,
+        observer: &mut dyn SearchObserver,
+    ) -> TelaResult {
+        loop {
+            if budget.exhausted(self.stats.steps) {
+                return self.finish(SolveOutcome::BudgetExceeded);
+            }
+            if let Some(solution) = self.solver.solution() {
+                let path = self.path();
+                observer.on_solved(&path);
+                return TelaResult {
+                    outcome: SolveOutcome::Solved(solution),
+                    stats: self.stats,
+                    decisions: path,
+                };
+            }
+            if !self.current.queue_built {
+                let step_ctx = StepContext {
+                    level: self.frames.len(),
+                    unplaced: self.problem.len() - self.solver.fixed_count(),
+                    total_buffers: self.problem.len(),
+                    subtree_backtracks: self.global_backtracks - self.current.opened_at_backtracks,
+                    total_backtracks: self.global_backtracks,
+                };
+                self.current.queue = if policy.expand_candidates(&step_ctx) {
+                    self.full_queue()
+                } else {
+                    self.build_queue()
+                };
+                self.current.queue_built = true;
+            }
+            match self.current.queue.pop_front() {
+                Some(block) => self.try_candidate(block),
+                None => {
+                    if self.frames.is_empty() {
+                        return self.finish(SolveOutcome::GaveUp);
+                    }
+                    self.major_backtrack(policy, observer);
+                }
+            }
+        }
+    }
+
+    fn finish(&self, outcome: SolveOutcome) -> TelaResult {
+        TelaResult {
+            outcome,
+            stats: self.stats,
+            decisions: Vec::new(),
+        }
+    }
+
+    fn path(&self) -> Vec<PlacedDecision> {
+        self.frames
+            .iter()
+            .map(|f| {
+                let (block, address) = f.placed.expect("committed frame has a placement");
+                PlacedDecision { block, address }
+            })
+            .collect()
+    }
+
+    fn try_candidate(&mut self, block: BufferId) {
+        self.current.tried.push(block);
+        self.stats.steps += 1;
+        let position = self.position_for(block);
+        let result = match position {
+            Some(pos) => self.solver.assign(block, pos).map(|()| pos),
+            None => Err(Conflict {
+                subject: Some(block),
+                culprits: Vec::new(),
+            }),
+        };
+        match result {
+            Ok(pos) => {
+                self.current.placed = Some((block, pos));
+                let phase = self.phases.as_ref().map(|p| p.phase_of(block));
+                let next = Frame::new(phase, self.global_backtracks);
+                self.frames.push(std::mem::replace(&mut self.current, next));
+            }
+            Err(conflict) => {
+                self.stats.minor_backtracks += 1;
+                self.global_backtracks += 1;
+                self.current.last_conflict = Some((conflict, block, position.unwrap_or(0)));
+            }
+        }
+    }
+
+    /// Placement position for a candidate: the solver's lowest feasible
+    /// address (§5.2) or, in the ablation mode, the top of the skyline of
+    /// placed overlapping blocks (Figure 8a).
+    fn position_for(&self, block: BufferId) -> Option<Address> {
+        if self.config.solver_guided_placement {
+            let d = self.solver.domain(block);
+            if d.is_empty() {
+                None
+            } else {
+                // At the propagation fixpoint the domain's lower bound is
+                // feasible w.r.t. all placed blocks.
+                Some(d.lo())
+            }
+        } else {
+            let b = self.problem.buffer(block);
+            let mut top = 0;
+            for neighbor in self.solver.model().neighbors(block) {
+                if let Some(addr) = self.solver.assignment(neighbor) {
+                    top = top.max(addr + self.problem.buffer(neighbor).size());
+                }
+            }
+            b.align_up(top)
+        }
+    }
+
+    /// The uncapped fallback queue: every unplaced block, ordered by the
+    /// primary strategy (used by the §8.3 expansion hook and the §6.5
+    /// stay-and-try-all fallback).
+    fn full_queue(&self) -> VecDeque<BufferId> {
+        let mut pool: Vec<BufferId> = self.solver.unfixed().collect();
+        self.order_pool(&mut pool);
+        pool.into()
+    }
+
+    /// Builds the candidate queue for the current decision point:
+    /// strategy picks from the context phase first, then from the other
+    /// phases in priority order (§5.1, §5.3), capped per §5.4.
+    fn build_queue(&self) -> VecDeque<BufferId> {
+        let cap = self.config.max_candidates_per_level.max(1);
+        let mut out: VecDeque<BufferId> = VecDeque::new();
+        let mut seen = vec![false; self.problem.len()];
+        let push = |out: &mut VecDeque<BufferId>, seen: &mut Vec<bool>, id: BufferId| {
+            if !seen[id.index()] && out.len() < cap {
+                seen[id.index()] = true;
+                out.push_back(id);
+            }
+        };
+
+        let pools = self.candidate_pools();
+        for pool in pools {
+            if pool.is_empty() || out.len() >= cap {
+                continue;
+            }
+            for strategy in &self.config.selection {
+                if let Some(pick) = self.pick(*strategy, &pool) {
+                    push(&mut out, &mut seen, pick);
+                }
+            }
+            let mut rest = pool;
+            self.order_pool(&mut rest);
+            for id in rest {
+                push(&mut out, &mut seen, id);
+            }
+        }
+        out
+    }
+
+    /// Unplaced blocks grouped into phase pools, context phase first.
+    fn candidate_pools(&self) -> Vec<Vec<BufferId>> {
+        let unplaced: Vec<BufferId> = self.solver.unfixed().collect();
+        let Some(phases) = &self.phases else {
+            return vec![unplaced];
+        };
+        let context = self
+            .current
+            .context_phase
+            .or_else(|| self.frames.last().and_then(|f| f.context_phase));
+        let mut pools: Vec<Vec<BufferId>> = vec![Vec::new(); phases.len()];
+        for id in unplaced {
+            pools[phases.phase_of(id)].push(id);
+        }
+        let mut order: Vec<usize> = (0..pools.len()).collect();
+        if let Some(ctx) = context {
+            order.retain(|&p| p != ctx);
+            order.insert(0, ctx);
+        }
+        order
+            .into_iter()
+            .map(|p| std::mem::take(&mut pools[p]))
+            .collect()
+    }
+
+    fn pick(&self, strategy: SelectionStrategy, pool: &[BufferId]) -> Option<BufferId> {
+        match strategy {
+            SelectionStrategy::LowestPosition => pool
+                .iter()
+                .copied()
+                .min_by_key(|&id| (self.solver.domain(id).lo(), id.index())),
+            _ => strategy.pick(self.problem, pool.iter().copied()),
+        }
+    }
+
+    /// Orders the remainder of a pool by the primary strategy's key.
+    fn order_pool(&self, pool: &mut [BufferId]) {
+        match self.config.selection.first() {
+            Some(SelectionStrategy::LowestPosition) => {
+                pool.sort_by_key(|&id| (self.solver.domain(id).lo(), id.index()));
+            }
+            Some(strategy) => {
+                let strategy = *strategy;
+                pool.sort_by_key(|&id| {
+                    (
+                        std::cmp::Reverse(strategy.key(self.problem, id)),
+                        id.index(),
+                    )
+                });
+            }
+            None => pool.sort_unstable(),
+        }
+    }
+
+    fn major_backtrack(
+        &mut self,
+        policy: &mut dyn BacktrackPolicy,
+        observer: &mut dyn SearchObserver,
+    ) {
+        self.stats.major_backtracks += 1;
+        self.global_backtracks += 1;
+
+        let conflict = self
+            .current
+            .last_conflict
+            .take()
+            .map(|(mut c, block, pos)| {
+                if self.config.minimize_conflicts && c.culprits.len() > 1 {
+                    let placements: Vec<(BufferId, Address)> =
+                        self.frames.iter().filter_map(|f| f.placed).collect();
+                    c.culprits = tela_cp::explain::minimize_conflict(
+                        self.problem,
+                        &placements,
+                        (block, pos),
+                        &c.culprits,
+                    );
+                }
+                c
+            });
+        if let Some(c) = &conflict {
+            for &culprit in &c.culprits {
+                self.culprit_counts[culprit.index()] += 1;
+            }
+        }
+        let targets = self.build_targets(conflict.as_ref());
+        let path = self.path();
+        let ctx = BacktrackContext {
+            problem: self.problem,
+            targets: &targets,
+            path: &path,
+            current_level: self.frames.len(),
+            total_backtracks: self.global_backtracks,
+        };
+        let choice = policy.choose(&ctx);
+        observer.on_major_backtrack(&ctx, choice);
+        let _ = ctx;
+
+        match choice {
+            BacktrackChoice::StayAndTryAll => {
+                // §6.5 fallback: retry every unplaced block not yet tried
+                // here; if nothing is left, fall back to one step up.
+                let tried = &self.current.tried;
+                let fresh: VecDeque<BufferId> = self
+                    .solver
+                    .unfixed()
+                    .filter(|id| !tried.contains(id))
+                    .collect();
+                if fresh.is_empty() {
+                    let level = self.frames.len().saturating_sub(1);
+                    self.jump_to(level);
+                } else {
+                    self.current.queue = fresh;
+                }
+            }
+            BacktrackChoice::Target(level) => {
+                let level = level.min(self.frames.len().saturating_sub(1));
+                self.jump_to(level);
+            }
+        }
+    }
+
+    /// Backtracks so that the decision at `level` is reconsidered,
+    /// applying the §5.4 stuck-subtree escape and candidate prepending.
+    fn jump_to(&mut self, mut level: usize) {
+        // Stuck-subtree escape: if some shallower open point has
+        // accumulated more than the limit of backtracks in its subtree,
+        // continue from the shallowest such point instead.
+        let limit = self.config.stuck_subtree_limit;
+        if limit > 0 {
+            if let Some(stuck) = self
+                .frames
+                .iter()
+                .position(|f| self.global_backtracks - f.opened_at_backtracks > limit)
+            {
+                level = level.min(stuck);
+            }
+        }
+
+        let failing = std::mem::replace(&mut self.current, Frame::new(None, 0));
+        let mut dropped = self.frames.split_off(level);
+        self.solver.pop_to_level(level);
+        let mut target = dropped.remove(0);
+        target.placed = None;
+        target.backtracks_to += 1;
+        // Reset the subtree counter: a fresh visit starts a fresh subtree.
+        target.opened_at_backtracks = self.global_backtracks;
+        target.last_conflict = None;
+
+        if self.config.candidate_prepending {
+            // Prepend the failing point's candidate set (§5.4), dropping
+            // anything already queued and respecting the cap.
+            let cap = self.config.max_candidates_per_level.max(1);
+            let mut prepend: Vec<BufferId> = failing.tried;
+            prepend.extend(failing.queue);
+            for id in prepend.into_iter().rev() {
+                if !target.queue.contains(&id) && !self.solver.is_fixed(id) {
+                    target.queue.push_front(id);
+                }
+            }
+            while target.queue.len() > cap {
+                target.queue.pop_back();
+            }
+        }
+        self.current = target;
+    }
+
+    /// Builds the candidate backtrack targets (§6.2): conflict culprits
+    /// minus the most recent one, padded with exponential-range fillers.
+    fn build_targets(&self, conflict: Option<&Conflict>) -> Vec<BacktrackTarget> {
+        let mut level_of = vec![usize::MAX; self.problem.len()];
+        for (lvl, f) in self.frames.iter().enumerate() {
+            if let Some((block, _)) = f.placed {
+                level_of[block.index()] = lvl;
+            }
+        }
+        let mut levels: Vec<(usize, bool)> = Vec::new();
+        if let Some(c) = conflict {
+            let mut culprit_levels: Vec<usize> = c
+                .culprits
+                .iter()
+                .map(|b| level_of[b.index()])
+                .filter(|&l| l != usize::MAX)
+                .collect();
+            culprit_levels.sort_unstable();
+            culprit_levels.dedup();
+            // Ignore the most recent culprit (§6.2): backtracking there is
+            // what a minor backtrack already covers.
+            culprit_levels.pop();
+            levels.extend(culprit_levels.into_iter().map(|l| (l, true)));
+        }
+        // Exponential ranges 0-4, 5-8, 9-16, 17-32, ... (§6.2): add the
+        // top of each uncovered range as a filler target.
+        let mut lo = 0usize;
+        let mut hi = 4usize;
+        while lo < self.frames.len() {
+            let top = hi.min(self.frames.len() - 1);
+            let covered = levels.iter().any(|&(l, _)| lo <= l && l <= top);
+            if !covered && top >= lo {
+                levels.push((top, false));
+            }
+            lo = hi + 1;
+            hi *= 2;
+        }
+        levels.sort_unstable();
+        levels.dedup_by_key(|&mut (l, _)| l);
+
+        let horizon = self.problem.horizon().max(1) as f64;
+        let capacity = self.problem.capacity().max(1) as f64;
+        let from_phase = self
+            .frames
+            .last()
+            .and_then(|f| f.placed)
+            .and_then(|(b, _)| self.phases.as_ref().map(|p| p.phase_of(b)));
+        levels
+            .into_iter()
+            .map(|(level, from_conflict)| {
+                let (block, _) = self.frames[level].placed.expect("committed frame");
+                let b = self.problem.buffer(block);
+                let same_region = match (from_phase, &self.phases) {
+                    (Some(fp), Some(p)) => (p.phase_of(block) == fp) as u8 as f64,
+                    _ => 0.0,
+                };
+                BacktrackTarget {
+                    level,
+                    block,
+                    from_conflict,
+                    features: TargetFeatures {
+                        size: b.size() as f64 / capacity,
+                        lifetime: f64::from(b.lifetime()) / horizon,
+                        contention: self.buffer_contention[block.index()] as f64 / capacity,
+                        decision_level: level as f64,
+                        culprit_appearances: self.culprit_counts[block.index()] as f64,
+                        backtracks_to_here: self.frames[level].backtracks_to as f64,
+                        subtree_backtracks: (self.global_backtracks
+                            - self.frames[level].opened_at_backtracks)
+                            as f64,
+                        same_region,
+                        total_backtracks: self.global_backtracks as f64,
+                    },
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tela_model::{examples, Buffer};
+
+    fn solve_default(problem: &Problem) -> TelaResult {
+        solve(problem, &Budget::steps(500_000), &TelaConfig::default())
+    }
+
+    #[test]
+    fn solves_tiny() {
+        let p = examples::tiny();
+        let r = solve_default(&p);
+        assert!(r.outcome.solution().unwrap().validate(&p).is_ok());
+    }
+
+    #[test]
+    fn solves_figure1_at_tight_capacity() {
+        let p = examples::figure1();
+        let r = solve_default(&p);
+        assert!(
+            r.outcome.solution().unwrap().validate(&p).is_ok(),
+            "stats: {:?}",
+            r.stats
+        );
+    }
+
+    #[test]
+    fn solves_aligned_example() {
+        let p = examples::aligned();
+        let r = solve_default(&p);
+        assert!(r.outcome.solution().unwrap().validate(&p).is_ok());
+    }
+
+    #[test]
+    fn infeasible_detected_before_search() {
+        let r = solve_default(&examples::infeasible());
+        assert_eq!(r.outcome, SolveOutcome::Infeasible);
+        assert_eq!(r.stats.steps, 0);
+    }
+
+    #[test]
+    fn decisions_match_solution() {
+        let p = examples::figure1();
+        let r = solve_default(&p);
+        let solution = r.outcome.solution().unwrap();
+        assert_eq!(r.decisions.len(), p.len());
+        for d in &r.decisions {
+            assert_eq!(solution.address(d.block), d.address);
+        }
+    }
+
+    #[test]
+    fn budget_exceeded_reported() {
+        let p = examples::figure1();
+        let r = solve(&p, &Budget::steps(3), &TelaConfig::default());
+        assert_eq!(r.outcome, SolveOutcome::BudgetExceeded);
+        assert!(r.stats.steps <= 3);
+    }
+
+    #[test]
+    fn empty_problem_is_solved_immediately() {
+        let p = Problem::builder(10).build().unwrap();
+        let r = solve_default(&p);
+        assert!(r.outcome.is_solved());
+        assert_eq!(r.stats.steps, 0);
+    }
+
+    #[test]
+    fn split_independent_solves_groups_separately() {
+        // Two disjoint clusters; both solvable.
+        let p = Problem::builder(8)
+            .buffer(Buffer::new(0, 2, 4))
+            .buffer(Buffer::new(0, 2, 4))
+            .buffer(Buffer::new(5, 7, 8))
+            .build()
+            .unwrap();
+        let r = solve_default(&p);
+        let s = r.outcome.solution().unwrap();
+        assert!(s.validate(&p).is_ok());
+        assert_eq!(r.decisions.len(), 3);
+    }
+
+    #[test]
+    fn all_configs_solve_figure1() {
+        let p = examples::figure1();
+        for strategy in [
+            SelectionStrategy::MaxLifetime,
+            SelectionStrategy::MaxSize,
+            SelectionStrategy::MaxArea,
+            SelectionStrategy::LowestPosition,
+        ] {
+            let cfg = TelaConfig::single_strategy(strategy);
+            let r = solve(&p, &Budget::steps(500_000), &cfg);
+            assert!(
+                matches!(r.outcome, SolveOutcome::Solved(_) | SolveOutcome::GaveUp),
+                "{strategy}: unexpected outcome {:?}",
+                r.outcome
+            );
+            if let Some(s) = r.outcome.solution() {
+                assert!(s.validate(&p).is_ok(), "{strategy}");
+            }
+        }
+    }
+
+    #[test]
+    fn skyline_placement_mode_works() {
+        let p = examples::tiny();
+        let cfg = TelaConfig {
+            solver_guided_placement: false,
+            ..TelaConfig::default()
+        };
+        let r = solve(&p, &Budget::steps(500_000), &cfg);
+        assert!(r.outcome.solution().unwrap().validate(&p).is_ok());
+    }
+
+    #[test]
+    fn no_grouping_mode_works() {
+        let p = examples::figure1();
+        let cfg = TelaConfig {
+            contention_grouping: false,
+            ..TelaConfig::default()
+        };
+        let r = solve(&p, &Budget::steps(500_000), &cfg);
+        assert!(r.outcome.solution().unwrap().validate(&p).is_ok());
+    }
+
+    #[test]
+    fn fixed_step_backtracking_mode_works() {
+        let p = examples::figure1();
+        let cfg = TelaConfig {
+            conflict_guided_backtracking: false,
+            fixed_backtrack_steps: 2,
+            ..TelaConfig::default()
+        };
+        let r = solve(&p, &Budget::steps(500_000), &cfg);
+        assert!(matches!(
+            r.outcome,
+            SolveOutcome::Solved(_) | SolveOutcome::GaveUp
+        ));
+    }
+
+    #[test]
+    fn observer_sees_solution_path() {
+        #[derive(Default)]
+        struct Recorder {
+            solved_len: usize,
+            majors: usize,
+        }
+        impl SearchObserver for Recorder {
+            fn on_major_backtrack(&mut self, _: &BacktrackContext<'_>, _: BacktrackChoice) {
+                self.majors += 1;
+            }
+            fn on_solved(&mut self, path: &[PlacedDecision]) {
+                self.solved_len += path.len();
+            }
+        }
+        let p = examples::figure1();
+        let mut policy = ConflictGuidedPolicy;
+        let mut rec = Recorder::default();
+        let cfg = TelaConfig {
+            split_independent: false,
+            ..TelaConfig::default()
+        };
+        let r = solve_with(&p, &Budget::steps(500_000), &cfg, &mut policy, &mut rec);
+        assert!(r.outcome.is_solved());
+        assert_eq!(rec.solved_len, p.len());
+        assert_eq!(rec.majors as u64, r.stats.major_backtracks);
+    }
+
+    #[test]
+    fn stats_track_steps_and_backtracks() {
+        let p = examples::figure1();
+        let r = solve_default(&p);
+        assert!(r.stats.steps >= p.len() as u64);
+        assert_eq!(
+            r.stats.total_backtracks(),
+            r.stats.minor_backtracks + r.stats.major_backtracks
+        );
+    }
+
+    #[test]
+    fn full_overlap_exact_fit() {
+        let p = Problem::builder(12)
+            .buffers((0..12).map(|_| Buffer::new(0, 3, 1)))
+            .build()
+            .unwrap();
+        let r = solve_default(&p);
+        assert!(r.outcome.solution().unwrap().validate(&p).is_ok());
+    }
+}
+
+#[cfg(test)]
+mod gate_tests {
+    use super::*;
+    use tela_model::examples;
+
+    /// A policy that always expands candidates and counts hook calls.
+    struct AlwaysExpand {
+        calls: usize,
+        inner: ConflictGuidedPolicy,
+    }
+    impl BacktrackPolicy for AlwaysExpand {
+        fn choose(&mut self, ctx: &BacktrackContext<'_>) -> BacktrackChoice {
+            self.inner.choose(ctx)
+        }
+        fn expand_candidates(&mut self, ctx: &StepContext) -> bool {
+            self.calls += 1;
+            assert!(ctx.unplaced <= ctx.total_buffers);
+            true
+        }
+    }
+
+    #[test]
+    fn expansion_hook_is_consulted_per_decision_point() {
+        let p = examples::figure1();
+        let mut policy = AlwaysExpand {
+            calls: 0,
+            inner: ConflictGuidedPolicy,
+        };
+        let mut obs = NullObserver;
+        let cfg = TelaConfig {
+            split_independent: false,
+            ..TelaConfig::default()
+        };
+        let r = solve_with(&p, &Budget::steps(100_000), &cfg, &mut policy, &mut obs);
+        assert!(r.outcome.is_solved());
+        // At least one hook call per committed decision.
+        assert!(policy.calls >= p.len());
+    }
+
+    #[test]
+    fn expansion_preserves_soundness_on_models() {
+        struct ExpandWhenStuck;
+        impl BacktrackPolicy for ExpandWhenStuck {
+            fn choose(&mut self, ctx: &BacktrackContext<'_>) -> BacktrackChoice {
+                ConflictGuidedPolicy.choose(ctx)
+            }
+            fn expand_candidates(&mut self, ctx: &StepContext) -> bool {
+                ctx.subtree_backtracks > 5
+            }
+        }
+        let p = examples::aligned();
+        let mut policy = ExpandWhenStuck;
+        let mut obs = NullObserver;
+        let r = solve_with(
+            &p,
+            &Budget::steps(100_000),
+            &TelaConfig::default(),
+            &mut policy,
+            &mut obs,
+        );
+        if let Some(s) = r.outcome.solution() {
+            assert!(s.validate(&p).is_ok());
+        }
+    }
+
+    /// A policy returning garbage backtrack levels: the engine must
+    /// clamp and stay sound.
+    struct Pathological;
+    impl BacktrackPolicy for Pathological {
+        fn choose(&mut self, _: &BacktrackContext<'_>) -> BacktrackChoice {
+            BacktrackChoice::Target(usize::MAX)
+        }
+    }
+
+    #[test]
+    fn pathological_policy_cannot_break_the_engine() {
+        let p = examples::figure1();
+        let mut policy = Pathological;
+        let mut obs = NullObserver;
+        let r = solve_with(
+            &p,
+            &Budget::steps(50_000),
+            &TelaConfig::default(),
+            &mut policy,
+            &mut obs,
+        );
+        if let Some(s) = r.outcome.solution() {
+            assert!(s.validate(&p).is_ok());
+        }
+    }
+}
+
+#[cfg(test)]
+mod minimize_tests {
+    use super::*;
+    use tela_model::examples;
+
+    #[test]
+    fn minimized_conflicts_keep_search_sound() {
+        let cfg = TelaConfig {
+            minimize_conflicts: true,
+            ..TelaConfig::default()
+        };
+        for p in [examples::figure1(), examples::aligned(), examples::tiny()] {
+            let r = solve(&p, &Budget::steps(200_000), &cfg);
+            let s = r.outcome.solution().expect("examples stay solvable");
+            assert!(s.validate(&p).is_ok());
+        }
+    }
+
+    #[test]
+    fn minimization_changes_no_outcomes_on_models() {
+        use tela_workloads::{problem_with_slack, ModelKind};
+        let p = problem_with_slack(ModelKind::Segmentation.generate(0), 10);
+        let plain = solve(&p, &Budget::steps(200_000), &TelaConfig::default());
+        let minimized = solve(
+            &p,
+            &Budget::steps(200_000),
+            &TelaConfig {
+                minimize_conflicts: true,
+                ..TelaConfig::default()
+            },
+        );
+        assert_eq!(plain.outcome.is_solved(), minimized.outcome.is_solved());
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for the TelaMalloc search: solutions always validate,
+//! "infeasible" is only ever claimed with a proof, and the search is
+//! deterministic.
+
+use proptest::prelude::*;
+use tela_cp::search::solve_cp_only;
+use tela_model::{Budget, Buffer, Problem, SolveOutcome};
+use telamalloc::{solve, TelaConfig};
+
+fn buffer_strategy() -> impl Strategy<Value = Buffer> {
+    (
+        0u32..8,
+        1u32..5,
+        1u64..6,
+        prop_oneof![Just(1u64), Just(2), Just(4)],
+    )
+        .prop_map(|(start, len, size, align)| {
+            Buffer::new(start, start + len, size).with_align(align)
+        })
+}
+
+fn problem_strategy() -> impl Strategy<Value = Problem> {
+    (prop::collection::vec(buffer_strategy(), 1..10), 6u64..14).prop_map(|(buffers, capacity)| {
+        Problem::new(buffers, capacity).expect("sizes below capacity")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(250))]
+
+    #[test]
+    fn solutions_always_validate(problem in problem_strategy()) {
+        let r = solve(&problem, &Budget::steps(200_000), &TelaConfig::default());
+        if let SolveOutcome::Solved(s) = &r.outcome {
+            prop_assert!(s.validate(&problem).is_ok());
+        }
+    }
+
+    #[test]
+    fn infeasible_claims_are_sound(problem in problem_strategy()) {
+        // TelaMalloc may give up on feasible instances (it is an
+        // incomplete search), but when it claims Infeasible the complete
+        // CP search must agree.
+        let r = solve(&problem, &Budget::steps(200_000), &TelaConfig::default());
+        if matches!(r.outcome, SolveOutcome::Infeasible) {
+            let (cp, _) = solve_cp_only(&problem, &Budget::steps(1_000_000));
+            prop_assert_eq!(cp, SolveOutcome::Infeasible);
+        }
+    }
+
+    #[test]
+    fn search_is_deterministic(problem in problem_strategy()) {
+        let a = solve(&problem, &Budget::steps(200_000), &TelaConfig::default());
+        let b = solve(&problem, &Budget::steps(200_000), &TelaConfig::default());
+        prop_assert_eq!(a.outcome, b.outcome);
+        prop_assert_eq!(a.stats.steps, b.stats.steps);
+        prop_assert_eq!(a.stats.minor_backtracks, b.stats.minor_backtracks);
+        prop_assert_eq!(a.stats.major_backtracks, b.stats.major_backtracks);
+    }
+
+    #[test]
+    fn ablation_configs_stay_sound(problem in problem_strategy()) {
+        for cfg in [
+            TelaConfig { solver_guided_placement: false, ..TelaConfig::default() },
+            TelaConfig { contention_grouping: false, ..TelaConfig::default() },
+            TelaConfig { candidate_prepending: false, ..TelaConfig::default() },
+            TelaConfig { split_independent: false, ..TelaConfig::default() },
+        ] {
+            let r = solve(&problem, &Budget::steps(100_000), &cfg);
+            if let SolveOutcome::Solved(s) = &r.outcome {
+                prop_assert!(s.validate(&problem).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn rarely_gives_up_on_slack_instances(problem in problem_strategy()) {
+        // With 30% slack over the contention bound, the full TelaMalloc
+        // configuration should solve every one of these small instances.
+        // Alignment can make even slack instances infeasible (padding),
+        // so strip alignment for this property.
+        let unaligned: Vec<Buffer> = problem
+            .buffers()
+            .iter()
+            .map(|b| Buffer::new(b.start(), b.end(), b.size()))
+            .collect();
+        let slack_capacity = (problem.max_contention() * 13).div_ceil(10).max(6);
+        let relaxed = Problem::new(unaligned, slack_capacity).unwrap();
+        let r = solve(&relaxed, &Budget::steps(200_000), &TelaConfig::default());
+        prop_assert!(
+            r.outcome.is_solved(),
+            "gave up on slack instance: {:?} -> {:?}",
+            relaxed,
+            r.outcome
+        );
+    }
+}

@@ -1,0 +1,265 @@
+use tela_model::{Address, Size};
+
+/// An interval domain `[lo, hi]` of candidate start addresses for one
+/// buffer, restricted to multiples of the buffer's alignment.
+///
+/// Both bounds are always aligned; a domain *wipes out* (becomes empty)
+/// when tightening drives `lo` past `hi`.
+///
+/// # Example
+///
+/// ```
+/// use tela_cp::Domain;
+///
+/// let mut d = Domain::new(0, 100, 32);
+/// assert_eq!(d.hi(), 96); // rounded down to a multiple of 32
+/// assert!(d.tighten_lo(33)); // changed
+/// assert_eq!(d.lo(), 64);
+/// assert!(!d.is_empty());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Domain {
+    lo: Address,
+    hi: Address,
+    align: Size,
+    empty: bool,
+}
+
+impl Domain {
+    /// Creates a domain covering aligned addresses in `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align == 0`.
+    pub fn new(lo: Address, hi: Address, align: Size) -> Self {
+        assert!(align > 0, "alignment must be positive");
+        let mut d = Domain {
+            lo: 0,
+            hi: align_down(hi, align),
+            align,
+            empty: false,
+        };
+        if let Some(alo) = align_up(lo, align) {
+            d.lo = alo;
+        } else {
+            d.empty = true;
+        }
+        if d.lo > d.hi {
+            d.empty = true;
+        }
+        d
+    }
+
+    /// Lowest address in the domain.
+    pub fn lo(&self) -> Address {
+        self.lo
+    }
+
+    /// Highest address in the domain.
+    pub fn hi(&self) -> Address {
+        self.hi
+    }
+
+    /// Alignment step between domain values.
+    pub fn align(&self) -> Size {
+        self.align
+    }
+
+    /// Returns true if no addresses remain.
+    pub fn is_empty(&self) -> bool {
+        self.empty
+    }
+
+    /// Returns true if the domain is a single address.
+    pub fn is_fixed(&self) -> bool {
+        !self.empty && self.lo == self.hi
+    }
+
+    /// Returns true if `addr` is in the domain.
+    pub fn contains(&self, addr: Address) -> bool {
+        !self.empty && self.lo <= addr && addr <= self.hi && addr.is_multiple_of(self.align)
+    }
+
+    /// Raises the lower bound to at least `bound` (rounded up to
+    /// alignment). Returns true if the domain changed.
+    pub fn tighten_lo(&mut self, bound: Address) -> bool {
+        if self.empty {
+            return false;
+        }
+        let aligned = match align_up(bound, self.align) {
+            Some(a) => a,
+            None => {
+                self.empty = true;
+                return true;
+            }
+        };
+        if aligned <= self.lo {
+            return false;
+        }
+        self.lo = aligned;
+        if self.lo > self.hi {
+            self.empty = true;
+        }
+        true
+    }
+
+    /// Lowers the upper bound to at most `bound` (rounded down to
+    /// alignment). Returns true if the domain changed.
+    pub fn tighten_hi(&mut self, bound: Address) -> bool {
+        if self.empty {
+            return false;
+        }
+        let aligned = align_down(bound, self.align);
+        if aligned >= self.hi {
+            return false;
+        }
+        self.hi = aligned;
+        if self.lo > self.hi {
+            self.empty = true;
+        }
+        true
+    }
+
+    /// Fixes the domain to a single address. Returns true if the domain
+    /// changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not currently in the domain.
+    pub fn fix(&mut self, addr: Address) -> bool {
+        assert!(
+            self.contains(addr),
+            "cannot fix domain to excluded address {addr}"
+        );
+        let changed = self.lo != addr || self.hi != addr;
+        self.lo = addr;
+        self.hi = addr;
+        changed
+    }
+
+    /// Restores previously saved bounds (used by the trail on backtrack).
+    pub(crate) fn restore(&mut self, lo: Address, hi: Address, empty: bool) {
+        self.lo = lo;
+        self.hi = hi;
+        self.empty = empty;
+    }
+
+    /// Snapshot of the current bounds for the trail.
+    pub(crate) fn snapshot(&self) -> (Address, Address, bool) {
+        (self.lo, self.hi, self.empty)
+    }
+}
+
+/// Rounds `addr` up to a multiple of `align`; `None` on overflow.
+pub(crate) fn align_up(addr: Address, align: Size) -> Option<Address> {
+    if align <= 1 {
+        return Some(addr);
+    }
+    let rem = addr % align;
+    if rem == 0 {
+        Some(addr)
+    } else {
+        addr.checked_add(align - rem)
+    }
+}
+
+/// Rounds `addr` down to a multiple of `align`.
+pub(crate) fn align_down(addr: Address, align: Size) -> Address {
+    if align <= 1 {
+        addr
+    } else {
+        addr - addr % align
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_aligns_both_bounds() {
+        let d = Domain::new(5, 70, 16);
+        assert_eq!(d.lo(), 16);
+        assert_eq!(d.hi(), 64);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn unaligned_domain_keeps_bounds() {
+        let d = Domain::new(5, 70, 1);
+        assert_eq!((d.lo(), d.hi()), (5, 70));
+    }
+
+    #[test]
+    fn empty_when_no_aligned_value_fits() {
+        let d = Domain::new(1, 15, 16);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn tighten_lo_rounds_up() {
+        let mut d = Domain::new(0, 100, 8);
+        assert!(d.tighten_lo(9));
+        assert_eq!(d.lo(), 16);
+        assert!(!d.tighten_lo(10)); // already >= 16
+    }
+
+    #[test]
+    fn tighten_hi_rounds_down() {
+        let mut d = Domain::new(0, 100, 8);
+        assert!(d.tighten_hi(63));
+        assert_eq!(d.hi(), 56);
+    }
+
+    #[test]
+    fn crossing_bounds_wipes_out() {
+        let mut d = Domain::new(0, 20, 1);
+        assert!(d.tighten_lo(15));
+        assert!(d.tighten_hi(10));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn contains_respects_alignment() {
+        let d = Domain::new(0, 64, 32);
+        assert!(d.contains(0));
+        assert!(d.contains(32));
+        assert!(!d.contains(16));
+        assert!(!d.contains(96));
+    }
+
+    #[test]
+    fn fix_narrows_to_single_value() {
+        let mut d = Domain::new(0, 64, 32);
+        assert!(d.fix(32));
+        assert!(d.is_fixed());
+        assert_eq!((d.lo(), d.hi()), (32, 32));
+        assert!(!d.fix(32)); // unchanged
+    }
+
+    #[test]
+    #[should_panic(expected = "excluded address")]
+    fn fix_out_of_domain_panics() {
+        let mut d = Domain::new(0, 64, 32);
+        d.fix(16);
+    }
+
+    #[test]
+    fn tighten_lo_overflow_empties() {
+        let mut d = Domain::new(0, u64::MAX - 3, 16);
+        assert!(d.tighten_lo(u64::MAX - 1));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut d = Domain::new(0, 100, 4);
+        let snap = d.snapshot();
+        d.tighten_lo(50);
+        d.tighten_hi(20);
+        assert!(d.is_empty());
+        d.restore(snap.0, snap.1, snap.2);
+        assert_eq!((d.lo(), d.hi()), (0, 100));
+        assert!(!d.is_empty());
+    }
+}

@@ -1,0 +1,189 @@
+//! Conflict-set minimization.
+//!
+//! The solver's conflict explanations ([`crate::Conflict::culprits`]) are sound
+//! but coarse: they name every placed buffer adjacent to the failing
+//! constraint. A smaller *irreducible* set pinpoints the placements that
+//! actually matter, which sharpens conflict-guided backtracking (the
+//! "second-to-last conflicting placement" of §5.4 jumps further when
+//! spurious culprits are removed).
+//!
+//! [`minimize_conflict`] applies the classic deletion filter: drop one
+//! candidate at a time and keep the drop whenever the failure still
+//! reproduces from the remaining placements alone.
+
+use tela_model::{Address, BufferId, Problem};
+
+use crate::solver::CpSolver;
+
+/// A placement `(buffer, address)` as replayed during minimization.
+pub type Placement = (BufferId, Address);
+
+/// Shrinks `culprits` to an irreducible subset that still makes
+/// `failing` inconsistent when replayed alone on a fresh solver.
+///
+/// `placements` maps every placed buffer to its address (superset of the
+/// culprits). If even the full culprit set does not reproduce the
+/// failure in isolation (the conflict depended on wider context), the
+/// original culprit list is returned unchanged — minimization is an
+/// optimization, never a soundness requirement.
+///
+/// # Example
+///
+/// ```
+/// use tela_cp::explain::minimize_conflict;
+/// use tela_model::{Buffer, BufferId, Problem};
+///
+/// // Buffers 0 and 1 are placed; only buffer 1 blocks buffer 2's
+/// // placement at address 0.
+/// let p = Problem::builder(10)
+///     .buffer(Buffer::new(0, 2, 2))   // placed low, irrelevant
+///     .buffer(Buffer::new(4, 8, 5))   // occupies [0, 5) later
+///     .buffer(Buffer::new(5, 7, 4))   // would overlap buffer 1 at 0
+///     .build()?;
+/// let placements = [(BufferId::new(0), 0), (BufferId::new(1), 0)];
+/// let culprits = vec![BufferId::new(0), BufferId::new(1)];
+/// let minimal = minimize_conflict(&p, &placements, (BufferId::new(2), 0), &culprits);
+/// assert_eq!(minimal, vec![BufferId::new(1)]);
+/// # Ok::<(), tela_model::ProblemError>(())
+/// ```
+pub fn minimize_conflict(
+    problem: &Problem,
+    placements: &[Placement],
+    failing: Placement,
+    culprits: &[BufferId],
+) -> Vec<BufferId> {
+    let address_of = |id: BufferId| -> Option<Address> {
+        placements.iter().find(|&&(b, _)| b == id).map(|&(_, a)| a)
+    };
+    let mut kept: Vec<Placement> = culprits
+        .iter()
+        .filter_map(|&c| address_of(c).map(|a| (c, a)))
+        .collect();
+    if kept.len() != culprits.len() || !reproduces(problem, &kept, failing) {
+        return culprits.to_vec();
+    }
+    // Deletion filter, scanning from the most recent culprit backwards so
+    // early (deep-impact) placements tend to survive.
+    let mut i = kept.len();
+    while i > 0 {
+        i -= 1;
+        if kept.len() == 1 {
+            break;
+        }
+        let removed = kept.remove(i);
+        if !reproduces(problem, &kept, failing) {
+            kept.insert(i, removed);
+        }
+    }
+    kept.into_iter().map(|(b, _)| b).collect()
+}
+
+/// Does assigning `failing` conflict when exactly `placements` are fixed?
+fn reproduces(problem: &Problem, placements: &[Placement], failing: Placement) -> bool {
+    let Ok(mut solver) = CpSolver::new(problem) else {
+        // The root itself is infeasible: any set "reproduces".
+        return true;
+    };
+    for &(id, addr) in placements {
+        if solver.assign(id, addr).is_err() {
+            // The subset is itself inconsistent; treat as reproducing
+            // (the failure happens at or before the probe).
+            return true;
+        }
+    }
+    solver.assign(failing.0, failing.1).is_err()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tela_model::Buffer;
+
+    fn id(i: usize) -> BufferId {
+        BufferId::new(i)
+    }
+
+    #[test]
+    fn irrelevant_culprits_are_dropped() {
+        // Three placed buffers; only the middle one conflicts with the
+        // failing placement.
+        let p = Problem::builder(20)
+            .buffer(Buffer::new(0, 2, 4)) // time-disjoint from failing
+            .buffer(Buffer::new(4, 8, 15)) // occupies [0, 15) at the time
+            .buffer(Buffer::new(10, 12, 4)) // time-disjoint from failing
+            .buffer(Buffer::new(5, 7, 4)) // the failing buffer
+            .build()
+            .unwrap();
+        let placements = [(id(0), 0u64), (id(1), 0), (id(2), 0)];
+        let minimal = minimize_conflict(&p, &placements, (id(3), 0), &[id(0), id(1), id(2)]);
+        assert_eq!(minimal, vec![id(1)]);
+    }
+
+    #[test]
+    fn minimized_set_is_irreducible_and_still_reproduces() {
+        // Tight packing in capacity 13: after placing three size-4
+        // blocks, the failing placement conflicts. Whatever subset the
+        // filter returns must be non-empty, a subset of the original,
+        // and still reproduce the failure on its own.
+        let p = Problem::builder(13)
+            .buffer(Buffer::new(0, 4, 4))
+            .buffer(Buffer::new(0, 4, 4))
+            .buffer(Buffer::new(0, 4, 4))
+            .buffer(Buffer::new(0, 4, 1))
+            .build()
+            .unwrap();
+        let placements = [(id(0), 0u64), (id(1), 4), (id(2), 8)];
+        let failing = (id(3), 4); // overlaps block 1 directly
+        let original = vec![id(0), id(1), id(2)];
+        let minimal = minimize_conflict(&p, &placements, failing, &original);
+        assert!(!minimal.is_empty());
+        assert!(minimal.iter().all(|c| original.contains(c)));
+        let kept: Vec<Placement> = placements
+            .iter()
+            .copied()
+            .filter(|(b, _)| minimal.contains(b))
+            .collect();
+        assert!(super::reproduces(&p, &kept, failing));
+        // The direct overlap is with block 1 only.
+        assert_eq!(minimal, vec![id(1)]);
+    }
+
+    #[test]
+    fn single_culprit_is_stable() {
+        let p = Problem::builder(10)
+            .buffer(Buffer::new(0, 4, 8))
+            .buffer(Buffer::new(0, 4, 8))
+            .build()
+            .unwrap();
+        let placements = [(id(0), 0u64)];
+        let minimal = minimize_conflict(&p, &placements, (id(1), 0), &[id(0)]);
+        assert_eq!(minimal, vec![id(0)]);
+    }
+
+    #[test]
+    fn non_reproducing_conflicts_returned_unchanged() {
+        // A "conflict" that does not actually reproduce in isolation: the
+        // failing placement is fine given the culprits.
+        let p = Problem::builder(20)
+            .buffer(Buffer::new(0, 4, 4))
+            .buffer(Buffer::new(0, 4, 4))
+            .build()
+            .unwrap();
+        let placements = [(id(0), 0u64)];
+        let original = vec![id(0)];
+        let minimal = minimize_conflict(&p, &placements, (id(1), 8), &original);
+        assert_eq!(minimal, original);
+    }
+
+    #[test]
+    fn missing_placement_addresses_fall_back() {
+        let p = Problem::builder(10)
+            .buffer(Buffer::new(0, 4, 8))
+            .buffer(Buffer::new(0, 4, 8))
+            .build()
+            .unwrap();
+        // Culprit id(0) has no recorded placement: fall back unchanged.
+        let minimal = minimize_conflict(&p, &[], (id(1), 0), &[id(0)]);
+        assert_eq!(minimal, vec![id(0)]);
+    }
+}

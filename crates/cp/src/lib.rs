@@ -1,0 +1,54 @@
+//! Constraint-propagation engine for the TelaMalloc reproduction.
+//!
+//! This crate is the reproduction's substitute for the paper's
+//! Telamon-over-CP-SAT stack (§4, §5.1): a solver for the memory
+//! allocation constraint model that, instead of solving the whole problem
+//! itself, exposes the narrow interface the TelaMalloc search needs:
+//!
+//! - make one variable assignment at a time ([`CpSolver::assign`]),
+//! - query valid ranges for each position variable
+//!   ([`CpSolver::domain`]) and the lowest feasible placement
+//!   ([`CpSolver::min_feasible_pos`], §5.2 "solver-guided placement"),
+//! - learn *why* an assignment failed ([`Conflict::culprits`], used by
+//!   smart backtracking, §5.4),
+//! - backtrack to any earlier decision level ([`CpSolver::pop_to_level`]).
+//!
+//! The constraint model matches the paper's CP encoding: one integer
+//! `pos(X)` per buffer with domain `[0, M - size(X)]` (alignment-aware,
+//! §5.5) and, for every pair of time-overlapping buffers, an ordering
+//! decision `before(X, Y) ⊕ before(Y, X)` enforcing
+//! `pos(X) + size(X) ≤ pos(Y)` when `X` is placed below `Y`.
+//!
+//! [`search::solve_cp_only`] runs the engine stand-alone with a generic
+//! first-fail branching strategy — the "CP-SAT encoding without the
+//! heuristic-driven search" baseline of the paper's Figure 13.
+//!
+//! # Example
+//!
+//! ```
+//! use tela_cp::CpSolver;
+//! use tela_model::examples;
+//!
+//! let problem = examples::tiny();
+//! let mut solver = CpSolver::new(&problem)?;
+//! // Place buffer 0 at the lowest feasible address, CP-guided.
+//! let id = tela_model::BufferId::new(0);
+//! let pos = solver.min_feasible_pos(id).expect("placeable");
+//! solver.assign(id, pos).expect("assignment is consistent");
+//! assert_eq!(solver.assignment(id), Some(pos));
+//! # Ok::<(), tela_cp::ModelError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod domain;
+pub mod explain;
+mod model;
+pub mod search;
+mod solver;
+mod sweep;
+
+pub use domain::Domain;
+pub use model::{CpModel, ModelError, PairId};
+pub use solver::{Conflict, CpSolver, OrderState};

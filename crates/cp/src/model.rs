@@ -1,0 +1,204 @@
+use tela_model::{BufferId, Problem};
+
+/// Index of an ordering pair within a [`CpModel`].
+pub type PairId = u32;
+
+/// The static constraint model of an allocation problem: the
+/// `OverlappingBuffers` pair set and, per buffer, the pairs it
+/// participates in.
+///
+/// A `CpModel` is immutable; [`CpSolver`](crate::CpSolver) layers mutable
+/// search state (domains, ordering decisions, trail) on top of it. Build
+/// one model per problem and share it across repeated solves.
+///
+/// # Example
+///
+/// ```
+/// use tela_cp::CpModel;
+/// use tela_model::examples;
+///
+/// let model = CpModel::new(&examples::figure1())?;
+/// assert!(model.pair_count() > 0);
+/// # Ok::<(), tela_cp::ModelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CpModel {
+    problem: Problem,
+    /// `(x, y)` buffer index pairs with `x < y`, time-overlapping.
+    pairs: Vec<(u32, u32)>,
+    /// For each buffer, indices into `pairs` it participates in.
+    adjacency: Vec<Vec<PairId>>,
+}
+
+/// Errors detected while building a [`CpModel`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// The per-time-step contention exceeds the capacity, so the problem
+    /// is trivially infeasible before any search.
+    ContentionExceedsCapacity {
+        /// The maximum contention found.
+        contention: u64,
+        /// The memory capacity.
+        capacity: u64,
+    },
+    /// A buffer (after alignment rounding) has no feasible address at all.
+    Unplaceable(BufferId),
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::ContentionExceedsCapacity {
+                contention,
+                capacity,
+            } => write!(
+                f,
+                "contention {contention} exceeds memory capacity {capacity}: trivially infeasible"
+            ),
+            ModelError::Unplaceable(id) => {
+                write!(f, "buffer {id} has no feasible aligned address")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl CpModel {
+    /// Builds the pair set and adjacency lists for `problem`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ContentionExceedsCapacity`] when the problem
+    /// is infeasible by the contention lower bound, and
+    /// [`ModelError::Unplaceable`] when some buffer admits no aligned
+    /// address within the capacity. Both conditions mean no search is
+    /// needed: the instance has no solution.
+    pub fn new(problem: &Problem) -> Result<Self, ModelError> {
+        let contention = problem.max_contention();
+        if contention > problem.capacity() {
+            return Err(ModelError::ContentionExceedsCapacity {
+                contention,
+                capacity: problem.capacity(),
+            });
+        }
+        for (id, b) in problem.iter() {
+            let limit = problem.capacity() - b.size();
+            if crate::domain::align_up(0, b.align()).is_none()
+                || crate::domain::align_down(limit, b.align()) > limit
+            {
+                return Err(ModelError::Unplaceable(id));
+            }
+            // Note: align_down(limit) <= limit always holds, and address 0
+            // is always aligned, so with the capacity check in
+            // `Problem::new` every buffer has at least address 0.
+        }
+        let mut pairs: Vec<(u32, u32)> = problem
+            .overlapping_pairs()
+            .map(|(a, b)| (a.index() as u32, b.index() as u32))
+            .collect();
+        pairs.sort_unstable();
+        let mut adjacency = vec![Vec::new(); problem.len()];
+        for (i, &(x, y)) in pairs.iter().enumerate() {
+            adjacency[x as usize].push(i as PairId);
+            adjacency[y as usize].push(i as PairId);
+        }
+        Ok(CpModel {
+            problem: problem.clone(),
+            pairs,
+            adjacency,
+        })
+    }
+
+    /// The underlying problem.
+    pub fn problem(&self) -> &Problem {
+        &self.problem
+    }
+
+    /// Number of ordering pairs (the quadratic term the paper's Table 1
+    /// microbenchmarks stress).
+    pub fn pair_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// The `(x, y)` buffer indices of pair `pair` (with `x < y`).
+    pub(crate) fn pair(&self, pair: PairId) -> (u32, u32) {
+        self.pairs[pair as usize]
+    }
+
+    /// Pairs involving buffer index `var`.
+    pub(crate) fn pairs_of(&self, var: u32) -> &[PairId] {
+        &self.adjacency[var as usize]
+    }
+
+    /// Buffer ids overlapping `id` in time.
+    pub fn neighbors(&self, id: BufferId) -> impl Iterator<Item = BufferId> + '_ {
+        let var = id.index() as u32;
+        self.adjacency[id.index()].iter().map(move |&p| {
+            let (x, y) = self.pair(p);
+            BufferId::new(if x == var { y as usize } else { x as usize })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tela_model::{examples, Buffer};
+
+    #[test]
+    fn figure1_pair_count_matches_enumeration() {
+        let p = examples::figure1();
+        let model = CpModel::new(&p).unwrap();
+        assert_eq!(model.pair_count(), p.overlapping_pairs().count());
+    }
+
+    #[test]
+    fn contention_infeasibility_detected_at_build() {
+        let err = CpModel::new(&examples::infeasible()).unwrap_err();
+        assert!(matches!(
+            err,
+            ModelError::ContentionExceedsCapacity {
+                contention: 9,
+                capacity: 8
+            }
+        ));
+        assert!(err.to_string().contains("trivially infeasible"));
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let p = examples::figure1();
+        let model = CpModel::new(&p).unwrap();
+        for (id, _) in p.iter() {
+            for n in model.neighbors(id) {
+                assert!(
+                    model.neighbors(n).any(|m| m == id),
+                    "neighbor relation must be symmetric: {id} vs {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_pairs_for_disjoint_buffers() {
+        let p = Problem::builder(10)
+            .buffer(Buffer::new(0, 1, 5))
+            .buffer(Buffer::new(1, 2, 5))
+            .build()
+            .unwrap();
+        let model = CpModel::new(&p).unwrap();
+        assert_eq!(model.pair_count(), 0);
+    }
+
+    #[test]
+    fn full_overlap_pair_count_is_quadratic() {
+        let n = 30u32;
+        let p = Problem::builder(1000)
+            .buffers((0..n).map(|_| Buffer::new(0, 4, 1)))
+            .build()
+            .unwrap();
+        let model = CpModel::new(&p).unwrap();
+        assert_eq!(model.pair_count(), (n * (n - 1) / 2) as usize);
+    }
+}

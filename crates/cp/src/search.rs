@@ -1,0 +1,325 @@
+//! Stand-alone CP search over the allocation model.
+//!
+//! This is the "CP-SAT encoding without TelaMalloc's heuristic-driven
+//! search" baseline from the paper's Figure 13: a depth-first search that
+//! branches on the ordering booleans `B(X, Y)` of the CP encoding with no
+//! domain-specific block selection, relying on propagation to prune.
+//!
+//! The branching is complete: every overlapping pair must be ordered one
+//! way or the other, and once all pairs are ordered the propagation
+//! fixpoint's domain lower bounds form a concrete packing
+//! ([`CpSolver::lower_bound_solution`]). Exhausting both branches of
+//! every pair therefore proves infeasibility.
+
+use tela_model::{Budget, Problem, SolveOutcome, SolveStats};
+
+use crate::model::PairId;
+use crate::solver::{CpSolver, OrderState};
+
+/// Solves `problem` with the plain CP search, within `budget`.
+///
+/// Returns the outcome together with deterministic search statistics
+/// (steps = ordering decisions attempted, matching the paper's step
+/// metric).
+///
+/// # Example
+///
+/// ```
+/// use tela_cp::search::solve_cp_only;
+/// use tela_model::{examples, Budget};
+///
+/// let (outcome, stats) = solve_cp_only(&examples::figure1(), &Budget::steps(100_000));
+/// let solution = outcome.solution().expect("figure1 is feasible");
+/// assert!(solution.validate(&examples::figure1()).is_ok());
+/// assert!(stats.steps > 0);
+/// ```
+pub fn solve_cp_only(problem: &Problem, budget: &Budget) -> (SolveOutcome, SolveStats) {
+    solve_with_fixed(problem, &[], budget)
+}
+
+/// Decides feasibility of `problem` with some buffers pre-placed at
+/// fixed addresses — "encoding our problem and fixing all `pos`
+/// variables that correspond to blocks that have already been placed"
+/// (paper §6.3). This is the oracle query behind the imitation-learning
+/// labels: it answers whether a partial search path can still be
+/// extended to a full solution.
+///
+/// Returns `Infeasible` immediately if the fixed placements themselves
+/// conflict.
+///
+/// # Example
+///
+/// ```
+/// use tela_cp::search::solve_with_fixed;
+/// use tela_model::{examples, Budget, BufferId};
+///
+/// let p = examples::tiny();
+/// let (outcome, _) = solve_with_fixed(&p, &[(BufferId::new(0), 0)], &Budget::steps(10_000));
+/// assert!(outcome.is_solved());
+/// ```
+pub fn solve_with_fixed(
+    problem: &Problem,
+    fixed: &[(tela_model::BufferId, tela_model::Address)],
+    budget: &Budget,
+) -> (SolveOutcome, SolveStats) {
+    let start = std::time::Instant::now();
+    let mut stats = SolveStats::default();
+    let mut solver = match CpSolver::new(problem) {
+        Ok(s) => s,
+        Err(_) => {
+            stats.elapsed = start.elapsed();
+            return (SolveOutcome::Infeasible, stats);
+        }
+    };
+    for &(id, addr) in fixed {
+        if solver.assign(id, addr).is_err() {
+            stats.elapsed = start.elapsed();
+            return (SolveOutcome::Infeasible, stats);
+        }
+    }
+
+    struct Frame {
+        pair: PairId,
+        first_choice: OrderState,
+        exhausted: bool,
+        /// Scan cursor: pairs below this index were decided when the
+        /// frame was opened.
+        cursor: PairId,
+    }
+    let mut frames: Vec<Frame> = Vec::new();
+    let mut cursor: PairId = 0;
+    // A frame that failed its first branch and needs the second tried.
+    let mut retry = false;
+
+    loop {
+        if budget.exhausted(stats.steps) {
+            stats.elapsed = start.elapsed();
+            return (SolveOutcome::BudgetExceeded, stats);
+        }
+        if retry {
+            retry = false;
+            let frame = frames.last_mut().expect("retry implies an open frame");
+            if frame.exhausted {
+                // Both branches failed: backtrack further.
+                frames.pop();
+                match frames.last_mut() {
+                    Some(parent) => {
+                        solver.pop_level();
+                        stats.major_backtracks += 1;
+                        cursor = parent.cursor;
+                        retry = true;
+                        continue;
+                    }
+                    None => {
+                        stats.elapsed = start.elapsed();
+                        return (SolveOutcome::Infeasible, stats);
+                    }
+                }
+            }
+            frame.exhausted = true;
+            let second = opposite(frame.first_choice);
+            let pair = frame.pair;
+            cursor = frame.cursor;
+            stats.steps += 1;
+            if solver.decide(pair, second).is_err() {
+                stats.minor_backtracks += 1;
+                retry = true;
+            }
+            continue;
+        }
+
+        match solver.next_undecided_pair(cursor) {
+            None => {
+                let solution = solver
+                    .lower_bound_solution()
+                    .expect("no undecided pair implies full ordering");
+                stats.elapsed = start.elapsed();
+                return (SolveOutcome::Solved(solution), stats);
+            }
+            Some(pair) => {
+                let choice = preferred_order(&solver, pair);
+                frames.push(Frame {
+                    pair,
+                    first_choice: choice,
+                    exhausted: false,
+                    cursor,
+                });
+                cursor = pair; // children rescan from here; cheap because decided pairs are skipped
+                stats.steps += 1;
+                if solver.decide(pair, choice).is_err() {
+                    stats.minor_backtracks += 1;
+                    retry = true;
+                }
+            }
+        }
+    }
+}
+
+fn opposite(state: OrderState) -> OrderState {
+    match state {
+        OrderState::FirstBelow => OrderState::SecondBelow,
+        OrderState::SecondBelow => OrderState::FirstBelow,
+        OrderState::Undecided => unreachable!("first choice is always concrete"),
+    }
+}
+
+/// Value-ordering heuristic: put the buffer with the lower current bound
+/// below; ties broken toward placing the larger buffer below.
+fn preferred_order(solver: &CpSolver, pair: PairId) -> OrderState {
+    let (x, y) = solver.model().pair(pair);
+    let dx = solver.domain(tela_model::BufferId::new(x as usize));
+    let dy = solver.domain(tela_model::BufferId::new(y as usize));
+    let sx = solver.problem().buffers()[x as usize].size();
+    let sy = solver.problem().buffers()[y as usize].size();
+    if (dx.lo(), std::cmp::Reverse(sx)) <= (dy.lo(), std::cmp::Reverse(sy)) {
+        OrderState::FirstBelow
+    } else {
+        OrderState::SecondBelow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tela_model::{examples, Buffer, BufferId};
+
+    fn solve(problem: &Problem) -> (SolveOutcome, SolveStats) {
+        solve_cp_only(problem, &Budget::steps(500_000))
+    }
+
+    #[test]
+    fn solves_tiny() {
+        let p = examples::tiny();
+        let (outcome, _) = solve(&p);
+        assert!(outcome.solution().unwrap().validate(&p).is_ok());
+    }
+
+    #[test]
+    fn solves_figure1_at_tight_capacity() {
+        let p = examples::figure1();
+        let (outcome, stats) = solve(&p);
+        assert!(outcome.solution().unwrap().validate(&p).is_ok());
+        assert!(stats.steps > 0);
+    }
+
+    #[test]
+    fn solves_aligned_example() {
+        let p = examples::aligned();
+        let (outcome, _) = solve(&p);
+        let s = outcome.solution().unwrap();
+        assert!(s.validate(&p).is_ok());
+    }
+
+    #[test]
+    fn reports_contention_infeasibility() {
+        let (outcome, _) = solve(&examples::infeasible());
+        assert_eq!(outcome, SolveOutcome::Infeasible);
+    }
+
+    #[test]
+    fn proves_packing_infeasibility_by_search() {
+        // Two overlapping 32-aligned blocks of size 8 in capacity 39: the
+        // upper one would need address 32, which tops out at 40 > 39.
+        let p = Problem::builder(39)
+            .buffer(Buffer::new(0, 2, 8).with_align(32))
+            .buffer(Buffer::new(0, 2, 8).with_align(32))
+            .build()
+            .unwrap();
+        let (outcome, _) = solve(&p);
+        assert_eq!(outcome, SolveOutcome::Infeasible);
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let p = examples::figure1();
+        let (outcome, stats) = solve_cp_only(&p, &Budget::steps(2));
+        assert_eq!(outcome, SolveOutcome::BudgetExceeded);
+        assert!(stats.steps <= 2);
+    }
+
+    #[test]
+    fn empty_problem_solves_immediately() {
+        let p = Problem::builder(10).build().unwrap();
+        let (outcome, stats) = solve(&p);
+        assert!(outcome.is_solved());
+        assert_eq!(stats.steps, 0);
+    }
+
+    #[test]
+    fn single_buffer_placed_at_zero() {
+        let p = Problem::builder(10)
+            .buffer(Buffer::new(0, 5, 10))
+            .build()
+            .unwrap();
+        let (outcome, _) = solve(&p);
+        assert_eq!(outcome.solution().unwrap().address(BufferId::new(0)), 0);
+    }
+
+    #[test]
+    fn full_overlap_exact_fit() {
+        // Ten unit-size blocks fully overlapping in capacity 10: a perfect
+        // packing with zero slack.
+        let p = Problem::builder(10)
+            .buffers((0..10).map(|_| Buffer::new(0, 3, 1)))
+            .build()
+            .unwrap();
+        let (outcome, _) = solve(&p);
+        assert!(outcome.solution().unwrap().validate(&p).is_ok());
+    }
+
+    #[test]
+    fn disjoint_buffers_all_at_zero() {
+        let p = Problem::builder(8)
+            .buffers((0..5).map(|i| Buffer::new(i * 2, i * 2 + 2, 8)))
+            .build()
+            .unwrap();
+        let (outcome, _) = solve(&p);
+        let s = outcome.solution().unwrap();
+        assert!(s.addresses().iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn fixed_prefix_feasible_when_consistent() {
+        // Fix the known-good figure1 placements one by one; every prefix
+        // must remain solvable.
+        let p = examples::figure1();
+        let addrs = [0u64, 2, 1, 0, 2, 3, 0, 2, 2, 0];
+        for k in 0..=addrs.len() {
+            let fixed: Vec<_> = (0..k).map(|i| (BufferId::new(i), addrs[i])).collect();
+            let (outcome, _) = super::solve_with_fixed(&p, &fixed, &Budget::steps(500_000));
+            assert!(outcome.is_solved(), "prefix {k} should be solvable");
+        }
+    }
+
+    #[test]
+    fn fixed_prefix_infeasible_when_conflicting() {
+        // Two overlapping size-8 blocks in capacity 16: fixing the first
+        // at address 4 leaves no room for the second.
+        let p = Problem::builder(16)
+            .buffer(Buffer::new(0, 2, 8))
+            .buffer(Buffer::new(0, 2, 8))
+            .build()
+            .unwrap();
+        let (outcome, _) =
+            super::solve_with_fixed(&p, &[(BufferId::new(0), 4)], &Budget::steps(10_000));
+        assert_eq!(outcome, SolveOutcome::Infeasible);
+        // At address 0 it stays solvable.
+        let (outcome, _) =
+            super::solve_with_fixed(&p, &[(BufferId::new(0), 0)], &Budget::steps(10_000));
+        assert!(outcome.is_solved());
+    }
+
+    #[test]
+    fn tight_three_block_interleave_requires_search() {
+        // Capacity 9: sizes 5, 3, 1 all overlapping; the size-1 block is
+        // 4-aligned so it can only sit at 0, 4, or 8.
+        let p = Problem::builder(9)
+            .buffer(Buffer::new(1, 3, 5))
+            .buffer(Buffer::new(0, 2, 3).with_align(2))
+            .buffer(Buffer::new(0, 2, 1).with_align(4))
+            .build()
+            .unwrap();
+        let (outcome, _) = solve(&p);
+        assert!(outcome.solution().unwrap().validate(&p).is_ok());
+    }
+}

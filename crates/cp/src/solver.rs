@@ -1,0 +1,844 @@
+use tela_model::{Address, BufferId, Problem, Solution};
+
+use crate::domain::Domain;
+use crate::model::{CpModel, ModelError, PairId};
+use crate::sweep::lowest_fit;
+
+/// Decision state of one ordering pair `(x, y)` (with `x < y`):
+/// which buffer sits below the other in memory.
+///
+/// This is the CP encoding's `B(X, Y) ⊕ B(Y, X)` pair of booleans
+/// (paper §5.1) collapsed into one three-valued state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderState {
+    /// Neither ordering has been committed yet.
+    Undecided,
+    /// `pos(x) + size(x) <= pos(y)`: the lower-indexed buffer is below.
+    FirstBelow,
+    /// `pos(y) + size(y) <= pos(x)`: the higher-indexed buffer is below.
+    SecondBelow,
+}
+
+/// A failed assignment, with the already-placed buffers implicated.
+///
+/// `culprits` lists fixed placements that contributed to the failure, in
+/// the order they were assigned (earliest first). TelaMalloc's smart
+/// backtracking jumps to the second-to-last culprit's decision level
+/// (paper §5.4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Conflict {
+    /// The buffer whose domain wiped out or that became unplaceable, when
+    /// identifiable.
+    pub subject: Option<BufferId>,
+    /// Fixed placements implicated in the failure, in assignment order.
+    pub culprits: Vec<BufferId>,
+}
+
+impl std::fmt::Display for Conflict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.subject {
+            Some(s) => write!(f, "conflict on {s}")?,
+            None => write!(f, "conflict")?,
+        }
+        if !self.culprits.is_empty() {
+            write!(f, " implicating ")?;
+            for (i, c) in self.culprits.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{c}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Conflict {}
+
+#[derive(Debug)]
+enum TrailEntry {
+    Bounds {
+        var: u32,
+        lo: Address,
+        hi: Address,
+        empty: bool,
+    },
+    Order(PairId),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LevelMark {
+    trail_len: usize,
+    fixed_len: usize,
+}
+
+/// Incremental constraint solver over the allocation CP model.
+///
+/// The solver maintains interval domains for every `pos` variable and the
+/// ordering state of every time-overlapping pair, with a trail that makes
+/// backtracking to any earlier decision level cheap. One *decision level*
+/// is pushed per successful [`assign`](CpSolver::assign) call.
+///
+/// Propagation is bounds-consistent and therefore sound but incomplete:
+/// a non-conflicting assignment may still be part of no solution. The
+/// search layers (this crate's [`search`](crate::search) module and the
+/// `telamalloc` crate) handle exhaustive exploration.
+///
+/// # Example
+///
+/// ```
+/// use tela_cp::CpSolver;
+/// use tela_model::{examples, BufferId};
+///
+/// let mut solver = CpSolver::new(&examples::tiny())?;
+/// let a = BufferId::new(0);
+/// let b = BufferId::new(1);
+/// solver.assign(a, 0).unwrap();
+/// // Buffer 1 overlaps buffer 0 in time, so its lowest feasible
+/// // position is now on top of buffer 0.
+/// assert_eq!(solver.min_feasible_pos(b), Some(8));
+/// solver.pop_level();
+/// assert_eq!(solver.min_feasible_pos(b), Some(0));
+/// # Ok::<(), tela_cp::ModelError>(())
+/// ```
+#[derive(Debug)]
+pub struct CpSolver {
+    model: CpModel,
+    domains: Vec<Domain>,
+    orders: Vec<OrderState>,
+    fixed: Vec<bool>,
+    fixed_order: Vec<u32>,
+    trail: Vec<TrailEntry>,
+    levels: Vec<LevelMark>,
+    queue: Vec<u32>,
+    in_queue: Vec<bool>,
+    propagations: u64,
+}
+
+impl CpSolver {
+    /// Builds a solver for `problem`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if the problem is trivially infeasible (see
+    /// [`CpModel::new`]).
+    pub fn new(problem: &Problem) -> Result<Self, ModelError> {
+        Ok(Self::from_model(CpModel::new(problem)?))
+    }
+
+    /// Builds a solver over an existing model.
+    pub fn from_model(model: CpModel) -> Self {
+        let problem = model.problem();
+        let domains = problem
+            .buffers()
+            .iter()
+            .map(|b| Domain::new(0, problem.capacity() - b.size(), b.align()))
+            .collect::<Vec<_>>();
+        let n = problem.len();
+        let pair_count = model.pair_count();
+        CpSolver {
+            model,
+            domains,
+            orders: vec![OrderState::Undecided; pair_count],
+            fixed: vec![false; n],
+            fixed_order: Vec::with_capacity(n),
+            trail: Vec::new(),
+            levels: Vec::new(),
+            queue: Vec::new(),
+            in_queue: vec![false; n],
+            propagations: 0,
+        }
+    }
+
+    /// The constraint model this solver operates on.
+    pub fn model(&self) -> &CpModel {
+        &self.model
+    }
+
+    /// The underlying problem.
+    pub fn problem(&self) -> &Problem {
+        self.model.problem()
+    }
+
+    /// Current decision level (number of successful assignments on the
+    /// current path).
+    pub fn level(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Number of pair-propagation operations performed so far (a
+    /// deterministic work counter for experiments).
+    pub fn propagations(&self) -> u64 {
+        self.propagations
+    }
+
+    /// Current domain of `id`'s position variable.
+    pub fn domain(&self, id: BufferId) -> &Domain {
+        &self.domains[id.index()]
+    }
+
+    /// The committed address of `id`, if it has been assigned.
+    pub fn assignment(&self, id: BufferId) -> Option<Address> {
+        if self.fixed[id.index()] {
+            Some(self.domains[id.index()].lo())
+        } else {
+            None
+        }
+    }
+
+    /// Returns true if `id` has been assigned.
+    pub fn is_fixed(&self, id: BufferId) -> bool {
+        self.fixed[id.index()]
+    }
+
+    /// Number of assigned buffers.
+    pub fn fixed_count(&self) -> usize {
+        self.fixed_order.len()
+    }
+
+    /// Assigned buffers in assignment order.
+    pub fn fixed_in_order(&self) -> impl Iterator<Item = BufferId> + '_ {
+        self.fixed_order.iter().map(|&v| BufferId::new(v as usize))
+    }
+
+    /// Unassigned buffers in id order.
+    pub fn unfixed(&self) -> impl Iterator<Item = BufferId> + '_ {
+        self.fixed
+            .iter()
+            .enumerate()
+            .filter(|&(_, &f)| !f)
+            .map(|(i, _)| BufferId::new(i))
+    }
+
+    /// Ordering state of the pair with index `pair`.
+    pub fn order(&self, pair: PairId) -> OrderState {
+        self.orders[pair as usize]
+    }
+
+    /// Assigns `id` to `addr`, pushing one decision level and running
+    /// propagation.
+    ///
+    /// On conflict the decision level is rolled back automatically, so
+    /// the solver is back in its pre-call state and another candidate can
+    /// be tried — a *minor backtrack* in the paper's terms.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Conflict`] (with implicated placements) if the
+    /// assignment is inconsistent with the constraint store.
+    pub fn assign(&mut self, id: BufferId, addr: Address) -> Result<(), Conflict> {
+        let var = id.index() as u32;
+        debug_assert!(!self.fixed[id.index()], "buffer {id} is already assigned");
+        self.levels.push(LevelMark {
+            trail_len: self.trail.len(),
+            fixed_len: self.fixed_order.len(),
+        });
+        if !self.domains[id.index()].contains(addr) {
+            let conflict = self.build_conflict(Some(var), &[var]);
+            self.pop_level();
+            return Err(conflict);
+        }
+        // Trail the old bounds, then fix.
+        let (lo, hi, empty) = self.domains[id.index()].snapshot();
+        self.trail.push(TrailEntry::Bounds { var, lo, hi, empty });
+        self.domains[id.index()].fix(addr);
+        self.fixed[id.index()] = true;
+        self.fixed_order.push(var);
+        self.enqueue(var);
+        match self.propagate() {
+            Ok(()) => Ok(()),
+            Err(conflict_vars) => {
+                let conflict = self.build_conflict(conflict_vars.first().copied(), &conflict_vars);
+                self.pop_level();
+                Err(conflict)
+            }
+        }
+    }
+
+    /// Commits an ordering decision for an undecided pair, pushing one
+    /// decision level and running propagation — the boolean branching a
+    /// CP-SAT solver performs on the `B(X, Y)` variables (paper §5.1).
+    ///
+    /// On conflict the decision level is rolled back automatically.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Conflict`] if the decision is inconsistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair is already decided or `state` is
+    /// [`OrderState::Undecided`].
+    pub fn decide(&mut self, pair: PairId, state: OrderState) -> Result<(), Conflict> {
+        assert_eq!(
+            self.orders[pair as usize],
+            OrderState::Undecided,
+            "pair {pair} is already decided"
+        );
+        let (x, y) = self.model.pair(pair);
+        let (below, above) = match state {
+            OrderState::FirstBelow => (x, y),
+            OrderState::SecondBelow => (y, x),
+            OrderState::Undecided => panic!("cannot decide a pair to Undecided"),
+        };
+        self.levels.push(LevelMark {
+            trail_len: self.trail.len(),
+            fixed_len: self.fixed_order.len(),
+        });
+        let result = self
+            .decide_order(pair, state, below, above)
+            .and_then(|()| self.propagate());
+        match result {
+            Ok(()) => Ok(()),
+            Err(conflict_vars) => {
+                for &v in &self.queue {
+                    self.in_queue[v as usize] = false;
+                }
+                self.queue.clear();
+                let conflict = self.build_conflict(conflict_vars.first().copied(), &conflict_vars);
+                self.pop_level();
+                Err(conflict)
+            }
+        }
+    }
+
+    /// The first undecided pair with index `>= from`, if any.
+    pub fn next_undecided_pair(&self, from: PairId) -> Option<PairId> {
+        (from as usize..self.orders.len())
+            .find(|&i| self.orders[i] == OrderState::Undecided)
+            .map(|i| i as PairId)
+    }
+
+    /// When every pair is decided, the domain lower bounds form a valid
+    /// solution: each decided ordering guarantees
+    /// `lo(above) >= lo(below) + size(below)` at the propagation fixpoint,
+    /// and bounds already respect capacity and alignment.
+    ///
+    /// Returns `None` while any pair remains undecided.
+    pub fn lower_bound_solution(&self) -> Option<Solution> {
+        if self.orders.contains(&OrderState::Undecided) {
+            return None;
+        }
+        Some(Solution::new(self.domains.iter().map(|d| d.lo()).collect()))
+    }
+
+    /// Pops the most recent decision level. No-op at level 0.
+    pub fn pop_level(&mut self) {
+        let target = self.level().saturating_sub(1);
+        self.pop_to_level(target);
+    }
+
+    /// Backtracks to `level`, undoing all later assignments and their
+    /// propagation effects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is greater than the current level.
+    pub fn pop_to_level(&mut self, level: usize) {
+        assert!(level <= self.level(), "cannot pop forward to level {level}");
+        while self.levels.len() > level {
+            let mark = self.levels.pop().expect("level exists");
+            while self.trail.len() > mark.trail_len {
+                match self.trail.pop().expect("trail entry exists") {
+                    TrailEntry::Bounds { var, lo, hi, empty } => {
+                        self.domains[var as usize].restore(lo, hi, empty);
+                    }
+                    TrailEntry::Order(pair) => {
+                        self.orders[pair as usize] = OrderState::Undecided;
+                    }
+                }
+            }
+            while self.fixed_order.len() > mark.fixed_len {
+                let var = self.fixed_order.pop().expect("fixed entry exists");
+                self.fixed[var as usize] = false;
+            }
+        }
+        // Any queued propagation work belongs to the abandoned subtree.
+        for &var in &self.queue {
+            self.in_queue[var as usize] = false;
+        }
+        self.queue.clear();
+    }
+
+    /// The lowest feasible aligned address for `id` given the *fixed*
+    /// placements and `id`'s current domain — the paper's solver-guided
+    /// placement query (§5.2).
+    ///
+    /// Returns `None` if no address fits. Note this ignores unfixed
+    /// buffers, so `Some` does not guarantee global feasibility.
+    pub fn min_feasible_pos(&self, id: BufferId) -> Option<Address> {
+        self.min_feasible_pos_at_least(id, 0)
+    }
+
+    /// Like [`min_feasible_pos`](CpSolver::min_feasible_pos), but only
+    /// considers addresses `>= from`. Used to enumerate successive
+    /// placement candidates.
+    pub fn min_feasible_pos_at_least(&self, id: BufferId, from: Address) -> Option<Address> {
+        let d = &self.domains[id.index()];
+        if d.is_empty() {
+            return None;
+        }
+        let b = self.problem().buffer(id);
+        let mut occupied = self.fixed_neighbor_intervals(id);
+        lowest_fit(b.size(), b.align(), d.lo().max(from), d.hi(), &mut occupied).pos
+    }
+
+    /// Checks that every unfixed buffer still has at least one feasible
+    /// address with respect to the fixed placements.
+    ///
+    /// This is the "run the solver at every step" early-infeasibility
+    /// check (§4): it catches dead ends that bounds propagation alone
+    /// misses because interval domains cannot represent holes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Conflict`] naming the unplaceable buffer and the
+    /// placements blocking it.
+    pub fn check_all_placeable(&self) -> Result<(), Conflict> {
+        for id in self.unfixed() {
+            let d = &self.domains[id.index()];
+            if d.is_empty() {
+                return Err(self.build_conflict(Some(id.index() as u32), &[id.index() as u32]));
+            }
+            let b = self.problem().buffer(id);
+            let mut occupied = self.fixed_neighbor_intervals(id);
+            let result = lowest_fit(b.size(), b.align(), d.lo(), d.hi(), &mut occupied);
+            if result.pos.is_none() {
+                let mut culprits: Vec<BufferId> = result
+                    .blockers
+                    .iter()
+                    .map(|&v| BufferId::new(v as usize))
+                    .collect();
+                self.sort_by_assignment_order(&mut culprits);
+                return Err(Conflict {
+                    subject: Some(id),
+                    culprits,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Extracts the complete solution once every buffer is fixed.
+    pub fn solution(&self) -> Option<Solution> {
+        if self.fixed_count() != self.problem().len() {
+            return None;
+        }
+        Some(Solution::new(self.domains.iter().map(|d| d.lo()).collect()))
+    }
+
+    fn fixed_neighbor_intervals(&self, id: BufferId) -> Vec<(Address, Address, u32)> {
+        let var = id.index() as u32;
+        let mut occupied = Vec::new();
+        for &pair in self.model.pairs_of(var) {
+            let (x, y) = self.model.pair(pair);
+            let other = if x == var { y } else { x };
+            if self.fixed[other as usize] {
+                let addr = self.domains[other as usize].lo();
+                let size = self.problem().buffers()[other as usize].size();
+                occupied.push((addr, addr + size, other));
+            }
+        }
+        occupied
+    }
+
+    fn enqueue(&mut self, var: u32) {
+        if !self.in_queue[var as usize] {
+            self.in_queue[var as usize] = true;
+            self.queue.push(var);
+        }
+    }
+
+    /// Fixpoint propagation. On conflict, returns the variables at the
+    /// failing constraint.
+    fn propagate(&mut self) -> Result<(), Vec<u32>> {
+        while let Some(var) = self.queue.pop() {
+            self.in_queue[var as usize] = false;
+            let pair_ids: Vec<PairId> = self.model.pairs_of(var).to_vec();
+            for pair in pair_ids {
+                self.propagations += 1;
+                if let Err(vars) = self.propagate_pair(pair) {
+                    for &v in &self.queue {
+                        self.in_queue[v as usize] = false;
+                    }
+                    self.queue.clear();
+                    return Err(vars);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn propagate_pair(&mut self, pair: PairId) -> Result<(), Vec<u32>> {
+        let (x, y) = self.model.pair(pair);
+        match self.orders[pair as usize] {
+            OrderState::FirstBelow => self.apply_order(x, y, pair),
+            OrderState::SecondBelow => self.apply_order(y, x, pair),
+            OrderState::Undecided => {
+                let x_possible = self.order_possible(x, y);
+                let y_possible = self.order_possible(y, x);
+                match (x_possible, y_possible) {
+                    (false, false) => Err(vec![x, y]),
+                    (true, false) => self.decide_order(pair, OrderState::FirstBelow, x, y),
+                    (false, true) => self.decide_order(pair, OrderState::SecondBelow, y, x),
+                    (true, true) => Ok(()),
+                }
+            }
+        }
+    }
+
+    /// Could `below` be placed entirely under `above`?
+    fn order_possible(&self, below: u32, above: u32) -> bool {
+        let db = &self.domains[below as usize];
+        let da = &self.domains[above as usize];
+        if db.is_empty() || da.is_empty() {
+            return false;
+        }
+        let size = self.problem().buffers()[below as usize].size();
+        db.lo() + size <= da.hi()
+    }
+
+    fn decide_order(
+        &mut self,
+        pair: PairId,
+        state: OrderState,
+        below: u32,
+        above: u32,
+    ) -> Result<(), Vec<u32>> {
+        self.orders[pair as usize] = state;
+        self.trail.push(TrailEntry::Order(pair));
+        self.apply_order(below, above, pair)
+    }
+
+    /// Enforces `pos(below) + size(below) <= pos(above)` on the bounds.
+    fn apply_order(&mut self, below: u32, above: u32, _pair: PairId) -> Result<(), Vec<u32>> {
+        let size_below = self.problem().buffers()[below as usize].size();
+        // lo(above) >= lo(below) + size(below)
+        let lo_bound = self.domains[below as usize].lo() + size_below;
+        self.tighten(above, Some(lo_bound), None)
+            .map_err(|v| vec![v, below])?;
+        // hi(below) <= hi(above) - size(below)
+        let hi_above = self.domains[above as usize].hi();
+        let hi_bound = hi_above.checked_sub(size_below);
+        match hi_bound {
+            Some(bound) => self
+                .tighten(below, None, Some(bound))
+                .map_err(|v| vec![v, above]),
+            None => Err(vec![below, above]),
+        }
+    }
+
+    /// Tightens bounds with trailing; returns the wiped variable on
+    /// failure.
+    fn tighten(&mut self, var: u32, lo: Option<Address>, hi: Option<Address>) -> Result<(), u32> {
+        let snapshot = self.domains[var as usize].snapshot();
+        let mut changed = false;
+        if let Some(bound) = lo {
+            changed |= self.domains[var as usize].tighten_lo(bound);
+        }
+        if let Some(bound) = hi {
+            changed |= self.domains[var as usize].tighten_hi(bound);
+        }
+        if changed {
+            self.trail.push(TrailEntry::Bounds {
+                var,
+                lo: snapshot.0,
+                hi: snapshot.1,
+                empty: snapshot.2,
+            });
+            if self.domains[var as usize].is_empty() {
+                return Err(var);
+            }
+            self.enqueue(var);
+        }
+        Ok(())
+    }
+
+    /// Builds a conflict whose culprits are the fixed buffers that overlap
+    /// the conflicting variables in time, in assignment order.
+    fn build_conflict(&self, subject: Option<u32>, vars: &[u32]) -> Conflict {
+        let mut culprits: Vec<BufferId> = Vec::new();
+        for &v in vars {
+            if self.fixed[v as usize] {
+                culprits.push(BufferId::new(v as usize));
+            }
+            for &pair in self.model.pairs_of(v) {
+                let (x, y) = self.model.pair(pair);
+                let other = if x == v { y } else { x };
+                if self.fixed[other as usize] {
+                    culprits.push(BufferId::new(other as usize));
+                }
+            }
+        }
+        culprits.sort_unstable();
+        culprits.dedup();
+        self.sort_by_assignment_order(&mut culprits);
+        Conflict {
+            subject: subject.map(|v| BufferId::new(v as usize)),
+            culprits,
+        }
+    }
+
+    fn sort_by_assignment_order(&self, culprits: &mut [BufferId]) {
+        let mut rank = vec![usize::MAX; self.problem().len()];
+        for (i, &v) in self.fixed_order.iter().enumerate() {
+            rank[v as usize] = i;
+        }
+        culprits.sort_by_key(|id| rank[id.index()]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tela_model::{examples, Buffer, Problem};
+
+    fn id(i: usize) -> BufferId {
+        BufferId::new(i)
+    }
+
+    #[test]
+    fn assign_and_read_back() {
+        let mut s = CpSolver::new(&examples::tiny()).unwrap();
+        s.assign(id(0), 0).unwrap();
+        assert_eq!(s.assignment(id(0)), Some(0));
+        assert_eq!(s.level(), 1);
+        assert!(s.is_fixed(id(0)));
+        assert!(!s.is_fixed(id(1)));
+    }
+
+    #[test]
+    fn overlapping_fixed_placement_conflicts() {
+        // Two fully-overlapping buffers cannot share address 0.
+        let p = Problem::builder(20)
+            .buffer(Buffer::new(0, 4, 8))
+            .buffer(Buffer::new(0, 4, 8))
+            .build()
+            .unwrap();
+        let mut s = CpSolver::new(&p).unwrap();
+        s.assign(id(0), 0).unwrap();
+        let err = s.assign(id(1), 4).unwrap_err();
+        assert!(err.culprits.contains(&id(0)));
+        // The failed level was rolled back.
+        assert_eq!(s.level(), 1);
+        assert!(!s.is_fixed(id(1)));
+        // A consistent address still works.
+        s.assign(id(1), 8).unwrap();
+        assert_eq!(s.level(), 2);
+    }
+
+    #[test]
+    fn propagation_tightens_via_decided_orders() {
+        // Capacity 10, two overlapping buffers of sizes 6 and 4: placing
+        // the size-6 buffer at 0 forces the other to [6, 6].
+        let p = Problem::builder(10)
+            .buffer(Buffer::new(0, 4, 6))
+            .buffer(Buffer::new(0, 4, 4))
+            .build()
+            .unwrap();
+        let mut s = CpSolver::new(&p).unwrap();
+        s.assign(id(0), 0).unwrap();
+        let d = s.domain(id(1));
+        assert_eq!((d.lo(), d.hi()), (6, 6));
+    }
+
+    #[test]
+    fn propagation_chain_across_three_buffers() {
+        // Sizes 4,4,4 in capacity 12, all overlapping: fixing the first at
+        // 0 and the second at 4 forces the third to 8.
+        let p = Problem::builder(12)
+            .buffers((0..3).map(|_| Buffer::new(0, 2, 4)))
+            .build()
+            .unwrap();
+        let mut s = CpSolver::new(&p).unwrap();
+        s.assign(id(0), 0).unwrap();
+        s.assign(id(1), 4).unwrap();
+        let d = s.domain(id(2));
+        assert_eq!((d.lo(), d.hi()), (8, 8));
+        s.assign(id(2), 8).unwrap();
+        let solution = s.solution().unwrap();
+        assert!(solution.validate(&p).is_ok());
+    }
+
+    #[test]
+    fn pop_level_restores_domains_and_orders() {
+        let p = Problem::builder(10)
+            .buffer(Buffer::new(0, 4, 6))
+            .buffer(Buffer::new(0, 4, 4))
+            .build()
+            .unwrap();
+        let mut s = CpSolver::new(&p).unwrap();
+        let before = (s.domain(id(1)).lo(), s.domain(id(1)).hi());
+        s.assign(id(0), 0).unwrap();
+        assert_ne!((s.domain(id(1)).lo(), s.domain(id(1)).hi()), before);
+        s.pop_level();
+        assert_eq!((s.domain(id(1)).lo(), s.domain(id(1)).hi()), before);
+        assert_eq!(s.level(), 0);
+        assert_eq!(s.fixed_count(), 0);
+        assert_eq!(s.order(0), OrderState::Undecided);
+    }
+
+    #[test]
+    fn pop_to_level_jumps_multiple_levels() {
+        let mut s = CpSolver::new(&examples::tiny()).unwrap();
+        s.assign(id(0), 0).unwrap();
+        s.assign(id(1), 8).unwrap();
+        s.assign(id(2), 0).unwrap();
+        assert_eq!(s.level(), 3);
+        s.pop_to_level(1);
+        assert_eq!(s.level(), 1);
+        assert!(s.is_fixed(id(0)));
+        assert!(!s.is_fixed(id(1)));
+        assert!(!s.is_fixed(id(2)));
+    }
+
+    #[test]
+    fn min_feasible_pos_sees_holes() {
+        // A fixed buffer in the middle: bounds propagation cannot exclude
+        // the occupied band, but the sweep finds the hole below it.
+        let p = Problem::builder(20)
+            .buffer(Buffer::new(0, 4, 4)) // will sit at [8, 12)
+            .buffer(Buffer::new(0, 4, 6))
+            .build()
+            .unwrap();
+        let mut s = CpSolver::new(&p).unwrap();
+        s.assign(id(0), 8).unwrap();
+        // Size-6 buffer fits below the hole at [0, 6)? 6 <= 8, yes.
+        assert_eq!(s.min_feasible_pos(id(1)), Some(0));
+        // Starting from 3 it would collide with [8, 12) and must jump over.
+        assert_eq!(s.min_feasible_pos_at_least(id(1), 3), Some(12));
+    }
+
+    #[test]
+    fn min_feasible_pos_respects_alignment() {
+        let p = Problem::builder(100)
+            .buffer(Buffer::new(0, 4, 10))
+            .buffer(Buffer::new(0, 4, 8).with_align(32))
+            .build()
+            .unwrap();
+        let mut s = CpSolver::new(&p).unwrap();
+        s.assign(id(0), 0).unwrap();
+        // Next aligned address after [0, 10) is 32.
+        assert_eq!(s.min_feasible_pos(id(1)), Some(32));
+    }
+
+    #[test]
+    fn check_all_placeable_detects_stuck_buffer() {
+        // Capacity 10; fix 4-sized blocks at 0 and 6, leaving a 2-gap that
+        // cannot host the remaining size-3 buffer.
+        let p = Problem::builder(10)
+            .buffer(Buffer::new(0, 4, 4))
+            .buffer(Buffer::new(0, 4, 4))
+            .buffer(Buffer::new(0, 4, 2))
+            .build()
+            .unwrap();
+        let mut s = CpSolver::new(&p).unwrap();
+        s.assign(id(0), 0).unwrap();
+        s.assign(id(1), 6).unwrap();
+        // The size-2 buffer fits exactly in the gap.
+        assert!(s.check_all_placeable().is_ok());
+        assert_eq!(s.min_feasible_pos(id(2)), Some(4));
+
+        // Shifting the first block to address 1 wastes one unit and makes
+        // a perfect 4+4+2 packing impossible; propagation alone proves
+        // this immediately, without placing anything else.
+        s.pop_to_level(0);
+        let err = s.assign(id(0), 1).unwrap_err();
+        assert!(
+            err.culprits.contains(&id(0)),
+            "culprits: {:?}",
+            err.culprits
+        );
+        assert_eq!(s.level(), 0);
+    }
+
+    #[test]
+    fn propagation_fixpoint_makes_lower_bound_feasible() {
+        // At the propagation fixpoint, every unfixed buffer's domain lower
+        // bound is an address actually free of fixed neighbors, so the
+        // solver-guided placement query coincides with the domain bound.
+        let p = Problem::builder(96)
+            .buffer(Buffer::new(0, 4, 20))
+            .buffer(Buffer::new(0, 4, 25))
+            .buffer(Buffer::new(0, 4, 8).with_align(32))
+            .buffer(Buffer::new(2, 6, 5))
+            .build()
+            .unwrap();
+        let mut s = CpSolver::new(&p).unwrap();
+        s.assign(id(0), 3).unwrap();
+        s.assign(id(1), 33).unwrap();
+        for unfixed in [id(2), id(3)] {
+            let lo = s.domain(unfixed).lo();
+            assert_eq!(s.min_feasible_pos(unfixed), Some(lo), "buffer {unfixed}");
+        }
+        assert!(s.check_all_placeable().is_ok());
+    }
+
+    #[test]
+    fn solution_only_when_complete() {
+        let mut s = CpSolver::new(&examples::tiny()).unwrap();
+        assert!(s.solution().is_none());
+        s.assign(id(0), 0).unwrap();
+        s.assign(id(1), 8).unwrap();
+        assert!(s.solution().is_none());
+        s.assign(id(2), 0).unwrap();
+        let solution = s.solution().unwrap();
+        assert!(solution.validate(&examples::tiny()).is_ok());
+    }
+
+    #[test]
+    fn out_of_domain_assignment_rejected() {
+        let p = Problem::builder(10)
+            .buffer(Buffer::new(0, 1, 6))
+            .build()
+            .unwrap();
+        let mut s = CpSolver::new(&p).unwrap();
+        // Highest feasible start is 4.
+        assert!(s.assign(id(0), 5).is_err());
+        assert_eq!(s.level(), 0);
+        s.assign(id(0), 4).unwrap();
+    }
+
+    #[test]
+    fn misaligned_assignment_rejected() {
+        let p = Problem::builder(100)
+            .buffer(Buffer::new(0, 1, 8).with_align(32))
+            .build()
+            .unwrap();
+        let mut s = CpSolver::new(&p).unwrap();
+        assert!(s.assign(id(0), 16).is_err());
+        s.assign(id(0), 32).unwrap();
+    }
+
+    #[test]
+    fn figure1_manual_solution_accepted_step_by_step() {
+        let p = examples::figure1();
+        let addrs = [0u64, 2, 1, 0, 2, 3, 0, 2, 2, 0];
+        let mut s = CpSolver::new(&p).unwrap();
+        for (i, &a) in addrs.iter().enumerate() {
+            s.assign(id(i), a)
+                .unwrap_or_else(|e| panic!("step {i}: {e:?}"));
+        }
+        let solution = s.solution().unwrap();
+        assert!(solution.validate(&p).is_ok());
+    }
+
+    #[test]
+    fn conflict_culprits_in_assignment_order() {
+        let p = Problem::builder(14)
+            .buffer(Buffer::new(0, 2, 4))
+            .buffer(Buffer::new(0, 2, 4))
+            .buffer(Buffer::new(0, 2, 4))
+            .buffer(Buffer::new(0, 2, 2))
+            .build()
+            .unwrap();
+        let mut s = CpSolver::new(&p).unwrap();
+        // Assign in non-id order to check culprits follow assignment order.
+        s.assign(id(2), 0).unwrap();
+        s.assign(id(0), 4).unwrap();
+        s.assign(id(1), 8).unwrap();
+        // Only [12, 14) is left for buffer 3; address 0 conflicts.
+        let err = s.assign(id(3), 0).unwrap_err();
+        assert_eq!(err.culprits, vec![id(2), id(0), id(1)]);
+    }
+}

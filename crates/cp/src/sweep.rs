@@ -1,0 +1,173 @@
+//! Lowest-fit sweep over already-placed buffers.
+//!
+//! Given the fixed (placed) buffers that overlap a candidate buffer in
+//! time, the sweep finds the lowest aligned address at which the candidate
+//! fits — the "ask the solver for the lowest valid location" query of the
+//! paper's §5.2 — and, when no address exists, reports which placements
+//! blocked it (feeding conflict-guided backtracking, §5.4).
+
+use tela_model::{Address, Size};
+
+use crate::domain::align_up;
+
+/// Outcome of a lowest-fit sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct SweepResult {
+    /// Lowest feasible aligned start address, if any.
+    pub pos: Option<Address>,
+    /// Buffer indices (of fixed placements) that forced the candidate
+    /// upward. On failure this is the blocking set.
+    pub blockers: Vec<u32>,
+}
+
+/// Finds the lowest aligned address in `[lo, hi]` where a buffer of
+/// `size` fits without intersecting any of `occupied`.
+///
+/// `occupied` holds `(start, end, var)` address intervals of fixed buffers
+/// that overlap the candidate in time; it is sorted in place by start
+/// address.
+pub(crate) fn lowest_fit(
+    size: Size,
+    align: Size,
+    lo: Address,
+    hi: Address,
+    occupied: &mut [(Address, Address, u32)],
+) -> SweepResult {
+    let mut blockers = Vec::new();
+    let mut candidate = match align_up(lo, align) {
+        Some(c) => c,
+        None => {
+            return SweepResult {
+                pos: None,
+                blockers,
+            }
+        }
+    };
+    if candidate > hi {
+        return SweepResult {
+            pos: None,
+            blockers,
+        };
+    }
+    occupied.sort_unstable_by_key(|&(start, _, _)| start);
+    for &(start, end, var) in occupied.iter() {
+        // Intervals are visited in start order; once an interval starts at
+        // or past the candidate's top, no later interval can block it.
+        if start >= candidate.saturating_add(size) {
+            break;
+        }
+        if end > candidate {
+            // This interval intersects [candidate, candidate + size).
+            blockers.push(var);
+            candidate = match align_up(end, align) {
+                Some(c) => c,
+                None => {
+                    return SweepResult {
+                        pos: None,
+                        blockers,
+                    }
+                }
+            };
+            if candidate > hi {
+                return SweepResult {
+                    pos: None,
+                    blockers,
+                };
+            }
+        }
+    }
+    SweepResult {
+        pos: Some(candidate),
+        blockers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fit(
+        size: Size,
+        align: Size,
+        lo: Address,
+        hi: Address,
+        occupied: &[(Address, Address, u32)],
+    ) -> SweepResult {
+        lowest_fit(size, align, lo, hi, &mut occupied.to_vec())
+    }
+
+    #[test]
+    fn empty_memory_places_at_lower_bound() {
+        let r = fit(4, 1, 0, 12, &[]);
+        assert_eq!(r.pos, Some(0));
+        assert!(r.blockers.is_empty());
+    }
+
+    #[test]
+    fn skips_over_blocking_interval() {
+        let r = fit(4, 1, 0, 12, &[(0, 6, 7)]);
+        assert_eq!(r.pos, Some(6));
+        assert_eq!(r.blockers, vec![7]);
+    }
+
+    #[test]
+    fn fits_in_gap_between_intervals() {
+        let r = fit(3, 1, 0, 12, &[(0, 2, 1), (5, 9, 2)]);
+        assert_eq!(r.pos, Some(2));
+        assert_eq!(r.blockers, vec![1]);
+    }
+
+    #[test]
+    fn gap_too_small_is_skipped() {
+        let r = fit(4, 1, 0, 12, &[(0, 2, 1), (5, 9, 2)]);
+        assert_eq!(r.pos, Some(9));
+        assert_eq!(r.blockers, vec![1, 2]);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let r = fit(4, 1, 0, 12, &[(5, 9, 2), (0, 2, 1)]);
+        assert_eq!(r.pos, Some(9));
+    }
+
+    #[test]
+    fn respects_lower_bound() {
+        let r = fit(2, 1, 5, 12, &[]);
+        assert_eq!(r.pos, Some(5));
+    }
+
+    #[test]
+    fn respects_upper_bound() {
+        let r = fit(4, 1, 0, 5, &[(0, 6, 3)]);
+        assert_eq!(r.pos, None);
+        assert_eq!(r.blockers, vec![3]);
+    }
+
+    #[test]
+    fn alignment_rounds_candidate_up() {
+        let r = fit(4, 8, 0, 32, &[(0, 3, 0)]);
+        assert_eq!(r.pos, Some(8));
+    }
+
+    #[test]
+    fn interval_touching_candidate_top_does_not_block() {
+        // Interval starts exactly where the candidate ends.
+        let r = fit(4, 1, 0, 12, &[(4, 8, 0)]);
+        assert_eq!(r.pos, Some(0));
+        assert!(r.blockers.is_empty());
+    }
+
+    #[test]
+    fn overlapping_occupied_intervals() {
+        let r = fit(2, 1, 0, 10, &[(0, 4, 0), (2, 6, 1), (3, 5, 2)]);
+        assert_eq!(r.pos, Some(6));
+        assert_eq!(r.blockers, vec![0, 1]);
+    }
+
+    #[test]
+    fn blocked_everywhere_returns_none_with_blockers() {
+        let r = fit(2, 1, 0, 2, &[(0, 2, 0), (2, 5, 1)]);
+        assert_eq!(r.pos, None);
+        assert_eq!(r.blockers, vec![0, 1]);
+    }
+}

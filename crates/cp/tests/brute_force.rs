@@ -1,0 +1,90 @@
+//! Cross-checks the CP search against exhaustive enumeration on small
+//! random instances: feasibility answers must agree exactly, and every
+//! returned solution must validate.
+
+use proptest::prelude::*;
+use tela_cp::search::solve_cp_only;
+use tela_model::{Budget, Buffer, Problem, SolveOutcome};
+
+/// Exhaustively decides feasibility by trying every address combination.
+fn brute_force_feasible(problem: &Problem) -> bool {
+    fn rec(problem: &Problem, chosen: &mut Vec<u64>) -> bool {
+        let idx = chosen.len();
+        if idx == problem.len() {
+            return true;
+        }
+        let b = problem.buffers()[idx];
+        let mut addr = 0u64;
+        while addr + b.size() <= problem.capacity() {
+            if addr.is_multiple_of(b.align()) {
+                let ok = problem.buffers()[..idx]
+                    .iter()
+                    .enumerate()
+                    .all(|(j, other)| {
+                        !other.overlaps_in_time(&b)
+                            || chosen[j] + other.size() <= addr
+                            || addr + b.size() <= chosen[j]
+                    });
+                if ok {
+                    chosen.push(addr);
+                    if rec(problem, chosen) {
+                        return true;
+                    }
+                    chosen.pop();
+                }
+            }
+            addr += 1;
+        }
+        false
+    }
+    rec(problem, &mut Vec::new())
+}
+
+fn buffer_strategy() -> impl Strategy<Value = Buffer> {
+    (
+        0u32..6,
+        1u32..5,
+        1u64..6,
+        prop_oneof![Just(1u64), Just(2), Just(4)],
+    )
+        .prop_map(|(start, len, size, align)| {
+            Buffer::new(start, start + len, size).with_align(align)
+        })
+}
+
+fn problem_strategy() -> impl Strategy<Value = Problem> {
+    (prop::collection::vec(buffer_strategy(), 1..6), 6u64..13).prop_map(|(buffers, capacity)| {
+        // Every generated size (< 6) fits in every capacity (>= 6).
+        Problem::new(buffers, capacity).expect("sizes below capacity")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn cp_search_matches_brute_force(problem in problem_strategy()) {
+        let expected = brute_force_feasible(&problem);
+        let (outcome, _) = solve_cp_only(&problem, &Budget::steps(1_000_000));
+        match outcome {
+            SolveOutcome::Solved(solution) => {
+                prop_assert!(expected, "CP found a solution for an infeasible instance");
+                prop_assert!(solution.validate(&problem).is_ok());
+            }
+            SolveOutcome::Infeasible => {
+                prop_assert!(!expected, "CP reported infeasible but brute force solved it: {problem:?}");
+            }
+            SolveOutcome::GaveUp | SolveOutcome::BudgetExceeded => {
+                prop_assert!(false, "complete search cannot give up within budget");
+            }
+        }
+    }
+
+    #[test]
+    fn cp_solutions_are_always_valid(problem in problem_strategy()) {
+        let (outcome, _) = solve_cp_only(&problem, &Budget::steps(1_000_000));
+        if let SolveOutcome::Solved(solution) = outcome {
+            prop_assert!(solution.validate(&problem).is_ok());
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Stand-alone single-ordering greedy allocators from the literature the
+//! paper compares against (§3.1, §7.2):
+//!
+//! - [`solve_by_size`] — Lee & Pisarchyk's "greedy by size" ordering
+//!   (largest blocks first), the strongest published heuristic family
+//!   for TFLite-style inference workloads.
+//! - [`solve_by_area`] / [`solve_by_lifetime`] — the other two orderings
+//!   TelaMalloc combines.
+//! - [`solve_best_fit`] — Sekiyama et al.'s profile-guided best-fit:
+//!   repeatedly place whichever unplaced block currently fits lowest.
+//!
+//! Unlike the production [`greedy`](crate::greedy) baseline these use a
+//! single static criterion, which is exactly what the paper's Figure 14
+//! ablates (there, inside the full search; here, without backtracking).
+
+use tela_model::{BufferId, Problem};
+
+use crate::placer::{place_in_order, Placer};
+use crate::{HeuristicResult, SelectionStrategy};
+
+/// Greedy by decreasing size (Lee & Pisarchyk).
+///
+/// # Example
+///
+/// ```
+/// use tela_heuristics::ordered::solve_by_size;
+/// use tela_model::examples;
+///
+/// let r = solve_by_size(&examples::tiny());
+/// assert_eq!(r.peak, 16);
+/// ```
+pub fn solve_by_size(problem: &Problem) -> HeuristicResult {
+    solve_with_strategy(problem, SelectionStrategy::MaxSize)
+}
+
+/// Greedy by decreasing `size × lifetime`.
+pub fn solve_by_area(problem: &Problem) -> HeuristicResult {
+    solve_with_strategy(problem, SelectionStrategy::MaxArea)
+}
+
+/// Greedy by decreasing lifetime.
+pub fn solve_by_lifetime(problem: &Problem) -> HeuristicResult {
+    solve_with_strategy(problem, SelectionStrategy::MaxLifetime)
+}
+
+fn solve_with_strategy(problem: &Problem, strategy: SelectionStrategy) -> HeuristicResult {
+    let mut order: Vec<BufferId> = problem.iter().map(|(id, _)| id).collect();
+    order.sort_by_key(|&id| (std::cmp::Reverse(strategy.key(problem, id)), id.index()));
+    place_in_order(problem, &order)
+}
+
+/// Best-fit in the sense of Sekiyama et al.: at every step, place the
+/// unplaced block that currently fits at the lowest address (ties by
+/// larger size, then id).
+pub fn solve_best_fit(problem: &Problem) -> HeuristicResult {
+    let mut placer = Placer::new(problem);
+    let mut remaining: Vec<BufferId> = problem.iter().map(|(id, _)| id).collect();
+    while !remaining.is_empty() {
+        let (pos, _) = remaining
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &id)| {
+                let b = problem.buffer(id);
+                (
+                    placer.lowest_fit(id),
+                    std::cmp::Reverse(b.size()),
+                    id.index(),
+                )
+            })
+            .expect("remaining is non-empty");
+        let id = remaining.swap_remove(pos);
+        placer.place(id);
+    }
+    placer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tela_model::{examples, Buffer};
+
+    #[test]
+    fn all_orderings_solve_easy_chain() {
+        let p = examples::tiny();
+        for solve in [
+            solve_by_size,
+            solve_by_area,
+            solve_by_lifetime,
+            solve_best_fit,
+        ] {
+            let r = solve(&p);
+            assert_eq!(r.peak, 16);
+            assert!(r.solution.unwrap().validate(&p).is_ok());
+        }
+    }
+
+    #[test]
+    fn by_size_places_largest_first() {
+        // The large block must land at address 0 regardless of id order.
+        let p = Problem::builder(100)
+            .buffer(Buffer::new(0, 2, 3))
+            .buffer(Buffer::new(0, 2, 50))
+            .build()
+            .unwrap();
+        let r = solve_by_size(&p);
+        let s = r.solution.unwrap();
+        assert_eq!(s.addresses()[1], 0);
+        assert_eq!(s.addresses()[0], 50);
+    }
+
+    #[test]
+    fn by_lifetime_places_longest_first() {
+        let p = Problem::builder(100)
+            .buffer(Buffer::new(0, 2, 10))
+            .buffer(Buffer::new(0, 20, 10))
+            .build()
+            .unwrap();
+        let s = solve_by_lifetime(&p).solution.unwrap();
+        assert_eq!(s.addresses()[1], 0);
+    }
+
+    #[test]
+    fn best_fit_prefers_lowest_landing_block() {
+        // After nothing is placed, all blocks fit at 0; best-fit picks
+        // the largest. Then the next block must go on top only where it
+        // overlaps.
+        let p = Problem::builder(100)
+            .buffer(Buffer::new(0, 4, 10))
+            .buffer(Buffer::new(2, 6, 5))
+            .buffer(Buffer::new(4, 8, 7))
+            .build()
+            .unwrap();
+        let r = solve_best_fit(&p);
+        let s = r.solution.unwrap();
+        assert!(s.validate(&p).is_ok());
+        // Block 2 overlaps only block 1; with block 0 at [0,10) and
+        // block 1 at [10,15), block 2 lands at 0 once block 0 is dead at
+        // t >= 4... it overlaps block 1 in time (4..6) so it must avoid
+        // [10, 15) only: address 0.
+        assert_eq!(s.addresses()[2], 0);
+    }
+
+    #[test]
+    fn single_orderings_can_fail_where_production_greedy_succeeds() {
+        // On the model workloads the contention-aware production
+        // heuristic should be at least as good as any single static
+        // ordering on average.
+        use tela_workloads::{problem_with_slack, ModelKind};
+        let mut production_wins = 0;
+        let mut single_wins = 0;
+        for kind in [ModelKind::Fpn, ModelKind::OpenPose, ModelKind::ResNet152] {
+            let p = problem_with_slack(kind.generate(0), 10);
+            let production = crate::greedy::solve(&p).peak;
+            let best_single = [solve_by_size, solve_by_area, solve_by_lifetime]
+                .iter()
+                .map(|f| f(&p).peak)
+                .min()
+                .expect("non-empty");
+            if production <= best_single {
+                production_wins += 1;
+            } else {
+                single_wins += 1;
+            }
+        }
+        assert!(production_wins >= single_wins);
+    }
+}

@@ -1,0 +1,205 @@
+//! Shared lowest-fit placement machinery for the greedy baselines.
+//!
+//! All non-backtracking heuristics in this crate place blocks one at a
+//! time at the lowest feasible address among the blocks already placed
+//! (gap-aware, alignment-aware). This module centralizes that machinery
+//! so each baseline only supplies a *placement order*.
+
+use tela_model::{Address, BufferId, Problem, Solution};
+
+use crate::HeuristicResult;
+
+/// Incremental lowest-fit placement state over one problem.
+///
+/// # Example
+///
+/// ```
+/// use tela_heuristics::Placer;
+/// use tela_model::{examples, BufferId};
+///
+/// let problem = examples::tiny();
+/// let mut placer = Placer::new(&problem);
+/// assert_eq!(placer.place(BufferId::new(0)), 0);
+/// assert_eq!(placer.place(BufferId::new(1)), 8); // overlaps buffer 0
+/// assert_eq!(placer.peak(), 16);
+/// ```
+#[derive(Debug)]
+pub struct Placer<'p> {
+    problem: &'p Problem,
+    neighbors: Vec<Vec<u32>>,
+    addresses: Vec<Address>,
+    placed: Vec<bool>,
+    peak: Address,
+}
+
+impl<'p> Placer<'p> {
+    /// Creates an empty placement state for `problem`.
+    pub fn new(problem: &'p Problem) -> Self {
+        let mut neighbors = vec![Vec::new(); problem.len()];
+        for (a, b) in problem.overlapping_pairs() {
+            neighbors[a.index()].push(b.index() as u32);
+            neighbors[b.index()].push(a.index() as u32);
+        }
+        Placer {
+            problem,
+            neighbors,
+            addresses: vec![0; problem.len()],
+            placed: vec![false; problem.len()],
+            peak: 0,
+        }
+    }
+
+    /// The lowest feasible aligned address for `id` among already-placed
+    /// overlapping blocks, without committing it.
+    pub fn lowest_fit(&self, id: BufferId) -> Address {
+        let b = self.problem.buffer(id);
+        let mut occupied: Vec<(Address, Address)> = self.neighbors[id.index()]
+            .iter()
+            .filter(|&&n| self.placed[n as usize])
+            .map(|&n| {
+                let nb = &self.problem.buffers()[n as usize];
+                (
+                    self.addresses[n as usize],
+                    self.addresses[n as usize] + nb.size(),
+                )
+            })
+            .collect();
+        occupied.sort_unstable();
+        let mut addr = 0;
+        for &(s, e) in &occupied {
+            if s >= addr + b.size() {
+                break;
+            }
+            if e > addr {
+                addr = b.align_up(e).expect("addresses stay far from overflow");
+            }
+        }
+        addr
+    }
+
+    /// Places `id` at its lowest fit and returns the address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is already placed.
+    pub fn place(&mut self, id: BufferId) -> Address {
+        assert!(!self.placed[id.index()], "buffer {id} is already placed");
+        let addr = self.lowest_fit(id);
+        self.addresses[id.index()] = addr;
+        self.placed[id.index()] = true;
+        self.peak = self.peak.max(addr + self.problem.buffer(id).size());
+        addr
+    }
+
+    /// Returns true if `id` has been placed.
+    pub fn is_placed(&self, id: BufferId) -> bool {
+        self.placed[id.index()]
+    }
+
+    /// Highest address used so far.
+    pub fn peak(&self) -> Address {
+        self.peak
+    }
+
+    /// Finalizes into a [`HeuristicResult`] once every block is placed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some block is unplaced.
+    pub fn finish(self) -> HeuristicResult {
+        assert!(self.placed.iter().all(|&p| p), "all blocks must be placed");
+        let solution = Solution::new(self.addresses);
+        debug_assert!(
+            solution
+                .validate(
+                    &self
+                        .problem
+                        .with_capacity(u64::MAX)
+                        .expect("raising capacity")
+                )
+                .is_ok(),
+            "placer produced an overlapping packing"
+        );
+        HeuristicResult {
+            solution: (self.peak <= self.problem.capacity()).then_some(solution),
+            peak: self.peak,
+        }
+    }
+}
+
+/// Runs lowest-fit placement in the given order.
+pub fn place_in_order(problem: &Problem, order: &[BufferId]) -> HeuristicResult {
+    let mut placer = Placer::new(problem);
+    for &id in order {
+        placer.place(id);
+    }
+    placer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tela_model::{examples, Buffer};
+
+    #[test]
+    fn fills_gaps_under_overhangs() {
+        // Tall block, then a short one, then a block that fits in the
+        // hole underneath the tall block's overhang.
+        let p = Problem::builder(20)
+            .buffer(Buffer::new(0, 4, 10)) // [0, 10)
+            .buffer(Buffer::new(4, 8, 2)) // [0, 2) after block 0 dies
+            .buffer(Buffer::new(5, 7, 3)) // fits at [2, 5)
+            .build()
+            .unwrap();
+        let r = place_in_order(&p, &[BufferId::new(0), BufferId::new(1), BufferId::new(2)]);
+        let s = r.solution.unwrap();
+        assert_eq!(s.addresses(), &[0, 0, 2]);
+    }
+
+    #[test]
+    fn respects_alignment() {
+        let p = Problem::builder(100)
+            .buffer(Buffer::new(0, 2, 10))
+            .buffer(Buffer::new(0, 2, 8).with_align(32))
+            .build()
+            .unwrap();
+        let r = place_in_order(&p, &[BufferId::new(0), BufferId::new(1)]);
+        assert_eq!(r.solution.unwrap().addresses(), &[0, 32]);
+    }
+
+    #[test]
+    fn lowest_fit_is_idempotent_until_place() {
+        let p = examples::tiny();
+        let mut placer = Placer::new(&p);
+        let id = BufferId::new(0);
+        assert_eq!(placer.lowest_fit(id), placer.lowest_fit(id));
+        let addr = placer.place(id);
+        assert_eq!(addr, 0);
+        assert!(placer.is_placed(id));
+    }
+
+    #[test]
+    #[should_panic(expected = "already placed")]
+    fn double_place_panics() {
+        let p = examples::tiny();
+        let mut placer = Placer::new(&p);
+        placer.place(BufferId::new(0));
+        placer.place(BufferId::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "all blocks")]
+    fn finish_requires_completeness() {
+        let p = examples::tiny();
+        let placer = Placer::new(&p);
+        let _ = placer.finish();
+    }
+
+    #[test]
+    fn peak_tracks_highest_top() {
+        let p = examples::tiny();
+        let order: Vec<BufferId> = p.iter().map(|(id, _)| id).collect();
+        let r = place_in_order(&p, &order);
+        assert_eq!(r.peak, 16);
+    }
+}

@@ -1,0 +1,168 @@
+use tela_model::{BufferId, Problem};
+
+/// Block-selection strategies compared in the paper's Figure 14.
+///
+/// Each strategy ranks the unplaced blocks; a search places the
+/// top-ranked block next. The first three are the heuristics TelaMalloc
+/// combines (§5.1); [`SelectionStrategy::LowestPosition`] is the best-fit
+/// strategy of Sekiyama et al. and is rank-neutral here (the position
+/// criterion is applied by the search itself, which knows the current
+/// placement state).
+///
+/// # Example
+///
+/// ```
+/// use tela_heuristics::SelectionStrategy;
+/// use tela_model::examples;
+///
+/// let p = examples::figure1();
+/// let ids: Vec<_> = p.iter().map(|(id, _)| id).collect();
+/// let best = SelectionStrategy::MaxSize.pick(&p, ids.iter().copied());
+/// assert_eq!(p.buffer(best.unwrap()).size(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SelectionStrategy {
+    /// Largest `end - start` first — "the block with the longest
+    /// lifetime (it likely affects the most constraints)".
+    MaxLifetime,
+    /// Largest size first (Lee & Pisarchyk's ordering).
+    MaxSize,
+    /// Largest `size × lifetime` first.
+    MaxArea,
+    /// No intrinsic ranking: the search picks the block that can be
+    /// placed at the lowest position (best-fit, Sekiyama et al.).
+    LowestPosition,
+}
+
+impl SelectionStrategy {
+    /// The three strategies TelaMalloc tries at every step, in the
+    /// paper's order (§5.1).
+    pub const TELAMALLOC_ORDER: [SelectionStrategy; 3] = [
+        SelectionStrategy::MaxLifetime,
+        SelectionStrategy::MaxSize,
+        SelectionStrategy::MaxArea,
+    ];
+
+    /// The ranking key of `id` under this strategy — higher is better.
+    /// Returns 0 for [`SelectionStrategy::LowestPosition`], which has no
+    /// intrinsic key.
+    pub fn key(&self, problem: &Problem, id: BufferId) -> u128 {
+        let b = problem.buffer(id);
+        match self {
+            SelectionStrategy::MaxLifetime => u128::from(b.lifetime()),
+            SelectionStrategy::MaxSize => u128::from(b.size()),
+            SelectionStrategy::MaxArea => b.area(),
+            SelectionStrategy::LowestPosition => 0,
+        }
+    }
+
+    /// Picks the best block among `candidates` under this strategy, with
+    /// deterministic tie-breaking by buffer id. Returns `None` for an
+    /// empty candidate set. For [`SelectionStrategy::LowestPosition`]
+    /// this returns the first candidate (the search applies the position
+    /// criterion itself).
+    pub fn pick<I>(&self, problem: &Problem, candidates: I) -> Option<BufferId>
+    where
+        I: IntoIterator<Item = BufferId>,
+    {
+        match self {
+            SelectionStrategy::LowestPosition => candidates.into_iter().next(),
+            _ => candidates
+                .into_iter()
+                .max_by_key(|&id| (self.key(problem, id), std::cmp::Reverse(id.index()))),
+        }
+    }
+}
+
+impl std::fmt::Display for SelectionStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            SelectionStrategy::MaxLifetime => "max-lifetime",
+            SelectionStrategy::MaxSize => "max-size",
+            SelectionStrategy::MaxArea => "max-area",
+            SelectionStrategy::LowestPosition => "lowest-position",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tela_model::{Buffer, Problem};
+
+    fn sample() -> Problem {
+        Problem::builder(100)
+            .buffer(Buffer::new(0, 10, 2)) // lifetime 10, size 2, area 20
+            .buffer(Buffer::new(0, 2, 9)) // lifetime 2, size 9, area 18
+            .buffer(Buffer::new(0, 7, 4)) // lifetime 7, size 4, area 28
+            .build()
+            .unwrap()
+    }
+
+    fn ids(p: &Problem) -> Vec<BufferId> {
+        p.iter().map(|(id, _)| id).collect()
+    }
+
+    #[test]
+    fn max_lifetime_picks_longest() {
+        let p = sample();
+        let pick = SelectionStrategy::MaxLifetime.pick(&p, ids(&p));
+        assert_eq!(pick, Some(BufferId::new(0)));
+    }
+
+    #[test]
+    fn max_size_picks_largest() {
+        let p = sample();
+        let pick = SelectionStrategy::MaxSize.pick(&p, ids(&p));
+        assert_eq!(pick, Some(BufferId::new(1)));
+    }
+
+    #[test]
+    fn max_area_picks_heaviest() {
+        let p = sample();
+        let pick = SelectionStrategy::MaxArea.pick(&p, ids(&p));
+        assert_eq!(pick, Some(BufferId::new(2)));
+    }
+
+    #[test]
+    fn ties_break_toward_lower_id() {
+        let p = Problem::builder(100)
+            .buffer(Buffer::new(0, 2, 5))
+            .buffer(Buffer::new(4, 6, 5))
+            .build()
+            .unwrap();
+        let pick = SelectionStrategy::MaxSize.pick(&p, ids(&p));
+        assert_eq!(pick, Some(BufferId::new(0)));
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        let p = sample();
+        assert_eq!(
+            SelectionStrategy::MaxArea.pick(&p, std::iter::empty()),
+            None
+        );
+    }
+
+    #[test]
+    fn telamalloc_order_matches_paper() {
+        assert_eq!(
+            SelectionStrategy::TELAMALLOC_ORDER,
+            [
+                SelectionStrategy::MaxLifetime,
+                SelectionStrategy::MaxSize,
+                SelectionStrategy::MaxArea
+            ]
+        );
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SelectionStrategy::MaxLifetime.to_string(), "max-lifetime");
+        assert_eq!(
+            SelectionStrategy::LowestPosition.to_string(),
+            "lowest-position"
+        );
+    }
+}

@@ -1,0 +1,351 @@
+//! Depth-first branch and bound over the pair booleans of the Figure 5
+//! encoding.
+//!
+//! At each node one unfixed boolean is chosen and both orderings are
+//! tried; bound propagation ([`crate::propagate`]) prunes, and an
+//! optional LP relaxation check (via [`crate::simplex`]) is applied at
+//! small nodes. When every boolean is fixed, the propagation fixpoint's
+//! lower bounds form a concrete packing (the rows then reduce to
+//! difference constraints, whose least solution the propagation
+//! computes).
+
+use std::time::Instant;
+
+use tela_model::{Budget, Problem, Size, SolveOutcome, SolveStats};
+
+use crate::encoding::IlpEncoding;
+use crate::propagate::BoundStore;
+use crate::simplex::{LinearProgram, LpOutcome, Relation};
+
+/// Tuning knobs for the ILP branch and bound.
+#[derive(Debug, Clone, Copy)]
+pub struct IlpConfig {
+    /// Apply an LP-relaxation feasibility check at nodes whose encoding
+    /// has at most this many variables (0 disables LP entirely). LP
+    /// checks are expensive (dense simplex) but can prune subtrees that
+    /// bound propagation keeps.
+    pub lp_node_var_limit: usize,
+}
+
+impl Default for IlpConfig {
+    fn default() -> Self {
+        // The dense tableau is O(rows × vars); past a few hundred
+        // variables the LP costs more than the subtree it might prune.
+        IlpConfig {
+            lp_node_var_limit: 120,
+        }
+    }
+}
+
+/// Solves `problem` with the ILP baseline under a default configuration.
+///
+/// # Example
+///
+/// ```
+/// use tela_ilp::solve_ilp;
+/// use tela_model::{examples, Budget};
+///
+/// let (outcome, stats) = solve_ilp(&examples::tiny(), &Budget::steps(100_000));
+/// assert!(outcome.is_solved());
+/// assert!(stats.steps > 0);
+/// ```
+pub fn solve_ilp(problem: &Problem, budget: &Budget) -> (SolveOutcome, SolveStats) {
+    solve_ilp_with(problem, budget, &IlpConfig::default())
+}
+
+/// Solves `problem` with the ILP baseline under an explicit
+/// configuration.
+pub fn solve_ilp_with(
+    problem: &Problem,
+    budget: &Budget,
+    config: &IlpConfig,
+) -> (SolveOutcome, SolveStats) {
+    let start = Instant::now();
+    let mut stats = SolveStats::default();
+    let encoding = IlpEncoding::new(problem);
+    let mut store = BoundStore::new(&encoding);
+
+    if store.propagate_all().is_err() {
+        stats.elapsed = start.elapsed();
+        return (SolveOutcome::Infeasible, stats);
+    }
+
+    struct Frame {
+        boolean: usize,
+        first_value: i64,
+        exhausted: bool,
+        cursor: usize,
+    }
+    let mut frames: Vec<Frame> = Vec::new();
+    let mut cursor = 0usize;
+    let mut retry = false;
+
+    loop {
+        if budget.exhausted(stats.steps) {
+            stats.elapsed = start.elapsed();
+            return (SolveOutcome::BudgetExceeded, stats);
+        }
+        if retry {
+            retry = false;
+            let frame = frames.last_mut().expect("retry implies an open frame");
+            if frame.exhausted {
+                frames.pop();
+                match frames.last() {
+                    Some(_) => {
+                        store.pop_level();
+                        stats.major_backtracks += 1;
+                        retry = true;
+                        continue;
+                    }
+                    None => {
+                        stats.elapsed = start.elapsed();
+                        return (SolveOutcome::Infeasible, stats);
+                    }
+                }
+            }
+            frame.exhausted = true;
+            let value = 1 - frame.first_value;
+            let var = encoding.boolean_var(frame.boolean);
+            cursor = frame.cursor;
+            stats.steps += 1;
+            store.push_level();
+            if store.fix(var, value).is_err() || !lp_check(&encoding, &store, config) {
+                store.pop_level();
+                stats.minor_backtracks += 1;
+                retry = true;
+            }
+            continue;
+        }
+
+        match next_unfixed_boolean(&encoding, &store, cursor) {
+            None => {
+                // All booleans fixed: the propagation fixpoint's lower
+                // bounds satisfy every (now difference-form) row.
+                let q: Vec<i64> = (0..encoding.num_position_vars())
+                    .map(|v| store.bounds(v as u32).0)
+                    .collect();
+                let solution = encoding.solution_from_positions(&q);
+                debug_assert!(solution.validate(problem).is_ok());
+                stats.elapsed = start.elapsed();
+                return (SolveOutcome::Solved(solution), stats);
+            }
+            Some(boolean) => {
+                let var = encoding.boolean_var(boolean);
+                let value = preferred_value(&encoding, &store, boolean);
+                frames.push(Frame {
+                    boolean,
+                    first_value: value,
+                    exhausted: false,
+                    cursor,
+                });
+                cursor = boolean;
+                stats.steps += 1;
+                store.push_level();
+                if store.fix(var, value).is_err() || !lp_check(&encoding, &store, config) {
+                    store.pop_level();
+                    stats.minor_backtracks += 1;
+                    retry = true;
+                }
+            }
+        }
+    }
+}
+
+fn next_unfixed_boolean(encoding: &IlpEncoding, store: &BoundStore, from: usize) -> Option<usize> {
+    (from..encoding.num_booleans()).find(|&p| !store.is_fixed(encoding.boolean_var(p)))
+}
+
+/// Value ordering: set the boolean so the buffer with the smaller current
+/// lower bound goes below.
+fn preferred_value(encoding: &IlpEncoding, store: &BoundStore, boolean: usize) -> i64 {
+    let (i, j) = encoding.pair(boolean);
+    let ai = encoding.problem().buffer(i).align() as i64;
+    let aj = encoding.problem().buffer(j).align() as i64;
+    let lo_i = store.bounds(i.index() as u32).0 * ai;
+    let lo_j = store.bounds(j.index() as u32).0 * aj;
+    // Boolean value 1 means `i` below `j` (see crate::encoding).
+    if lo_i <= lo_j {
+        1
+    } else {
+        0
+    }
+}
+
+/// LP-relaxation feasibility check (returns true if the node survives).
+fn lp_check(encoding: &IlpEncoding, store: &BoundStore, config: &IlpConfig) -> bool {
+    if encoding.num_vars() > config.lp_node_var_limit {
+        return true;
+    }
+    let n = encoding.num_vars();
+    let mut lp = LinearProgram::minimize(vec![0.0; n]);
+    for row in encoding.rows() {
+        let mut coeffs = vec![0.0; n];
+        for &(v, c) in &row.terms {
+            coeffs[v as usize] = c as f64;
+        }
+        lp.constrain(coeffs, Relation::Le, row.rhs as f64);
+    }
+    for v in 0..n {
+        let (lo, hi) = store.bounds(v as u32);
+        let mut up = vec![0.0; n];
+        up[v] = 1.0;
+        lp.constrain(up, Relation::Le, hi as f64);
+        if lo > 0 {
+            let mut down = vec![0.0; n];
+            down[v] = 1.0;
+            lp.constrain(down, Relation::Ge, lo as f64);
+        }
+    }
+    !matches!(lp.solve(), LpOutcome::Infeasible)
+}
+
+/// Finds the minimum memory capacity at which `problem` is feasible,
+/// by binary search over the capacity with the ILP solver as the
+/// feasibility oracle (the paper's Table 2 "theoretical minimum achieved
+/// by the ILP solver").
+///
+/// The search range is `[max contention, sum of sizes]`. Each probe gets
+/// the full `budget`; a probe that exceeds its budget is treated as
+/// infeasible, so the result is an upper bound on the true minimum when
+/// budgets are tight.
+///
+/// Returns `None` if even the sum of all sizes is not solvable within
+/// budget (which cannot happen with a sane budget: placing buffers
+/// end-to-end always works).
+pub fn min_required_memory(problem: &Problem, budget: &Budget) -> Option<Size> {
+    let lower = problem.max_contention().max(1);
+    let upper: Size = problem
+        .buffers()
+        .iter()
+        .map(|b| b.size() + (b.align() - 1))
+        .sum();
+    let upper = upper.max(lower);
+    let feasible = |capacity: Size| -> bool {
+        match problem.with_capacity(capacity) {
+            Ok(p) => solve_ilp(&p, budget).0.is_solved(),
+            Err(_) => false,
+        }
+    };
+    if !feasible(upper) {
+        return None;
+    }
+    let (mut lo, mut hi) = (lower, upper);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if feasible(mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Some(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tela_model::{examples, Buffer};
+
+    fn solve(problem: &Problem) -> (SolveOutcome, SolveStats) {
+        solve_ilp(problem, &Budget::steps(500_000))
+    }
+
+    #[test]
+    fn solves_tiny() {
+        let p = examples::tiny();
+        let (outcome, _) = solve(&p);
+        assert!(outcome.solution().unwrap().validate(&p).is_ok());
+    }
+
+    #[test]
+    fn solves_figure1() {
+        let p = examples::figure1();
+        let (outcome, stats) = solve(&p);
+        assert!(outcome.solution().unwrap().validate(&p).is_ok());
+        assert!(stats.steps > 0);
+    }
+
+    #[test]
+    fn solves_aligned_example() {
+        let p = examples::aligned();
+        let (outcome, _) = solve(&p);
+        assert!(outcome.solution().unwrap().validate(&p).is_ok());
+    }
+
+    #[test]
+    fn detects_contention_infeasibility() {
+        let (outcome, _) = solve(&examples::infeasible());
+        assert_eq!(outcome, SolveOutcome::Infeasible);
+    }
+
+    #[test]
+    fn detects_alignment_infeasibility() {
+        let p = Problem::builder(39)
+            .buffer(Buffer::new(0, 2, 8).with_align(32))
+            .buffer(Buffer::new(0, 2, 8).with_align(32))
+            .build()
+            .unwrap();
+        let (outcome, _) = solve(&p);
+        assert_eq!(outcome, SolveOutcome::Infeasible);
+    }
+
+    #[test]
+    fn budget_exceeded_reported() {
+        let p = examples::figure1();
+        let (outcome, _) = solve_ilp(&p, &Budget::steps(1));
+        assert!(matches!(
+            outcome,
+            SolveOutcome::BudgetExceeded | SolveOutcome::Solved(_)
+        ));
+    }
+
+    #[test]
+    fn empty_problem_is_trivially_solved() {
+        let p = Problem::builder(10).build().unwrap();
+        let (outcome, stats) = solve(&p);
+        assert!(outcome.is_solved());
+        assert_eq!(stats.steps, 0);
+    }
+
+    #[test]
+    fn lp_disabled_still_solves() {
+        let p = examples::figure1();
+        let config = IlpConfig {
+            lp_node_var_limit: 0,
+        };
+        let (outcome, _) = solve_ilp_with(&p, &Budget::steps(500_000), &config);
+        assert!(outcome.solution().unwrap().validate(&p).is_ok());
+    }
+
+    #[test]
+    fn min_memory_of_figure1_is_its_contention() {
+        let p = examples::figure1();
+        let min = min_required_memory(&p, &Budget::steps(500_000)).unwrap();
+        assert_eq!(min, 4);
+    }
+
+    #[test]
+    fn min_memory_accounts_for_fragmentation() {
+        // Two overlapping blocks of sizes 3 and 5: contention 8 and a
+        // perfect stacking exists, so the minimum is 8.
+        let p = Problem::builder(100)
+            .buffer(Buffer::new(0, 2, 3))
+            .buffer(Buffer::new(0, 2, 5))
+            .build()
+            .unwrap();
+        assert_eq!(min_required_memory(&p, &Budget::steps(100_000)), Some(8));
+    }
+
+    #[test]
+    fn min_memory_with_alignment_padding() {
+        // Two 4-aligned blocks of sizes 3 and 2: whichever goes on top
+        // must start at address 4, so 6 units are needed even though
+        // contention is only 5.
+        let p = Problem::builder(100)
+            .buffer(Buffer::new(0, 2, 3).with_align(4))
+            .buffer(Buffer::new(0, 2, 2).with_align(4))
+            .build()
+            .unwrap();
+        assert_eq!(min_required_memory(&p, &Budget::steps(100_000)), Some(6));
+    }
+}

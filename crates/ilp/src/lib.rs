@@ -1,0 +1,43 @@
+//! ILP baseline for the TelaMalloc reproduction.
+//!
+//! The paper's production baseline encodes the allocation problem as an
+//! Integer Linear Program (Figure 5): one integer position variable per
+//! buffer, one boolean per time-overlapping pair, and big-M constraints
+//! implementing the "above or below" disjunction. This crate reproduces
+//! that baseline from scratch:
+//!
+//! - [`simplex`] — a dense-tableau primal simplex LP solver (Big-M
+//!   method), used for relaxation bounds on small instances and as a
+//!   stand-alone LP solver.
+//! - [`encoding`] — the Figure 5 matrix builder, including the §5.5
+//!   alignment extension (positions expressed in multiples of each
+//!   buffer's alignment).
+//! - [`propagate`] — generic integer bound tightening over the rows (the
+//!   presolve-style reasoning a MIP solver applies); deliberately
+//!   domain-blind: it sees only linear rows, never "rectangles" or
+//!   "gaps", which is exactly the handicap the paper ascribes to
+//!   solver-only approaches (§4).
+//! - [`bnb`] — depth-first branch and bound over the pair booleans.
+//!
+//! # Example
+//!
+//! ```
+//! use tela_ilp::solve_ilp;
+//! use tela_model::{examples, Budget};
+//!
+//! let problem = examples::figure1();
+//! let (outcome, _stats) = solve_ilp(&problem, &Budget::steps(1_000_000));
+//! let solution = outcome.solution().expect("figure1 is feasible");
+//! assert!(solution.validate(&problem).is_ok());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bnb;
+pub mod encoding;
+pub mod propagate;
+pub mod simplex;
+
+pub use bnb::{min_required_memory, solve_ilp, solve_ilp_with, IlpConfig};
+pub use encoding::IlpEncoding;

@@ -1,0 +1,377 @@
+//! Dense-tableau primal simplex with the Big-M method.
+//!
+//! Solves `minimize c·x` subject to linear constraints and `x >= 0`.
+//! This is the LP substrate under the ILP baseline's relaxation bounds;
+//! it is small-scale by design (dense tableau), which matches its role:
+//! the paper's point is that solver-based baselines are *expensive*, not
+//! that they are clever.
+//!
+//! # Example
+//!
+//! ```
+//! use tela_ilp::simplex::{LinearProgram, LpOutcome, Relation};
+//!
+//! // minimize -x - y  s.t.  x + y <= 4, x <= 3, y <= 2
+//! let mut lp = LinearProgram::minimize(vec![-1.0, -1.0]);
+//! lp.constrain(vec![1.0, 1.0], Relation::Le, 4.0);
+//! lp.constrain(vec![1.0, 0.0], Relation::Le, 3.0);
+//! lp.constrain(vec![0.0, 1.0], Relation::Le, 2.0);
+//! match lp.solve() {
+//!     LpOutcome::Optimal { objective, .. } => assert!((objective + 4.0).abs() < 1e-9),
+//!     other => panic!("unexpected outcome {other:?}"),
+//! }
+//! ```
+
+/// Relation of a linear constraint row to its right-hand side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `a·x <= b`
+    Le,
+    /// `a·x >= b`
+    Ge,
+    /// `a·x == b`
+    Eq,
+}
+
+/// Result of solving a [`LinearProgram`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// An optimal solution was found.
+    Optimal {
+        /// Optimal objective value.
+        objective: f64,
+        /// Optimal variable assignment.
+        solution: Vec<f64>,
+    },
+    /// The feasible region is empty.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+}
+
+/// A linear program in inequality form over non-negative variables.
+#[derive(Debug, Clone)]
+pub struct LinearProgram {
+    objective: Vec<f64>,
+    rows: Vec<(Vec<f64>, Relation, f64)>,
+}
+
+const EPS: f64 = 1e-9;
+
+impl LinearProgram {
+    /// Starts a minimization problem with the given objective
+    /// coefficients (one per variable).
+    pub fn minimize(objective: Vec<f64>) -> Self {
+        LinearProgram {
+            objective,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of structural variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of constraint rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Adds a constraint `coeffs · x (rel) rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs` does not have one entry per variable.
+    pub fn constrain(&mut self, coeffs: Vec<f64>, rel: Relation, rhs: f64) -> &mut Self {
+        assert_eq!(
+            coeffs.len(),
+            self.num_vars(),
+            "coefficient row has wrong arity"
+        );
+        self.rows.push((coeffs, rel, rhs));
+        self
+    }
+
+    /// Solves the program with the Big-M primal simplex method, using
+    /// Bland's rule to guarantee termination.
+    pub fn solve(&self) -> LpOutcome {
+        let n = self.num_vars();
+        let m = self.rows.len();
+
+        // Normalize rows to non-negative rhs.
+        let mut rows: Vec<(Vec<f64>, Relation, f64)> = self.rows.clone();
+        for (coeffs, rel, rhs) in &mut rows {
+            if *rhs < 0.0 {
+                for c in coeffs.iter_mut() {
+                    *c = -*c;
+                }
+                *rhs = -*rhs;
+                *rel = match *rel {
+                    Relation::Le => Relation::Ge,
+                    Relation::Ge => Relation::Le,
+                    Relation::Eq => Relation::Eq,
+                };
+            }
+        }
+
+        // Column layout: [structural | slack/surplus | artificial | rhs].
+        let num_slack = rows
+            .iter()
+            .filter(|(_, rel, _)| matches!(rel, Relation::Le | Relation::Ge))
+            .count();
+        let num_artificial = rows
+            .iter()
+            .filter(|(_, rel, _)| matches!(rel, Relation::Ge | Relation::Eq))
+            .count();
+        let total = n + num_slack + num_artificial;
+        let big_m = self.big_m_value();
+
+        let mut tableau = vec![vec![0.0; total + 1]; m + 1];
+        let mut basis = vec![0usize; m];
+        let mut slack_idx = n;
+        let mut art_idx = n + num_slack;
+        let mut artificial_cols = Vec::new();
+
+        for (r, (coeffs, rel, rhs)) in rows.iter().enumerate() {
+            tableau[r][..n].copy_from_slice(coeffs);
+            tableau[r][total] = *rhs;
+            match rel {
+                Relation::Le => {
+                    tableau[r][slack_idx] = 1.0;
+                    basis[r] = slack_idx;
+                    slack_idx += 1;
+                }
+                Relation::Ge => {
+                    tableau[r][slack_idx] = -1.0;
+                    slack_idx += 1;
+                    tableau[r][art_idx] = 1.0;
+                    basis[r] = art_idx;
+                    artificial_cols.push(art_idx);
+                    art_idx += 1;
+                }
+                Relation::Eq => {
+                    tableau[r][art_idx] = 1.0;
+                    basis[r] = art_idx;
+                    artificial_cols.push(art_idx);
+                    art_idx += 1;
+                }
+            }
+        }
+
+        // Objective row: c for structural vars, big-M for artificials.
+        for (j, &c) in self.objective.iter().enumerate() {
+            tableau[m][j] = c;
+        }
+        for &col in &artificial_cols {
+            tableau[m][col] = big_m;
+        }
+        // Price out the artificial basis columns.
+        for r in 0..m {
+            if tableau[m][basis[r]].abs() > EPS {
+                let factor = tableau[m][basis[r]];
+                let (head, tail) = tableau.split_at_mut(m);
+                for (obj, row) in tail[0].iter_mut().zip(&head[r]) {
+                    *obj -= factor * row;
+                }
+            }
+        }
+
+        // Primal simplex iterations with Bland's rule.
+        loop {
+            // Entering column: smallest index with negative reduced cost.
+            let entering = (0..total).find(|&j| tableau[m][j] < -EPS);
+            let Some(col) = entering else { break };
+            // Leaving row: minimum ratio, ties by smallest basis index.
+            let mut leave: Option<(usize, f64)> = None;
+            for (r, row) in tableau.iter().enumerate().take(m) {
+                if row[col] > EPS {
+                    let ratio = row[total] / row[col];
+                    let better = match leave {
+                        None => true,
+                        Some((lr, lratio)) => {
+                            ratio < lratio - EPS || (ratio < lratio + EPS && basis[r] < basis[lr])
+                        }
+                    };
+                    if better {
+                        leave = Some((r, ratio));
+                    }
+                }
+            }
+            let Some((row, _)) = leave else {
+                return LpOutcome::Unbounded;
+            };
+            self.pivot(&mut tableau, row, col);
+            basis[row] = col;
+        }
+
+        // Artificial variables remaining basic at positive value mean the
+        // original program is infeasible.
+        for (r, &b) in basis.iter().enumerate() {
+            if artificial_cols.contains(&b) && tableau[r][total] > 1e-6 {
+                return LpOutcome::Infeasible;
+            }
+        }
+
+        let mut solution = vec![0.0; n];
+        for (r, &b) in basis.iter().enumerate() {
+            if b < n {
+                solution[b] = tableau[r][total];
+            }
+        }
+        let objective: f64 = solution
+            .iter()
+            .zip(&self.objective)
+            .map(|(x, c)| x * c)
+            .sum();
+        LpOutcome::Optimal {
+            objective,
+            solution,
+        }
+    }
+
+    fn big_m_value(&self) -> f64 {
+        let max_c = self.objective.iter().fold(1.0f64, |a, &c| a.max(c.abs()));
+        let max_a = self
+            .rows
+            .iter()
+            .flat_map(|(coeffs, _, rhs)| coeffs.iter().chain(std::iter::once(rhs)))
+            .fold(1.0f64, |a, &c| a.max(c.abs()));
+        (max_c + max_a) * 1e7
+    }
+
+    fn pivot(&self, tableau: &mut [Vec<f64>], row: usize, col: usize) {
+        let pivot = tableau[row][col];
+        for v in tableau[row].iter_mut() {
+            *v /= pivot;
+        }
+        let pivot_row = tableau[row].clone();
+        for (r, trow) in tableau.iter_mut().enumerate() {
+            if r != row && trow[col].abs() > EPS {
+                let factor = trow[col];
+                for (v, pv) in trow.iter_mut().zip(&pivot_row) {
+                    *v -= factor * pv;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn optimal(lp: &LinearProgram) -> (f64, Vec<f64>) {
+        match lp.solve() {
+            LpOutcome::Optimal {
+                objective,
+                solution,
+            } => (objective, solution),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_maximization_via_negation() {
+        // max x + 2y s.t. x + y <= 3, y <= 2 => (1, 2), objective 5.
+        let mut lp = LinearProgram::minimize(vec![-1.0, -2.0]);
+        lp.constrain(vec![1.0, 1.0], Relation::Le, 3.0);
+        lp.constrain(vec![0.0, 1.0], Relation::Le, 2.0);
+        let (obj, x) = optimal(&lp);
+        assert!((obj + 5.0).abs() < 1e-6);
+        assert!((x[0] - 1.0).abs() < 1e-6 && (x[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_constraints_respected() {
+        // min x + y s.t. x + y = 2, x - y = 0 => x = y = 1.
+        let mut lp = LinearProgram::minimize(vec![1.0, 1.0]);
+        lp.constrain(vec![1.0, 1.0], Relation::Eq, 2.0);
+        lp.constrain(vec![1.0, -1.0], Relation::Eq, 0.0);
+        let (obj, x) = optimal(&lp);
+        assert!((obj - 2.0).abs() < 1e-6);
+        assert!((x[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ge_constraints_respected() {
+        // min 2x + 3y s.t. x + y >= 4, x >= 1 => (4, 0) objective 8? y can
+        // be 0: x >= 4 dominates, objective 8 at (4, 0).
+        let mut lp = LinearProgram::minimize(vec![2.0, 3.0]);
+        lp.constrain(vec![1.0, 1.0], Relation::Ge, 4.0);
+        lp.constrain(vec![1.0, 0.0], Relation::Ge, 1.0);
+        let (obj, x) = optimal(&lp);
+        assert!((obj - 8.0).abs() < 1e-6, "objective {obj}, x {x:?}");
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x <= 1 and x >= 2.
+        let mut lp = LinearProgram::minimize(vec![1.0]);
+        lp.constrain(vec![1.0], Relation::Le, 1.0);
+        lp.constrain(vec![1.0], Relation::Ge, 2.0);
+        assert_eq!(lp.solve(), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min -x with no upper bound on x.
+        let mut lp = LinearProgram::minimize(vec![-1.0]);
+        lp.constrain(vec![-1.0], Relation::Le, 0.0);
+        assert_eq!(lp.solve(), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degeneracy: multiple rows binding at the same vertex;
+        // Bland's rule must avoid cycling.
+        let mut lp = LinearProgram::minimize(vec![-0.75, 150.0, -0.02, 6.0]);
+        lp.constrain(vec![0.25, -60.0, -0.04, 9.0], Relation::Le, 0.0);
+        lp.constrain(vec![0.5, -90.0, -0.02, 3.0], Relation::Le, 0.0);
+        lp.constrain(vec![0.0, 0.0, 1.0, 0.0], Relation::Le, 1.0);
+        match lp.solve() {
+            LpOutcome::Optimal { objective, .. } => {
+                assert!((objective + 0.05).abs() < 1e-6, "objective {objective}");
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_variable_lp() {
+        let lp = LinearProgram::minimize(vec![]);
+        match lp.solve() {
+            LpOutcome::Optimal {
+                objective,
+                solution,
+            } => {
+                assert_eq!(objective, 0.0);
+                assert!(solution.is_empty());
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        // x - y <= -1 with min x => x = 0, y >= 1 feasible.
+        let mut lp = LinearProgram::minimize(vec![1.0, 0.0]);
+        lp.constrain(vec![1.0, -1.0], Relation::Le, -1.0);
+        let (obj, _) = optimal(&lp);
+        assert!(obj.abs() < 1e-6);
+    }
+
+    #[test]
+    fn relaxation_of_tiny_packing() {
+        // Two overlapping buffers, sizes 6 and 4, capacity 10, boolean b:
+        // p0 + 6 <= p1 + 10(1-b); p1 + 4 <= p0 + 10b; p0 <= 4; p1 <= 6.
+        // LP relaxation (b fractional) is feasible.
+        let mut lp = LinearProgram::minimize(vec![0.0, 0.0, 0.0]);
+        lp.constrain(vec![1.0, -1.0, 10.0], Relation::Le, 4.0); // p0 - p1 + 10b <= 10 - 6
+        lp.constrain(vec![-1.0, 1.0, -10.0], Relation::Le, -4.0); // p1 - p0 - 10b <= -4
+        lp.constrain(vec![1.0, 0.0, 0.0], Relation::Le, 4.0);
+        lp.constrain(vec![0.0, 1.0, 0.0], Relation::Le, 6.0);
+        lp.constrain(vec![0.0, 0.0, 1.0], Relation::Le, 1.0);
+        assert!(matches!(lp.solve(), LpOutcome::Optimal { .. }));
+    }
+}

@@ -1,0 +1,57 @@
+//! Cross-checks the ILP branch and bound against the (independently
+//! verified) CP search: both are complete, so their feasibility answers
+//! must agree on random instances.
+
+use proptest::prelude::*;
+use tela_cp::search::solve_cp_only;
+use tela_ilp::{solve_ilp, solve_ilp_with, IlpConfig};
+use tela_model::{Budget, Buffer, Problem, SolveOutcome};
+
+fn buffer_strategy() -> impl Strategy<Value = Buffer> {
+    (
+        0u32..6,
+        1u32..5,
+        1u64..6,
+        prop_oneof![Just(1u64), Just(2), Just(4)],
+    )
+        .prop_map(|(start, len, size, align)| {
+            Buffer::new(start, start + len, size).with_align(align)
+        })
+}
+
+fn problem_strategy() -> impl Strategy<Value = Problem> {
+    (prop::collection::vec(buffer_strategy(), 1..7), 6u64..13).prop_map(|(buffers, capacity)| {
+        Problem::new(buffers, capacity).expect("sizes below capacity")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn ilp_and_cp_agree_on_feasibility(problem in problem_strategy()) {
+        let budget = Budget::steps(1_000_000);
+        let (cp, _) = solve_cp_only(&problem, &budget);
+        let (ilp, _) = solve_ilp(&problem, &budget);
+        match (&cp, &ilp) {
+            (SolveOutcome::Solved(a), SolveOutcome::Solved(b)) => {
+                prop_assert!(a.validate(&problem).is_ok());
+                prop_assert!(b.validate(&problem).is_ok());
+            }
+            (SolveOutcome::Infeasible, SolveOutcome::Infeasible) => {}
+            other => prop_assert!(false, "disagreement: {other:?} on {problem:?}"),
+        }
+    }
+
+    #[test]
+    fn lp_pruning_does_not_change_answers(problem in problem_strategy()) {
+        let budget = Budget::steps(1_000_000);
+        let with_lp = solve_ilp_with(&problem, &budget, &IlpConfig { lp_node_var_limit: 500 }).0;
+        let without_lp = solve_ilp_with(&problem, &budget, &IlpConfig { lp_node_var_limit: 0 }).0;
+        prop_assert_eq!(with_lp.is_solved(), without_lp.is_solved());
+        prop_assert_eq!(
+            matches!(with_lp, SolveOutcome::Infeasible),
+            matches!(without_lp, SolveOutcome::Infeasible)
+        );
+    }
+}

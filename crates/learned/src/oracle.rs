@@ -1,0 +1,208 @@
+//! Imitation-learning labels (paper §6.3, Figure 10).
+//!
+//! The *minimum backtrack target* is derived from the deepest point on
+//! the current search path that is still solvable: the paper encodes the
+//! problem as an ILP with the already-placed positions fixed and asks
+//! the solver whether a solution exists. We use the complete CP search
+//! ([`tela_cp::search::solve_with_fixed`]) as that oracle — both are
+//! exact feasibility deciders, and the label only depends on the answer.
+//!
+//! The *best backtrack target* is computed after the search terminates:
+//! the deepest path prefix that is consistent with the solution
+//! eventually returned.
+
+use tela_cp::search::solve_with_fixed;
+use tela_model::{Budget, Problem};
+use telamalloc::{BacktrackTarget, PlacedDecision};
+
+/// Finds the deepest `k` such that fixing `path[..k]` leaves the problem
+/// solvable. Solvability is monotone in the prefix length, so a binary
+/// search suffices (the optimization the paper notes in §6.3).
+///
+/// Budget-limited probes that run out are treated as unsolvable, making
+/// the result conservative (never too deep).
+///
+/// # Example
+///
+/// ```
+/// use tela_learned::oracle::deepest_solvable_prefix;
+/// use tela_model::{examples, Budget, BufferId};
+/// use telamalloc::PlacedDecision;
+///
+/// let p = examples::figure1();
+/// // The known-good packing stays solvable at full depth.
+/// let addrs = [0u64, 2, 1, 0, 2, 3, 0, 2, 2, 0];
+/// let path: Vec<_> = addrs
+///     .iter()
+///     .enumerate()
+///     .map(|(i, &a)| PlacedDecision { block: BufferId::new(i), address: a })
+///     .collect();
+/// assert_eq!(deepest_solvable_prefix(&p, &path, &Budget::steps(100_000)), path.len());
+/// ```
+pub fn deepest_solvable_prefix(
+    problem: &Problem,
+    path: &[PlacedDecision],
+    budget: &Budget,
+) -> usize {
+    let feasible = |k: usize| -> bool {
+        let fixed: Vec<_> = path[..k].iter().map(|d| (d.block, d.address)).collect();
+        solve_with_fixed(problem, &fixed, budget).0.is_solved()
+    };
+    // Invariant: feasible(lo) is true, feasible(hi + 1) is false-or-end.
+    if feasible(path.len()) {
+        return path.len();
+    }
+    let (mut lo, mut hi) = (0usize, path.len() - 1);
+    while lo < hi {
+        let mid = lo + (hi - lo).div_ceil(2);
+        if feasible(mid) {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    lo
+}
+
+/// The deepest path prefix consistent with the final solution: every
+/// placement in `path[..m]` appears in `final_path` at the same address.
+pub fn best_prefix(path: &[PlacedDecision], final_path: &[PlacedDecision]) -> usize {
+    let mut address_of = std::collections::HashMap::new();
+    for d in final_path {
+        address_of.insert(d.block, d.address);
+    }
+    path.iter()
+        .position(|d| address_of.get(&d.block) != Some(&d.address))
+        .unwrap_or(path.len())
+}
+
+/// The paper's §6.4 label: `0` outside `[best, minimum]`, else a linear
+/// ramp from 10 at the best target down toward 5 at the minimum target.
+pub fn score(level: usize, best: usize, minimum: usize) -> f64 {
+    let (best, minimum) = (best.min(minimum), minimum.max(best));
+    if level < best || level > minimum {
+        0.0
+    } else {
+        10.0 - 5.0 * (level - best) as f64 / (minimum - best + 1) as f64
+    }
+}
+
+/// The minimum backtrack target: the deepest offered target at or above
+/// (i.e. with level `<=`) the deepest solvable prefix.
+pub fn minimum_target(targets: &[BacktrackTarget], deepest_solvable: usize) -> Option<usize> {
+    targets
+        .iter()
+        .map(|t| t.level)
+        .filter(|&l| l <= deepest_solvable)
+        .max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tela_model::{Buffer, BufferId};
+
+    fn d(i: usize, a: u64) -> PlacedDecision {
+        PlacedDecision {
+            block: BufferId::new(i),
+            address: a,
+        }
+    }
+
+    #[test]
+    fn bad_placement_limits_prefix() {
+        // Two overlapping size-8 blocks in capacity 16: placing block 0
+        // at 4 dooms the rest, so the solvable prefix is 0.
+        let p = Problem::builder(16)
+            .buffer(Buffer::new(0, 2, 8))
+            .buffer(Buffer::new(0, 2, 8))
+            .build()
+            .unwrap();
+        let path = vec![d(0, 4)];
+        assert_eq!(
+            deepest_solvable_prefix(&p, &path, &Budget::steps(10_000)),
+            0
+        );
+        let good = vec![d(0, 0)];
+        assert_eq!(
+            deepest_solvable_prefix(&p, &good, &Budget::steps(10_000)),
+            1
+        );
+    }
+
+    #[test]
+    fn middle_of_path_identified() {
+        // Three mutually-overlapping unit blocks in capacity 3: the
+        // first two placements are fine, the third collides.
+        let p = Problem::builder(3)
+            .buffers((0..3).map(|_| Buffer::new(0, 2, 1)))
+            .build()
+            .unwrap();
+        let path = vec![d(0, 0), d(1, 1), d(2, 1)];
+        assert_eq!(
+            deepest_solvable_prefix(&p, &path, &Budget::steps(10_000)),
+            2
+        );
+    }
+
+    #[test]
+    fn empty_path_is_trivially_solvable() {
+        let p = Problem::builder(4)
+            .buffer(Buffer::new(0, 1, 2))
+            .build()
+            .unwrap();
+        assert_eq!(deepest_solvable_prefix(&p, &[], &Budget::steps(10_000)), 0);
+    }
+
+    #[test]
+    fn best_prefix_stops_at_first_divergence() {
+        let final_path = vec![d(0, 0), d(1, 8), d(2, 4)];
+        assert_eq!(best_prefix(&[d(0, 0), d(1, 8)], &final_path), 2);
+        assert_eq!(best_prefix(&[d(0, 0), d(1, 4), d(2, 4)], &final_path), 1);
+        assert_eq!(best_prefix(&[d(3, 0)], &final_path), 0);
+        assert_eq!(best_prefix(&[], &final_path), 0);
+    }
+
+    #[test]
+    fn score_formula_matches_paper() {
+        // best = 2, minimum = 6: score(2) = 10, ramps down, 0 outside.
+        assert_eq!(score(2, 2, 6), 10.0);
+        assert_eq!(score(6, 2, 6), 10.0 - 5.0 * 4.0 / 5.0);
+        assert_eq!(score(1, 2, 6), 0.0);
+        assert_eq!(score(7, 2, 6), 0.0);
+        // All valid points score well above zero.
+        for x in 2..=6 {
+            assert!(score(x, 2, 6) >= 5.0);
+        }
+    }
+
+    #[test]
+    fn score_handles_degenerate_range() {
+        assert_eq!(score(3, 3, 3), 10.0);
+        assert_eq!(score(4, 3, 3), 0.0);
+    }
+
+    #[test]
+    fn minimum_target_picks_deepest_safe_level() {
+        let mk = |level| BacktrackTarget {
+            level,
+            block: BufferId::new(0),
+            from_conflict: true,
+            features: telamalloc::TargetFeatures {
+                size: 0.0,
+                lifetime: 0.0,
+                contention: 0.0,
+                decision_level: 0.0,
+                culprit_appearances: 0.0,
+                backtracks_to_here: 0.0,
+                subtree_backtracks: 0.0,
+                same_region: 0.0,
+                total_backtracks: 0.0,
+            },
+        };
+        let targets = vec![mk(1), mk(4), mk(9)];
+        assert_eq!(minimum_target(&targets, 6), Some(4));
+        assert_eq!(minimum_target(&targets, 0), None);
+        assert_eq!(minimum_target(&targets, 100), Some(9));
+    }
+}

@@ -1,0 +1,138 @@
+//! Model persistence.
+//!
+//! The paper's deployment freezes the trained model and bakes it into
+//! the shipped allocator (§6.1: "a single, static backtracking model
+//! that ... does not change"). This module serializes a [`Gbt`] to a
+//! line-oriented text format so a trained model can be embedded with
+//! `include_str!` or stored beside a compiler toolchain.
+//!
+//! Format (line-oriented, whitespace-separated):
+//!
+//! ```text
+//! gbt v1 <base> <learning_rate> <n_trees>
+//! tree <n_nodes>
+//! leaf <value>
+//! split <feature> <threshold> <left> <right>
+//! ...
+//! ```
+
+use crate::gbt::Gbt;
+
+/// Errors from [`load_model`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelParseError {
+    /// 1-based line where parsing failed.
+    pub line: usize,
+    /// Description of the failure.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ModelParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "model line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ModelParseError {}
+
+/// Serializes a trained model to the text format.
+///
+/// # Example
+///
+/// ```
+/// use tela_learned::{Gbt, GbtParams};
+/// use tela_learned::persist::{load_model, save_model};
+///
+/// let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+/// let targets: Vec<f64> = rows.iter().map(|r| r[0] * 2.0).collect();
+/// let model = Gbt::fit(&rows, &targets, &GbtParams { n_trees: 5, ..Default::default() });
+/// let text = save_model(&model);
+/// let restored = load_model(&text)?;
+/// assert_eq!(model.predict(&[21.0]), restored.predict(&[21.0]));
+/// # Ok::<(), tela_learned::persist::ModelParseError>(())
+/// ```
+pub fn save_model(model: &Gbt) -> String {
+    model.to_text()
+}
+
+/// Restores a model from the text format.
+///
+/// # Errors
+///
+/// Returns [`ModelParseError`] on any malformed line.
+pub fn load_model(text: &str) -> Result<Gbt, ModelParseError> {
+    Gbt::from_text(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gbt::GbtParams;
+
+    fn sample_model() -> Gbt {
+        let rows: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![(i % 10) as f64, (i / 10) as f64])
+            .collect();
+        let targets: Vec<f64> = rows.iter().map(|r| r[0] * 3.0 - r[1]).collect();
+        Gbt::fit(
+            &rows,
+            &targets,
+            &GbtParams {
+                n_trees: 12,
+                ..GbtParams::default()
+            },
+        )
+    }
+
+    #[test]
+    fn round_trip_preserves_predictions() {
+        let model = sample_model();
+        let restored = load_model(&save_model(&model)).expect("round trip");
+        for i in 0..30 {
+            let x = [(i % 7) as f64, (i % 5) as f64];
+            assert_eq!(model.predict(&x), restored.predict(&x), "input {x:?}");
+        }
+        assert_eq!(model, restored);
+    }
+
+    #[test]
+    fn malformed_header_rejected() {
+        let err = load_model("nonsense").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn truncated_tree_rejected() {
+        let model = sample_model();
+        let text = save_model(&model);
+        let truncated: String = text.lines().take(3).collect::<Vec<_>>().join("\n");
+        assert!(load_model(&truncated).is_err());
+    }
+
+    #[test]
+    fn garbage_node_rejected() {
+        let model = sample_model();
+        let mut text = save_model(&model);
+        text = text.replacen("leaf", "loaf", 1);
+        assert!(load_model(&text).is_err());
+    }
+
+    #[test]
+    fn special_float_values_survive() {
+        // Thresholds/leaves are finite by construction, but the format
+        // must preserve full precision.
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 3.0]).collect();
+        let targets: Vec<f64> = rows.iter().map(|r| r[0] / 7.0).collect();
+        let model = Gbt::fit(
+            &rows,
+            &targets,
+            &GbtParams {
+                n_trees: 3,
+                ..Default::default()
+            },
+        );
+        let restored = load_model(&save_model(&model)).expect("round trip");
+        assert_eq!(model, restored);
+    }
+}

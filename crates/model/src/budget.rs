@@ -1,0 +1,281 @@
+use std::time::{Duration, Instant};
+
+use crate::Solution;
+
+/// A step and/or wall-clock budget for a solver invocation.
+///
+/// Every allocator entry point in the workspace takes a `Budget` so that
+/// experiments can bound work either by deterministic step counts (as the
+/// paper's Figure 14 sweep does with its 500,000-step cap) or by wall-clock
+/// deadlines (as the on-device setting requires).
+///
+/// # Example
+///
+/// ```
+/// use tela_model::Budget;
+/// use std::time::Duration;
+///
+/// let budget = Budget::unlimited()
+///     .with_max_steps(500_000)
+///     .with_timeout(Duration::from_secs(30));
+/// assert!(!budget.step_limit_reached(499_999));
+/// assert!(budget.step_limit_reached(500_000));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    max_steps: Option<u64>,
+}
+
+impl Budget {
+    /// A budget with no limits.
+    pub fn unlimited() -> Self {
+        Budget {
+            deadline: None,
+            max_steps: None,
+        }
+    }
+
+    /// A budget bounded only by a step count.
+    pub fn steps(max_steps: u64) -> Self {
+        Budget::unlimited().with_max_steps(max_steps)
+    }
+
+    /// A budget bounded only by a wall-clock timeout starting now.
+    pub fn timeout(timeout: Duration) -> Self {
+        Budget::unlimited().with_timeout(timeout)
+    }
+
+    /// Adds (or replaces) a step cap.
+    #[must_use]
+    pub fn with_max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = Some(max_steps);
+        self
+    }
+
+    /// Adds (or replaces) a wall-clock timeout measured from now.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.deadline = Instant::now().checked_add(timeout);
+        self
+    }
+
+    /// Returns true if `steps` meets or exceeds the step cap.
+    pub fn step_limit_reached(&self, steps: u64) -> bool {
+        self.max_steps.is_some_and(|cap| steps >= cap)
+    }
+
+    /// Returns true if the wall-clock deadline has passed.
+    pub fn deadline_passed(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Returns true if either limit is exhausted.
+    pub fn exhausted(&self, steps: u64) -> bool {
+        self.step_limit_reached(steps) || self.deadline_passed()
+    }
+
+    /// The configured step cap, if any.
+    pub fn max_steps(&self) -> Option<u64> {
+        self.max_steps
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::unlimited()
+    }
+}
+
+/// Statistics reported by a solver run.
+///
+/// *Steps* count decisions (block placements plus backtrack-driven
+/// re-placements), matching the paper's step metric in Figure 14. Minor
+/// backtracks undo one decision; major backtracks jump further up the
+/// search tree (paper §5.4).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Total decisions taken (placements, including retried ones).
+    pub steps: u64,
+    /// One-step backtracks (next candidate at the same decision point).
+    pub minor_backtracks: u64,
+    /// Multi-step, conflict-guided backtracks.
+    pub major_backtracks: u64,
+    /// Wall-clock time spent, if measured.
+    pub elapsed: Duration,
+}
+
+impl SolveStats {
+    /// Total number of backtracks of either kind.
+    pub fn total_backtracks(&self) -> u64 {
+        self.minor_backtracks + self.major_backtracks
+    }
+
+    /// Accumulates another run's statistics into this one (used when a
+    /// problem is split into independent sub-problems).
+    pub fn absorb(&mut self, other: &SolveStats) {
+        self.steps += other.steps;
+        self.minor_backtracks += other.minor_backtracks;
+        self.major_backtracks += other.major_backtracks;
+        self.elapsed += other.elapsed;
+    }
+}
+
+/// The result of running an allocator on a problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveOutcome {
+    /// A valid solution was found.
+    Solved(Solution),
+    /// The solver proved no solution exists.
+    Infeasible,
+    /// An incomplete method (a greedy heuristic, or TelaMalloc's pruned
+    /// search) exhausted its options without finding a solution. Unlike
+    /// [`SolveOutcome::Infeasible`] this is *not* a proof: a complete
+    /// solver might still succeed, which is exactly why the paper's
+    /// production stack falls back from the heuristic to TelaMalloc.
+    GaveUp,
+    /// The step or time budget ran out before an answer was established.
+    BudgetExceeded,
+}
+
+impl SolveOutcome {
+    /// The solution, if one was found.
+    pub fn solution(&self) -> Option<&Solution> {
+        match self {
+            SolveOutcome::Solved(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Consumes the outcome, yielding the solution if one was found.
+    pub fn into_solution(self) -> Option<Solution> {
+        match self {
+            SolveOutcome::Solved(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns true if a solution was found.
+    pub fn is_solved(&self) -> bool {
+        matches!(self, SolveOutcome::Solved(_))
+    }
+
+    /// Converts to a `Result`, mapping non-solutions to [`SolveError`].
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`] or [`SolveError::BudgetExceeded`]
+    /// depending on the outcome.
+    pub fn into_result(self) -> Result<Solution, SolveError> {
+        match self {
+            SolveOutcome::Solved(s) => Ok(s),
+            SolveOutcome::Infeasible => Err(SolveError::Infeasible),
+            SolveOutcome::GaveUp => Err(SolveError::GaveUp),
+            SolveOutcome::BudgetExceeded => Err(SolveError::BudgetExceeded),
+        }
+    }
+}
+
+/// Error form of a failed solve, for `?`-style call sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveError {
+    /// The solver proved no solution exists.
+    Infeasible,
+    /// An incomplete method exhausted its options without an answer.
+    GaveUp,
+    /// The step or time budget ran out.
+    BudgetExceeded,
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Infeasible => write!(f, "problem is infeasible"),
+            SolveError::GaveUp => write!(f, "allocator gave up without an answer"),
+            SolveError::BudgetExceeded => write!(f, "solver budget exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_exhausts_steps() {
+        let b = Budget::unlimited();
+        assert!(!b.exhausted(u64::MAX));
+    }
+
+    #[test]
+    fn step_cap_is_inclusive_at_cap() {
+        let b = Budget::steps(10);
+        assert!(!b.step_limit_reached(9));
+        assert!(b.step_limit_reached(10));
+        assert!(b.step_limit_reached(11));
+    }
+
+    #[test]
+    fn elapsed_deadline_detected() {
+        let b = Budget::timeout(Duration::from_nanos(1));
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(b.deadline_passed());
+        assert!(b.exhausted(0));
+    }
+
+    #[test]
+    fn future_deadline_not_passed() {
+        let b = Budget::timeout(Duration::from_secs(3600));
+        assert!(!b.deadline_passed());
+    }
+
+    #[test]
+    fn stats_absorb_accumulates() {
+        let mut a = SolveStats {
+            steps: 5,
+            minor_backtracks: 1,
+            major_backtracks: 2,
+            ..Default::default()
+        };
+        let b = SolveStats {
+            steps: 7,
+            minor_backtracks: 3,
+            major_backtracks: 0,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.steps, 12);
+        assert_eq!(a.total_backtracks(), 6);
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let solved = SolveOutcome::Solved(Solution::new(vec![1, 2]));
+        assert!(solved.is_solved());
+        assert_eq!(solved.solution().unwrap().addresses(), &[1, 2]);
+        assert!(solved.clone().into_result().is_ok());
+
+        assert_eq!(
+            SolveOutcome::Infeasible.into_result(),
+            Err(SolveError::Infeasible)
+        );
+        assert_eq!(SolveOutcome::GaveUp.into_result(), Err(SolveError::GaveUp));
+        assert!(!SolveOutcome::GaveUp.is_solved());
+        assert_eq!(
+            SolveOutcome::BudgetExceeded.into_result(),
+            Err(SolveError::BudgetExceeded)
+        );
+        assert!(SolveOutcome::Infeasible.solution().is_none());
+    }
+
+    #[test]
+    fn solve_error_displays() {
+        assert_eq!(SolveError::Infeasible.to_string(), "problem is infeasible");
+        assert_eq!(
+            SolveError::BudgetExceeded.to_string(),
+            "solver budget exceeded"
+        );
+    }
+}

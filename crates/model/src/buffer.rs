@@ -1,0 +1,248 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{Address, Size, TimeStep};
+
+/// Identifies a buffer within a [`Problem`](crate::Problem) by its index.
+///
+/// Buffer ids are dense: a problem with `n` buffers uses ids `0..n`.
+///
+/// # Example
+///
+/// ```
+/// use tela_model::BufferId;
+///
+/// let id = BufferId::new(3);
+/// assert_eq!(id.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BufferId(u32);
+
+impl BufferId {
+    /// Creates a buffer id from a dense index.
+    pub fn new(index: usize) -> Self {
+        BufferId(u32::try_from(index).expect("buffer index fits in u32"))
+    }
+
+    /// Returns the dense index of this buffer within its problem.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for BufferId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+impl From<usize> for BufferId {
+    fn from(index: usize) -> Self {
+        BufferId::new(index)
+    }
+}
+
+/// A memory buffer with a fixed live range and size.
+///
+/// The live range is half-open: the buffer is live for all time steps `t`
+/// with `start <= t < end`. Two buffers overlap in time iff their half-open
+/// ranges intersect. The allocator must choose an [`Address`] for each
+/// buffer; the buffer then occupies addresses `[address, address + size)`.
+///
+/// `align` constrains the chosen address to a multiple of `align`
+/// (paper §5.5); `align == 1` means unconstrained.
+///
+/// # Example
+///
+/// ```
+/// use tela_model::Buffer;
+///
+/// let a = Buffer::new(0, 4, 128);
+/// let b = Buffer::new(3, 8, 64).with_align(32);
+/// assert!(a.overlaps_in_time(&b));
+/// assert_eq!(b.align(), 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Buffer {
+    start: TimeStep,
+    end: TimeStep,
+    size: Size,
+    align: Size,
+}
+
+impl Buffer {
+    /// Creates a buffer live over the half-open range `[start, end)` with
+    /// the given size and no alignment constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end <= start` or `size == 0`; degenerate buffers are
+    /// rejected eagerly so every downstream invariant can rely on non-empty
+    /// live ranges and positive sizes.
+    pub fn new(start: TimeStep, end: TimeStep, size: Size) -> Self {
+        assert!(
+            end > start,
+            "buffer live range must be non-empty: [{start}, {end})"
+        );
+        assert!(size > 0, "buffer size must be positive");
+        Buffer {
+            start,
+            end,
+            size,
+            align: 1,
+        }
+    }
+
+    /// Returns a copy of this buffer with the given alignment requirement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align == 0`.
+    #[must_use]
+    pub fn with_align(mut self, align: Size) -> Self {
+        assert!(align > 0, "alignment must be positive");
+        self.align = align;
+        self
+    }
+
+    /// First time step at which the buffer is live.
+    pub fn start(&self) -> TimeStep {
+        self.start
+    }
+
+    /// First time step at which the buffer is no longer live (exclusive).
+    pub fn end(&self) -> TimeStep {
+        self.end
+    }
+
+    /// Size of the buffer in allocation units.
+    pub fn size(&self) -> Size {
+        self.size
+    }
+
+    /// Required address alignment (1 = unconstrained).
+    pub fn align(&self) -> Size {
+        self.align
+    }
+
+    /// Number of time steps for which the buffer is live
+    /// (`end - start`; the paper calls this the buffer's *lifetime*).
+    pub fn lifetime(&self) -> TimeStep {
+        self.end - self.start
+    }
+
+    /// The buffer's *area*: `size × lifetime`, one of the block-selection
+    /// metrics used by TelaMalloc's heuristics (paper §5.1).
+    pub fn area(&self) -> u128 {
+        u128::from(self.size) * u128::from(self.lifetime())
+    }
+
+    /// Returns true if this buffer is live at time step `t`.
+    pub fn live_at(&self, t: TimeStep) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// Returns true if the two buffers' live ranges intersect.
+    pub fn overlaps_in_time(&self, other: &Buffer) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// Rounds `addr` up to the next address satisfying this buffer's
+    /// alignment constraint. Returns `None` on overflow.
+    pub fn align_up(&self, addr: Address) -> Option<Address> {
+        if self.align <= 1 {
+            return Some(addr);
+        }
+        let rem = addr % self.align;
+        if rem == 0 {
+            Some(addr)
+        } else {
+            addr.checked_add(self.align - rem)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_range_is_half_open() {
+        let b = Buffer::new(2, 5, 10);
+        assert!(!b.live_at(1));
+        assert!(b.live_at(2));
+        assert!(b.live_at(4));
+        assert!(!b.live_at(5));
+    }
+
+    #[test]
+    fn adjacent_buffers_do_not_overlap() {
+        let a = Buffer::new(0, 3, 1);
+        let b = Buffer::new(3, 6, 1);
+        assert!(!a.overlaps_in_time(&b));
+        assert!(!b.overlaps_in_time(&a));
+    }
+
+    #[test]
+    fn overlapping_buffers_detected_symmetrically() {
+        let a = Buffer::new(0, 4, 1);
+        let b = Buffer::new(3, 6, 1);
+        assert!(a.overlaps_in_time(&b));
+        assert!(b.overlaps_in_time(&a));
+    }
+
+    #[test]
+    fn nested_live_ranges_overlap() {
+        let outer = Buffer::new(0, 10, 1);
+        let inner = Buffer::new(4, 5, 1);
+        assert!(outer.overlaps_in_time(&inner));
+        assert!(inner.overlaps_in_time(&outer));
+    }
+
+    #[test]
+    fn lifetime_and_area() {
+        let b = Buffer::new(3, 8, 20);
+        assert_eq!(b.lifetime(), 5);
+        assert_eq!(b.area(), 100);
+    }
+
+    #[test]
+    fn align_up_rounds_to_multiple() {
+        let b = Buffer::new(0, 1, 8).with_align(32);
+        assert_eq!(b.align_up(0), Some(0));
+        assert_eq!(b.align_up(1), Some(32));
+        assert_eq!(b.align_up(32), Some(32));
+        assert_eq!(b.align_up(33), Some(64));
+    }
+
+    #[test]
+    fn align_up_detects_overflow() {
+        let b = Buffer::new(0, 1, 8).with_align(64);
+        assert_eq!(b.align_up(u64::MAX - 1), None);
+    }
+
+    #[test]
+    fn unaligned_buffers_pass_through() {
+        let b = Buffer::new(0, 1, 8);
+        assert_eq!(b.align_up(17), Some(17));
+    }
+
+    #[test]
+    #[should_panic(expected = "live range")]
+    fn empty_live_range_rejected() {
+        let _ = Buffer::new(5, 5, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "size")]
+    fn zero_size_rejected() {
+        let _ = Buffer::new(0, 1, 0);
+    }
+
+    #[test]
+    fn buffer_id_round_trip() {
+        let id = BufferId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "b42");
+        assert_eq!(BufferId::from(42usize), id);
+    }
+}

@@ -1,0 +1,172 @@
+//! Small hand-crafted problem instances used throughout tests, docs, and
+//! examples.
+
+use crate::{Buffer, Problem};
+
+/// A ten-buffer instance modeled after the paper's running example
+/// (Figure 1): buffers with fixed live ranges sharing a four-unit memory,
+/// where the placement of one mid-sized buffer decides whether the rest of
+/// the problem stays solvable.
+///
+/// Properties (checked by tests across the workspace):
+///
+/// - Maximum contention equals the capacity (the memory limit is tight).
+/// - The instance is feasible, but naive placements of the long buffer
+///   spanning the middle of the schedule make it infeasible, forcing
+///   backtracking in search-based allocators.
+///
+/// # Example
+///
+/// ```
+/// let p = tela_model::examples::figure1();
+/// assert_eq!(p.len(), 10);
+/// assert_eq!(p.max_contention(), p.capacity());
+/// ```
+pub fn figure1() -> Problem {
+    Problem::builder(4)
+        .buffer(Buffer::new(0, 3, 2)) // 0: early tall block
+        .buffer(Buffer::new(2, 7, 2)) // 1: tall block bridging early/middle
+        .buffer(Buffer::new(3, 9, 1)) // 2: the critical long thin block ("blue")
+        .buffer(Buffer::new(4, 6, 1)) // 3: filler under the bridge
+        .buffer(Buffer::new(7, 10, 1)) // 4: must fit around block 2
+        .buffer(Buffer::new(7, 10, 1)) // 5: must fit around block 2
+        .buffer(Buffer::new(9, 12, 2)) // 6: late tall block
+        .buffer(Buffer::new(0, 2, 2)) // 7: early tall block
+        .buffer(Buffer::new(10, 12, 1)) // 8: late filler
+        .buffer(Buffer::new(12, 14, 3)) // 9: isolated final phase
+        .build()
+        .expect("figure1 instance is well-formed")
+}
+
+/// A three-buffer instance that any allocator solves instantly; useful for
+/// smoke tests.
+///
+/// # Example
+///
+/// ```
+/// let p = tela_model::examples::tiny();
+/// assert_eq!(p.len(), 3);
+/// ```
+pub fn tiny() -> Problem {
+    Problem::builder(16)
+        .buffer(Buffer::new(0, 4, 8))
+        .buffer(Buffer::new(2, 6, 8))
+        .buffer(Buffer::new(4, 8, 8))
+        .build()
+        .expect("tiny instance is well-formed")
+}
+
+/// An instance that is infeasible because contention exceeds the memory
+/// limit: three fully-overlapping buffers of size 3 in a memory of 8.
+///
+/// # Example
+///
+/// ```
+/// let p = tela_model::examples::infeasible();
+/// assert!(p.max_contention() > p.capacity());
+/// ```
+pub fn infeasible() -> Problem {
+    Problem::builder(8)
+        .buffers((0..3).map(|_| Buffer::new(0, 4, 3)))
+        .build()
+        .expect("individually the buffers fit")
+}
+
+/// An instance with alignment constraints (paper §5.5): buffers requiring
+/// 32-unit alignment interleaved with unaligned ones.
+///
+/// # Example
+///
+/// ```
+/// let p = tela_model::examples::aligned();
+/// assert!(p.buffers().iter().any(|b| b.align() == 32));
+/// ```
+pub fn aligned() -> Problem {
+    Problem::builder(160)
+        .buffer(Buffer::new(0, 6, 64).with_align(32))
+        .buffer(Buffer::new(0, 4, 24))
+        .buffer(Buffer::new(2, 8, 32).with_align(32))
+        .buffer(Buffer::new(4, 8, 40))
+        .buffer(Buffer::new(6, 10, 64).with_align(32))
+        .build()
+        .expect("aligned instance is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Solution;
+
+    #[test]
+    fn figure1_is_tight() {
+        let p = figure1();
+        assert_eq!(p.capacity(), 4);
+        assert_eq!(p.max_contention(), 4);
+    }
+
+    #[test]
+    fn figure1_has_a_known_solution() {
+        // Hand-derived packing; validates that the instance is feasible.
+        let p = figure1();
+        let s = Solution::new(vec![0, 2, 1, 0, 2, 3, 0, 2, 2, 0]);
+        assert!(s.validate(&p).is_ok(), "{:?}", s.validate(&p));
+    }
+
+    #[test]
+    fn figure1_naive_blue_placement_fails() {
+        // Placing the critical block (id 2) at address 0 and the late tall
+        // block (id 6) at address 2 leaves ids 4 and 5 only row 1 clear of
+        // both, so they collide with each other.
+        let p = figure1();
+        let s = Solution::new(vec![0, 2, 0, 1, 1, 1, 2, 2, 2, 0]);
+        assert!(s.validate(&p).is_err());
+    }
+
+    #[test]
+    fn tiny_chain_is_easy() {
+        let p = tiny();
+        let s = Solution::new(vec![0, 8, 0]);
+        assert_eq!(s.validate(&p), Ok(16));
+    }
+
+    #[test]
+    fn infeasible_contention_exceeds_capacity() {
+        let p = infeasible();
+        assert_eq!(p.max_contention(), 9);
+        assert_eq!(p.capacity(), 8);
+    }
+
+    #[test]
+    fn aligned_instance_solvable_with_aligned_addresses() {
+        let p = aligned();
+        let s = Solution::new(vec![0, 64, 96, 88, 64]);
+        // b0 [0,64) t0-5; b1 [64,88) t0-3; b2 [96,128) t2-7;
+        // b3 [88,128)? overlaps b2 -> adjust in validation test below.
+        // This particular assignment is checked for alignment violations
+        // rather than asserted valid.
+        let result = s.validate(&p);
+        if let Err(e) = &result {
+            // Any error must not be a misalignment: all multiples of 32.
+            assert!(
+                !matches!(e, crate::ValidationError::Misaligned { .. }),
+                "{e}"
+            );
+        }
+    }
+
+    #[test]
+    fn aligned_instance_has_valid_packing() {
+        let p = aligned();
+        // b0 t[0,6) [0,64); b1 t[0,4) [64,88); b2 t[2,8) [96,128);
+        // b3 t[4,8) [0,40)?? overlaps b0 t4-5. Use [128,160)... capacity 160.
+        // b3 [64,104)? overlaps b2 at 96. b3 t[4,8) size 40: free rows over
+        // t4-7 avoiding b0[0,64) (t<6), b2[96,128), b4[?]. Place b4 t[6,10)
+        // [0,64) (b0 gone at t6), then b3 at [128,160)? wait capacity 160,
+        // size 40 -> [120,160) overlaps b2. Use b3 @ 64: [64,104) overlaps
+        // b2 [96,128) at t4-7. Try b2 @ 128 instead.
+        let s = Solution::new(vec![0, 64, 128, 64, 0]);
+        // b4 t[6,10) @0 vs b0 t[0,6) @0: no time overlap. b3 t[4,8) @[64,104)
+        // vs b1 t[0,4): no overlap; vs b2 @[128,160): disjoint space. OK.
+        assert!(s.validate(&p).is_ok(), "{:?}", s.validate(&p));
+    }
+}

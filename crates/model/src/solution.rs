@@ -1,0 +1,301 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{Address, BufferId, Problem, Size};
+
+/// A complete assignment of base addresses to every buffer of a
+/// [`Problem`].
+///
+/// # Example
+///
+/// ```
+/// use tela_model::{Buffer, Problem, Solution};
+///
+/// let problem = Problem::builder(10)
+///     .buffer(Buffer::new(0, 4, 6))
+///     .buffer(Buffer::new(2, 6, 4))
+///     .build()?;
+/// let solution = Solution::new(vec![0, 6]);
+/// assert_eq!(solution.validate(&problem)?, 10); // peak usage
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Solution {
+    addresses: Vec<Address>,
+}
+
+/// Reasons a [`Solution`] fails validation against a [`Problem`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// The solution has a different number of addresses than the problem
+    /// has buffers.
+    WrongLength {
+        /// Addresses in the solution.
+        got: usize,
+        /// Buffers in the problem.
+        expected: usize,
+    },
+    /// A buffer extends past the memory capacity.
+    ExceedsCapacity {
+        /// The offending buffer.
+        buffer: BufferId,
+        /// Its highest used address plus one.
+        top: Address,
+        /// The memory capacity.
+        capacity: Size,
+    },
+    /// A buffer's address violates its alignment constraint.
+    Misaligned {
+        /// The offending buffer.
+        buffer: BufferId,
+        /// The assigned address.
+        address: Address,
+        /// The required alignment.
+        align: Size,
+    },
+    /// Two buffers overlap in both time and space.
+    Overlap {
+        /// First buffer of the overlapping pair.
+        first: BufferId,
+        /// Second buffer of the overlapping pair.
+        second: BufferId,
+    },
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::WrongLength { got, expected } => {
+                write!(
+                    f,
+                    "solution has {got} addresses but problem has {expected} buffers"
+                )
+            }
+            ValidationError::ExceedsCapacity {
+                buffer,
+                top,
+                capacity,
+            } => {
+                write!(f, "buffer {buffer} ends at {top}, past capacity {capacity}")
+            }
+            ValidationError::Misaligned {
+                buffer,
+                address,
+                align,
+            } => {
+                write!(
+                    f,
+                    "buffer {buffer} at address {address} violates alignment {align}"
+                )
+            }
+            ValidationError::Overlap { first, second } => {
+                write!(f, "buffers {first} and {second} overlap in time and space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+impl Solution {
+    /// Wraps a vector of addresses, indexed by [`BufferId`].
+    pub fn new(addresses: Vec<Address>) -> Self {
+        Solution { addresses }
+    }
+
+    /// The address assigned to `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn address(&self, id: BufferId) -> Address {
+        self.addresses[id.index()]
+    }
+
+    /// All addresses, indexed by buffer id.
+    pub fn addresses(&self) -> &[Address] {
+        &self.addresses
+    }
+
+    /// Number of assigned buffers.
+    pub fn len(&self) -> usize {
+        self.addresses.len()
+    }
+
+    /// Returns true if the solution assigns no buffers.
+    pub fn is_empty(&self) -> bool {
+        self.addresses.is_empty()
+    }
+
+    /// Checks the solution against the problem's constraints: length,
+    /// capacity, alignment, and pairwise non-overlap. On success returns
+    /// the peak address in use (the packing height).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidationError`] found.
+    pub fn validate(&self, problem: &Problem) -> Result<Address, ValidationError> {
+        if self.addresses.len() != problem.len() {
+            return Err(ValidationError::WrongLength {
+                got: self.addresses.len(),
+                expected: problem.len(),
+            });
+        }
+        let mut peak = 0;
+        for (id, buffer) in problem.iter() {
+            let addr = self.addresses[id.index()];
+            let top = addr
+                .checked_add(buffer.size())
+                .ok_or(ValidationError::ExceedsCapacity {
+                    buffer: id,
+                    top: Address::MAX,
+                    capacity: problem.capacity(),
+                })?;
+            if top > problem.capacity() {
+                return Err(ValidationError::ExceedsCapacity {
+                    buffer: id,
+                    top,
+                    capacity: problem.capacity(),
+                });
+            }
+            if buffer.align() > 1 && !addr.is_multiple_of(buffer.align()) {
+                return Err(ValidationError::Misaligned {
+                    buffer: id,
+                    address: addr,
+                    align: buffer.align(),
+                });
+            }
+            peak = peak.max(top);
+        }
+        for (a, b) in problem.overlapping_pairs() {
+            let (abuf, bbuf) = (problem.buffer(a), problem.buffer(b));
+            let (apos, bpos) = (self.address(a), self.address(b));
+            if apos < bpos + bbuf.size() && bpos < apos + abuf.size() {
+                return Err(ValidationError::Overlap {
+                    first: a,
+                    second: b,
+                });
+            }
+        }
+        Ok(peak)
+    }
+
+    /// The live-memory profile of this solution: for each time step, the
+    /// highest address in use plus one (0 if nothing is live). This is the
+    /// quantity plotted in the paper's Figure 3.
+    pub fn live_profile(&self, problem: &Problem) -> Vec<Address> {
+        let horizon = problem.horizon() as usize;
+        let mut profile = vec![0; horizon];
+        for (id, buffer) in problem.iter() {
+            let top = self.address(id) + buffer.size();
+            for slot in &mut profile[buffer.start() as usize..buffer.end() as usize] {
+                *slot = (*slot).max(top);
+            }
+        }
+        profile
+    }
+}
+
+impl FromIterator<Address> for Solution {
+    fn from_iter<T: IntoIterator<Item = Address>>(iter: T) -> Self {
+        Solution::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Buffer;
+
+    fn two_buffer_problem() -> Problem {
+        Problem::builder(10)
+            .buffer(Buffer::new(0, 4, 6))
+            .buffer(Buffer::new(2, 6, 4))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn valid_solution_returns_peak() {
+        let p = two_buffer_problem();
+        assert_eq!(Solution::new(vec![0, 6]).validate(&p), Ok(10));
+        assert_eq!(Solution::new(vec![4, 0]).validate(&p), Ok(10));
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let p = two_buffer_problem();
+        let err = Solution::new(vec![0]).validate(&p).unwrap_err();
+        assert_eq!(
+            err,
+            ValidationError::WrongLength {
+                got: 1,
+                expected: 2
+            }
+        );
+    }
+
+    #[test]
+    fn capacity_violation_rejected() {
+        let p = two_buffer_problem();
+        let err = Solution::new(vec![0, 7]).validate(&p).unwrap_err();
+        assert!(matches!(
+            err,
+            ValidationError::ExceedsCapacity { top: 11, .. }
+        ));
+    }
+
+    #[test]
+    fn spatial_overlap_rejected() {
+        let p = two_buffer_problem();
+        let err = Solution::new(vec![0, 5]).validate(&p).unwrap_err();
+        assert!(matches!(err, ValidationError::Overlap { .. }));
+    }
+
+    #[test]
+    fn time_disjoint_buffers_may_share_space() {
+        let p = Problem::builder(10)
+            .buffer(Buffer::new(0, 2, 8))
+            .buffer(Buffer::new(2, 4, 8))
+            .build()
+            .unwrap();
+        assert_eq!(Solution::new(vec![0, 0]).validate(&p), Ok(8));
+    }
+
+    #[test]
+    fn misaligned_address_rejected() {
+        let p = Problem::builder(100)
+            .buffer(Buffer::new(0, 1, 8).with_align(32))
+            .build()
+            .unwrap();
+        let err = Solution::new(vec![16]).validate(&p).unwrap_err();
+        assert!(matches!(err, ValidationError::Misaligned { align: 32, .. }));
+        assert_eq!(Solution::new(vec![64]).validate(&p), Ok(72));
+    }
+
+    #[test]
+    fn overflowing_address_rejected() {
+        let p = Problem::builder(u64::MAX)
+            .buffer(Buffer::new(0, 1, 2))
+            .build()
+            .unwrap();
+        let err = Solution::new(vec![u64::MAX - 1]).validate(&p).unwrap_err();
+        assert!(matches!(err, ValidationError::ExceedsCapacity { .. }));
+    }
+
+    #[test]
+    fn live_profile_tracks_highest_live_address() {
+        let p = two_buffer_problem();
+        let s = Solution::new(vec![0, 6]);
+        assert_eq!(s.live_profile(&p), vec![6, 6, 10, 10, 10, 10]);
+    }
+
+    #[test]
+    fn live_profile_empty_slots_are_zero() {
+        let p = Problem::builder(10)
+            .buffer(Buffer::new(2, 3, 5))
+            .build()
+            .unwrap();
+        let s = Solution::new(vec![1]);
+        assert_eq!(s.live_profile(&p), vec![0, 0, 6]);
+    }
+}

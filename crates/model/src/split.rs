@@ -1,0 +1,131 @@
+use crate::{BufferId, Problem};
+
+/// Splits a problem into independent sub-problems at time steps that no
+/// buffer's live range crosses (paper §5.3).
+///
+/// If no buffer is live both before and after some time step `t`, the
+/// buffers ending at or before `t` and those starting at or after `t` can
+/// be allocated independently: they never share a time slot, so their
+/// placements cannot conflict.
+///
+/// Returns, for each sub-problem, the ids of its buffers (in id order).
+/// The sub-problems are ordered by time. An empty problem yields no
+/// sub-problems.
+///
+/// # Example
+///
+/// ```
+/// use tela_model::{split_independent, Buffer, Problem};
+///
+/// let p = Problem::builder(10)
+///     .buffer(Buffer::new(0, 2, 4))
+///     .buffer(Buffer::new(1, 3, 4))
+///     .buffer(Buffer::new(5, 8, 4)) // disjoint from the first two
+///     .build()?;
+/// let groups = split_independent(&p);
+/// assert_eq!(groups.len(), 2);
+/// assert_eq!(groups[0].len(), 2);
+/// assert_eq!(groups[1].len(), 1);
+/// # Ok::<(), tela_model::ProblemError>(())
+/// ```
+pub fn split_independent(problem: &Problem) -> Vec<Vec<BufferId>> {
+    if problem.is_empty() {
+        return Vec::new();
+    }
+    // Sort buffers by start time; a new group begins whenever the next
+    // buffer starts at or after the latest end seen so far.
+    let mut order: Vec<BufferId> = problem.iter().map(|(id, _)| id).collect();
+    order.sort_by_key(|&id| problem.buffer(id).start());
+
+    let mut groups: Vec<Vec<BufferId>> = Vec::new();
+    let mut current: Vec<BufferId> = Vec::new();
+    let mut current_end = 0;
+    for id in order {
+        let b = problem.buffer(id);
+        if !current.is_empty() && b.start() >= current_end {
+            current.sort_unstable();
+            groups.push(std::mem::take(&mut current));
+        }
+        current_end = current_end.max(b.end());
+        current.push(id);
+    }
+    current.sort_unstable();
+    groups.push(current);
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Buffer;
+
+    #[test]
+    fn empty_problem_yields_no_groups() {
+        let p = Problem::builder(10).build().unwrap();
+        assert!(split_independent(&p).is_empty());
+    }
+
+    #[test]
+    fn fully_overlapping_problem_is_one_group() {
+        let p = Problem::builder(10)
+            .buffers((0..4).map(|_| Buffer::new(0, 5, 1)))
+            .build()
+            .unwrap();
+        assert_eq!(split_independent(&p).len(), 1);
+    }
+
+    #[test]
+    fn disjoint_buffers_split_per_buffer() {
+        let p = Problem::builder(10)
+            .buffers((0..3).map(|i| Buffer::new(i * 10, i * 10 + 5, 1)))
+            .build()
+            .unwrap();
+        let groups = split_independent(&p);
+        assert_eq!(groups.len(), 3);
+        for (i, g) in groups.iter().enumerate() {
+            assert_eq!(g, &vec![BufferId::new(i)]);
+        }
+    }
+
+    #[test]
+    fn spanning_buffer_merges_groups() {
+        // Without the long buffer the two clusters split; with it they
+        // form a single group.
+        let p = Problem::builder(10)
+            .buffer(Buffer::new(0, 2, 1))
+            .buffer(Buffer::new(5, 7, 1))
+            .buffer(Buffer::new(0, 7, 1))
+            .build()
+            .unwrap();
+        assert_eq!(split_independent(&p).len(), 1);
+    }
+
+    #[test]
+    fn touching_ranges_split() {
+        // [0,3) and [3,6) share no time slot, so they are independent.
+        let p = Problem::builder(10)
+            .buffer(Buffer::new(0, 3, 1))
+            .buffer(Buffer::new(3, 6, 1))
+            .build()
+            .unwrap();
+        assert_eq!(split_independent(&p).len(), 2);
+    }
+
+    #[test]
+    fn groups_partition_all_buffers() {
+        let p = Problem::builder(100)
+            .buffer(Buffer::new(4, 9, 1))
+            .buffer(Buffer::new(0, 3, 1))
+            .buffer(Buffer::new(2, 4, 1))
+            .buffer(Buffer::new(9, 12, 1))
+            .buffer(Buffer::new(11, 13, 1))
+            .build()
+            .unwrap();
+        let groups = split_independent(&p);
+        let mut all: Vec<usize> = groups.iter().flatten().map(|id| id.index()).collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+        // [0,3)+[2,4) then [4,9) then [9,12)+[11,13)
+        assert_eq!(groups.len(), 3);
+    }
+}

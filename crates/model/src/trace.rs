@@ -1,0 +1,241 @@
+//! A self-contained, line-oriented text format for allocator input traces.
+//!
+//! The paper's evaluation collects on-device allocator inputs as traces and
+//! replays them on workstations (§7). This module provides the equivalent:
+//! a human-readable serialization of [`Problem`]s that the workload
+//! generators emit and the bench harness replays.
+//!
+//! Format:
+//!
+//! ```text
+//! # optional comments
+//! capacity 1024
+//! buffer 0 4 128
+//! buffer 2 6 64 32   # start end size [align]
+//! ```
+
+use crate::{Buffer, Problem, ProblemError};
+
+/// Errors produced when parsing a problem trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// A line could not be parsed. Carries the 1-based line number and a
+    /// description.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of the parse failure.
+        reason: String,
+    },
+    /// The trace is missing its `capacity` header.
+    MissingCapacity,
+    /// The parsed buffers do not form a valid problem.
+    Invalid(ProblemError),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Malformed { line, reason } => {
+                write!(f, "trace line {line} is malformed: {reason}")
+            }
+            TraceError::MissingCapacity => write!(f, "trace has no capacity header"),
+            TraceError::Invalid(e) => write!(f, "trace describes an invalid problem: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProblemError> for TraceError {
+    fn from(e: ProblemError) -> Self {
+        TraceError::Invalid(e)
+    }
+}
+
+/// Serializes a problem to the trace text format.
+///
+/// # Example
+///
+/// ```
+/// use tela_model::{parse_problem, problem_to_text, Buffer, Problem};
+///
+/// let p = Problem::builder(64).buffer(Buffer::new(0, 2, 16)).build()?;
+/// let text = problem_to_text(&p);
+/// assert_eq!(parse_problem(&text)?, p);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn problem_to_text(problem: &Problem) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "capacity {}", problem.capacity());
+    for buffer in problem.buffers() {
+        if buffer.align() > 1 {
+            let _ = writeln!(
+                out,
+                "buffer {} {} {} {}",
+                buffer.start(),
+                buffer.end(),
+                buffer.size(),
+                buffer.align()
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "buffer {} {} {}",
+                buffer.start(),
+                buffer.end(),
+                buffer.size()
+            );
+        }
+    }
+    out
+}
+
+/// Parses a problem from the trace text format.
+///
+/// Blank lines and `#` comments (full-line or trailing) are ignored.
+///
+/// # Errors
+///
+/// Returns [`TraceError`] on malformed lines, a missing capacity header,
+/// or an invalid resulting problem.
+pub fn parse_problem(text: &str) -> Result<Problem, TraceError> {
+    let mut capacity = None;
+    let mut buffers = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let mut parts = content.split_whitespace();
+        let keyword = parts.next().expect("non-empty line has a token");
+        match keyword {
+            "capacity" => {
+                let value = parse_field(parts.next(), line, "capacity value")?;
+                if parts.next().is_some() {
+                    return Err(malformed(line, "trailing tokens after capacity"));
+                }
+                capacity = Some(value);
+            }
+            "buffer" => {
+                let start = parse_field(parts.next(), line, "start")?;
+                let end = parse_field(parts.next(), line, "end")?;
+                let size = parse_field(parts.next(), line, "size")?;
+                let align: u64 = match parts.next() {
+                    Some(tok) => tok
+                        .parse()
+                        .map_err(|_| malformed(line, format!("bad align {tok:?}")))?,
+                    None => 1,
+                };
+                if parts.next().is_some() {
+                    return Err(malformed(line, "trailing tokens after buffer"));
+                }
+                let start =
+                    u32::try_from(start).map_err(|_| malformed(line, "start out of range"))?;
+                let end = u32::try_from(end).map_err(|_| malformed(line, "end out of range"))?;
+                if end <= start {
+                    return Err(malformed(line, "buffer end must exceed start"));
+                }
+                if size == 0 {
+                    return Err(malformed(line, "buffer size must be positive"));
+                }
+                if align == 0 {
+                    return Err(malformed(line, "buffer align must be positive"));
+                }
+                buffers.push(Buffer::new(start, end, size).with_align(align));
+            }
+            other => return Err(malformed(line, format!("unknown keyword {other:?}"))),
+        }
+    }
+    let capacity = capacity.ok_or(TraceError::MissingCapacity)?;
+    Ok(Problem::new(buffers, capacity)?)
+}
+
+fn parse_field(tok: Option<&str>, line: usize, what: &str) -> Result<u64, TraceError> {
+    let tok = tok.ok_or_else(|| malformed(line, format!("missing {what}")))?;
+    tok.parse()
+        .map_err(|_| malformed(line, format!("bad {what} {tok:?}")))
+}
+
+fn malformed(line: usize, reason: impl Into<String>) -> TraceError {
+    TraceError::Malformed {
+        line,
+        reason: reason.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_problem() {
+        let p = Problem::builder(4096)
+            .buffer(Buffer::new(0, 4, 128))
+            .buffer(Buffer::new(2, 6, 64).with_align(32))
+            .buffer(Buffer::new(5, 9, 256).with_align(8))
+            .build()
+            .unwrap();
+        let text = problem_to_text(&p);
+        assert_eq!(parse_problem(&text).unwrap(), p);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n# header comment\ncapacity 100 # trailing\n\nbuffer 0 2 10 # b0\n";
+        let p = parse_problem(text).unwrap();
+        assert_eq!(p.capacity(), 100);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn missing_capacity_rejected() {
+        assert_eq!(
+            parse_problem("buffer 0 1 1\n").unwrap_err(),
+            TraceError::MissingCapacity
+        );
+    }
+
+    #[test]
+    fn unknown_keyword_rejected() {
+        let err = parse_problem("capacity 10\nblock 0 1 1\n").unwrap_err();
+        assert!(matches!(err, TraceError::Malformed { line: 2, .. }));
+    }
+
+    #[test]
+    fn malformed_numbers_rejected() {
+        let err = parse_problem("capacity ten\n").unwrap_err();
+        assert!(matches!(err, TraceError::Malformed { line: 1, .. }));
+        let err = parse_problem("capacity 10\nbuffer 0 x 1\n").unwrap_err();
+        assert!(matches!(err, TraceError::Malformed { line: 2, .. }));
+    }
+
+    #[test]
+    fn degenerate_buffers_rejected() {
+        assert!(parse_problem("capacity 10\nbuffer 5 5 1\n").is_err());
+        assert!(parse_problem("capacity 10\nbuffer 0 1 0\n").is_err());
+        assert!(parse_problem("capacity 10\nbuffer 0 1 1 0\n").is_err());
+    }
+
+    #[test]
+    fn oversized_buffer_is_invalid_problem() {
+        let err = parse_problem("capacity 10\nbuffer 0 1 11\n").unwrap_err();
+        assert!(matches!(err, TraceError::Invalid(_)));
+        assert!(err.to_string().contains("invalid problem"));
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        assert!(parse_problem("capacity 10 20\n").is_err());
+        assert!(parse_problem("capacity 10\nbuffer 0 1 1 1 9\n").is_err());
+    }
+}

@@ -1,0 +1,258 @@
+//! The compilation driver: schedule → lower → allocate → (spill →
+//! retry)*, mirroring the on-device flow of paper §2.3.
+
+use tela_model::{Budget, Problem, Solution, SolveStats};
+use telamalloc::{Allocator, Stage};
+
+use crate::ir::Graph;
+use crate::memory::{lower, Lowered, LoweringConfig};
+use crate::schedule::{schedule, Schedule, ScheduleStrategy};
+use crate::spill::{evict, pick_victim, SpillReport};
+
+/// Settings "provided by the application or system" (§2.3).
+#[derive(Debug, Clone, Copy)]
+pub struct CompilerSettings {
+    /// On-chip scratchpad capacity in bytes.
+    pub scratchpad_bytes: u64,
+    /// Scheduling strategy.
+    pub schedule: ScheduleStrategy,
+    /// Lowering knobs (element width, DRAM threshold, alignment).
+    pub lowering: LoweringConfig,
+    /// Maximum spill-and-retry rounds before giving up.
+    pub max_spill_rounds: u32,
+    /// Step budget per allocation attempt.
+    pub allocation_steps: u64,
+}
+
+impl Default for CompilerSettings {
+    fn default() -> Self {
+        CompilerSettings {
+            scratchpad_bytes: 512 * 1024,
+            schedule: ScheduleStrategy::MemoryAware,
+            lowering: LoweringConfig::default(),
+            max_spill_rounds: 64,
+            allocation_steps: 200_000,
+        }
+    }
+}
+
+/// A successful compilation.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The allocation problem finally packed (post-spill buffer set).
+    pub problem: Problem,
+    /// The packing.
+    pub solution: Solution,
+    /// The operator schedule.
+    pub schedule: Schedule,
+    /// Which allocator stage succeeded.
+    pub stage: Stage,
+    /// Allocation statistics of the successful attempt.
+    pub stats: SolveStats,
+    /// What had to be spilled to DRAM to fit.
+    pub spills: SpillReport,
+}
+
+/// Compilation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// Even after exhausting spill rounds the buffers cannot be packed.
+    Unallocatable {
+        /// Spill rounds performed before giving up.
+        rounds: u32,
+    },
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Unallocatable { rounds } => {
+                write!(f, "buffers cannot be packed after {rounds} spill rounds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// The mini compiler.
+#[derive(Debug, Clone, Default)]
+pub struct Compiler {
+    settings: CompilerSettings,
+}
+
+impl Compiler {
+    /// Creates a compiler with the given settings.
+    pub fn new(settings: CompilerSettings) -> Self {
+        Compiler { settings }
+    }
+
+    /// The settings in use.
+    pub fn settings(&self) -> &CompilerSettings {
+        &self.settings
+    }
+
+    /// Compiles `graph`: schedules it, lowers it to buffers, and packs
+    /// them into the scratchpad, spilling activations to DRAM and
+    /// retrying when packing fails.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::Unallocatable`] when the buffer set cannot be
+    /// packed even after `max_spill_rounds` evictions.
+    pub fn compile(&self, graph: &Graph) -> Result<Compiled, CompileError> {
+        let s = &self.settings;
+        let sched = schedule(graph, s.schedule, s.lowering.bytes_per_element);
+        let mut lowered: Lowered = lower(graph, &sched, &s.lowering);
+        let allocator = Allocator::default();
+        let mut spills = SpillReport::empty();
+
+        for round in 0..=s.max_spill_rounds {
+            if let Ok(problem) = lowered.problem(s.scratchpad_bytes) {
+                if problem.max_contention() <= problem.capacity() {
+                    let result = allocator.allocate(&problem, &Budget::steps(s.allocation_steps));
+                    if let Some(solution) = result.outcome.solution() {
+                        return Ok(Compiled {
+                            solution: solution.clone(),
+                            problem,
+                            schedule: sched,
+                            stage: result.stage,
+                            stats: result.stats,
+                            spills,
+                        });
+                    }
+                }
+            }
+            if round == s.max_spill_rounds {
+                break;
+            }
+            // Packing failed (or was trivially impossible): evict one
+            // activation and retry.
+            let Some(victim) = pick_victim(&lowered, s.lowering.dma_staging_bytes) else {
+                break;
+            };
+            let (op, bytes, staging) = evict(&mut lowered, victim, s.lowering.dma_staging_bytes);
+            spills.evicted.push(op);
+            spills.bytes_spilled += bytes;
+            spills.staging_buffers += staging;
+        }
+        Err(CompileError::Unallocatable {
+            rounds: spills.evicted.len() as u32,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::zoo;
+
+    #[test]
+    fn roomy_scratchpad_compiles_without_spills() {
+        let settings = CompilerSettings {
+            scratchpad_bytes: 8 * 1024 * 1024,
+            ..CompilerSettings::default()
+        };
+        let compiled = Compiler::new(settings)
+            .compile(&zoo::mobilenet_like(96, 8))
+            .expect("roomy compile succeeds");
+        assert!(compiled.spills.is_empty());
+        assert!(compiled.solution.validate(&compiled.problem).is_ok());
+    }
+
+    #[test]
+    fn tight_scratchpad_forces_spills() {
+        let g = zoo::unet_like(96, 3);
+        // Find a scratchpad just below the no-spill requirement.
+        let roomy = Compiler::new(CompilerSettings {
+            scratchpad_bytes: 64 * 1024 * 1024,
+            ..CompilerSettings::default()
+        })
+        .compile(&g)
+        .expect("roomy compile succeeds");
+        let tight_bytes = roomy.problem.max_contention() / 2;
+        let tight = Compiler::new(CompilerSettings {
+            scratchpad_bytes: tight_bytes,
+            ..CompilerSettings::default()
+        })
+        .compile(&g)
+        .expect("spilling rescues the tight compile");
+        assert!(!tight.spills.is_empty());
+        assert!(tight.solution.validate(&tight.problem).is_ok());
+        assert!(tight.problem.capacity() <= tight_bytes);
+    }
+
+    #[test]
+    fn hopeless_scratchpad_reports_unallocatable() {
+        let g = zoo::mobilenet_like(64, 4);
+        let err = Compiler::new(CompilerSettings {
+            scratchpad_bytes: 64, // smaller than any weight slice
+            max_spill_rounds: 8,
+            ..CompilerSettings::default()
+        })
+        .compile(&g)
+        .unwrap_err();
+        assert!(matches!(err, CompileError::Unallocatable { .. }));
+        assert!(err.to_string().contains("spill rounds"));
+    }
+
+    #[test]
+    fn spilled_set_still_covers_all_weights_and_scratch() {
+        // Spilling only ever evicts activations; weights/scratch remain.
+        let g = zoo::detector_like(96, 4);
+        let roomy = Compiler::new(CompilerSettings {
+            scratchpad_bytes: 64 * 1024 * 1024,
+            ..CompilerSettings::default()
+        })
+        .compile(&g)
+        .expect("roomy");
+        let tight = Compiler::new(CompilerSettings {
+            scratchpad_bytes: roomy.problem.max_contention() * 6 / 10,
+            ..CompilerSettings::default()
+        })
+        .compile(&g)
+        .expect("tight with spills");
+        let weights = |c: &Compiled| {
+            c.problem
+                .buffers()
+                .iter()
+                .filter(|b| b.align() == 64)
+                .count()
+        };
+        assert_eq!(weights(&roomy), weights(&tight));
+    }
+
+    #[test]
+    fn compilation_is_deterministic() {
+        let g = zoo::mobilenet_like(64, 6);
+        let run = || {
+            Compiler::new(CompilerSettings {
+                scratchpad_bytes: 768 * 1024,
+                ..CompilerSettings::default()
+            })
+            .compile(&g)
+            .expect("compiles")
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.solution, b.solution);
+        assert_eq!(a.spills, b.spills);
+    }
+
+    #[test]
+    fn memory_aware_schedule_spills_no_more_than_program_order() {
+        let g = zoo::unet_like(96, 3);
+        let spills = |strategy| {
+            let settings = CompilerSettings {
+                scratchpad_bytes: 600 * 1024,
+                schedule: strategy,
+                ..CompilerSettings::default()
+            };
+            Compiler::new(settings)
+                .compile(&g)
+                .map(|c| c.spills.evicted.len())
+                .unwrap_or(usize::MAX)
+        };
+        assert!(spills(ScheduleStrategy::MemoryAware) <= spills(ScheduleStrategy::Program));
+    }
+}

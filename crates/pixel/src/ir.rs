@@ -1,0 +1,472 @@
+//! Operator-graph IR with shape inference.
+//!
+//! Deliberately small: enough operator variety to generate the buffer
+//! populations real mobile models produce (convolution towers, residual
+//! adds, concatenations, upsampling decoders, dense heads).
+
+/// A feature-map shape (height × width × channels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shape {
+    /// Spatial height.
+    pub h: u32,
+    /// Spatial width.
+    pub w: u32,
+    /// Channels.
+    pub c: u32,
+}
+
+impl Shape {
+    /// Creates a shape.
+    pub fn new(h: u32, w: u32, c: u32) -> Self {
+        Shape { h, w, c }
+    }
+
+    /// Number of elements.
+    pub fn elements(&self) -> u64 {
+        u64::from(self.h) * u64::from(self.w) * u64::from(self.c)
+    }
+
+    /// Size in bytes at `bytes_per_element`.
+    pub fn bytes(&self, bytes_per_element: u64) -> u64 {
+        self.elements() * bytes_per_element
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}x{}", self.h, self.w, self.c)
+    }
+}
+
+/// Identifies an operator (and its output tensor) within a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(pub(crate) usize);
+
+impl OpId {
+    /// Dense index of the op in its graph.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Operator kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Graph input (no predecessors).
+    Input,
+    /// 2D convolution: kernel size, stride, output channels.
+    Conv {
+        /// Square kernel size.
+        kernel: u32,
+        /// Spatial stride.
+        stride: u32,
+        /// Output channels.
+        out_channels: u32,
+    },
+    /// Depthwise convolution: kernel size, stride (channels preserved).
+    DepthwiseConv {
+        /// Square kernel size.
+        kernel: u32,
+        /// Spatial stride.
+        stride: u32,
+    },
+    /// Max/avg pooling: kernel == stride.
+    Pool {
+        /// Pooling factor.
+        factor: u32,
+    },
+    /// Elementwise residual addition of two same-shape tensors.
+    Add,
+    /// Channel concatenation of two tensors with equal spatial dims.
+    Concat,
+    /// Nearest-neighbour upsampling by an integer factor.
+    Upsample {
+        /// Spatial scale factor.
+        factor: u32,
+    },
+    /// Fully-connected layer.
+    Dense {
+        /// Output units.
+        units: u32,
+    },
+    /// Graph output (keeps its input alive to the end).
+    Output,
+}
+
+/// One operator: a kind plus its input operands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Op {
+    /// Operator kind.
+    pub kind: OpKind,
+    /// Producing ops of the inputs (all with smaller ids — the graph is
+    /// acyclic by construction).
+    pub inputs: Vec<OpId>,
+    /// Inferred output shape.
+    pub shape: Shape,
+}
+
+/// An operator dataflow graph in topological id order.
+///
+/// # Example
+///
+/// ```
+/// use tela_pixel::ir::{Graph, Shape};
+///
+/// let mut g = Graph::new();
+/// let x = g.input(Shape::new(56, 56, 3));
+/// let c1 = g.conv(x, 3, 2, 16);
+/// let c2 = g.conv(c1, 3, 1, 16);
+/// let y = g.add(c1, c2);
+/// g.output(y);
+/// assert_eq!(g.shape(y), Shape::new(28, 28, 16));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Graph {
+    ops: Vec<Op>,
+}
+
+impl Graph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// All operators, in topological order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of operators.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns true if the graph has no operators.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Output shape of `op`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is out of range.
+    pub fn shape(&self, op: OpId) -> Shape {
+        self.ops[op.0].shape
+    }
+
+    /// Consumers of each op's output, indexed by op.
+    pub fn consumers(&self) -> Vec<Vec<OpId>> {
+        let mut out = vec![Vec::new(); self.ops.len()];
+        for (i, op) in self.ops.iter().enumerate() {
+            for &src in &op.inputs {
+                out[src.0].push(OpId(i));
+            }
+        }
+        out
+    }
+
+    fn push(&mut self, kind: OpKind, inputs: Vec<OpId>, shape: Shape) -> OpId {
+        for &i in &inputs {
+            assert!(i.0 < self.ops.len(), "input {i:?} does not exist yet");
+        }
+        assert!(shape.elements() > 0, "degenerate shape {shape}");
+        self.ops.push(Op {
+            kind,
+            inputs,
+            shape,
+        });
+        OpId(self.ops.len() - 1)
+    }
+
+    /// Adds a graph input of the given shape.
+    pub fn input(&mut self, shape: Shape) -> OpId {
+        self.push(OpKind::Input, Vec::new(), shape)
+    }
+
+    /// Adds a convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stride does not divide the spatial dims.
+    pub fn conv(&mut self, src: OpId, kernel: u32, stride: u32, out_channels: u32) -> OpId {
+        let s = self.shape(src);
+        assert!(
+            stride > 0 && s.h.is_multiple_of(stride) && s.w.is_multiple_of(stride),
+            "stride must divide dims"
+        );
+        let shape = Shape::new(s.h / stride, s.w / stride, out_channels);
+        self.push(
+            OpKind::Conv {
+                kernel,
+                stride,
+                out_channels,
+            },
+            vec![src],
+            shape,
+        )
+    }
+
+    /// Adds a depthwise convolution.
+    pub fn depthwise(&mut self, src: OpId, kernel: u32, stride: u32) -> OpId {
+        let s = self.shape(src);
+        assert!(
+            stride > 0 && s.h.is_multiple_of(stride) && s.w.is_multiple_of(stride),
+            "stride must divide dims"
+        );
+        let shape = Shape::new(s.h / stride, s.w / stride, s.c);
+        self.push(OpKind::DepthwiseConv { kernel, stride }, vec![src], shape)
+    }
+
+    /// Adds a pooling op.
+    pub fn pool(&mut self, src: OpId, factor: u32) -> OpId {
+        let s = self.shape(src);
+        assert!(
+            factor > 0 && s.h.is_multiple_of(factor) && s.w.is_multiple_of(factor),
+            "factor must divide dims"
+        );
+        let shape = Shape::new(s.h / factor, s.w / factor, s.c);
+        self.push(OpKind::Pool { factor }, vec![src], shape)
+    }
+
+    /// Adds a residual addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand shapes differ.
+    pub fn add(&mut self, a: OpId, b: OpId) -> OpId {
+        let (sa, sb) = (self.shape(a), self.shape(b));
+        assert_eq!(sa, sb, "residual add needs equal shapes");
+        self.push(OpKind::Add, vec![a, b], sa)
+    }
+
+    /// Adds a channel concatenation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spatial dims differ.
+    pub fn concat(&mut self, a: OpId, b: OpId) -> OpId {
+        let (sa, sb) = (self.shape(a), self.shape(b));
+        assert_eq!(
+            (sa.h, sa.w),
+            (sb.h, sb.w),
+            "concat needs equal spatial dims"
+        );
+        self.push(
+            OpKind::Concat,
+            vec![a, b],
+            Shape::new(sa.h, sa.w, sa.c + sb.c),
+        )
+    }
+
+    /// Adds an upsampling op.
+    pub fn upsample(&mut self, src: OpId, factor: u32) -> OpId {
+        let s = self.shape(src);
+        let shape = Shape::new(s.h * factor, s.w * factor, s.c);
+        self.push(OpKind::Upsample { factor }, vec![src], shape)
+    }
+
+    /// Adds a dense (fully connected) layer.
+    pub fn dense(&mut self, src: OpId, units: u32) -> OpId {
+        self.push(OpKind::Dense { units }, vec![src], Shape::new(1, 1, units))
+    }
+
+    /// Marks an output.
+    pub fn output(&mut self, src: OpId) -> OpId {
+        let shape = self.shape(src);
+        self.push(OpKind::Output, vec![src], shape)
+    }
+
+    /// Bytes of weights the op carries (0 for weightless ops).
+    pub fn weight_bytes(&self, op: OpId, bytes_per_element: u64) -> u64 {
+        let o = &self.ops[op.0];
+        match o.kind {
+            OpKind::Conv {
+                kernel,
+                out_channels,
+                ..
+            } => {
+                let in_c = self.shape(o.inputs[0]).c;
+                u64::from(kernel)
+                    * u64::from(kernel)
+                    * u64::from(in_c)
+                    * u64::from(out_channels)
+                    * bytes_per_element
+            }
+            OpKind::DepthwiseConv { kernel, .. } => {
+                let in_c = self.shape(o.inputs[0]).c;
+                u64::from(kernel) * u64::from(kernel) * u64::from(in_c) * bytes_per_element
+            }
+            OpKind::Dense { units } => {
+                self.shape(o.inputs[0]).elements() * u64::from(units) * bytes_per_element
+            }
+            _ => 0,
+        }
+    }
+}
+
+/// A small zoo of representative mobile architectures.
+pub mod zoo {
+    use super::{Graph, OpId, Shape};
+
+    /// MobileNet-style inverted-residual tower: `blocks` bottleneck
+    /// blocks on a `res × res` input.
+    pub fn mobilenet_like(res: u32, blocks: u32) -> Graph {
+        let mut g = Graph::new();
+        let mut x = g.input(Shape::new(res, res, 3));
+        x = g.conv(x, 3, 2, 16);
+        let mut channels = 16;
+        for b in 0..blocks {
+            let expanded = g.conv(x, 1, 1, channels * 4);
+            let stride = if b % 3 == 2 && g.shape(expanded).h.is_multiple_of(2) {
+                2
+            } else {
+                1
+            };
+            let dw = g.depthwise(expanded, 3, stride);
+            let projected = g.conv(dw, 1, 1, channels);
+            x = if stride == 1 {
+                g.add(x, projected)
+            } else {
+                channels += 8;
+                g.conv(projected, 1, 1, channels)
+            };
+        }
+        let head = g.pool(x, g.shape(x).h);
+        let logits = g.dense(head, 100);
+        g.output(logits);
+        g
+    }
+
+    /// U-Net-style encoder/decoder with skip concatenations.
+    pub fn unet_like(res: u32, depth: u32) -> Graph {
+        let mut g = Graph::new();
+        let mut x = g.input(Shape::new(res, res, 3));
+        x = g.conv(x, 3, 1, 16);
+        let mut skips: Vec<OpId> = Vec::new();
+        let mut c = 16;
+        for _ in 0..depth {
+            x = g.conv(x, 3, 1, c);
+            skips.push(x);
+            x = g.pool(x, 2);
+            c *= 2;
+        }
+        x = g.conv(x, 3, 1, c);
+        for skip in skips.into_iter().rev() {
+            c /= 2;
+            x = g.upsample(x, 2);
+            x = g.conv(x, 1, 1, g.shape(skip).c);
+            x = g.concat(x, skip);
+            x = g.conv(x, 3, 1, c);
+        }
+        let mask = g.conv(x, 1, 1, 2);
+        g.output(mask);
+        g
+    }
+
+    /// SSD-style detector: backbone + heads over multiple scales.
+    pub fn detector_like(res: u32, stages: u32) -> Graph {
+        let mut g = Graph::new();
+        let mut x = g.input(Shape::new(res, res, 3));
+        x = g.conv(x, 3, 2, 24);
+        let mut scales = Vec::new();
+        let mut c = 24;
+        for _ in 0..stages {
+            x = g.conv(x, 3, 1, c);
+            x = g.depthwise(x, 3, 1);
+            if g.shape(x).h.is_multiple_of(2) && g.shape(x).h > 2 {
+                x = g.pool(x, 2);
+            }
+            c += 16;
+            x = g.conv(x, 1, 1, c);
+            scales.push(x);
+        }
+        for s in scales {
+            let boxes = g.conv(s, 3, 1, 12);
+            let scores = g.conv(s, 3, 1, 6);
+            g.output(boxes);
+            g.output(scores);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_inference_through_a_block() {
+        let mut g = Graph::new();
+        let x = g.input(Shape::new(32, 32, 8));
+        let c = g.conv(x, 3, 2, 16);
+        assert_eq!(g.shape(c), Shape::new(16, 16, 16));
+        let d = g.depthwise(c, 3, 1);
+        assert_eq!(g.shape(d), Shape::new(16, 16, 16));
+        let p = g.pool(d, 4);
+        assert_eq!(g.shape(p), Shape::new(4, 4, 16));
+        let u = g.upsample(p, 2);
+        assert_eq!(g.shape(u), Shape::new(8, 8, 16));
+        let f = g.dense(u, 10);
+        assert_eq!(g.shape(f), Shape::new(1, 1, 10));
+    }
+
+    #[test]
+    fn concat_sums_channels() {
+        let mut g = Graph::new();
+        let a = g.input(Shape::new(8, 8, 3));
+        let b = g.input(Shape::new(8, 8, 5));
+        let c = g.concat(a, b);
+        assert_eq!(g.shape(c).c, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal shapes")]
+    fn add_rejects_mismatched_shapes() {
+        let mut g = Graph::new();
+        let a = g.input(Shape::new(8, 8, 3));
+        let b = g.input(Shape::new(8, 8, 4));
+        g.add(a, b);
+    }
+
+    #[test]
+    fn weight_bytes_reflect_kernels() {
+        let mut g = Graph::new();
+        let x = g.input(Shape::new(8, 8, 4));
+        let c = g.conv(x, 3, 1, 8);
+        // 3*3*4*8 elements.
+        assert_eq!(g.weight_bytes(c, 1), 288);
+        assert_eq!(g.weight_bytes(x, 1), 0);
+        let d = g.dense(c, 10);
+        assert_eq!(g.weight_bytes(d, 1), 8 * 8 * 8 * 10);
+    }
+
+    #[test]
+    fn consumers_are_inverse_of_inputs() {
+        let g = zoo::mobilenet_like(32, 4);
+        let consumers = g.consumers();
+        for (i, op) in g.ops().iter().enumerate() {
+            for &src in &op.inputs {
+                assert!(consumers[src.index()].contains(&OpId(i)));
+            }
+        }
+    }
+
+    #[test]
+    fn zoo_graphs_are_nontrivial() {
+        assert!(zoo::mobilenet_like(96, 8).len() > 30);
+        assert!(zoo::unet_like(64, 3).len() > 15);
+        assert!(zoo::detector_like(96, 4).len() > 20);
+    }
+
+    #[test]
+    fn graphs_are_topologically_ordered() {
+        for g in [zoo::mobilenet_like(64, 6), zoo::unet_like(64, 3)] {
+            for (i, op) in g.ops().iter().enumerate() {
+                for &src in &op.inputs {
+                    assert!(src.index() < i);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! A miniature ML-compiler front-end modeled on the Pixel 6 flow the
+//! paper describes (§2.1–§2.3): the compiler "takes the model and any
+//! settings provided by the application or system, and maps it to a
+//! schedule of operators with associated buffers. It then invokes the
+//! memory allocator to pack a chosen subset of memory buffers into PE
+//! memory."
+//!
+//! The crate provides each stage of that sentence:
+//!
+//! - [`ir`] — a small operator-graph IR with shape inference and a zoo
+//!   of representative model architectures.
+//! - [`schedule`] — operator scheduling (program order or memory-aware
+//!   list scheduling), assigning the logical time steps the allocation
+//!   problem is defined over.
+//! - [`memory`] — lowering a scheduled graph to buffer live ranges:
+//!   activations, weight slices, and per-op scratch, with a residency
+//!   policy choosing the subset that competes for the scratchpad.
+//! - [`compile`] — the driver: schedule → lower → allocate via the
+//!   TelaMalloc pipeline, and, when packing fails, the production
+//!   fallback the paper's introduction references: spill tensors to
+//!   DRAM ("rematerialization or sharding to reduce on-chip memory
+//!   pressure at the expense of extra computations") and retry.
+//!
+//! # Example
+//!
+//! ```
+//! use tela_pixel::{Compiler, CompilerSettings};
+//!
+//! let graph = tela_pixel::ir::zoo::mobilenet_like(96, 8);
+//! let compiled = Compiler::new(CompilerSettings::default()).compile(&graph)?;
+//! assert!(compiled.solution.validate(&compiled.problem).is_ok());
+//! # Ok::<(), tela_pixel::CompileError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod compile;
+pub mod ir;
+pub mod memory;
+pub mod schedule;
+mod spill;
+
+pub use compile::{CompileError, Compiled, Compiler, CompilerSettings};
+pub use spill::SpillReport;

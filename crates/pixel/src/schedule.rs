@@ -1,0 +1,227 @@
+//! Operator scheduling: choosing the logical time step of every op.
+//!
+//! The allocation problem's time axis is this schedule (paper §3: "Start
+//! and End do not refer to wall clock time but to logical time used
+//! during compilation"). Two strategies are provided:
+//!
+//! - [`ScheduleStrategy::Program`] — ops run in graph (program) order.
+//! - [`ScheduleStrategy::MemoryAware`] — greedy list scheduling that
+//!   always runs the ready op minimizing the resulting live-tensor
+//!   bytes, the kind of peak-reducing reordering earlier compiler passes
+//!   apply before allocation.
+
+use crate::ir::{Graph, OpId};
+use tela_model::TimeStep;
+
+/// Scheduling strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScheduleStrategy {
+    /// Graph order (ids are already topological).
+    #[default]
+    Program,
+    /// Greedy live-bytes-minimizing list schedule.
+    MemoryAware,
+}
+
+/// A complete schedule: one time step per op.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    order: Vec<OpId>,
+    time_of: Vec<TimeStep>,
+}
+
+impl Schedule {
+    /// Ops in execution order.
+    pub fn order(&self) -> &[OpId] {
+        &self.order
+    }
+
+    /// The time step at which `op` executes.
+    pub fn time_of(&self, op: OpId) -> TimeStep {
+        self.time_of[op.index()]
+    }
+
+    /// Total number of time steps.
+    pub fn horizon(&self) -> TimeStep {
+        self.order.len() as TimeStep
+    }
+}
+
+/// Schedules `graph` with the chosen strategy.
+///
+/// # Example
+///
+/// ```
+/// use tela_pixel::ir::zoo;
+/// use tela_pixel::schedule::{schedule, ScheduleStrategy};
+///
+/// let g = zoo::unet_like(32, 2);
+/// let s = schedule(&g, ScheduleStrategy::MemoryAware, 2);
+/// assert_eq!(s.order().len(), g.len());
+/// ```
+pub fn schedule(graph: &Graph, strategy: ScheduleStrategy, bytes_per_element: u64) -> Schedule {
+    let order = match strategy {
+        ScheduleStrategy::Program => (0..graph.len()).map(crate::ir::OpId).collect(),
+        ScheduleStrategy::MemoryAware => memory_aware_order(graph, bytes_per_element),
+    };
+    let mut time_of = vec![0; graph.len()];
+    for (t, op) in order.iter().enumerate() {
+        time_of[op.index()] = t as TimeStep;
+    }
+    Schedule { order, time_of }
+}
+
+/// Greedy list scheduling: repeatedly run the ready op that minimizes
+/// the total bytes of tensors live afterwards (ties by op id for
+/// determinism).
+fn memory_aware_order(graph: &Graph, bytes_per_element: u64) -> Vec<OpId> {
+    let n = graph.len();
+    let consumers = graph.consumers();
+    let mut remaining_uses: Vec<usize> = consumers.iter().map(Vec::len).collect();
+    let mut unscheduled_inputs: Vec<usize> = graph.ops().iter().map(|op| op.inputs.len()).collect();
+    let mut ready: Vec<OpId> = (0..n)
+        .filter(|&i| unscheduled_inputs[i] == 0)
+        .map(crate::ir::OpId)
+        .collect();
+    let mut live_bytes: u64 = 0;
+    let mut scheduled = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+
+    while let Some(pos) = pick_best(
+        graph,
+        &ready,
+        &remaining_uses,
+        live_bytes,
+        bytes_per_element,
+    ) {
+        let op = ready.swap_remove(pos);
+        scheduled[op.index()] = true;
+        order.push(op);
+        // Output tensor becomes live (if anyone consumes it).
+        if remaining_uses[op.index()] > 0 {
+            live_bytes += graph.shape(op).bytes(bytes_per_element);
+        }
+        // Inputs may die.
+        for &src in &graph.ops()[op.index()].inputs {
+            remaining_uses[src.index()] -= 1;
+            if remaining_uses[src.index()] == 0 {
+                live_bytes -= graph.shape(src).bytes(bytes_per_element);
+            }
+        }
+        for &next in &consumers[op.index()] {
+            unscheduled_inputs[next.index()] -= 1;
+            if unscheduled_inputs[next.index()] == 0 {
+                ready.push(next);
+            }
+        }
+    }
+    assert_eq!(order.len(), n, "graph must be acyclic and fully reachable");
+    order
+}
+
+/// Index into `ready` of the op minimizing post-execution live bytes.
+fn pick_best(
+    graph: &Graph,
+    ready: &[OpId],
+    remaining_uses: &[usize],
+    live_bytes: u64,
+    bytes_per_element: u64,
+) -> Option<usize> {
+    ready
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, &op)| {
+            let mut after = live_bytes;
+            if remaining_uses[op.index()] > 0 {
+                after += graph.shape(op).bytes(bytes_per_element);
+            }
+            for &src in &graph.ops()[op.index()].inputs {
+                if remaining_uses[src.index()] == 1 {
+                    after -= graph.shape(src).bytes(bytes_per_element);
+                }
+            }
+            (after, op.index())
+        })
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::zoo;
+
+    #[test]
+    fn program_order_is_identity() {
+        let g = zoo::mobilenet_like(32, 3);
+        let s = schedule(&g, ScheduleStrategy::Program, 1);
+        for (t, op) in s.order().iter().enumerate() {
+            assert_eq!(op.index(), t);
+            assert_eq!(s.time_of(*op) as usize, t);
+        }
+    }
+
+    #[test]
+    fn memory_aware_respects_dependencies() {
+        let g = zoo::unet_like(32, 3);
+        let s = schedule(&g, ScheduleStrategy::MemoryAware, 2);
+        for op in s.order() {
+            for &src in &g.ops()[op.index()].inputs {
+                assert!(
+                    s.time_of(src) < s.time_of(*op),
+                    "op {op:?} scheduled before its input {src:?}"
+                );
+            }
+        }
+        assert_eq!(s.horizon() as usize, g.len());
+    }
+
+    #[test]
+    fn memory_aware_never_increases_peak() {
+        // Peak live bytes of the memory-aware schedule must be <= the
+        // program order's on these graphs.
+        for g in [
+            zoo::mobilenet_like(64, 6),
+            zoo::unet_like(64, 3),
+            zoo::detector_like(64, 4),
+        ] {
+            let peak = |strategy| {
+                let s = schedule(&g, strategy, 2);
+                peak_live_bytes(&g, &s, 2)
+            };
+            assert!(
+                peak(ScheduleStrategy::MemoryAware) <= peak(ScheduleStrategy::Program),
+                "memory-aware schedule regressed the peak"
+            );
+        }
+    }
+
+    fn peak_live_bytes(g: &crate::ir::Graph, s: &Schedule, bpe: u64) -> u64 {
+        let consumers = g.consumers();
+        let mut peak = 0;
+        let mut live = 0i64;
+        for op in s.order() {
+            let last_use = consumers[op.index()].iter().map(|c| s.time_of(*c)).max();
+            if last_use.is_some() {
+                live += g.shape(*op).bytes(bpe) as i64;
+            }
+            peak = peak.max(live);
+            for &src in &g.ops()[op.index()].inputs {
+                let dies_now = consumers[src.index()]
+                    .iter()
+                    .all(|c| s.time_of(*c) <= s.time_of(*op));
+                if dies_now {
+                    live -= g.shape(src).bytes(bpe) as i64;
+                }
+            }
+        }
+        peak as u64
+    }
+
+    #[test]
+    fn schedules_are_deterministic() {
+        let g = zoo::detector_like(64, 3);
+        let a = schedule(&g, ScheduleStrategy::MemoryAware, 2);
+        let b = schedule(&g, ScheduleStrategy::MemoryAware, 2);
+        assert_eq!(a, b);
+    }
+}

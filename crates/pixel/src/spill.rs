@@ -1,0 +1,146 @@
+//! The production fallback when packing fails (paper §1): "the
+//! framework must apply techniques such as rematerialization or sharding
+//! to reduce on-chip memory pressure at the expense of extra
+//! computations."
+//!
+//! We implement the DRAM-spill flavour: evict the activation with the
+//! largest memory-pressure relief per extra DMA transfer (size ×
+//! lifetime, divided by its number of uses), replace it with short
+//! staging buffers, and let the allocator retry.
+
+use crate::ir::OpId;
+use crate::memory::{BufferRole, Lowered, LoweredBuffer};
+use tela_model::Buffer;
+
+/// Record of what a spill round evicted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpillReport {
+    /// Activations evicted, in eviction order.
+    pub evicted: Vec<OpId>,
+    /// Bytes of activations moved to DRAM.
+    pub bytes_spilled: u64,
+    /// Extra DMA staging buffers introduced.
+    pub staging_buffers: usize,
+}
+
+impl SpillReport {
+    /// Report with nothing spilled.
+    pub fn empty() -> Self {
+        SpillReport {
+            evicted: Vec::new(),
+            bytes_spilled: 0,
+            staging_buffers: 0,
+        }
+    }
+
+    /// Returns true if nothing was spilled.
+    pub fn is_empty(&self) -> bool {
+        self.evicted.is_empty()
+    }
+}
+
+/// Picks the next activation to evict: the one with the largest
+/// `size × lifetime` per consumer (pressure relieved per DMA transfer
+/// added). Returns its index into `lowered.buffers`, or `None` when no
+/// spillable activation remains.
+pub(crate) fn pick_victim(lowered: &Lowered, staging_bytes: u64) -> Option<usize> {
+    lowered
+        .buffers
+        .iter()
+        .enumerate()
+        .filter(|(_, lb)| {
+            matches!(lb.role, BufferRole::Activation(_)) && lb.buffer.size() > staging_bytes
+        })
+        .max_by_key(|(i, lb)| {
+            let uses = lb.buffer.lifetime().max(1) as u128;
+            (lb.buffer.area() / uses.max(1), std::cmp::Reverse(*i))
+        })
+        .map(|(i, _)| i)
+}
+
+/// Evicts the buffer at `victim`: removes its activation and appends one
+/// staging buffer per live step (production at the start, refetches at
+/// each later step the tensor was used).
+pub(crate) fn evict(
+    lowered: &mut Lowered,
+    victim: usize,
+    staging_bytes: u64,
+) -> (OpId, u64, usize) {
+    let lb: LoweredBuffer = lowered.buffers.remove(victim);
+    let BufferRole::Activation(op) = lb.role else {
+        panic!("victim must be an activation");
+    };
+    let bytes = lb.buffer.size();
+    // Staging at production plus one refetch window per subsequent live
+    // step (a conservative stand-in for per-consumer DMA).
+    let mut staging = 0;
+    for t in [lb.buffer.start(), lb.buffer.end() - 1] {
+        lowered.buffers.push(LoweredBuffer {
+            buffer: Buffer::new(t, t + 1, staging_bytes.min(bytes).max(1)),
+            role: BufferRole::DmaStaging(op),
+        });
+        staging += 1;
+        if lb.buffer.lifetime() == 1 {
+            break; // production and last use share the step
+        }
+    }
+    lowered.dram_resident.push(op);
+    (op, bytes, staging)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::zoo;
+    use crate::memory::{lower, LoweringConfig};
+    use crate::schedule::{schedule, ScheduleStrategy};
+
+    fn lowered() -> Lowered {
+        let g = zoo::unet_like(64, 3);
+        let s = schedule(&g, ScheduleStrategy::Program, 1);
+        lower(&g, &s, &LoweringConfig::default())
+    }
+
+    #[test]
+    fn victim_is_a_large_activation() {
+        let l = lowered();
+        let victim = pick_victim(&l, 2048).expect("spillable activation exists");
+        let lb = &l.buffers[victim];
+        assert!(matches!(lb.role, BufferRole::Activation(_)));
+        assert!(lb.buffer.size() > 2048);
+    }
+
+    #[test]
+    fn eviction_reduces_contention() {
+        let mut l = lowered();
+        let before = l.problem(u64::MAX).unwrap().max_contention();
+        let victim = pick_victim(&l, 2048).unwrap();
+        let (_, bytes, staging) = evict(&mut l, victim, 2048);
+        assert!(bytes > 2048);
+        assert!(staging >= 1);
+        let after = l.problem(u64::MAX).unwrap().max_contention();
+        assert!(after <= before, "eviction must not raise peak contention");
+    }
+
+    #[test]
+    fn eviction_terminates() {
+        let mut l = lowered();
+        let mut rounds = 0;
+        while let Some(v) = pick_victim(&l, 2048) {
+            evict(&mut l, v, 2048);
+            rounds += 1;
+            assert!(rounds < 10_000, "eviction must terminate");
+        }
+        // Everything left is small or non-activation.
+        for lb in &l.buffers {
+            if matches!(lb.role, BufferRole::Activation(_)) {
+                assert!(lb.buffer.size() <= 2048);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_report() {
+        assert!(SpillReport::empty().is_empty());
+    }
+}

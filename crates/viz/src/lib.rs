@@ -1,0 +1,284 @@
+//! SVG renderings of allocation problems and packings.
+//!
+//! The paper communicates almost everything through two pictures: the
+//! time × address rectangle packing (Figures 1, 4, 8, 19) and the
+//! live-memory-over-time line chart (Figure 3). This crate renders both
+//! as self-contained SVG strings — no dependencies, suitable for writing
+//! straight to disk or embedding in reports.
+//!
+//! # Example
+//!
+//! ```
+//! use tela_model::examples;
+//!
+//! let problem = examples::figure1();
+//! let svg = tela_viz::render_problem(&problem);
+//! assert!(svg.starts_with("<svg"));
+//! assert!(svg.contains("</svg>"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::fmt::Write as _;
+
+use tela_model::{Problem, Solution};
+
+/// Rendering options.
+#[derive(Debug, Clone, Copy)]
+pub struct Style {
+    /// Canvas width in pixels.
+    pub width: u32,
+    /// Canvas height in pixels.
+    pub height: u32,
+    /// Margin around the plot area.
+    pub margin: u32,
+    /// Show buffer indices inside rectangles (only readable for small
+    /// instances).
+    pub labels: bool,
+}
+
+impl Default for Style {
+    fn default() -> Self {
+        Style {
+            width: 800,
+            height: 480,
+            margin: 24,
+            labels: false,
+        }
+    }
+}
+
+/// Deterministic categorical color for buffer `i`.
+fn color(i: usize) -> String {
+    // Golden-angle hue walk: adjacent ids get well-separated hues.
+    let hue = (i as f64 * 137.507_764) % 360.0;
+    format!("hsl({hue:.0}, 65%, 62%)")
+}
+
+fn header(style: &Style) -> String {
+    format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" \
+         viewBox=\"0 0 {w} {h}\" font-family=\"sans-serif\" font-size=\"10\">\n\
+         <rect width=\"{w}\" height=\"{h}\" fill=\"white\"/>\n",
+        w = style.width,
+        h = style.height
+    )
+}
+
+/// Renders a solved packing: time on the x axis, address on the y axis
+/// (origin at the bottom, like the paper's figures), one rectangle per
+/// buffer, with the capacity line on top.
+///
+/// # Panics
+///
+/// Panics if `solution` does not match `problem`'s arity.
+pub fn render_packing(problem: &Problem, solution: &Solution, style: &Style) -> String {
+    assert_eq!(solution.len(), problem.len(), "solution arity mismatch");
+    let mut out = header(style);
+    let plot_w = f64::from(style.width - 2 * style.margin);
+    let plot_h = f64::from(style.height - 2 * style.margin);
+    let margin = f64::from(style.margin);
+    let horizon = f64::from(problem.horizon().max(1));
+    let cap = problem.capacity().max(1) as f64;
+
+    let x = |t: f64| margin + t / horizon * plot_w;
+    let y = |addr: f64| margin + (1.0 - addr / cap) * plot_h;
+
+    // Capacity frame.
+    let _ = writeln!(
+        out,
+        "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"{plot_w:.1}\" height=\"{plot_h:.1}\" \
+         fill=\"none\" stroke=\"#444\" stroke-dasharray=\"4 3\"/>",
+        margin, margin
+    );
+    for (id, buffer) in problem.iter() {
+        let addr = solution.address(id) as f64;
+        let x0 = x(f64::from(buffer.start()));
+        let x1 = x(f64::from(buffer.end()));
+        let y_top = y(addr + buffer.size() as f64);
+        let h = y(addr) - y_top;
+        let _ = writeln!(
+            out,
+            "<rect x=\"{x0:.1}\" y=\"{y_top:.1}\" width=\"{:.1}\" height=\"{h:.1}\" \
+             fill=\"{}\" stroke=\"#333\" stroke-width=\"0.6\"><title>{id}: t=[{}, {}) \
+             size={} @ {}</title></rect>",
+            x1 - x0,
+            color(id.index()),
+            buffer.start(),
+            buffer.end(),
+            buffer.size(),
+            solution.address(id),
+        );
+        if style.labels {
+            let _ = writeln!(
+                out,
+                "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>",
+                (x0 + x1) / 2.0,
+                y_top + h / 2.0 + 3.0,
+                id.index(),
+            );
+        }
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Renders the problem without placements: each buffer as a bar at its
+/// live range, stacked by a greedy lane assignment (purely for reading
+/// the input's structure, like the paper's Figure 19 inset).
+pub fn render_problem(problem: &Problem) -> String {
+    let style = Style::default();
+    // Lane assignment: lowest-fit in id order (not a real packing — just
+    // for display — so capacity is ignored).
+    let mut addresses = Vec::with_capacity(problem.len());
+    let mut placed: Vec<(u32, u32, u64, u64)> = Vec::new(); // start, end, addr, size
+    let mut peak = 1u64;
+    for (_, b) in problem.iter() {
+        let mut addr = 0u64;
+        let mut moved = true;
+        while moved {
+            moved = false;
+            for &(s, e, a, sz) in &placed {
+                let overlap_time = b.start() < e && s < b.end();
+                if overlap_time && addr < a + sz && a < addr + b.size() {
+                    addr = a + sz;
+                    moved = true;
+                }
+            }
+        }
+        addresses.push(addr);
+        placed.push((b.start(), b.end(), addr, b.size()));
+        peak = peak.max(addr + b.size());
+    }
+    let display = problem
+        .with_capacity(peak)
+        .expect("display capacity covers the lane packing");
+    render_packing(&display, &Solution::new(addresses), &style)
+}
+
+/// Renders one or more live-memory series against the capacity line —
+/// the paper's Figure 3. Each series is `(label, per-time-step values)`.
+pub fn render_series(problem: &Problem, series: &[(&str, Vec<u64>)], style: &Style) -> String {
+    let mut out = header(style);
+    let plot_w = f64::from(style.width - 2 * style.margin);
+    let plot_h = f64::from(style.height - 2 * style.margin);
+    let margin = f64::from(style.margin);
+    let horizon = problem.horizon().max(1) as f64;
+    let max_val = series
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .chain([problem.capacity()])
+        .max()
+        .unwrap_or(1)
+        .max(1) as f64;
+
+    let x = |t: f64| margin + t / horizon * plot_w;
+    let y = |v: f64| margin + (1.0 - v / max_val) * plot_h;
+
+    // Capacity line.
+    let _ = writeln!(
+        out,
+        "<line x1=\"{:.1}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{:.1}\" stroke=\"#c00\" \
+         stroke-dasharray=\"6 3\"/><text x=\"{:.1}\" y=\"{:.1}\" fill=\"#c00\">limit</text>",
+        x(0.0),
+        y(problem.capacity() as f64),
+        x(horizon),
+        y(problem.capacity() as f64),
+        x(0.0) + 4.0,
+        y(problem.capacity() as f64) - 4.0,
+    );
+    for (i, (label, values)) in series.iter().enumerate() {
+        let mut path = String::new();
+        for (t, &v) in values.iter().enumerate() {
+            let cmd = if t == 0 { 'M' } else { 'L' };
+            let _ = write!(path, "{cmd}{:.1},{:.1} ", x(t as f64), y(v as f64));
+        }
+        let stroke = color(i * 7 + 1);
+        let _ = writeln!(
+            out,
+            "<path d=\"{path}\" fill=\"none\" stroke=\"{stroke}\" stroke-width=\"1.5\"/>"
+        );
+        let _ = writeln!(
+            out,
+            "<text x=\"{:.1}\" y=\"{:.1}\" fill=\"{stroke}\">{label}</text>",
+            margin + 6.0,
+            margin + 14.0 + 12.0 * i as f64,
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tela_model::examples;
+
+    fn solved_figure1() -> (Problem, Solution) {
+        let p = examples::figure1();
+        let s = Solution::new(vec![0, 2, 1, 0, 2, 3, 0, 2, 2, 0]);
+        assert!(s.validate(&p).is_ok());
+        (p, s)
+    }
+
+    #[test]
+    fn packing_svg_is_well_formed() {
+        let (p, s) = solved_figure1();
+        let svg = render_packing(&p, &s, &Style::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One rect per buffer plus background and frame.
+        assert_eq!(svg.matches("<rect").count(), p.len() + 2);
+        // Tooltips carry buffer metadata.
+        assert!(svg.contains("<title>b0:"));
+    }
+
+    #[test]
+    fn labels_toggle_emits_text() {
+        let (p, s) = solved_figure1();
+        let style = Style {
+            labels: true,
+            ..Style::default()
+        };
+        let svg = render_packing(&p, &s, &style);
+        assert!(svg.matches("<text").count() >= p.len());
+    }
+
+    #[test]
+    fn problem_rendering_never_needs_a_solution() {
+        let svg = render_problem(&examples::figure1());
+        assert!(svg.contains("</svg>"));
+        let svg = render_problem(&examples::aligned());
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn series_rendering_includes_all_labels() {
+        let p = examples::tiny();
+        let series = vec![
+            ("bfc", vec![3u64, 8, 16, 10]),
+            ("solver", vec![2u64, 8, 12, 9]),
+        ];
+        let svg = render_series(&p, &series, &Style::default());
+        assert!(svg.contains(">bfc<"));
+        assert!(svg.contains(">solver<"));
+        assert!(svg.contains("limit"));
+        assert_eq!(svg.matches("<path").count(), 2);
+    }
+
+    #[test]
+    fn colors_are_deterministic_and_distinct() {
+        assert_eq!(color(3), color(3));
+        assert_ne!(color(3), color(4));
+    }
+
+    #[test]
+    fn empty_problem_renders() {
+        let p = Problem::builder(10).build().unwrap();
+        let svg = render_packing(&p, &Solution::new(vec![]), &Style::default());
+        assert!(svg.contains("</svg>"));
+        let svg = render_series(&p, &[], &Style::default());
+        assert!(svg.contains("</svg>"));
+    }
+}

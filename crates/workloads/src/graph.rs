@@ -1,0 +1,196 @@
+//! A small dataflow-graph builder that lowers to buffer live ranges.
+//!
+//! Model generators describe a schedule of operators; each operator
+//! consumes tensors (extending their live ranges) and produces new ones.
+//! Lowering yields exactly the `(start, end, size, align)` tuples the
+//! allocator sees — the same shape as the on-device allocator inputs the
+//! paper's evaluation replays (§7).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tela_model::{Buffer, Size, TimeStep};
+
+/// Identifies a tensor produced during graph construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TensorId(usize);
+
+#[derive(Debug, Clone, Copy)]
+struct Tensor {
+    size: Size,
+    align: Size,
+    produced: TimeStep,
+    last_use: TimeStep,
+}
+
+/// Builds buffer live ranges from an operator schedule.
+///
+/// # Example
+///
+/// ```
+/// use tela_workloads::GraphBuilder;
+///
+/// let mut g = GraphBuilder::new(7);
+/// let a = g.produce(128);
+/// g.step(1);
+/// let b = g.produce(64);
+/// g.consume(a);
+/// g.step(1);
+/// g.consume(b);
+/// let buffers = g.finish();
+/// assert_eq!(buffers.len(), 2);
+/// assert_eq!(buffers[0].lifetime(), 2); // `a` lives through its consumer
+/// ```
+#[derive(Debug)]
+pub struct GraphBuilder {
+    time: TimeStep,
+    tensors: Vec<Tensor>,
+    rng: StdRng,
+}
+
+impl GraphBuilder {
+    /// Creates a builder whose size jitter is seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        GraphBuilder {
+            time: 0,
+            tensors: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Current logical time.
+    pub fn time(&self) -> TimeStep {
+        self.time
+    }
+
+    /// Advances logical time by `dur` steps (one operator slot each).
+    pub fn step(&mut self, dur: TimeStep) {
+        self.time += dur;
+    }
+
+    /// Produces a tensor at the current time with no alignment
+    /// constraint; it stays live at least one step.
+    pub fn produce(&mut self, size: Size) -> TensorId {
+        self.produce_aligned(size, 1)
+    }
+
+    /// Produces a tensor with an alignment requirement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` or `align` is zero.
+    pub fn produce_aligned(&mut self, size: Size, align: Size) -> TensorId {
+        assert!(size > 0, "tensor size must be positive");
+        assert!(align > 0, "tensor alignment must be positive");
+        let id = TensorId(self.tensors.len());
+        self.tensors.push(Tensor {
+            size,
+            align,
+            produced: self.time,
+            last_use: self.time + 1,
+        });
+        id
+    }
+
+    /// Marks `tensor` as consumed by an operator at the current time,
+    /// extending its live range through this step.
+    pub fn consume(&mut self, tensor: TensorId) {
+        let t = &mut self.tensors[tensor.0];
+        t.last_use = t.last_use.max(self.time + 1);
+    }
+
+    /// A scratch buffer used only by the operator at the current time.
+    pub fn scratch(&mut self, size: Size) {
+        let _ = self.produce(size);
+    }
+
+    /// The size of a previously produced tensor.
+    pub fn size_of(&self, tensor: TensorId) -> Size {
+        self.tensors[tensor.0].size
+    }
+
+    /// A deterministic jittered size: `base ± pct%`.
+    pub fn jitter(&mut self, base: Size, pct: u32) -> Size {
+        if pct == 0 || base == 0 {
+            return base.max(1);
+        }
+        let spread = (base * u64::from(pct)) / 100;
+        let lo = base.saturating_sub(spread).max(1);
+        let hi = base + spread;
+        self.rng.random_range(lo..=hi)
+    }
+
+    /// A deterministic uniform draw in `[lo, hi]`.
+    pub fn uniform(&mut self, lo: u64, hi: u64) -> u64 {
+        self.rng.random_range(lo..=hi)
+    }
+
+    /// Lowers the graph to buffer live ranges, in production order.
+    pub fn finish(self) -> Vec<Buffer> {
+        self.tensors
+            .into_iter()
+            .map(|t| Buffer::new(t.produced, t.last_use, t.size).with_align(t.align))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconsumed_tensor_lives_one_step() {
+        let mut g = GraphBuilder::new(0);
+        g.step(3);
+        g.produce(10);
+        let b = g.finish();
+        assert_eq!((b[0].start(), b[0].end()), (3, 4));
+    }
+
+    #[test]
+    fn consumption_extends_live_range() {
+        let mut g = GraphBuilder::new(0);
+        let t = g.produce(10);
+        g.step(5);
+        g.consume(t);
+        let b = g.finish();
+        assert_eq!((b[0].start(), b[0].end()), (0, 6));
+    }
+
+    #[test]
+    fn multiple_consumers_keep_latest() {
+        let mut g = GraphBuilder::new(0);
+        let t = g.produce(10);
+        g.step(2);
+        g.consume(t);
+        g.step(4);
+        g.consume(t);
+        let b = g.finish();
+        assert_eq!(b[0].end(), 7);
+    }
+
+    #[test]
+    fn alignment_preserved() {
+        let mut g = GraphBuilder::new(0);
+        g.produce_aligned(8, 64);
+        let b = g.finish();
+        assert_eq!(b[0].align(), 64);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let mut g1 = GraphBuilder::new(9);
+        let mut g2 = GraphBuilder::new(9);
+        for _ in 0..50 {
+            let a = g1.jitter(100, 20);
+            let b = g2.jitter(100, 20);
+            assert_eq!(a, b);
+            assert!((80..=120).contains(&a));
+        }
+    }
+
+    #[test]
+    fn zero_jitter_is_identity() {
+        let mut g = GraphBuilder::new(1);
+        assert_eq!(g.jitter(77, 0), 77);
+    }
+}

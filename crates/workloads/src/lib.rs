@@ -1,0 +1,85 @@
+//! Synthetic workload generators for the TelaMalloc reproduction.
+//!
+//! The paper evaluates on proprietary Pixel 6 model traces (FPN,
+//! ConvNet2D, Inception-ResNet, Face Detection, OpenPose, StereoNet,
+//! Segmentation, ResNet-152, a saliency model, and two anonymized image
+//! models, plus SRGAN in the ML long-tail study). Those traces are not
+//! public, so this crate generates deterministic synthetic equivalents
+//! shaped after each model's public architecture: the allocation problem
+//! depends only on the multiset of `(start, end, size, align)` tuples,
+//! and these generators reproduce the structural features that make each
+//! model easy or hard (skip connections → long-lived buffers, multi-
+//! branch cells → high contention plateaus, staged refinement → phase
+//! structure, upsampling → late giant buffers).
+//!
+//! All generators are pure functions of `(spec, seed)`.
+//!
+//! # Example
+//!
+//! ```
+//! use tela_workloads::{ModelKind, problem_with_slack};
+//!
+//! let buffers = ModelKind::OpenPose.generate(42);
+//! let problem = problem_with_slack(buffers, 10); // 110% of contention
+//! assert!(problem.len() > 300);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod graph;
+pub mod micro;
+mod models;
+pub mod sweep;
+
+pub use graph::GraphBuilder;
+pub use models::{srgan_portion, ModelKind};
+
+use tela_model::{Buffer, Problem, Size};
+
+/// Builds a problem whose capacity is `(100 + slack_percent)%` of the
+/// buffer set's maximum contention — the paper benchmarks at 110% of the
+/// minimum required memory (§7), and maximum contention is the
+/// structural lower bound on that minimum.
+///
+/// # Panics
+///
+/// Panics if `buffers` is empty.
+pub fn problem_with_slack(buffers: Vec<Buffer>, slack_percent: u32) -> Problem {
+    assert!(!buffers.is_empty(), "workload has no buffers");
+    let probe = Problem::new(buffers, Size::MAX).expect("unbounded problem is valid");
+    let contention = probe.max_contention();
+    let capacity = contention
+        .saturating_mul(u64::from(100 + slack_percent))
+        .div_ceil(100)
+        .max(1);
+    probe
+        .with_capacity(capacity)
+        .expect("slack capacity fits every buffer")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slack_scales_contention() {
+        let buffers = vec![Buffer::new(0, 4, 100), Buffer::new(2, 6, 100)];
+        let p = problem_with_slack(buffers, 10);
+        assert_eq!(p.max_contention(), 200);
+        assert_eq!(p.capacity(), 220);
+    }
+
+    #[test]
+    fn zero_slack_is_tight() {
+        let buffers = vec![Buffer::new(0, 4, 7)];
+        let p = problem_with_slack(buffers, 0);
+        assert_eq!(p.capacity(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "no buffers")]
+    fn empty_workload_rejected() {
+        let _ = problem_with_slack(Vec::new(), 10);
+    }
+}

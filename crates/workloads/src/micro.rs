@@ -1,0 +1,84 @@
+//! Microbenchmark inputs (paper §7.1, Table 1).
+//!
+//! These inputs require no backtracking and stress specific parts of the
+//! allocator: `non-overlapping-N` exercises the step machinery with an
+//! idle constraint store, `full-overlap-N` exercises the quadratic pair
+//! set (100 blocks → 10,000 ordering constraints → every step pays
+//! propagation cost).
+
+use tela_model::{Buffer, Problem};
+
+/// `non-overlapping-N`: `N` blocks that never coexist, with ample
+/// memory — the CP solver has no pairs to track.
+///
+/// # Example
+///
+/// ```
+/// let p = tela_workloads::micro::non_overlapping(1000);
+/// assert_eq!(p.len(), 1000);
+/// assert_eq!(p.overlapping_pairs().count(), 0);
+/// ```
+pub fn non_overlapping(n: u32) -> Problem {
+    let buffers: Vec<Buffer> = (0..n)
+        .map(|i| {
+            // Vary sizes deterministically so free-space handling is
+            // exercised without randomness.
+            let size = 64 + u64::from(i % 13) * 16;
+            Buffer::new(i, i + 1, size)
+        })
+        .collect();
+    let capacity = buffers.iter().map(|b| b.size()).max().unwrap_or(1) * 2;
+    Problem::new(buffers, capacity).expect("buffers fit individually")
+}
+
+/// `full-overlap-N`: `N` blocks all live at once, with exactly enough
+/// memory for all of them — the pair set is `N·(N-1)/2`.
+///
+/// # Example
+///
+/// ```
+/// let p = tela_workloads::micro::full_overlap(100);
+/// assert_eq!(p.overlapping_pairs().count(), 100 * 99 / 2);
+/// assert_eq!(p.max_contention(), p.capacity());
+/// ```
+pub fn full_overlap(n: u32) -> Problem {
+    let buffers: Vec<Buffer> = (0..n)
+        .map(|i| Buffer::new(0, 8, 16 + u64::from(i % 7) * 4))
+        .collect();
+    let capacity = buffers.iter().map(|b| b.size()).sum();
+    Problem::new(buffers, capacity).expect("capacity is the exact sum")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_overlapping_has_no_pairs() {
+        let p = non_overlapping(50);
+        assert_eq!(p.overlapping_pairs().count(), 0);
+        assert_eq!(p.len(), 50);
+    }
+
+    #[test]
+    fn full_overlap_pairs_are_quadratic() {
+        let p = full_overlap(40);
+        assert_eq!(p.overlapping_pairs().count(), 40 * 39 / 2);
+    }
+
+    #[test]
+    fn full_overlap_is_an_exact_fit() {
+        let p = full_overlap(20);
+        assert_eq!(p.max_contention(), p.capacity());
+    }
+
+    #[test]
+    fn sizes_vary_deterministically() {
+        let a = non_overlapping(100);
+        let b = non_overlapping(100);
+        assert_eq!(a, b);
+        let distinct: std::collections::HashSet<u64> =
+            a.buffers().iter().map(|x| x.size()).collect();
+        assert!(distinct.len() > 1);
+    }
+}

@@ -1,0 +1,545 @@
+//! Synthetic stand-ins for the paper's evaluation models (§7.2, Table 2,
+//! Figures 12/13/15/19).
+//!
+//! Each generator follows the corresponding model's public architecture
+//! closely enough to reproduce the *allocation-relevant* structure: how
+//! many buffers, how long they live, where contention plateaus and
+//! troughs fall. Sizes are in KiB-like units with deterministic jitter.
+
+use tela_model::Buffer;
+
+use crate::graph::{GraphBuilder, TensorId};
+
+/// The model workloads of the paper's Pixel 6 evaluation, plus SRGAN
+/// from the ML long-tail study (§7.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Feature Pyramid Network: backbone + top-down pathway with lateral
+    /// connections (long-lived multi-scale features).
+    Fpn,
+    /// A plain 2D CNN: convolution chain with pooling.
+    ConvNet2d,
+    /// Inception-ResNet: multi-branch cells with residual connections.
+    InceptionResnet,
+    /// Face detection: light backbone + anchor heads over several
+    /// scales.
+    FaceDetection,
+    /// OpenPose: dense backbone phase, then staged refinement with
+    /// alternating high/low contention (§8.1, Figure 19).
+    OpenPose,
+    /// StereoNet: twin feature extractors + cost volume (one giant
+    /// buffer) + refinement.
+    StereoNet,
+    /// Encoder-decoder segmentation with skip connections.
+    Segmentation,
+    /// ResNet-152: a very deep residual chain.
+    ResNet152,
+    /// Saliency model: mid-size encoder-decoder with attention maps.
+    Saliency,
+    /// Anonymized image model 1: wide multi-branch trunk (hard for
+    /// solvers in the paper).
+    ImageModel1,
+    /// Anonymized image model 2: like image model 1 with heavier heads.
+    ImageModel2,
+    /// SRGAN generator: residual blocks + upsampling (late giant
+    /// buffers); the paper's long-tail example (Figure 15).
+    Srgan,
+}
+
+impl ModelKind {
+    /// All Pixel 6 evaluation models, in the paper's Table 2 order.
+    pub const PIXEL6: [ModelKind; 11] = [
+        ModelKind::Fpn,
+        ModelKind::ConvNet2d,
+        ModelKind::InceptionResnet,
+        ModelKind::FaceDetection,
+        ModelKind::OpenPose,
+        ModelKind::StereoNet,
+        ModelKind::Segmentation,
+        ModelKind::ResNet152,
+        ModelKind::Saliency,
+        ModelKind::ImageModel1,
+        ModelKind::ImageModel2,
+    ];
+
+    /// Human-readable name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::Fpn => "FPN Model",
+            ModelKind::ConvNet2d => "ConvNet2D",
+            ModelKind::InceptionResnet => "Inception-ResNet",
+            ModelKind::FaceDetection => "Face Detection",
+            ModelKind::OpenPose => "OpenPose",
+            ModelKind::StereoNet => "StereoNet",
+            ModelKind::Segmentation => "Segmentation",
+            ModelKind::ResNet152 => "ResNet-152",
+            ModelKind::Saliency => "Saliency Model",
+            ModelKind::ImageModel1 => "Image Model 1",
+            ModelKind::ImageModel2 => "Image Model 2",
+            ModelKind::Srgan => "SRGAN",
+        }
+    }
+
+    /// Generates the buffer set for this model, deterministically in
+    /// `seed`.
+    pub fn generate(&self, seed: u64) -> Vec<Buffer> {
+        let mut g = GraphBuilder::new(seed ^ (*self as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        match self {
+            ModelKind::Fpn => fpn(&mut g),
+            ModelKind::ConvNet2d => convnet2d(&mut g),
+            ModelKind::InceptionResnet => inception_resnet(&mut g),
+            ModelKind::FaceDetection => face_detection(&mut g),
+            ModelKind::OpenPose => openpose(&mut g),
+            ModelKind::StereoNet => stereonet(&mut g),
+            ModelKind::Segmentation => segmentation(&mut g),
+            ModelKind::ResNet152 => resnet152(&mut g),
+            ModelKind::Saliency => saliency(&mut g),
+            ModelKind::ImageModel1 => image_model(&mut g, 16, 9),
+            ModelKind::ImageModel2 => image_model(&mut g, 20, 10),
+            ModelKind::Srgan => srgan(&mut g, 24),
+        }
+        g.finish()
+    }
+}
+
+/// One convolution-like layer: consumes `input`, uses a weight slice and
+/// scratch, produces the output feature map.
+fn conv(g: &mut GraphBuilder, input: TensorId, out_size: u64) -> TensorId {
+    g.step(1);
+    g.consume(input);
+    let w = g.jitter(out_size / 4 + 1, 30);
+    g.scratch(w);
+    let acc = g.jitter(out_size / 8 + 1, 20);
+    g.scratch(acc);
+    let out = g.jitter(out_size, 15).max(1);
+    g.produce(out)
+}
+
+/// A residual block: two convs plus the skip tensor living across both.
+fn residual_block(g: &mut GraphBuilder, input: TensorId, size: u64) -> TensorId {
+    let narrow = conv(g, input, size / 2 + 1);
+    let mid = conv(g, narrow, size / 2 + 1);
+    let out = conv(g, mid, size);
+    // The skip path keeps the block input alive until the addition.
+    g.consume(input);
+    out
+}
+
+/// An inception-style cell: `branches` parallel paths whose outputs all
+/// stay live until the concat.
+fn inception_cell(g: &mut GraphBuilder, input: TensorId, size: u64, branches: usize) -> TensorId {
+    let mut outs = Vec::new();
+    for b in 0..branches {
+        let branch_size = g.jitter(size / branches as u64 + 1, 25);
+        let mid = conv(g, input, branch_size);
+        // Deeper branches get an extra conv.
+        let out = if b % 2 == 0 {
+            conv(g, mid, branch_size)
+        } else {
+            mid
+        };
+        outs.push(out);
+    }
+    g.step(1);
+    for o in &outs {
+        g.consume(*o);
+    }
+    let out = g.jitter(size, 10);
+    g.produce(out)
+}
+
+fn fpn(g: &mut GraphBuilder) {
+    // Bottom-up backbone with shrinking maps; keep each level's output
+    // alive for the top-down pathway (lateral connections).
+    let mut x = g.produce(512);
+    let mut laterals = Vec::new();
+    let mut size = 512u64;
+    for _ in 0..6 {
+        for _ in 0..20 {
+            x = conv(g, x, size);
+        }
+        laterals.push(x);
+        size = (size / 2).max(16);
+    }
+    // Top-down pathway consuming laterals in reverse.
+    let mut top = conv(g, x, size.max(16));
+    for lateral in laterals.iter().rev() {
+        g.step(1);
+        g.consume(*lateral);
+        g.consume(top);
+        let lateral_size = g.size_of(*lateral).max(16);
+        top = g.produce(lateral_size);
+        // Per-level head.
+        let head_size = g.size_of(top) / 2 + 1;
+        let head = conv(g, top, head_size);
+        g.step(1);
+        g.consume(head);
+    }
+}
+
+fn convnet2d(g: &mut GraphBuilder) {
+    let mut x = g.produce(768);
+    let mut size = 768u64;
+    for stage in 0..5 {
+        for _ in 0..16 {
+            x = conv(g, x, size);
+        }
+        // Pooling halves the map.
+        size = (size / 2).max(8);
+        x = conv(g, x, size);
+        if stage == 4 {
+            // Dense classifier tail.
+            for _ in 0..3 {
+                x = conv(g, x, 64);
+            }
+        }
+    }
+    g.step(1);
+    g.consume(x);
+}
+
+fn inception_resnet(g: &mut GraphBuilder) {
+    let mut x = g.produce(384);
+    for _ in 0..4 {
+        x = conv(g, x, 384);
+    }
+    for block in 0..26 {
+        let cell = inception_cell(g, x, 320, 4);
+        // Residual connection around the cell.
+        g.consume(x);
+        x = cell;
+        if block % 5 == 4 {
+            // Reduction cell.
+            x = conv(g, x, 256);
+        }
+    }
+    for _ in 0..3 {
+        x = conv(g, x, 128);
+    }
+    g.step(1);
+    g.consume(x);
+}
+
+fn face_detection(g: &mut GraphBuilder) {
+    let mut x = g.produce(256);
+    let mut scales = Vec::new();
+    let mut size = 256u64;
+    for _ in 0..6 {
+        for _ in 0..7 {
+            x = residual_block(g, x, size);
+        }
+        scales.push(x);
+        size = (size * 2 / 3).max(16);
+    }
+    // Anchor heads over every scale; all scale maps stay live until
+    // their head runs.
+    for s in scales {
+        let map = g.size_of(s);
+        let boxes = conv(g, s, map / 3 + 1);
+        let scores = conv(g, s, map / 4 + 1);
+        g.step(1);
+        g.consume(boxes);
+        g.consume(scores);
+    }
+}
+
+fn openpose(g: &mut GraphBuilder) {
+    // Phase 1: a dense VGG-style backbone — sustained high contention
+    // (§8.1: "one phase of high contention at the beginning").
+    let mut x = g.produce(512);
+    for _ in 0..28 {
+        x = conv(g, x, 512);
+        // Extra parallel maps raise the plateau.
+        let side_size = g.jitter(256, 20);
+        let side = g.produce(side_size);
+        g.step(1);
+        g.consume(side);
+    }
+    let features = conv(g, x, 384);
+    // Phases 2..N: staged refinement; each stage re-reads the backbone
+    // features (long-lived buffer) and the previous stage's belief maps,
+    // with a contention trough between stages.
+    let mut belief = conv(g, features, 128);
+    for _ in 0..8 {
+        g.step(3); // trough: nothing but `features` and `belief` live
+        let mut y = g.produce(192);
+        g.consume(features);
+        g.consume(belief);
+        for _ in 0..11 {
+            y = conv(g, y, 224);
+        }
+        belief = conv(g, y, 128);
+    }
+    g.step(1);
+    g.consume(features);
+    g.consume(belief);
+}
+
+fn stereonet(g: &mut GraphBuilder) {
+    // Twin feature extractors (weights shared, buffers not).
+    let left = g.produce(256);
+    let right = g.produce(256);
+    let mut l = left;
+    let mut r = right;
+    for _ in 0..18 {
+        l = conv(g, l, 192);
+        r = conv(g, r, 192);
+    }
+    // Cost volume: one giant, long-lived buffer.
+    g.step(1);
+    g.consume(l);
+    g.consume(r);
+    let volume = g.produce(1400);
+    // 3D conv filtering over the volume.
+    let mut v = volume;
+    for _ in 0..12 {
+        v = conv(g, v, 700);
+        g.consume(volume);
+    }
+    // Refinement with the input re-read.
+    let mut d = conv(g, v, 128);
+    for _ in 0..10 {
+        d = residual_block(g, d, 128);
+    }
+    g.step(1);
+    g.consume(d);
+}
+
+fn segmentation(g: &mut GraphBuilder) {
+    // U-Net style hourglass with skip connections.
+    let mut x = g.produce(400);
+    let mut skips = Vec::new();
+    let mut size = 400u64;
+    for _ in 0..6 {
+        for _ in 0..5 {
+            x = conv(g, x, size);
+        }
+        skips.push(x);
+        size = (size / 2).max(16);
+        x = conv(g, x, size);
+    }
+    for skip in skips.iter().rev() {
+        size = g.size_of(*skip);
+        g.step(1);
+        g.consume(x);
+        g.consume(*skip);
+        x = g.produce(size);
+        for _ in 0..4 {
+            x = conv(g, x, size);
+        }
+    }
+    g.step(1);
+    g.consume(x);
+}
+
+fn resnet152(g: &mut GraphBuilder) {
+    let mut x = g.produce(256);
+    let stages: [(usize, u64); 4] = [(3, 256), (8, 192), (36, 128), (3, 96)];
+    for (blocks, size) in stages {
+        for _ in 0..blocks {
+            x = residual_block(g, x, size);
+        }
+        x = conv(g, x, size / 2 + 8);
+    }
+    g.step(1);
+    g.consume(x);
+}
+
+fn saliency(g: &mut GraphBuilder) {
+    let mut x = g.produce(320);
+    let mut skips = Vec::new();
+    for _ in 0..14 {
+        x = residual_block(g, x, 240);
+        skips.push(x);
+    }
+    // Attention maps multiply feature maps: both live simultaneously.
+    for skip in skips.iter().rev() {
+        let attn = conv(g, *skip, 96);
+        g.step(1);
+        g.consume(attn);
+        g.consume(*skip);
+        g.consume(x);
+        x = g.produce(200);
+    }
+    for _ in 0..10 {
+        x = conv(g, x, 120);
+    }
+    g.step(1);
+    g.consume(x);
+}
+
+/// The anonymized "Image Model" family: a wide trunk of parallel
+/// branches with 64-unit-aligned buffers — the instances that were
+/// hardest for the paper's ILP baseline.
+fn image_model(g: &mut GraphBuilder, cells: usize, branches: usize) {
+    let mut x = g.produce_aligned(640, 64);
+    for c in 0..cells {
+        let mut outs = Vec::new();
+        for _ in 0..branches {
+            let size = g.jitter(640 / branches as u64 + 1, 35);
+            g.step(1);
+            g.consume(x);
+            let w = g.jitter(size / 3 + 1, 20);
+            g.scratch(w);
+            let mid = g.produce_aligned(size, 32);
+            let out = conv(g, mid, size);
+            outs.push(out);
+        }
+        g.step(1);
+        for o in &outs {
+            g.consume(*o);
+        }
+        g.consume(x);
+        let trunk = g.jitter(640, 10);
+        x = g.produce_aligned(trunk, 64);
+        if c % 3 == 2 {
+            x = conv(g, x, 512);
+        }
+    }
+    g.step(1);
+    g.consume(x);
+}
+
+fn srgan(g: &mut GraphBuilder, blocks: usize) {
+    let mut x = g.produce(128);
+    let trunk_in = x;
+    for _ in 0..blocks {
+        x = residual_block(g, x, 128);
+    }
+    // Global skip from the trunk input to the trunk output.
+    g.step(1);
+    g.consume(trunk_in);
+    g.consume(x);
+    let mut y = g.produce(128);
+    // Upsampling: pixel-shuffle quadruples the map twice (late giants).
+    for _ in 0..2 {
+        let up = g.size_of(y) * 4;
+        y = conv(g, y, up);
+    }
+    for _ in 0..3 {
+        let same = g.size_of(y);
+        y = conv(g, y, same);
+    }
+    g.step(1);
+    g.consume(y);
+}
+
+/// Slices of the SRGAN generator used by the paper's Figure 15
+/// ("different portions of SRGAN"): the first `blocks` residual blocks
+/// plus the upsampling tail.
+pub fn srgan_portion(seed: u64, blocks: usize) -> Vec<Buffer> {
+    let mut g = GraphBuilder::new(seed ^ 0x5247_414E); // "RGAN"
+    srgan(&mut g, blocks);
+    g.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem_with_slack;
+    use tela_model::{PhasePartition, Problem, Size};
+
+    #[test]
+    fn generators_are_deterministic() {
+        for kind in ModelKind::PIXEL6 {
+            let a = kind.generate(7);
+            let b = kind.generate(7);
+            assert_eq!(a, b, "{} not deterministic", kind.name());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ModelKind::Fpn.generate(1);
+        let b = ModelKind::Fpn.generate(2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn buffer_counts_are_model_scale() {
+        for kind in ModelKind::PIXEL6 {
+            let n = kind.generate(0).len();
+            assert!(
+                (150..12000).contains(&n),
+                "{}: {} buffers out of expected range",
+                kind.name(),
+                n
+            );
+        }
+    }
+
+    #[test]
+    fn resnet152_is_deepest() {
+        let resnet = ModelKind::ResNet152.generate(0);
+        let convnet = ModelKind::ConvNet2d.generate(0);
+        assert!(resnet.len() > convnet.len());
+    }
+
+    #[test]
+    fn openpose_contention_is_front_loaded_with_phases() {
+        // §8.1: one high-contention phase at the beginning, then
+        // alternating high/low phases.
+        let p = problem_with_slack(ModelKind::OpenPose.generate(0), 10);
+        let contention = p.contention();
+        let horizon = p.horizon() as usize;
+        let early_max = (0..horizon / 4)
+            .map(|t| contention.at(t as u32))
+            .max()
+            .unwrap();
+        let late_max = (horizon / 2..horizon)
+            .map(|t| contention.at(t as u32))
+            .max()
+            .unwrap();
+        assert!(
+            early_max >= late_max,
+            "early {early_max} vs late {late_max}"
+        );
+        let partition = PhasePartition::compute(&p);
+        assert!(
+            partition.len() >= 3,
+            "expected staged phases, got {}",
+            partition.len()
+        );
+    }
+
+    #[test]
+    fn stereonet_has_a_dominant_buffer() {
+        // The cost volume dominates: a single buffer close to half of
+        // peak contention forces loose packings (Table 2 shows 1.43x for
+        // StereoNet).
+        let buffers = ModelKind::StereoNet.generate(0);
+        let p = Problem::new(buffers, Size::MAX).unwrap();
+        let biggest = p.buffers().iter().map(|b| b.size()).max().unwrap();
+        assert!(biggest * 3 >= p.max_contention());
+    }
+
+    #[test]
+    fn image_models_carry_alignment() {
+        for kind in [ModelKind::ImageModel1, ModelKind::ImageModel2] {
+            let buffers = kind.generate(0);
+            assert!(buffers.iter().any(|b| b.align() >= 32), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn srgan_portions_grow_with_blocks() {
+        let small = srgan_portion(0, 4);
+        let large = srgan_portion(0, 16);
+        assert!(large.len() > small.len());
+    }
+
+    #[test]
+    fn all_models_form_valid_problems() {
+        for kind in ModelKind::PIXEL6 {
+            let p = problem_with_slack(kind.generate(3), 10);
+            assert!(p.max_contention() <= p.capacity());
+        }
+    }
+
+    #[test]
+    fn names_match_paper_tables() {
+        assert_eq!(ModelKind::Fpn.name(), "FPN Model");
+        assert_eq!(ModelKind::ImageModel2.name(), "Image Model 2");
+        assert_eq!(ModelKind::PIXEL6.len(), 11);
+    }
+}

@@ -1,0 +1,324 @@
+//! The large-scale input sweep of the paper's Figure 14 and §7.3:
+//! "a collection of 1,192 inputs (596 inputs from various sources at
+//! different memory sizes)".
+//!
+//! We generate 596 deterministic inputs from six structural families
+//! (model-like graphs and random live-range soups) and pair each with
+//! two memory slack factors, yielding the 1,192 configurations.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tela_model::{Buffer, Problem};
+
+use crate::models::ModelKind;
+use crate::problem_with_slack;
+
+/// One configuration of the sweep: a named problem at a specific memory
+/// slack.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Stable identifier, e.g. `"resid-017@5%"`.
+    pub name: String,
+    /// The problem instance (capacity already applied).
+    pub problem: Problem,
+    /// Slack percent over the contention bound.
+    pub slack_percent: u32,
+}
+
+/// Memory slack factors used for each input (the paper sweeps memory
+/// sizes; we use tight and near-tight capacities where search behaviour
+/// differs most).
+pub const SLACK_PERCENTS: [u32; 2] = [5, 10];
+
+/// Generates `count` base inputs (the paper uses 596).
+pub fn sweep_inputs(count: usize) -> Vec<(String, Vec<Buffer>)> {
+    (0..count).map(|i| sweep_input(i as u64)).collect()
+}
+
+/// Generates the full configuration set: `count` inputs × slack factors
+/// (596 × 2 = 1,192 in the paper).
+pub fn sweep_configs(count: usize) -> Vec<SweepConfig> {
+    let mut out = Vec::with_capacity(count * SLACK_PERCENTS.len());
+    for (name, buffers) in sweep_inputs(count) {
+        for slack in SLACK_PERCENTS {
+            out.push(SweepConfig {
+                name: format!("{name}@{slack}%"),
+                problem: problem_with_slack(buffers.clone(), slack),
+                slack_percent: slack,
+            });
+        }
+    }
+    out
+}
+
+/// One deterministic input drawn from six families.
+fn sweep_input(index: u64) -> (String, Vec<Buffer>) {
+    let mut rng = StdRng::seed_from_u64(index.wrapping_mul(0xA24B_AED4_963E_E407));
+    match index % 6 {
+        0 => {
+            let kind = ModelKind::PIXEL6[(index / 6) as usize % ModelKind::PIXEL6.len()];
+            (format!("model-{index:03}"), kind.generate(index))
+        }
+        1 => (format!("soup-{index:03}"), random_soup(&mut rng)),
+        2 => (format!("plateau-{index:03}"), plateaus(&mut rng)),
+        3 => (format!("resid-{index:03}"), residual_chain(&mut rng)),
+        4 => (format!("branchy-{index:03}"), branchy(&mut rng)),
+        _ => (format!("aligned-{index:03}"), aligned_mix(&mut rng)),
+    }
+}
+
+/// Uniformly random live ranges and sizes.
+fn random_soup(rng: &mut StdRng) -> Vec<Buffer> {
+    let n = rng.random_range(120..500);
+    let horizon = rng.random_range(60u32..240);
+    (0..n)
+        .map(|_| {
+            let start = rng.random_range(0..horizon);
+            let len = rng.random_range(1..=(horizon - start).min(24));
+            let size = rng.random_range(8u64..512);
+            Buffer::new(start, start + len, size)
+        })
+        .collect()
+}
+
+/// Bursts of fully-overlapping blocks separated by quiet gaps.
+fn plateaus(rng: &mut StdRng) -> Vec<Buffer> {
+    let bursts = rng.random_range(4..10);
+    let mut buffers = Vec::new();
+    let mut t = 0u32;
+    for _ in 0..bursts {
+        let width = rng.random_range(4u32..12);
+        let blocks = rng.random_range(8..40);
+        for _ in 0..blocks {
+            let s = t + rng.random_range(0..width / 2);
+            let e = (t + width)
+                .saturating_sub(rng.random_range(0..width / 2))
+                .max(s + 1);
+            buffers.push(Buffer::new(s, e, rng.random_range(16u64..256)));
+        }
+        // A couple of bridge buffers crossing into the gap.
+        for _ in 0..rng.random_range(0..3) {
+            buffers.push(Buffer::new(t, t + width + 4, rng.random_range(8u64..64)));
+        }
+        t += width + rng.random_range(2u32..8);
+    }
+    buffers
+}
+
+/// A deep residual chain with varying skip lengths.
+fn residual_chain(rng: &mut StdRng) -> Vec<Buffer> {
+    let layers = rng.random_range(80..300);
+    let mut buffers = Vec::new();
+    for l in 0..layers {
+        let t = l * 2;
+        let size = rng.random_range(32u64..256);
+        buffers.push(Buffer::new(t, t + 3, size)); // activation
+        buffers.push(Buffer::new(t, t + 2, size / 3 + 1)); // weights slice
+        if l % 4 == 0 {
+            let skip = rng.random_range(4u32..16) * 2;
+            buffers.push(Buffer::new(t, t + skip + 2, size / 2 + 1)); // skip
+        }
+    }
+    buffers
+}
+
+/// Wide parallel branches joined at concat points.
+fn branchy(rng: &mut StdRng) -> Vec<Buffer> {
+    let cells = rng.random_range(6..20);
+    let mut buffers = Vec::new();
+    let mut t = 0u32;
+    for _ in 0..cells {
+        let branches = rng.random_range(3..8);
+        let span = rng.random_range(4u32..10);
+        for b in 0..branches {
+            let s = t + (b % span.max(1));
+            buffers.push(Buffer::new(s, t + span, rng.random_range(32u64..192)));
+        }
+        buffers.push(Buffer::new(
+            t + span,
+            t + span + 2,
+            rng.random_range(64u64..256),
+        ));
+        t += span + 1;
+    }
+    buffers
+}
+
+/// A mix with heavy alignment requirements.
+fn aligned_mix(rng: &mut StdRng) -> Vec<Buffer> {
+    let n = rng.random_range(100..350);
+    let horizon = rng.random_range(50u32..150);
+    (0..n)
+        .map(|_| {
+            let start = rng.random_range(0..horizon);
+            let len = rng.random_range(1..=(horizon - start).min(16));
+            let size = rng.random_range(16u64..384);
+            let align = *[1u64, 1, 16, 32, 64]
+                .get(rng.random_range(0..5usize))
+                .expect("index in range");
+            Buffer::new(start, start + len, size).with_align(align)
+        })
+        .collect()
+}
+
+/// Generates an instance that is *solvable by construction*: blocks are
+/// first packed into a strip (lowest-fit at random time intervals) and
+/// the capacity is set to the packing's exact peak. The resulting
+/// problems are tight (zero slack over a known packing) and therefore
+/// hard for incomplete searches — the population the paper's ML long
+/// tail study draws from (§7.3) — while a solution provably exists.
+pub fn certified_solvable(seed: u64) -> Problem {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xC0FFEE);
+    let height: u64 = rng.random_range(150..600);
+    let horizon: u32 = rng.random_range(40u32..160);
+    let target_blocks = rng.random_range(120usize..420);
+    let mut placed: Vec<(Buffer, u64)> = Vec::new();
+    let mut failures = 0;
+    while placed.len() < target_blocks && failures < 200 {
+        let start = rng.random_range(0..horizon);
+        let len = rng.random_range(1..=(horizon - start).min(20));
+        let size = rng.random_range(4u64..height / 3);
+        let b = Buffer::new(start, start + len, size);
+        // Lowest fit among already placed, like a random bottom-left fill.
+        let mut occupied: Vec<(u64, u64)> = placed
+            .iter()
+            .filter(|(p, _)| p.overlaps_in_time(&b))
+            .map(|&(p, addr)| (addr, addr + p.size()))
+            .collect();
+        occupied.sort_unstable();
+        let mut addr = 0u64;
+        for &(s, e) in &occupied {
+            if s >= addr + size {
+                break;
+            }
+            if e > addr {
+                addr = e;
+            }
+        }
+        if addr + size <= height {
+            placed.push((b, addr));
+        } else {
+            failures += 1;
+        }
+    }
+    let peak = placed.iter().map(|&(b, a)| a + b.size()).max().unwrap_or(1);
+    let buffers: Vec<Buffer> = placed.into_iter().map(|(b, _)| b).collect();
+    Problem::new(buffers, peak).expect("constructed packing fits its peak")
+}
+
+/// Memory slacks applied to certified instances, relative to the known
+/// packing's peak (two memory sizes per input, as in the paper's sweep).
+pub const CERTIFIED_SLACKS: [u32; 2] = [1, 3];
+
+/// A batch of certified-solvable configurations: `count` instances (see
+/// [`certified_solvable`]), each at the [`CERTIFIED_SLACKS`] capacities.
+pub fn certified_configs(count: usize) -> Vec<SweepConfig> {
+    let mut out = Vec::with_capacity(count * CERTIFIED_SLACKS.len());
+    for i in 0..count {
+        let base = certified_solvable(i as u64);
+        for slack in CERTIFIED_SLACKS {
+            let capacity = base.capacity() * u64::from(100 + slack) / 100;
+            out.push(SweepConfig {
+                name: format!("certified-{i:03}@{slack}%"),
+                problem: base.with_capacity(capacity).expect("raising capacity"),
+                slack_percent: slack,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn certified_instances_are_solvable_by_construction() {
+        // Re-derive the packing: lowest-fit in generation order succeeds
+        // within the capacity.
+        for seed in 0..8 {
+            let p = certified_solvable(seed);
+            assert!(p.len() >= 50, "seed {seed}: {} blocks", p.len());
+            let mut placed: Vec<(Buffer, u64)> = Vec::new();
+            for &b in p.buffers() {
+                let mut occupied: Vec<(u64, u64)> = placed
+                    .iter()
+                    .filter(|(q, _)| q.overlaps_in_time(&b))
+                    .map(|&(q, a)| (a, a + q.size()))
+                    .collect();
+                occupied.sort_unstable();
+                let mut addr = 0u64;
+                for &(s, e) in &occupied {
+                    if s >= addr + b.size() {
+                        break;
+                    }
+                    if e > addr {
+                        addr = e;
+                    }
+                }
+                assert!(
+                    addr + b.size() <= p.capacity(),
+                    "seed {seed}: replay exceeded capacity"
+                );
+                placed.push((b, addr));
+            }
+        }
+    }
+
+    #[test]
+    fn certified_configs_are_named_and_tight() {
+        let configs = certified_configs(4);
+        assert_eq!(configs.len(), 4 * CERTIFIED_SLACKS.len());
+        for c in &configs {
+            assert!(c.name.starts_with("certified-"));
+            assert!(c.problem.max_contention() <= c.problem.capacity());
+        }
+    }
+
+    #[test]
+    fn inputs_are_deterministic() {
+        let a = sweep_inputs(12);
+        let b = sweep_inputs(12);
+        assert_eq!(a.len(), 12);
+        for ((na, ba), (nb, bb)) in a.iter().zip(&b) {
+            assert_eq!(na, nb);
+            assert_eq!(ba, bb);
+        }
+    }
+
+    #[test]
+    fn configs_multiply_by_slack_factors() {
+        let configs = sweep_configs(10);
+        assert_eq!(configs.len(), 10 * SLACK_PERCENTS.len());
+        for c in &configs {
+            assert!(c.problem.max_contention() <= c.problem.capacity());
+        }
+    }
+
+    #[test]
+    fn full_sweep_shape_matches_paper() {
+        // 596 inputs x 2 memory sizes = 1,192 configurations.
+        let inputs = sweep_inputs(596);
+        assert_eq!(inputs.len(), 596);
+        assert_eq!(inputs.len() * SLACK_PERCENTS.len(), 1192);
+    }
+
+    #[test]
+    fn families_cover_all_six() {
+        let names: Vec<String> = sweep_inputs(6).into_iter().map(|(n, _)| n).collect();
+        let prefixes: Vec<&str> = names.iter().map(|n| n.split('-').next().unwrap()).collect();
+        assert_eq!(
+            prefixes,
+            vec!["model", "soup", "plateau", "resid", "branchy", "aligned"]
+        );
+    }
+
+    #[test]
+    fn every_input_is_nonempty_and_valid() {
+        for (name, buffers) in sweep_inputs(24) {
+            assert!(!buffers.is_empty(), "{name} is empty");
+            let p = problem_with_slack(buffers, 10);
+            assert!(p.max_contention() <= p.capacity(), "{name}");
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Synthetic TPU programs for the Figure 18 experiment.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tela_model::Buffer;
+
+/// One tensor of a compiled program, with its access intensity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XlaBuffer {
+    /// Live range and size (size in KiB units).
+    pub buffer: Buffer,
+    /// How many times kernels read or write this tensor over the
+    /// program; promotion benefit is `accesses × size`.
+    pub accesses: u64,
+}
+
+/// A compiled program: tensors plus the compute time that memory
+/// traffic overlaps with.
+#[derive(Debug, Clone)]
+pub struct XlaProgram {
+    /// Display name (Figure 18 x-axis).
+    pub name: String,
+    /// All tensors considered for SRAM promotion.
+    pub buffers: Vec<XlaBuffer>,
+    /// Pure compute cost, in the same abstract time units as memory
+    /// cost; the larger this is relative to traffic, the less
+    /// memory-bound the program ("not all of the ML models that use XLA
+    /// are memory-bound", §7.4).
+    pub compute_time: f64,
+}
+
+impl XlaProgram {
+    /// Total bytes×accesses over all tensors.
+    pub fn total_traffic(&self) -> u64 {
+        self.buffers
+            .iter()
+            .map(|b| b.accesses * b.buffer.size())
+            .sum()
+    }
+}
+
+/// Generates a mix of TPU-style training/inference programs with varying
+/// degrees of memory-boundedness, deterministically in `seed`.
+pub fn tpu_workloads(seed: u64) -> Vec<XlaProgram> {
+    // (name, layers, base tensor size, accesses scale, memory-boundedness)
+    let specs: [(&str, u32, u64, u64, f64); 8] = [
+        ("transformer-big", 96, 512, 24, 0.7),
+        ("transformer-small", 48, 256, 16, 0.6),
+        ("bert-like", 72, 384, 20, 0.7),
+        ("resnet-like", 120, 192, 12, 0.4),
+        ("mlp-mixer", 64, 448, 18, 0.6),
+        ("recommender", 40, 640, 30, 0.65),
+        ("speech-rnn", 80, 160, 14, 0.5),
+        ("vision-vit", 88, 320, 16, 0.3),
+    ];
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, &(name, layers, base, acc, boundedness))| {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64 * 7919));
+            let mut buffers = Vec::new();
+            for l in 0..layers {
+                let t = l * 2;
+                // Activation: consumed by the next layer.
+                buffers.push(XlaBuffer {
+                    buffer: Buffer::new(t, t + 3, rng.random_range(base / 2..base * 2)),
+                    accesses: rng.random_range(acc / 2..acc * 2),
+                });
+                // Weights slice: high reuse.
+                buffers.push(XlaBuffer {
+                    buffer: Buffer::new(t, t + 2, rng.random_range(base / 4..base)),
+                    accesses: rng.random_range(acc..acc * 3),
+                });
+                // Occasional long-lived residual.
+                if l % 6 == 0 {
+                    buffers.push(XlaBuffer {
+                        buffer: Buffer::new(t, (t + 16).min(layers * 2 + 1), base / 3 + 1),
+                        accesses: rng.random_range(acc / 2..acc),
+                    });
+                }
+            }
+            let traffic: u64 = buffers.iter().map(|b| b.accesses * b.buffer.size()).sum();
+            // compute_time chosen so that memory traffic at HBM cost is
+            // `boundedness` of the total runtime.
+            let hbm_time = traffic as f64; // unit HBM cost
+            let compute_time = hbm_time * (1.0 - boundedness) / boundedness;
+            XlaProgram {
+                name: name.to_string(),
+                buffers,
+                compute_time,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let a = tpu_workloads(3);
+        let b = tpu_workloads(3);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.buffers, y.buffers);
+        }
+    }
+
+    #[test]
+    fn eight_programs_with_traffic() {
+        let ws = tpu_workloads(0);
+        assert_eq!(ws.len(), 8);
+        for w in &ws {
+            assert!(w.buffers.len() > 50, "{}", w.name);
+            assert!(w.total_traffic() > 0);
+            assert!(w.compute_time > 0.0);
+        }
+    }
+
+    #[test]
+    fn memory_boundedness_varies() {
+        let ws = tpu_workloads(0);
+        let ratio = |w: &XlaProgram| w.compute_time / w.total_traffic() as f64;
+        let most_bound = ws.iter().find(|w| w.name == "recommender").unwrap();
+        let least_bound = ws.iter().find(|w| w.name == "vision-vit").unwrap();
+        assert!(ratio(most_bound) < ratio(least_bound));
+    }
+}

@@ -1,0 +1,58 @@
+//! Conflict explanations and minimization: how the CP solver tells the
+//! search *why* a placement failed (paper §5.4), and how the deletion
+//! filter shrinks that explanation to the placements that actually
+//! matter.
+//!
+//! Run with: `cargo run --example conflict_analysis`
+
+use tela_cp::{explain::minimize_conflict, CpSolver};
+use tela_model::{Buffer, BufferId, Problem};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 26-unit memory. Three placements, then a block that cannot sit
+    // at address 0.
+    let problem = Problem::builder(26)
+        .buffer(Buffer::new(0, 6, 6)) // 0: occupies [0, 6) early
+        .buffer(Buffer::new(4, 10, 12)) // 1: occupies [6, 18)
+        .buffer(Buffer::new(12, 14, 6)) // 2: late, irrelevant
+        .buffer(Buffer::new(5, 9, 7)) // 3: the failing block
+        .build()?;
+
+    let mut solver = CpSolver::new(&problem)?;
+    let placements = [
+        (BufferId::new(0), 0u64),
+        (BufferId::new(1), 6),
+        (BufferId::new(2), 0),
+    ];
+    for &(id, addr) in &placements {
+        solver.assign(id, addr)?;
+        println!("placed {id} at {addr}");
+    }
+
+    // Block 3 overlaps blocks 0 and 1 in time; at address 0 it would
+    // collide with both.
+    let failing = (BufferId::new(3), 0);
+    match solver.assign(failing.0, failing.1) {
+        Ok(()) => println!("\nblock 3 fit at address 0 after all"),
+        Err(conflict) => {
+            println!("\nplacing block 3 at 0 failed");
+            println!("solver explanation (culprits, in placement order):");
+            for c in &conflict.culprits {
+                println!("  {c}");
+            }
+            let minimal = minimize_conflict(&problem, &placements, failing, &conflict.culprits);
+            println!("irreducible conflict set after deletion filtering:");
+            for c in &minimal {
+                println!("  {c}  <- this placement alone reproduces the failure");
+            }
+        }
+    }
+
+    // The lowest feasible position query (§5.2) shows where block 3
+    // *can* go given the current placements.
+    match solver.min_feasible_pos(BufferId::new(3)) {
+        Some(pos) => println!("\nsolver-guided placement would put block 3 at {pos}"),
+        None => println!("\nblock 3 has no feasible position at all -> major backtrack"),
+    }
+    Ok(())
+}

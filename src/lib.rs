@@ -1,0 +1,32 @@
+//! Umbrella crate for the TelaMalloc reproduction workspace.
+//!
+//! This crate re-exports the individual workspace crates so that the
+//! integration tests under `tests/` and the runnable examples under
+//! `examples/` can exercise the whole system through one dependency.
+//!
+//! The interesting code lives in the member crates:
+//!
+//! - [`tela_model`] — problem/solution model shared by every allocator.
+//! - [`tela_cp`] — the constraint-propagation engine (the "Telamon"
+//!   substrate of the paper).
+//! - [`tela_ilp`] — the simplex + branch-and-bound ILP baseline.
+//! - [`tela_heuristics`] — greedy baselines (BFC, skyline heuristic,
+//!   block-selection strategies).
+//! - [`telamalloc`] — the hybrid heuristic × solver search (the paper's
+//!   core contribution).
+//! - [`tela_learned`] — gradient-boosted-tree backtracking policy learned
+//!   by imitation.
+//! - [`tela_workloads`] — synthetic model workloads and microbenchmarks.
+//! - [`tela_pixel`] — miniature ML-compiler front-end (graph IR,
+//!   scheduling, buffer lowering, DRAM-spill fallback).
+//! - [`tela_xla`] — simulated XLA memory-space-assignment repacker loop.
+
+pub use tela_cp;
+pub use tela_heuristics;
+pub use tela_ilp;
+pub use tela_learned;
+pub use tela_model;
+pub use tela_pixel;
+pub use tela_workloads;
+pub use tela_xla;
+pub use telamalloc;

@@ -1,0 +1,57 @@
+//! Cross-crate integration: the mini compiler produces problems the
+//! whole allocator stack agrees on.
+
+use tela_model::{Budget, InstanceStats};
+use tela_pixel::ir::zoo;
+use tela_pixel::{Compiler, CompilerSettings};
+use telamalloc::TelaConfig;
+
+#[test]
+fn compiled_problems_are_solvable_by_all_complete_solvers() {
+    let compiled = Compiler::new(CompilerSettings {
+        scratchpad_bytes: 512 * 1024,
+        ..CompilerSettings::default()
+    })
+    .compile(&zoo::mobilenet_like(64, 6))
+    .expect("compiles");
+    let p = &compiled.problem;
+    assert!(compiled.solution.validate(p).is_ok());
+
+    let tela = telamalloc::solve(p, &Budget::steps(500_000), &TelaConfig::default());
+    assert!(tela
+        .outcome
+        .solution()
+        .expect("tela solves")
+        .validate(p)
+        .is_ok());
+}
+
+#[test]
+fn spilled_compilations_shrink_the_instance() {
+    let g = zoo::unet_like(96, 3);
+    let roomy = Compiler::new(CompilerSettings {
+        scratchpad_bytes: 16 * 1024 * 1024,
+        ..CompilerSettings::default()
+    })
+    .compile(&g)
+    .expect("roomy");
+    let tight = Compiler::new(CompilerSettings {
+        scratchpad_bytes: roomy.problem.max_contention() / 2,
+        ..CompilerSettings::default()
+    })
+    .compile(&g)
+    .expect("tight");
+    assert!(tight.problem.max_contention() < roomy.problem.max_contention());
+    let stats = InstanceStats::of(&tight.problem);
+    assert!(stats.aligned_fraction > 0.0, "weight slices stay aligned");
+}
+
+#[test]
+fn compiler_traces_round_trip_through_the_text_format() {
+    let compiled = Compiler::new(CompilerSettings::default())
+        .compile(&zoo::detector_like(96, 4))
+        .expect("compiles");
+    let text = tela_model::problem_to_text(&compiled.problem);
+    let parsed = tela_model::parse_problem(&text).expect("parses");
+    assert_eq!(parsed, compiled.problem);
+}

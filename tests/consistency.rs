@@ -1,0 +1,93 @@
+//! Cross-solver consistency on randomized instances: the two complete
+//! solvers must agree on feasibility, TelaMalloc must never contradict
+//! them, and trace round-trips must preserve solver behaviour.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tela_model::{parse_problem, problem_to_text, Budget, Buffer, Problem, SolveOutcome};
+use telamalloc::TelaConfig;
+
+fn random_problem(seed: u64) -> Problem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.random_range(3..10);
+    let buffers: Vec<Buffer> = (0..n)
+        .map(|_| {
+            let start = rng.random_range(0u32..8);
+            let len = rng.random_range(1u32..5);
+            let size = rng.random_range(1u64..6);
+            let align = [1u64, 2, 4][rng.random_range(0..3usize)];
+            Buffer::new(start, start + len, size).with_align(align)
+        })
+        .collect();
+    let capacity = rng.random_range(6u64..14);
+    Problem::new(buffers, capacity).expect("sizes below capacity")
+}
+
+#[test]
+fn complete_solvers_agree_on_feasibility() {
+    let budget = || Budget::steps(1_000_000);
+    for seed in 0..120 {
+        let p = random_problem(seed);
+        let (cp, _) = tela_cp::search::solve_cp_only(&p, &budget());
+        let (ilp, _) = tela_ilp::solve_ilp(&p, &budget());
+        match (&cp, &ilp) {
+            (SolveOutcome::Solved(a), SolveOutcome::Solved(b)) => {
+                assert!(a.validate(&p).is_ok(), "seed {seed}");
+                assert!(b.validate(&p).is_ok(), "seed {seed}");
+            }
+            (SolveOutcome::Infeasible, SolveOutcome::Infeasible) => {}
+            other => panic!("seed {seed}: solvers disagree: {other:?}\n{p:?}"),
+        }
+    }
+}
+
+#[test]
+fn telamalloc_never_contradicts_complete_solvers() {
+    for seed in 0..120 {
+        let p = random_problem(seed);
+        let tela = telamalloc::solve(&p, &Budget::steps(200_000), &TelaConfig::default());
+        match tela.outcome {
+            SolveOutcome::Solved(s) => {
+                assert!(s.validate(&p).is_ok(), "seed {seed}");
+            }
+            SolveOutcome::Infeasible => {
+                let (cp, _) = tela_cp::search::solve_cp_only(&p, &Budget::steps(1_000_000));
+                assert_eq!(
+                    cp,
+                    SolveOutcome::Infeasible,
+                    "seed {seed}: false infeasibility"
+                );
+            }
+            SolveOutcome::GaveUp | SolveOutcome::BudgetExceeded => {
+                // Permitted: the search is incomplete. But the instance
+                // must at least be hard enough that the heuristic failed.
+                assert!(
+                    tela_heuristics::greedy::solve(&p).solution.is_none() || tela.stats.steps > 0,
+                    "seed {seed}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn traces_preserve_solver_outcomes() {
+    for seed in 0..40 {
+        let p = random_problem(seed);
+        let text = problem_to_text(&p);
+        let q = parse_problem(&text).expect("round trip parses");
+        assert_eq!(p, q);
+        let a = telamalloc::solve(&p, &Budget::steps(100_000), &TelaConfig::default());
+        let b = telamalloc::solve(&q, &Budget::steps(100_000), &TelaConfig::default());
+        assert_eq!(a.outcome, b.outcome, "seed {seed}");
+        assert_eq!(a.stats.steps, b.stats.steps, "seed {seed}");
+    }
+}
+
+#[test]
+fn model_workload_traces_round_trip() {
+    use tela_workloads::{problem_with_slack, ModelKind};
+    let p = problem_with_slack(ModelKind::Segmentation.generate(5), 10);
+    let q = parse_problem(&problem_to_text(&p)).expect("round trip");
+    assert_eq!(p, q);
+}
