@@ -1,0 +1,152 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the workspace's benches use —
+//! [`Criterion::benchmark_group`], `sample_size`, `throughput`,
+//! `bench_function`, [`criterion_group!`] and [`criterion_main!`] — with
+//! a plain wall-clock harness: each benchmark runs `sample_size`
+//! timed iterations and prints the mean time per iteration. There is no
+//! statistical analysis, warm-up, or HTML report; the point is that
+//! `cargo bench` produces comparable numbers offline and that bench
+//! targets compile under `cargo test`/`clippy --all-targets`.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Top-level bench harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs a stand-alone benchmark (group-less).
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        run_benchmark(&name, 10, None, f);
+        self
+    }
+}
+
+/// Units of work per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Declares the work performed per iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Times one benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, name.into());
+        run_benchmark(&id, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] times the routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed_nanos: u128,
+}
+
+impl Bencher {
+    /// Times one call of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        let value = routine();
+        self.elapsed_nanos += start.elapsed().as_nanos();
+        self.iterations += 1;
+        drop(value);
+    }
+}
+
+fn run_benchmark<F>(id: &str, samples: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher::default();
+    for _ in 0..samples {
+        f(&mut bencher);
+    }
+    if bencher.iterations == 0 {
+        println!("bench {id}: no iterations recorded");
+        return;
+    }
+    let per_iter = bencher.elapsed_nanos / u128::from(bencher.iterations);
+    match throughput {
+        Some(Throughput::Elements(n)) if per_iter > 0 => {
+            let rate = n as f64 / (per_iter as f64 / 1e9);
+            println!("bench {id}: {per_iter} ns/iter ({rate:.0} elem/s)");
+        }
+        Some(Throughput::Bytes(n)) if per_iter > 0 => {
+            let rate = n as f64 / (per_iter as f64 / 1e9);
+            println!("bench {id}: {per_iter} ns/iter ({rate:.0} B/s)");
+        }
+        _ => println!("bench {id}: {per_iter} ns/iter"),
+    }
+}
+
+/// Bundles benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,292 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace's build environment cannot reach crates.io, so this
+//! local crate implements the slice of proptest used by the workspace's
+//! property tests: the [`proptest!`] macro with a
+//! `#![proptest_config(...)]` header, range/tuple/[`Just`]/mapped
+//! strategies, [`prop_oneof!`], `prop::collection::vec`, and the
+//! `prop_assert*` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! - **No shrinking.** A failing case reports the generated value via the
+//!   assertion panic message (strategies generate `Debug` values), but it
+//!   is not minimized.
+//! - **Deterministic seeding.** Each test function derives its RNG seed
+//!   from its own name, so runs are reproducible and failures stable.
+//! - `prop_assert!`/`prop_assert_eq!` panic immediately instead of
+//!   recording and continuing.
+//!
+//! [`Just`]: strategy::Just
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+
+/// Test-runner configuration and RNG.
+pub mod test_runner {
+    /// Subset of proptest's run configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Deterministic splitmix64 generator driving value generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator from a test name (FNV-1a hash), making
+        /// every property deterministic per test function.
+        pub fn deterministic(name: &str) -> Self {
+            let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+            for byte in name.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: hash }
+        }
+
+        /// Seeds the generator directly.
+        pub fn seeded(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform sample in `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "cannot sample below 0");
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Size bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: r.end().checked_add(1).expect("size range overflow"),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length is drawn from `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.hi_exclusive - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property test module needs, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Namespace mirror of proptest's `prop` module re-export.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Asserts a condition inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current case when an assumption does not hold. Only valid
+/// directly inside a `proptest!` body (it expands to `continue`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Chooses uniformly among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property test functions: each case draws fresh random inputs
+/// from the given strategies and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); $(
+        $(#[$attr:meta])* fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config = $config;
+                let mut __proptest_rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for __proptest_case in 0..config.cases {
+                    let _ = __proptest_case;
+                    $(let $pat = $crate::strategy::Strategy::generate(
+                        &($strategy),
+                        &mut __proptest_rng,
+                    );)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_maps_generate_in_bounds() {
+        let strategy = (0u32..10, 1u64..5).prop_map(|(a, b)| (a, b * 2));
+        let mut rng = TestRng::seeded(1);
+        for _ in 0..200 {
+            let (a, b) = strategy.generate(&mut rng);
+            assert!(a < 10);
+            assert!((2..10).contains(&b) && b % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn oneof_only_produces_listed_values() {
+        let strategy = prop_oneof![Just(1u64), Just(8), Just(32)];
+        let mut rng = TestRng::seeded(2);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            seen.insert(strategy.generate(&mut rng));
+        }
+        assert!(seen.iter().all(|v| [1, 8, 32].contains(v)));
+        assert_eq!(seen.len(), 3, "all arms reachable");
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_bounds() {
+        let strategy = crate::collection::vec(0u8..3, 2..6);
+        let mut rng = TestRng::seeded(3);
+        for _ in 0..100 {
+            let v = strategy.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 3));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_generates_and_asserts(x in 0u32..100, y in 0u32..100) {
+            prop_assert!(x < 100 && y < 100);
+            prop_assert_eq!(x + y, y + x);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment for this workspace has no access to crates.io,
+//! so external dependencies are replaced by minimal local crates (see
+//! `compat/README.md`). Workspace code only *derives*
+//! `Serialize`/`Deserialize` as forward-looking markers — nothing
+//! serializes through serde yet (persistence uses the hand-rolled text
+//! formats in `tela_model::trace` and `tela_learned::persist`). The
+//! traits here are therefore deliberately empty: deriving them compiles
+//! to marker impls, and swapping this crate for real serde later only
+//! requires pointing the workspace dependency back at crates.io.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}

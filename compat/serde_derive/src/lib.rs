@@ -1,0 +1,54 @@
+//! Derive macros for the offline serde stand-in.
+//!
+//! The generated impls are empty marker impls of the (empty) traits in
+//! the sibling `serde` stand-in crate. The macros parse just enough of
+//! the item to recover its name; generic types are rejected with a clear
+//! error because nothing in this workspace needs them.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Derives the marker `serde::Serialize` impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize", "::serde::Serialize for")
+}
+
+/// Derives the marker `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize", "<'de> ::serde::Deserialize<'de> for")
+}
+
+fn marker_impl(input: TokenStream, derive: &str, head: &str) -> TokenStream {
+    let name = type_name(input)
+        .unwrap_or_else(|| panic!("#[derive({derive})] stand-in: could not find type name"));
+    format!("impl{head} {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Extracts the name of the struct/enum a derive was applied to.
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut tokens = input.into_iter();
+    while let Some(token) = tokens.next() {
+        if let TokenTree::Ident(ident) = &token {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" || word == "union" {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => panic!("serde stand-in derive: expected type name, got {other:?}"),
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.next() {
+                    if p.as_char() == '<' {
+                        panic!(
+                            "serde stand-in derive: generic type `{name}` is unsupported; \
+                             write the marker impl by hand or extend compat/serde_derive"
+                        );
+                    }
+                }
+                return Some(name);
+            }
+        }
+    }
+    None
+}

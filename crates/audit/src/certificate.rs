@@ -1,0 +1,295 @@
+//! Checkable evidence of infeasibility.
+//!
+//! A [`Certificate`] is a small, self-contained witness that a
+//! [`Problem`] admits no valid [`Solution`](tela_model::Solution). Each
+//! variant encodes one counting argument whose premises can be re-checked
+//! against the problem in (near-)linear time with [`Certificate::verify`]
+//! — the consumer does not have to trust the pass that produced it.
+
+use tela_model::{Buffer, BufferId, Problem, Size, TimeStep};
+
+/// A witness that a problem is infeasible.
+///
+/// Every variant is a *sound* argument: if [`Certificate::verify`]
+/// accepts it against a problem, that problem has no valid solution. The
+/// variants are ordered roughly by the strength (and cost) of the
+/// underlying bound; the same variant may be produced by more than one
+/// audit pass — the certificate records the mathematical claim, not the
+/// pass that discovered it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Certificate {
+    /// A single buffer is larger than the whole memory.
+    OversizedBuffer {
+        /// The buffer that cannot fit on its own.
+        buffer: BufferId,
+        /// Its size.
+        size: Size,
+        /// The memory capacity.
+        capacity: Size,
+    },
+    /// The sum of sizes of buffers live at `time` exceeds capacity
+    /// (paper §3.1: contention is a lower bound on required memory).
+    ContentionBound {
+        /// The overloaded time step.
+        time: TimeStep,
+        /// Total live bytes at `time`.
+        contention: Size,
+        /// The memory capacity.
+        capacity: Size,
+    },
+    /// Two buffers that are live simultaneously cannot both fit below
+    /// capacity in either vertical order once alignment padding is
+    /// accounted for.
+    PairPigeonhole {
+        /// The lower-id buffer of the pair.
+        first: BufferId,
+        /// The higher-id buffer of the pair.
+        second: BufferId,
+        /// Minimum memory any disjoint placement of the pair needs
+        /// (saturating at `u64::MAX`).
+        required: Size,
+        /// The memory capacity.
+        capacity: Size,
+    },
+    /// A set of simultaneously live buffers, each of whose alignments is
+    /// a multiple of `block`, needs more `block`-sized blocks than the
+    /// memory provides. Because every member starts block-aligned, no two
+    /// members can share a block, so `Σ ceil(size/block)` blocks are
+    /// consumed out of `ceil(capacity/block)` available.
+    BlockBound {
+        /// A time step at which every member is live.
+        time: TimeStep,
+        /// The block granularity; divides every member's alignment.
+        block: Size,
+        /// The simultaneously live buffers being counted.
+        members: Vec<BufferId>,
+        /// `Σ ceil(size/block)` over members (saturating at `u64::MAX`).
+        blocks_needed: u64,
+        /// `ceil(capacity/block)`.
+        blocks_available: u64,
+        /// The memory capacity.
+        capacity: Size,
+    },
+}
+
+impl Certificate {
+    /// Re-checks this certificate's premises and conclusion against
+    /// `problem`, returning true only if the infeasibility argument holds.
+    ///
+    /// This recomputes every quantity the certificate claims (live-ness,
+    /// alignment divisibility, block counts) from the problem itself, so a
+    /// corrupted or mismatched certificate is rejected rather than
+    /// trusted.
+    pub fn verify(&self, problem: &Problem) -> bool {
+        let capacity = problem.capacity();
+        match self {
+            Certificate::OversizedBuffer {
+                buffer,
+                size,
+                capacity: cap,
+            } => {
+                *cap == capacity
+                    && buffer.index() < problem.len()
+                    && problem.buffer(*buffer).size() == *size
+                    && *size > capacity
+            }
+            Certificate::ContentionBound {
+                time,
+                contention,
+                capacity: cap,
+            } => {
+                *cap == capacity
+                    && problem.contention().at(*time) == *contention
+                    && *contention > capacity
+            }
+            Certificate::PairPigeonhole {
+                first,
+                second,
+                required,
+                capacity: cap,
+            } => {
+                if *cap != capacity
+                    || first.index() >= problem.len()
+                    || second.index() >= problem.len()
+                    || first == second
+                {
+                    return false;
+                }
+                let (a, b) = (problem.buffer(*first), problem.buffer(*second));
+                a.overlaps_in_time(b) && pair_requirement(a, b) == *required && *required > capacity
+            }
+            Certificate::BlockBound {
+                time,
+                block,
+                members,
+                blocks_needed,
+                blocks_available,
+                capacity: cap,
+            } => {
+                if *cap != capacity || *block == 0 || members.is_empty() {
+                    return false;
+                }
+                let mut seen = vec![false; problem.len()];
+                for id in members {
+                    if id.index() >= problem.len() || seen[id.index()] {
+                        return false;
+                    }
+                    seen[id.index()] = true;
+                    let b = problem.buffer(*id);
+                    if !b.live_at(*time) || !b.align().is_multiple_of(*block) {
+                        return false;
+                    }
+                }
+                let needed: u128 = members
+                    .iter()
+                    .map(|id| ceil_div(problem.buffer(*id).size(), *block))
+                    .sum();
+                let available = ceil_div(capacity, *block);
+                u128::from(*blocks_needed) == needed.min(u128::from(u64::MAX))
+                    && u128::from(*blocks_available) == available
+                    && needed > available
+            }
+        }
+    }
+}
+
+/// Minimum memory needed to place two time-overlapping buffers at
+/// disjoint, aligned addresses: the smaller of "first below second" and
+/// "second below first", where the upper buffer's base is the lower
+/// buffer's size rounded up to the upper buffer's alignment. Saturates at
+/// `u64::MAX`.
+pub(crate) fn pair_requirement(a: &Buffer, b: &Buffer) -> Size {
+    let a_below_b = align_up_u128(a.size(), b.align()) + u128::from(b.size());
+    let b_below_a = align_up_u128(b.size(), a.align()) + u128::from(a.size());
+    u64::try_from(a_below_b.min(b_below_a)).unwrap_or(u64::MAX)
+}
+
+pub(crate) fn ceil_div(value: Size, divisor: Size) -> u128 {
+    debug_assert!(divisor > 0);
+    u128::from(value).div_ceil(u128::from(divisor))
+}
+
+fn align_up_u128(value: Size, align: Size) -> u128 {
+    debug_assert!(align > 0);
+    ceil_div(value, align) * u128::from(align)
+}
+
+impl std::fmt::Display for Certificate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Certificate::OversizedBuffer {
+                buffer,
+                size,
+                capacity,
+            } => write!(
+                f,
+                "buffer {buffer} of size {size} exceeds memory capacity {capacity}"
+            ),
+            Certificate::ContentionBound {
+                time,
+                contention,
+                capacity,
+            } => write!(
+                f,
+                "contention {contention} at time {time} exceeds memory capacity {capacity}"
+            ),
+            Certificate::PairPigeonhole {
+                first,
+                second,
+                required,
+                capacity,
+            } => write!(
+                f,
+                "simultaneously live buffers {first} and {second} need {required} \
+                 aligned bytes in any order, exceeding memory capacity {capacity}"
+            ),
+            Certificate::BlockBound {
+                time,
+                block,
+                members,
+                blocks_needed,
+                blocks_available,
+                ..
+            } => write!(
+                f,
+                "{} buffers live at time {time} with alignments divisible by {block} \
+                 need {blocks_needed} blocks of {block} but only {blocks_available} fit in memory",
+                members.len()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Certificate {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tela_model::examples;
+
+    #[test]
+    fn contention_certificate_verifies_against_its_problem_only() {
+        let p = examples::infeasible();
+        let cert = Certificate::ContentionBound {
+            time: 0,
+            contention: 9,
+            capacity: 8,
+        };
+        assert!(cert.verify(&p));
+        // Same claim against an unrelated (feasible) problem is rejected.
+        assert!(!cert.verify(&examples::tiny()));
+    }
+
+    #[test]
+    fn tampered_certificates_are_rejected() {
+        let p = examples::infeasible();
+        let wrong_math = Certificate::ContentionBound {
+            time: 0,
+            contention: 7, // actual contention is 9; 7 ≤ 8 proves nothing
+            capacity: 8,
+        };
+        assert!(!wrong_math.verify(&p));
+        let out_of_range = Certificate::OversizedBuffer {
+            buffer: BufferId::new(99),
+            size: 100,
+            capacity: 8,
+        };
+        assert!(!out_of_range.verify(&p));
+    }
+
+    #[test]
+    fn block_bound_rejects_duplicate_members() {
+        let p = examples::infeasible();
+        let cert = Certificate::BlockBound {
+            time: 0,
+            block: 1,
+            members: vec![BufferId::new(0); 3], // 3 copies of one buffer
+            blocks_needed: 9,
+            blocks_available: 8,
+            capacity: 8,
+        };
+        assert!(!cert.verify(&p));
+    }
+
+    #[test]
+    fn pair_requirement_accounts_for_alignment_padding() {
+        let plain = Buffer::new(0, 4, 10);
+        let aligned = Buffer::new(0, 4, 16).with_align(8);
+        // plain below aligned: align_up(10, 8) + 16 = 32.
+        // aligned below plain: 16 + 10 = 26.
+        assert_eq!(pair_requirement(&plain, &aligned), 26);
+        assert_eq!(pair_requirement(&aligned, &plain), 26);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let cert = Certificate::PairPigeonhole {
+            first: BufferId::new(0),
+            second: BufferId::new(1),
+            required: 40,
+            capacity: 32,
+        };
+        let text = cert.to_string();
+        assert!(text.contains("b0") && text.contains("b1") && text.contains("40"));
+    }
+}

@@ -1,0 +1,50 @@
+//! Static preflight analysis for TelaMalloc allocation problems.
+//!
+//! Before any solver spends search budget on an instance, this crate
+//! answers three questions with certainty where it can:
+//!
+//! 1. **Is the instance provably infeasible?** A family of counting
+//!    arguments — per-slot contention (paper §3.1), alignment-aware
+//!    block pigeonholes over maximal live sets, and pairwise stacking
+//!    bounds — each produce a [`Certificate`]: a small witness that can
+//!    be independently re-checked against the problem with
+//!    [`Certificate::verify`].
+//! 2. **Is the instance degenerate enough to solve without search?**
+//!    Overlap-free instances and single-clique instances are solved
+//!    constructively and the solution validated before being returned.
+//! 3. **Otherwise**, the instance [`NeedsSearch`](Verdict::NeedsSearch)
+//!    and the audit hands back the [`InstanceStats`] it computed along
+//!    the way.
+//!
+//! The entry point is [`preflight`] (or [`preflight_with`] to select
+//! passes); every solver crate in the workspace calls it before
+//! searching, so infeasible inputs fail fast with an explanation instead
+//! of burning their step budget.
+//!
+//! # Example
+//!
+//! ```
+//! use tela_audit::{preflight, Verdict};
+//! use tela_model::examples;
+//!
+//! let problem = examples::infeasible();
+//! match preflight(&problem) {
+//!     Verdict::ProvablyInfeasible(cert) => {
+//!         assert!(cert.verify(&problem));
+//!         println!("rejected: {cert}");
+//!     }
+//!     other => panic!("expected a certificate, got {other:?}"),
+//! }
+//! ```
+//!
+//! [`InstanceStats`]: tela_model::InstanceStats
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod certificate;
+pub mod passes;
+mod preflight;
+
+pub use certificate::Certificate;
+pub use preflight::{preflight, preflight_with, AuditConfig, Verdict};

@@ -1,0 +1,325 @@
+//! Individual certificate-producing analysis passes.
+//!
+//! Each pass inspects one structural aspect of a [`Problem`] and returns
+//! a [`Certificate`] if it can prove infeasibility, or `None` if that
+//! aspect is inconclusive. Passes never prove feasibility; the trivial
+//! constructive path lives in [`trivial_solution`]. All certificates
+//! returned here satisfy [`Certificate::verify`] by construction — the
+//! ground-truth property tests in this crate enforce that.
+
+use tela_model::{Buffer, BufferId, LiveSet, Problem, Size, Solution};
+
+use crate::certificate::{ceil_div, pair_requirement, Certificate};
+
+/// Rejects problems containing a buffer larger than the whole memory.
+///
+/// [`Problem::new`] already refuses to build such instances, so this pass
+/// is a cheap defense-in-depth check for problems arriving through other
+/// paths (deserialization, capacity sweeps); it keeps the audit's
+/// soundness independent of constructor guarantees.
+pub fn oversized_buffer(problem: &Problem) -> Option<Certificate> {
+    problem.iter().find_map(|(id, b)| {
+        (b.size() > problem.capacity()).then(|| Certificate::OversizedBuffer {
+            buffer: id,
+            size: b.size(),
+            capacity: problem.capacity(),
+        })
+    })
+}
+
+/// The paper's structural lower bound (§3.1): if the total size of live
+/// buffers at any time step exceeds capacity, no packing exists. Runs in
+/// `O(n + horizon)` off the problem's contention profile.
+pub fn contention_bound(problem: &Problem) -> Option<Certificate> {
+    let profile = problem.contention();
+    profile
+        .as_slice()
+        .iter()
+        .enumerate()
+        .find(|&(_, &c)| c > problem.capacity())
+        .map(|(t, &c)| Certificate::ContentionBound {
+            time: t as u32,
+            contention: c,
+            capacity: problem.capacity(),
+        })
+}
+
+/// Pairwise pigeonhole: two simultaneously live buffers must stack in
+/// one of two vertical orders, and alignment padding can push both
+/// orders past capacity even when raw contention fits. Cost is
+/// `O(n log n + k)` over the `k` time-overlapping pairs.
+pub fn pair_pigeonhole<'a>(
+    problem: &Problem,
+    pairs: impl IntoIterator<Item = &'a (BufferId, BufferId)>,
+) -> Option<Certificate> {
+    pairs.into_iter().find_map(|&(first, second)| {
+        let required = pair_requirement(problem.buffer(first), problem.buffer(second));
+        (required > problem.capacity()).then_some(Certificate::PairPigeonhole {
+            first,
+            second,
+            required,
+            capacity: problem.capacity(),
+        })
+    })
+}
+
+/// Alignment-aware contention: within one maximal live set, take the gcd
+/// `A` of all member alignments. Every member starts at a multiple of
+/// `A`, so members occupy pairwise-disjoint `A`-blocks and each consumes
+/// `ceil(size/A)` of the `ceil(capacity/A)` blocks that fit below the
+/// capacity. With `A = 1` this degenerates to [`contention_bound`], so
+/// sets whose gcd is 1 are skipped.
+pub fn aligned_contention_bound(problem: &Problem, sets: &[LiveSet]) -> Option<Certificate> {
+    sets.iter().find_map(|set| {
+        let block = set
+            .members
+            .iter()
+            .map(|id| problem.buffer(*id).align())
+            .fold(0, gcd);
+        if block <= 1 {
+            return None;
+        }
+        block_bound_for(problem, set, block, &set.members)
+    })
+}
+
+/// Maximal-clique block bound: strictly stronger than
+/// [`aligned_contention_bound`] on mixed-alignment cliques. For each
+/// maximal live set and each distinct member alignment `a > 1`, count
+/// only the members whose alignment is a multiple of `a` — those members
+/// alone occupy disjoint `a`-blocks, so a coarse-aligned sub-clique can
+/// be overcommitted even when the whole set's gcd collapses to 1.
+pub fn clique_block_bound(problem: &Problem, sets: &[LiveSet]) -> Option<Certificate> {
+    sets.iter().find_map(|set| {
+        let mut aligns: Vec<Size> = set
+            .members
+            .iter()
+            .map(|id| problem.buffer(*id).align())
+            .filter(|&a| a > 1)
+            .collect();
+        aligns.sort_unstable();
+        aligns.dedup();
+        aligns.into_iter().find_map(|block| {
+            let members: Vec<BufferId> = set
+                .members
+                .iter()
+                .copied()
+                .filter(|id| problem.buffer(*id).align().is_multiple_of(block))
+                .collect();
+            if members.len() < 2 {
+                // A lone in-capacity buffer can never overcommit blocks.
+                return None;
+            }
+            block_bound_for(problem, set, block, &members)
+        })
+    })
+}
+
+fn block_bound_for(
+    problem: &Problem,
+    set: &LiveSet,
+    block: Size,
+    members: &[BufferId],
+) -> Option<Certificate> {
+    let needed: u128 = members
+        .iter()
+        .map(|id| ceil_div(problem.buffer(*id).size(), block))
+        .sum();
+    let available = ceil_div(problem.capacity(), block);
+    (needed > available).then(|| Certificate::BlockBound {
+        time: set.time,
+        block,
+        members: members.to_vec(),
+        blocks_needed: u64::try_from(needed).unwrap_or(u64::MAX),
+        blocks_available: u64::try_from(available).unwrap_or(u64::MAX),
+        capacity: problem.capacity(),
+    })
+}
+
+/// Constructive fast path for degenerate instances, cross-checked with
+/// [`Solution::validate`] before being returned:
+///
+/// - **No time overlaps at all**: every buffer goes to address 0 (which
+///   satisfies any alignment).
+/// - **A single clique** (every pair overlaps, `k = n(n-1)/2`): stack the
+///   buffers bottom-up in descending-alignment order; if the aligned
+///   stack height fits in capacity the stacking is a solution. A stack
+///   that overflows proves nothing (a different order might fit), so
+///   `None` is returned and the instance goes to search.
+pub fn trivial_solution(problem: &Problem, pair_count: usize) -> Option<Solution> {
+    let n = problem.len();
+    if pair_count == 0 {
+        return checked(problem, Solution::new(vec![0; n]));
+    }
+    if pair_count == n * (n - 1) / 2 {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| {
+            let b = &problem.buffers()[i];
+            (std::cmp::Reverse(b.align()), std::cmp::Reverse(b.size()), i)
+        });
+        let mut addresses = vec![0u64; n];
+        let mut top: u64 = 0;
+        for &i in &order {
+            let b: &Buffer = &problem.buffers()[i];
+            let base = b.align_up(top)?;
+            addresses[i] = base;
+            top = base.checked_add(b.size())?;
+        }
+        if top <= problem.capacity() {
+            return checked(problem, Solution::new(addresses));
+        }
+    }
+    None
+}
+
+fn checked(problem: &Problem, solution: Solution) -> Option<Solution> {
+    match solution.validate(problem) {
+        Ok(_) => Some(solution),
+        Err(err) => {
+            debug_assert!(false, "trivial solution failed validation: {err}");
+            None
+        }
+    }
+}
+
+fn gcd(a: Size, b: Size) -> Size {
+    if a == 0 {
+        b
+    } else {
+        gcd(b % a, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tela_model::{examples, maximal_live_sets, Buffer};
+
+    fn pairs(problem: &Problem) -> Vec<(BufferId, BufferId)> {
+        problem.overlapping_pairs().collect()
+    }
+
+    #[test]
+    fn contention_bound_catches_overcommit() {
+        let cert = contention_bound(&examples::infeasible()).expect("provably infeasible");
+        assert!(matches!(
+            cert,
+            Certificate::ContentionBound {
+                contention: 9,
+                capacity: 8,
+                ..
+            }
+        ));
+        assert!(cert.verify(&examples::infeasible()));
+    }
+
+    #[test]
+    fn contention_bound_passes_tight_feasible_instance() {
+        assert_eq!(contention_bound(&examples::figure1()), None);
+        assert_eq!(contention_bound(&examples::aligned()), None);
+    }
+
+    #[test]
+    fn pair_pigeonhole_sees_alignment_padding() {
+        // Raw sizes 5 + 6 = 11 ≤ 12, but whichever buffer sits on top
+        // starts at align_up(bottom, 8) = 8, so the stack needs 13 or 14.
+        let p = Problem::builder(12)
+            .buffer(Buffer::new(0, 4, 5).with_align(8))
+            .buffer(Buffer::new(0, 4, 6).with_align(8))
+            .build()
+            .unwrap();
+        assert_eq!(contention_bound(&p), None);
+        let cert = pair_pigeonhole(&p, &pairs(&p)).expect("pair cannot fit");
+        assert!(matches!(
+            cert,
+            Certificate::PairPigeonhole { required: 13, .. }
+        ));
+        assert!(cert.verify(&p));
+    }
+
+    #[test]
+    fn aligned_contention_counts_blocks() {
+        // Three 64-aligned buffers of size 1 live together: 3 blocks
+        // needed, but only ceil(100/64) = 2 block slots exist.
+        let p = Problem::builder(100)
+            .buffers((0..3).map(|_| Buffer::new(0, 2, 1).with_align(64)))
+            .build()
+            .unwrap();
+        let sets = maximal_live_sets(&p);
+        let cert = aligned_contention_bound(&p, &sets).expect("blocks overcommitted");
+        assert!(matches!(
+            cert,
+            Certificate::BlockBound {
+                block: 64,
+                blocks_needed: 3,
+                blocks_available: 2,
+                ..
+            }
+        ));
+        assert!(cert.verify(&p));
+    }
+
+    #[test]
+    fn clique_bound_isolates_coarse_subclique() {
+        // An unaligned buffer drags the live-set gcd to 1, hiding the
+        // overcommitted 64-aligned trio from the gcd pass; the per-align
+        // sub-clique pass still finds it.
+        let p = Problem::builder(100)
+            .buffers((0..3).map(|_| Buffer::new(0, 2, 1).with_align(64)))
+            .buffer(Buffer::new(0, 2, 1))
+            .build()
+            .unwrap();
+        let sets = maximal_live_sets(&p);
+        assert_eq!(aligned_contention_bound(&p, &sets), None);
+        let cert = clique_block_bound(&p, &sets).expect("sub-clique overcommitted");
+        assert!(matches!(
+            &cert,
+            Certificate::BlockBound { block: 64, members, .. } if members.len() == 3
+        ));
+        assert!(cert.verify(&p));
+    }
+
+    #[test]
+    fn trivial_solution_places_disjoint_buffers_at_zero() {
+        let p = Problem::builder(10)
+            .buffers((0..4).map(|i| Buffer::new(i * 2, i * 2 + 2, 7)))
+            .build()
+            .unwrap();
+        let sol = trivial_solution(&p, 0).expect("disjoint instance is trivial");
+        assert!(sol.addresses().iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn trivial_solution_stacks_single_clique() {
+        let p = Problem::builder(64)
+            .buffer(Buffer::new(0, 4, 10))
+            .buffer(Buffer::new(0, 4, 20).with_align(32))
+            .buffer(Buffer::new(0, 4, 8).with_align(8))
+            .build()
+            .unwrap();
+        let k = pairs(&p).len();
+        assert_eq!(k, 3);
+        let sol = trivial_solution(&p, k).expect("stack fits");
+        assert!(sol.validate(&p).is_ok());
+    }
+
+    #[test]
+    fn trivial_solution_declines_tight_or_mixed_instances() {
+        // figure1 is neither overlap-free nor a single clique.
+        let p = examples::figure1();
+        assert_eq!(trivial_solution(&p, pairs(&p).len()), None);
+    }
+
+    #[test]
+    fn oversized_pass_matches_constructor_guard() {
+        // Problems built through Problem::new can never trip this pass.
+        for p in [
+            examples::figure1(),
+            examples::tiny(),
+            examples::infeasible(),
+            examples::aligned(),
+        ] {
+            assert_eq!(oversized_buffer(&p), None);
+        }
+    }
+}

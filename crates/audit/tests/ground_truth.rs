@@ -1,0 +1,133 @@
+//! Soundness of the static audit against ground truth on small random
+//! instances:
+//!
+//! - `ProvablyInfeasible` must imply that exhaustive enumeration finds
+//!   no packing (and the complete CP search agrees),
+//! - `TriviallyFeasible` solutions must validate against the problem,
+//! - every certificate must pass its own independent verification.
+
+use proptest::prelude::*;
+use tela_audit::{preflight, Verdict};
+use tela_model::{Budget, Buffer, Problem, SolveOutcome};
+
+/// Exhaustively decides feasibility by trying every address combination.
+fn brute_force_feasible(problem: &Problem) -> bool {
+    fn rec(problem: &Problem, chosen: &mut Vec<u64>) -> bool {
+        let idx = chosen.len();
+        if idx == problem.len() {
+            return true;
+        }
+        let b = problem.buffers()[idx];
+        let mut addr = 0u64;
+        while addr + b.size() <= problem.capacity() {
+            if addr.is_multiple_of(b.align()) {
+                let ok = problem.buffers()[..idx]
+                    .iter()
+                    .enumerate()
+                    .all(|(j, other)| {
+                        !other.overlaps_in_time(&b)
+                            || chosen[j] + other.size() <= addr
+                            || addr + b.size() <= chosen[j]
+                    });
+                if ok {
+                    chosen.push(addr);
+                    if rec(problem, chosen) {
+                        return true;
+                    }
+                    chosen.pop();
+                }
+            }
+            addr += 1;
+        }
+        false
+    }
+    rec(problem, &mut Vec::new())
+}
+
+fn buffer_strategy() -> impl Strategy<Value = Buffer> {
+    (
+        0u32..6,
+        1u32..5,
+        1u64..6,
+        prop_oneof![Just(1u64), Just(2), Just(4)],
+    )
+        .prop_map(|(start, len, size, align)| {
+            Buffer::new(start, start + len, size).with_align(align)
+        })
+}
+
+/// Capacities start low enough (at the maximum single size) that many
+/// generated instances are genuinely infeasible, exercising the
+/// certificate-producing passes rather than only `NeedsSearch`.
+fn problem_strategy() -> impl Strategy<Value = Problem> {
+    (prop::collection::vec(buffer_strategy(), 1..6), 5u64..13).prop_map(|(buffers, capacity)| {
+        // Every generated size (<= 5) fits in every capacity (>= 5).
+        Problem::new(buffers, capacity).expect("sizes below capacity")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn infeasibility_certificates_are_sound(problem in problem_strategy()) {
+        if let Verdict::ProvablyInfeasible(cert) = preflight(&problem) {
+            prop_assert!(cert.verify(&problem), "certificate fails verification: {cert}");
+            prop_assert!(
+                !brute_force_feasible(&problem),
+                "certified-infeasible instance has a packing: {cert} for {problem:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trivially_feasible_solutions_validate(problem in problem_strategy()) {
+        if let Verdict::TriviallyFeasible(solution) = preflight(&problem) {
+            prop_assert!(
+                solution.validate(&problem).is_ok(),
+                "trivial solution invalid: {:?} for {problem:?}",
+                solution.validate(&problem)
+            );
+        }
+    }
+
+    #[test]
+    fn preflight_agrees_with_complete_cp_search(problem in problem_strategy()) {
+        let verdict = preflight(&problem);
+        let (outcome, _) =
+            tela_cp::search::solve_cp_only(&problem, &Budget::steps(1_000_000));
+        match (&verdict, &outcome) {
+            (Verdict::ProvablyInfeasible(cert), SolveOutcome::Solved(s)) => {
+                prop_assert!(
+                    false,
+                    "audit certified {cert} but CP found {s:?} for {problem:?}"
+                );
+            }
+            (Verdict::TriviallyFeasible(_), SolveOutcome::Infeasible) => {
+                prop_assert!(false, "audit solved an instance CP proves infeasible");
+            }
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn preflight_agrees_with_ilp_when_audit_disabled(problem in problem_strategy()) {
+        // Run the ILP baseline with its own preflight off, so the two
+        // judgements are independent.
+        let config = tela_ilp::IlpConfig { preflight_audit: false, ..Default::default() };
+        let (outcome, _) =
+            tela_ilp::solve_ilp_with(&problem, &Budget::steps(1_000_000), &config);
+        match (preflight(&problem), outcome) {
+            (Verdict::ProvablyInfeasible(cert), SolveOutcome::Solved(s)) => {
+                prop_assert!(
+                    false,
+                    "audit certified {cert} but ILP found {s:?} for {problem:?}"
+                );
+            }
+            (Verdict::TriviallyFeasible(_), SolveOutcome::Infeasible) => {
+                prop_assert!(false, "audit solved an instance ILP proves infeasible");
+            }
+            _ => {}
+        }
+    }
+}

@@ -29,14 +29,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         labels: true,
         ..Style::default()
     };
-    std::fs::write(out.join("figure1.svg"), render_packing(&fig1, solution, &style))?;
+    std::fs::write(
+        out.join("figure1.svg"),
+        render_packing(&fig1, solution, &style),
+    )?;
 
     // Figure 3: live memory of BFC vs heuristic vs solver on ConvNet2D.
     let problem = problem_with_slack(ModelKind::ConvNet2d.generate(0), 10);
     let unbounded = problem.with_capacity(u64::MAX)?;
     let profile = |s: &Solution| s.live_profile(&unbounded);
-    let bfc = tela_heuristics::bfc::solve(&unbounded).solution.expect("unbounded bfc");
-    let greedy = tela_heuristics::greedy::solve(&unbounded).solution.expect("unbounded greedy");
+    let bfc = tela_heuristics::bfc::solve(&unbounded)
+        .solution
+        .expect("unbounded bfc");
+    let greedy = tela_heuristics::greedy::solve(&unbounded)
+        .solution
+        .expect("unbounded greedy");
     let tela = solve(&problem, &Budget::steps(1_000_000), &TelaConfig::default());
     let series = vec![
         ("bfc", profile(&bfc)),

@@ -51,6 +51,11 @@ pub struct TelaConfig {
     pub stuck_subtree_limit: u64,
     /// Solve time-disjoint sub-problems independently (§5.3).
     pub split_independent: bool,
+    /// Run the `tela-audit` static preflight before searching: provably
+    /// infeasible instances fail immediately with a
+    /// [`Certificate`](tela_audit::Certificate) and degenerate instances
+    /// are solved without search.
+    pub preflight_audit: bool,
     /// Shrink conflict explanations to irreducible sets before deriving
     /// backtrack targets (an extension over the paper; see
     /// `tela_cp::explain`). Costs extra solver probes per major
@@ -70,6 +75,7 @@ impl Default for TelaConfig {
             max_candidates_per_level: 16,
             stuck_subtree_limit: 100,
             split_independent: true,
+            preflight_audit: true,
             minimize_conflicts: false,
         }
     }
@@ -103,6 +109,7 @@ mod tests {
         assert!(c.conflict_guided_backtracking);
         assert!(c.candidate_prepending);
         assert_eq!(c.stuck_subtree_limit, 100);
+        assert!(c.preflight_audit);
     }
 
     #[test]

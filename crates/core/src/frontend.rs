@@ -4,6 +4,7 @@
 //! that fails does it fall back to TelaMalloc (which replaced the ILP
 //! stage). This module packages that pipeline behind one call.
 
+use tela_audit::Certificate;
 use tela_model::{Budget, Problem, SolveOutcome, SolveStats};
 
 use crate::config::TelaConfig;
@@ -27,6 +28,9 @@ pub struct PipelineResult {
     pub stage: Stage,
     /// Search statistics (zero for the heuristic stage).
     pub stats: SolveStats,
+    /// When the instance was rejected as infeasible by the static
+    /// preflight, the checkable witness explaining why.
+    pub certificate: Option<Certificate>,
 }
 
 /// The production allocator front-end: greedy heuristic first, then the
@@ -72,13 +76,20 @@ impl Allocator {
                 outcome: SolveOutcome::Solved(solution),
                 stage: Stage::Heuristic,
                 stats: SolveStats::default(),
+                certificate: None,
             };
         }
-        let TelaResult { outcome, stats, .. } = solve(problem, budget, &self.config);
+        let TelaResult {
+            outcome,
+            stats,
+            certificate,
+            ..
+        } = solve(problem, budget, &self.config);
         PipelineResult {
             outcome,
             stage: Stage::TelaMalloc,
             stats,
+            certificate,
         }
     }
 }
@@ -107,9 +118,12 @@ mod tests {
 
     #[test]
     fn infeasible_reported_by_search_stage() {
-        let r = Allocator::default().allocate(&examples::infeasible(), &Budget::unlimited());
+        let p = examples::infeasible();
+        let r = Allocator::default().allocate(&p, &Budget::unlimited());
         assert_eq!(r.stage, Stage::TelaMalloc);
         assert_eq!(r.outcome, SolveOutcome::Infeasible);
+        let cert = r.certificate.expect("preflight provides a witness");
+        assert!(cert.verify(&p));
     }
 
     #[test]

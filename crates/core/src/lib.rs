@@ -45,3 +45,6 @@ pub use backtrack::{
 pub use config::TelaConfig;
 pub use frontend::{Allocator, PipelineResult, Stage};
 pub use search::{solve, solve_with, TelaResult};
+// Re-exported so pipeline consumers can inspect infeasibility witnesses
+// without depending on tela-audit directly.
+pub use tela_audit::{Certificate, Verdict};

@@ -12,6 +12,7 @@
 use std::collections::VecDeque;
 use std::time::Instant;
 
+use tela_audit::{Certificate, Verdict};
 use tela_cp::{Conflict, CpSolver};
 use tela_heuristics::SelectionStrategy;
 use tela_model::{Address, Budget, BufferId, PhasePartition, Problem, SolveOutcome, SolveStats};
@@ -35,6 +36,9 @@ pub struct TelaResult {
     /// The successful decision path (placement order), empty unless
     /// solved.
     pub decisions: Vec<PlacedDecision>,
+    /// When the preflight audit proved infeasibility, the independently
+    /// checkable witness (see [`tela_audit::Certificate::verify`]).
+    pub certificate: Option<Certificate>,
 }
 
 /// Solves `problem` with the default configuration and backtrack policy.
@@ -75,6 +79,42 @@ pub fn solve_with(
     observer: &mut dyn SearchObserver,
 ) -> TelaResult {
     let start = Instant::now();
+    if config.preflight_audit {
+        match tela_audit::preflight(problem) {
+            Verdict::ProvablyInfeasible(cert) => {
+                let stats = SolveStats {
+                    elapsed: start.elapsed(),
+                    ..SolveStats::default()
+                };
+                return TelaResult {
+                    outcome: SolveOutcome::Infeasible,
+                    stats,
+                    decisions: Vec::new(),
+                    certificate: Some(cert),
+                };
+            }
+            Verdict::TriviallyFeasible(solution) => {
+                let decisions = problem
+                    .iter()
+                    .map(|(id, _)| PlacedDecision {
+                        block: id,
+                        address: solution.address(id),
+                    })
+                    .collect();
+                let stats = SolveStats {
+                    elapsed: start.elapsed(),
+                    ..SolveStats::default()
+                };
+                return TelaResult {
+                    outcome: SolveOutcome::Solved(solution),
+                    stats,
+                    decisions,
+                    certificate: None,
+                };
+            }
+            Verdict::NeedsSearch(_) => {}
+        }
+    }
     if config.split_independent {
         let groups = tela_model::split_independent(problem);
         if groups.len() > 1 {
@@ -123,6 +163,7 @@ fn solve_split(
                     outcome: other,
                     stats,
                     decisions: Vec::new(),
+                    certificate: None,
                 };
             }
         }
@@ -134,6 +175,7 @@ fn solve_split(
         outcome: SolveOutcome::Solved(solution),
         stats,
         decisions,
+        certificate: None,
     }
 }
 
@@ -204,6 +246,7 @@ impl<'a> Engine<'a> {
                     outcome: SolveOutcome::Infeasible,
                     stats: SolveStats::default(),
                     decisions: Vec::new(),
+                    certificate: None,
                 }
             }
         };
@@ -253,6 +296,7 @@ impl<'a> Engine<'a> {
                     outcome: SolveOutcome::Solved(solution),
                     stats: self.stats,
                     decisions: path,
+                    certificate: None,
                 };
             }
             if !self.current.queue_built {
@@ -287,6 +331,7 @@ impl<'a> Engine<'a> {
             outcome,
             stats: self.stats,
             decisions: Vec::new(),
+            certificate: None,
         }
     }
 
@@ -677,6 +722,65 @@ mod tests {
         let r = solve_default(&examples::infeasible());
         assert_eq!(r.outcome, SolveOutcome::Infeasible);
         assert_eq!(r.stats.steps, 0);
+        let cert = r.certificate.expect("audit provides a witness");
+        assert!(cert.verify(&examples::infeasible()));
+    }
+
+    #[test]
+    fn infeasible_detected_without_preflight_too() {
+        // With the audit disabled the CP model construction still rejects
+        // contention-infeasible instances, just without a certificate.
+        let cfg = TelaConfig {
+            preflight_audit: false,
+            ..TelaConfig::default()
+        };
+        let r = solve(&examples::infeasible(), &Budget::steps(500_000), &cfg);
+        assert_eq!(r.outcome, SolveOutcome::Infeasible);
+        assert_eq!(r.certificate, None);
+    }
+
+    #[test]
+    fn alignment_infeasible_needs_the_audit() {
+        // Contention 11 ≤ 12, but alignment padding makes the pair
+        // unpackable: only the audit's pigeonhole proves it; without the
+        // preflight the search exhausts and merely gives up.
+        let p = Problem::builder(12)
+            .buffer(Buffer::new(0, 4, 5).with_align(8))
+            .buffer(Buffer::new(0, 4, 6).with_align(8))
+            .build()
+            .unwrap();
+        let audited = solve_default(&p);
+        assert_eq!(audited.outcome, SolveOutcome::Infeasible);
+        assert_eq!(audited.stats.steps, 0);
+        assert!(audited.certificate.expect("witness").verify(&p));
+        let unaudited = solve(
+            &p,
+            &Budget::steps(500_000),
+            &TelaConfig {
+                preflight_audit: false,
+                ..TelaConfig::default()
+            },
+        );
+        assert!(!unaudited.outcome.is_solved());
+        assert!(unaudited.stats.steps > 0, "search had to try");
+    }
+
+    #[test]
+    fn trivially_feasible_instances_skip_search() {
+        // Pairwise time-disjoint: the audit solves it with zero steps and
+        // still reports a full decision path.
+        let p = Problem::builder(16)
+            .buffers((0..6).map(|i| Buffer::new(i * 2, i * 2 + 2, 16)))
+            .build()
+            .unwrap();
+        let r = solve_default(&p);
+        let solution = r.outcome.solution().expect("trivially feasible");
+        assert!(solution.validate(&p).is_ok());
+        assert_eq!(r.stats.steps, 0);
+        assert_eq!(r.decisions.len(), p.len());
+        for d in &r.decisions {
+            assert_eq!(solution.address(d.block), d.address);
+        }
     }
 
     #[test]

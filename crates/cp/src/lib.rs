@@ -51,4 +51,4 @@ mod sweep;
 
 pub use domain::Domain;
 pub use model::{CpModel, ModelError, PairId};
-pub use solver::{Conflict, CpSolver, OrderState};
+pub use solver::{Conflict, CpSolver, InvariantReport, OrderState};

@@ -4,6 +4,50 @@ use crate::domain::Domain;
 use crate::model::{CpModel, ModelError, PairId};
 use crate::sweep::lowest_fit;
 
+#[cfg(feature = "debug-invariants")]
+mod invariants;
+
+/// Counters from the `debug-invariants` runtime audit.
+///
+/// Without the feature both fields are always zero. With it, `checks`
+/// counts individual invariant evaluations; `violations` counts the
+/// ones that failed. In debug builds a violation panics immediately
+/// with a structured report, so a non-zero `violations` value is only
+/// observable in release builds (where the audit counts instead of
+/// aborting).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InvariantReport {
+    /// Individual invariant checks evaluated.
+    pub checks: u64,
+    /// Checks that failed.
+    pub violations: u64,
+}
+
+/// Pre-decision domain bounds captured for the shrink-monotonicity
+/// audit; a zero-sized placeholder when `debug-invariants` is off.
+#[cfg(feature = "debug-invariants")]
+type DomainsBefore = Vec<(Address, Address, bool)>;
+#[cfg(not(feature = "debug-invariants"))]
+type DomainsBefore = ();
+
+#[cfg(not(feature = "debug-invariants"))]
+impl CpSolver {
+    #[inline(always)]
+    fn audit_snapshot(&self) -> DomainsBefore {}
+    #[inline(always)]
+    fn audit_decision_fixpoint(&self, _before: &DomainsBefore) {}
+    #[inline(always)]
+    fn audit_conflict(&self, _conflict: &Conflict) {}
+    #[inline(always)]
+    fn audit_backtrack(&self, _target: usize) {}
+
+    /// Invariant audit counters: always zero unless the crate is built
+    /// with the `debug-invariants` feature.
+    pub fn invariant_report(&self) -> InvariantReport {
+        InvariantReport::default()
+    }
+}
+
 /// Decision state of one ordering pair `(x, y)` (with `x < y`):
 /// which buffer sits below the other in memory.
 ///
@@ -113,6 +157,8 @@ pub struct CpSolver {
     queue: Vec<u32>,
     in_queue: Vec<bool>,
     propagations: u64,
+    #[cfg(feature = "debug-invariants")]
+    audit: invariants::AuditCounters,
 }
 
 impl CpSolver {
@@ -147,6 +193,8 @@ impl CpSolver {
             queue: Vec::new(),
             in_queue: vec![false; n],
             propagations: 0,
+            #[cfg(feature = "debug-invariants")]
+            audit: invariants::AuditCounters::default(),
         }
     }
 
@@ -229,12 +277,15 @@ impl CpSolver {
     pub fn assign(&mut self, id: BufferId, addr: Address) -> Result<(), Conflict> {
         let var = id.index() as u32;
         debug_assert!(!self.fixed[id.index()], "buffer {id} is already assigned");
+        #[allow(clippy::let_unit_value)] // unit only without debug-invariants
+        let before = self.audit_snapshot();
         self.levels.push(LevelMark {
             trail_len: self.trail.len(),
             fixed_len: self.fixed_order.len(),
         });
         if !self.domains[id.index()].contains(addr) {
             let conflict = self.build_conflict(Some(var), &[var]);
+            self.audit_conflict(&conflict);
             self.pop_level();
             return Err(conflict);
         }
@@ -246,9 +297,13 @@ impl CpSolver {
         self.fixed_order.push(var);
         self.enqueue(var);
         match self.propagate() {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                self.audit_decision_fixpoint(&before);
+                Ok(())
+            }
             Err(conflict_vars) => {
                 let conflict = self.build_conflict(conflict_vars.first().copied(), &conflict_vars);
+                self.audit_conflict(&conflict);
                 self.pop_level();
                 Err(conflict)
             }
@@ -281,6 +336,8 @@ impl CpSolver {
             OrderState::SecondBelow => (y, x),
             OrderState::Undecided => panic!("cannot decide a pair to Undecided"),
         };
+        #[allow(clippy::let_unit_value)] // unit only without debug-invariants
+        let before = self.audit_snapshot();
         self.levels.push(LevelMark {
             trail_len: self.trail.len(),
             fixed_len: self.fixed_order.len(),
@@ -289,13 +346,17 @@ impl CpSolver {
             .decide_order(pair, state, below, above)
             .and_then(|()| self.propagate());
         match result {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                self.audit_decision_fixpoint(&before);
+                Ok(())
+            }
             Err(conflict_vars) => {
                 for &v in &self.queue {
                     self.in_queue[v as usize] = false;
                 }
                 self.queue.clear();
                 let conflict = self.build_conflict(conflict_vars.first().copied(), &conflict_vars);
+                self.audit_conflict(&conflict);
                 self.pop_level();
                 Err(conflict)
             }
@@ -358,6 +419,7 @@ impl CpSolver {
             self.in_queue[var as usize] = false;
         }
         self.queue.clear();
+        self.audit_backtrack(level);
     }
 
     /// The lowest feasible aligned address for `id` given the *fixed*
@@ -410,10 +472,12 @@ impl CpSolver {
                     .map(|&v| BufferId::new(v as usize))
                     .collect();
                 self.sort_by_assignment_order(&mut culprits);
-                return Err(Conflict {
+                let conflict = Conflict {
                     subject: Some(id),
                     culprits,
-                });
+                };
+                self.audit_conflict(&conflict);
+                return Err(conflict);
             }
         }
         Ok(())
@@ -821,6 +885,19 @@ mod tests {
         }
         let solution = s.solution().unwrap();
         assert!(solution.validate(&p).is_ok());
+    }
+
+    #[test]
+    fn invariant_report_matches_build_mode() {
+        let mut s = CpSolver::new(&examples::tiny()).unwrap();
+        s.assign(id(0), 0).unwrap();
+        let report = s.invariant_report();
+        assert_eq!(report.violations, 0);
+        if cfg!(feature = "debug-invariants") {
+            assert!(report.checks > 0, "audit hooks ran");
+        } else {
+            assert_eq!(report.checks, 0);
+        }
     }
 
     #[test]

@@ -1,0 +1,351 @@
+//! Runtime auditing of [`CpSolver`]'s internal invariants (the
+//! `debug-invariants` cargo feature).
+//!
+//! The solver's correctness rests on a handful of structural invariants
+//! that the type system cannot express. With the feature enabled, four
+//! families of checks run after every decision, conflict, and backtrack:
+//!
+//! 1. **Trail/level monotonicity** — level marks grow monotonically and
+//!    never point past the live trail, and the fixed-order stack agrees
+//!    with the per-buffer fixed flags.
+//! 2. **Domain-shrink monotonicity** — within one decision, propagation
+//!    only ever narrows domains (`lo` never decreases, `hi` never
+//!    increases), bounds stay aligned, and no domain is empty at a
+//!    successful fixpoint.
+//! 3. **Ordering ↔ address consistency** — every decided pair's bounds
+//!    satisfy `lo(above) ≥ lo(below) + size(below)` at the fixpoint, and
+//!    a pair whose two buffers are both fixed is never left undecided.
+//! 4. **Explanation well-formedness** — a [`Conflict`]'s culprits are
+//!    fixed placements (so backtracking targets exist) and contain no
+//!    duplicates.
+//!
+//! A violation panics with a structured report in debug builds; in
+//! release builds it is only counted, so production-shaped benchmark
+//! runs can measure the audit's overhead without aborting. Either way
+//! the counters are available through
+//! [`CpSolver::invariant_report`].
+
+use std::cell::Cell;
+
+use tela_model::Address;
+
+use super::{Conflict, CpSolver, DomainsBefore, InvariantReport, OrderState};
+
+/// Interior-mutable check/violation tallies: audits run from `&self`
+/// query paths as well as `&mut self` decision paths.
+#[derive(Debug, Default)]
+pub(super) struct AuditCounters {
+    checks: Cell<u64>,
+    violations: Cell<u64>,
+}
+
+impl AuditCounters {
+    pub(super) fn report(&self) -> InvariantReport {
+        InvariantReport {
+            checks: self.checks.get(),
+            violations: self.violations.get(),
+        }
+    }
+}
+
+impl CpSolver {
+    /// Captures every domain's bounds ahead of a decision, for the
+    /// shrink-monotonicity audit at the resulting fixpoint.
+    pub(super) fn audit_snapshot(&self) -> DomainsBefore {
+        self.domains.iter().map(|d| d.snapshot()).collect()
+    }
+
+    /// Full audit at a propagation fixpoint reached by a successful
+    /// [`assign`](CpSolver::assign) or [`decide`](CpSolver::decide).
+    pub(super) fn audit_decision_fixpoint(&self, before: &DomainsBefore) {
+        self.check(
+            self.queue.is_empty(),
+            "propagation queue drained at fixpoint",
+            || format!("{} entries left queued", self.queue.len()),
+        );
+        self.check_level_marks();
+        self.check_fixed_consistency();
+        self.check_domain_wellformedness(true);
+        self.check_domain_monotonicity(before);
+        self.check_decided_orders();
+    }
+
+    /// Audits a conflict explanation before the failed level is rolled
+    /// back (culprits must refer to placements that are still fixed).
+    pub(super) fn audit_conflict(&self, conflict: &Conflict) {
+        for &culprit in &conflict.culprits {
+            self.check(
+                self.fixed[culprit.index()],
+                "conflict culprits are fixed placements",
+                || format!("culprit {culprit} is not assigned in {conflict}"),
+            );
+        }
+        let mut seen = conflict.culprits.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        self.check(
+            seen.len() == conflict.culprits.len(),
+            "conflict culprits are unique",
+            || format!("duplicate culprit in {conflict}"),
+        );
+    }
+
+    /// Audits the restored state after [`pop_to_level`](CpSolver::pop_to_level).
+    ///
+    /// The restored state is an earlier fixpoint, so everything except
+    /// the monotonicity-relative-to-a-snapshot check applies.
+    pub(super) fn audit_backtrack(&self, target: usize) {
+        self.check(
+            self.level() == target,
+            "backtrack reaches its target",
+            || format!("asked for level {target}, at level {}", self.level()),
+        );
+        self.check(
+            self.queue.is_empty(),
+            "propagation queue cleared on backtrack",
+            || format!("{} entries left queued", self.queue.len()),
+        );
+        self.check_level_marks();
+        self.check_fixed_consistency();
+        self.check_domain_wellformedness(false);
+        self.check_decided_orders();
+    }
+
+    /// Invariant audit counters accumulated so far.
+    ///
+    /// `violations` stays zero in debug builds because the first
+    /// violation panics; release builds only count, so the field is
+    /// observable there.
+    pub fn invariant_report(&self) -> InvariantReport {
+        self.audit.report()
+    }
+
+    /// Level marks must be monotone and within the live trail and
+    /// fixed-order stacks.
+    fn check_level_marks(&self) {
+        let mut prev = (0usize, 0usize);
+        for (i, mark) in self.levels.iter().enumerate() {
+            self.check(
+                mark.trail_len >= prev.0 && mark.fixed_len >= prev.1,
+                "level marks are monotone",
+                || {
+                    format!(
+                        "level {i} mark (trail {}, fixed {}) below predecessor {prev:?}",
+                        mark.trail_len, mark.fixed_len
+                    )
+                },
+            );
+            prev = (mark.trail_len, mark.fixed_len);
+        }
+        self.check(
+            prev.0 <= self.trail.len() && prev.1 <= self.fixed_order.len(),
+            "level marks stay within the trail",
+            || {
+                format!(
+                    "last mark {prev:?} vs trail {} / fixed {}",
+                    self.trail.len(),
+                    self.fixed_order.len()
+                )
+            },
+        );
+    }
+
+    /// The fixed-order stack and the per-buffer flags must describe the
+    /// same set, and a fixed buffer's domain must be a singleton.
+    fn check_fixed_consistency(&self) {
+        let flagged = self.fixed.iter().filter(|&&f| f).count();
+        self.check(
+            flagged == self.fixed_order.len(),
+            "fixed flags agree with the assignment stack",
+            || {
+                format!(
+                    "{flagged} flags set, {} stack entries",
+                    self.fixed_order.len()
+                )
+            },
+        );
+        for &var in &self.fixed_order {
+            self.check(
+                self.fixed[var as usize],
+                "assignment stack entries are flagged fixed",
+                || format!("b{var} on the stack but not flagged"),
+            );
+            self.check(
+                self.domains[var as usize].is_fixed(),
+                "fixed buffers have singleton domains",
+                || {
+                    let d = &self.domains[var as usize];
+                    format!("b{var} fixed with domain [{}, {}]", d.lo(), d.hi())
+                },
+            );
+        }
+    }
+
+    /// Bounds stay aligned and within `[0, capacity - size]`; at a
+    /// fixpoint (`at_fixpoint`) no domain may be empty, since every
+    /// wipe-out must have surfaced as a propagation conflict.
+    fn check_domain_wellformedness(&self, at_fixpoint: bool) {
+        let capacity = self.problem().capacity();
+        for (i, d) in self.domains.iter().enumerate() {
+            if d.is_empty() {
+                self.check(!at_fixpoint, "no empty domains at a fixpoint", || {
+                    format!("b{i} wiped out without a conflict")
+                });
+                continue;
+            }
+            let b = &self.problem().buffers()[i];
+            self.check(
+                d.lo() <= d.hi()
+                    && d.lo().is_multiple_of(b.align())
+                    && d.hi().is_multiple_of(b.align()),
+                "domain bounds are ordered and aligned",
+                || {
+                    format!(
+                        "b{i} domain [{}, {}] with alignment {}",
+                        d.lo(),
+                        d.hi(),
+                        b.align()
+                    )
+                },
+            );
+            self.check(
+                d.hi() + b.size() <= capacity,
+                "domain upper bound respects capacity",
+                || {
+                    format!(
+                        "b{i} hi {} + size {} exceeds capacity {capacity}",
+                        d.hi(),
+                        b.size()
+                    )
+                },
+            );
+        }
+    }
+
+    /// Propagation within one decision only ever shrinks domains.
+    fn check_domain_monotonicity(&self, before: &[(Address, Address, bool)]) {
+        for (i, (&(lo, hi, empty), d)) in before.iter().zip(&self.domains).enumerate() {
+            self.check(
+                empty == d.is_empty() || !empty,
+                "propagation never revives a domain",
+                || format!("b{i} went from empty back to [{}, {}]", d.lo(), d.hi()),
+            );
+            if !d.is_empty() {
+                self.check(
+                    d.lo() >= lo && d.hi() <= hi,
+                    "propagation only shrinks domains",
+                    || format!("b{i} went from [{lo}, {hi}] to [{}, {}]", d.lo(), d.hi()),
+                );
+            }
+        }
+    }
+
+    /// Decided orderings must be reflected in the bounds, and two fixed
+    /// buffers of a time-overlapping pair must have an ordering decided
+    /// (propagation derives one from any disjoint placement).
+    fn check_decided_orders(&self) {
+        for (p, &state) in self.orders.iter().enumerate() {
+            let (x, y) = self.model.pair(p as u32);
+            let (below, above) = match state {
+                OrderState::FirstBelow => (x, y),
+                OrderState::SecondBelow => (y, x),
+                OrderState::Undecided => {
+                    self.check(
+                        !(self.fixed[x as usize] && self.fixed[y as usize]),
+                        "fixed pairs have a decided ordering",
+                        || format!("pair {p} (b{x}, b{y}) fixed but undecided"),
+                    );
+                    continue;
+                }
+            };
+            let db = &self.domains[below as usize];
+            let da = &self.domains[above as usize];
+            if db.is_empty() || da.is_empty() {
+                continue;
+            }
+            let size = self.problem().buffers()[below as usize].size();
+            self.check(
+                da.lo() >= db.lo() + size && db.hi() + size <= da.hi(),
+                "decided orderings hold on the bounds",
+                || {
+                    format!(
+                        "pair {p}: b{below} [{}, {}] not below b{above} [{}, {}] (size {size})",
+                        db.lo(),
+                        db.hi(),
+                        da.lo(),
+                        da.hi()
+                    )
+                },
+            );
+            if self.fixed[below as usize] && self.fixed[above as usize] {
+                self.check(
+                    db.lo() + size <= da.lo(),
+                    "fixed addresses respect the decided ordering",
+                    || {
+                        format!(
+                            "pair {p}: pos(b{below})={} size {size} overlaps pos(b{above})={}",
+                            db.lo(),
+                            da.lo()
+                        )
+                    },
+                );
+            }
+        }
+    }
+
+    /// Evaluates one invariant: tally it, and on failure panic with a
+    /// structured report in debug builds or count it in release builds.
+    fn check(&self, ok: bool, what: &str, detail: impl FnOnce() -> String) {
+        self.audit.checks.set(self.audit.checks.get() + 1);
+        if ok {
+            return;
+        }
+        self.audit.violations.set(self.audit.violations.get() + 1);
+        if cfg!(debug_assertions) {
+            panic!(
+                "tela-cp invariant violated: {what}\n  \
+                 state: level={} fixed={}/{} trail={} pairs={}\n  {}",
+                self.level(),
+                self.fixed_count(),
+                self.problem().len(),
+                self.trail.len(),
+                self.orders.len(),
+                detail()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use tela_model::{examples, BufferId};
+
+    use crate::CpSolver;
+
+    #[test]
+    fn healthy_search_audits_clean() {
+        let p = examples::figure1();
+        let addrs = [0u64, 2, 1, 0, 2, 3, 0, 2, 2, 0];
+        let mut s = CpSolver::new(&p).unwrap();
+        for (i, &a) in addrs.iter().enumerate() {
+            s.assign(BufferId::new(i), a).unwrap();
+        }
+        let report = s.invariant_report();
+        assert!(report.checks > 0, "audit ran");
+        assert_eq!(report.violations, 0);
+    }
+
+    #[test]
+    fn conflicts_and_backtracks_are_audited() {
+        let p = examples::tiny();
+        let mut s = CpSolver::new(&p).unwrap();
+        s.assign(BufferId::new(0), 0).unwrap();
+        // Overlapping placement: conflict path (explanation audit).
+        assert!(s.assign(BufferId::new(1), 0).is_err());
+        let after_conflict = s.invariant_report();
+        s.pop_to_level(0);
+        let after_pop = s.invariant_report();
+        assert!(after_pop.checks > after_conflict.checks);
+        assert_eq!(after_pop.violations, 0);
+    }
+}

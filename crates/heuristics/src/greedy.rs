@@ -28,6 +28,16 @@ use crate::HeuristicResult;
 /// assert_eq!(result.peak, 16);
 /// ```
 pub fn solve(problem: &Problem) -> HeuristicResult {
+    // Fail fast: when the static audit proves that some time step demands
+    // more memory than exists, no placement order can succeed — skip the
+    // skyline work and report the true peak demand (a lower bound every
+    // packing must reach, and here already over capacity).
+    if tela_audit::passes::contention_bound(problem).is_some() {
+        return HeuristicResult {
+            solution: None,
+            peak: problem.max_contention(),
+        };
+    }
     place_in_order(problem, &placement_order(problem))
 }
 
@@ -141,6 +151,18 @@ mod tests {
     fn peak_is_at_least_contention() {
         let p = examples::figure1();
         assert!(solve(&p).peak >= p.max_contention());
+    }
+
+    #[test]
+    fn contention_overload_fails_fast_with_honest_peak() {
+        // Three fully-overlapping size-3 buffers in 8 units of memory:
+        // the audit's contention pass rejects the instance before any
+        // placement, and the reported peak is the true lower bound.
+        let p = examples::infeasible();
+        let r = solve(&p);
+        assert!(r.solution.is_none());
+        assert_eq!(r.peak, p.max_contention());
+        assert!(r.peak > p.capacity());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use std::time::Instant;
 
+use tela_audit::Verdict;
 use tela_model::{Budget, Problem, Size, SolveOutcome, SolveStats};
 
 use crate::encoding::IlpEncoding;
@@ -25,6 +26,10 @@ pub struct IlpConfig {
     /// checks are expensive (dense simplex) but can prune subtrees that
     /// bound propagation keeps.
     pub lp_node_var_limit: usize,
+    /// Run the `tela-audit` static preflight before branching: provably
+    /// infeasible instances are rejected and degenerate instances solved
+    /// without expanding a single node.
+    pub preflight_audit: bool,
 }
 
 impl Default for IlpConfig {
@@ -33,6 +38,7 @@ impl Default for IlpConfig {
         // variables the LP costs more than the subtree it might prune.
         IlpConfig {
             lp_node_var_limit: 120,
+            preflight_audit: true,
         }
     }
 }
@@ -62,6 +68,21 @@ pub fn solve_ilp_with(
 ) -> (SolveOutcome, SolveStats) {
     let start = Instant::now();
     let mut stats = SolveStats::default();
+
+    if config.preflight_audit {
+        match tela_audit::preflight(problem) {
+            Verdict::ProvablyInfeasible(_) => {
+                stats.elapsed = start.elapsed();
+                return (SolveOutcome::Infeasible, stats);
+            }
+            Verdict::TriviallyFeasible(solution) => {
+                stats.elapsed = start.elapsed();
+                return (SolveOutcome::Solved(solution), stats);
+            }
+            Verdict::NeedsSearch(_) => {}
+        }
+    }
+
     let encoding = IlpEncoding::new(problem);
     let mut store = BoundStore::new(&encoding);
 
@@ -312,9 +333,45 @@ mod tests {
         let p = examples::figure1();
         let config = IlpConfig {
             lp_node_var_limit: 0,
+            ..IlpConfig::default()
         };
         let (outcome, _) = solve_ilp_with(&p, &Budget::steps(500_000), &config);
         assert!(outcome.solution().unwrap().validate(&p).is_ok());
+    }
+
+    #[test]
+    fn preflight_rejects_infeasibility_without_branching() {
+        let (outcome, stats) = solve(&examples::infeasible());
+        assert_eq!(outcome, SolveOutcome::Infeasible);
+        assert_eq!(stats.steps, 0);
+    }
+
+    #[test]
+    fn preflight_disabled_still_detects_infeasibility() {
+        let config = IlpConfig {
+            preflight_audit: false,
+            ..IlpConfig::default()
+        };
+        let (outcome, stats) =
+            solve_ilp_with(&examples::infeasible(), &Budget::steps(500_000), &config);
+        assert_eq!(outcome, SolveOutcome::Infeasible);
+        // Bound propagation has to do the work the audit would have done
+        // statically (it also catches this one at the root, step-free).
+        assert_eq!(stats.major_backtracks, 0);
+    }
+
+    #[test]
+    fn preflight_solves_single_clique_without_branching() {
+        // Two overlapping buffers form one clique; the audit stacks them
+        // directly instead of opening the branch-and-bound tree.
+        let p = Problem::builder(8)
+            .buffer(Buffer::new(0, 2, 3))
+            .buffer(Buffer::new(0, 2, 5))
+            .build()
+            .unwrap();
+        let (outcome, stats) = solve(&p);
+        assert!(outcome.solution().unwrap().validate(&p).is_ok());
+        assert_eq!(stats.steps, 0);
     }
 
     #[test]

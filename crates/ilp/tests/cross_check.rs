@@ -46,8 +46,8 @@ proptest! {
     #[test]
     fn lp_pruning_does_not_change_answers(problem in problem_strategy()) {
         let budget = Budget::steps(1_000_000);
-        let with_lp = solve_ilp_with(&problem, &budget, &IlpConfig { lp_node_var_limit: 500 }).0;
-        let without_lp = solve_ilp_with(&problem, &budget, &IlpConfig { lp_node_var_limit: 0 }).0;
+        let with_lp = solve_ilp_with(&problem, &budget, &IlpConfig { lp_node_var_limit: 500, ..IlpConfig::default() }).0;
+        let without_lp = solve_ilp_with(&problem, &budget, &IlpConfig { lp_node_var_limit: 0, ..IlpConfig::default() }).0;
         prop_assert_eq!(with_lp.is_solved(), without_lp.is_solved());
         prop_assert_eq!(
             matches!(with_lp, SolveOutcome::Infeasible),

@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::{Address, Problem, Size, Solution};
+use crate::{Address, BufferId, Problem, Size, Solution, TimeStep};
 
 /// Structural summary of one allocation problem.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -104,6 +104,61 @@ impl std::fmt::Display for InstanceStats {
             self.aligned_fraction * 100.0,
         )
     }
+}
+
+/// A maximal set of simultaneously live buffers; see
+/// [`maximal_live_sets`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LiveSet {
+    /// A time step at which every member is live.
+    pub time: TimeStep,
+    /// Members, sorted by id.
+    pub members: Vec<BufferId>,
+}
+
+/// Enumerates the maximal live sets of a problem: the sets of buffers
+/// that are all live at some common time step and to which no further
+/// buffer can be added.
+///
+/// Because the interference graph of fixed live ranges is an interval
+/// graph, these are exactly its maximal cliques, and there are at most
+/// `n` of them — every maximal clique is the live set at the latest
+/// start time among its members. The sweep visits distinct start times
+/// in order and emits the active set whenever some member dies before
+/// the next start event (or at the final event), which filters out
+/// dominated (non-maximal) sets.
+///
+/// Runs in `O(n log n)` time plus the total size of the emitted sets
+/// (worst case `O(n²)` when many long-lived buffers coexist).
+pub fn maximal_live_sets(problem: &Problem) -> Vec<LiveSet> {
+    let buffers = problem.buffers();
+    let mut order: Vec<usize> = (0..buffers.len()).collect();
+    order.sort_by_key(|&i| buffers[i].start());
+
+    let mut sets = Vec::new();
+    let mut active: Vec<usize> = Vec::new();
+    let mut next = 0;
+    while next < order.len() {
+        let t = buffers[order[next]].start();
+        active.retain(|&a| buffers[a].end() > t);
+        while next < order.len() && buffers[order[next]].start() == t {
+            active.push(order[next]);
+            next += 1;
+        }
+        let maximal = match order.get(next) {
+            // A later start grows this set unless a member dies first.
+            Some(&j) => active
+                .iter()
+                .any(|&a| buffers[a].end() <= buffers[j].start()),
+            None => true,
+        };
+        if maximal {
+            let mut members: Vec<BufferId> = active.iter().map(|&a| BufferId::new(a)).collect();
+            members.sort_unstable();
+            sets.push(LiveSet { time: t, members });
+        }
+    }
+    sets
 }
 
 /// Quality summary of one packing.
@@ -215,6 +270,49 @@ mod tests {
         assert_eq!(stats.peak, 14);
         assert!(stats.mean_utilization < 1.0);
         assert!(stats.peak_over_contention > 1.0);
+    }
+
+    #[test]
+    fn maximal_live_sets_are_the_maximal_cliques() {
+        // Intervals: a=[0,5) b=[1,3) c=[2,9) d=[4,6). Maximal cliques:
+        // {a,b,c} (at t=2), {a,c,d} (at t=4), {c} alone after d dies...
+        // {c,d} ends at 6 leaving {c}, but {c} ⊂ {a,c,d} so it is not
+        // maximal.
+        let p = Problem::builder(100)
+            .buffer(Buffer::new(0, 5, 1))
+            .buffer(Buffer::new(1, 3, 1))
+            .buffer(Buffer::new(2, 9, 1))
+            .buffer(Buffer::new(4, 6, 1))
+            .build()
+            .unwrap();
+        let sets = maximal_live_sets(&p);
+        let members: Vec<Vec<usize>> = sets
+            .iter()
+            .map(|s| s.members.iter().map(|b| b.index()).collect())
+            .collect();
+        assert_eq!(members, vec![vec![0, 1, 2], vec![0, 2, 3]]);
+        for set in &sets {
+            for id in &set.members {
+                assert!(p.buffer(*id).live_at(set.time));
+            }
+        }
+    }
+
+    #[test]
+    fn maximal_live_sets_of_disjoint_buffers_are_singletons() {
+        let p = Problem::builder(100)
+            .buffers((0..4).map(|i| Buffer::new(i * 3, i * 3 + 2, 1)))
+            .build()
+            .unwrap();
+        let sets = maximal_live_sets(&p);
+        assert_eq!(sets.len(), 4);
+        assert!(sets.iter().all(|s| s.members.len() == 1));
+    }
+
+    #[test]
+    fn maximal_live_sets_empty_problem() {
+        let p = Problem::builder(10).build().unwrap();
+        assert!(maximal_live_sets(&p).is_empty());
     }
 
     #[test]

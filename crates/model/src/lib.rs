@@ -38,7 +38,7 @@ mod solution;
 mod split;
 mod trace;
 
-pub use analysis::{InstanceStats, PackingStats};
+pub use analysis::{maximal_live_sets, InstanceStats, LiveSet, PackingStats};
 pub use budget::{Budget, SolveError, SolveOutcome, SolveStats};
 pub use buffer::{Buffer, BufferId};
 pub use contention::{ContentionProfile, Phase, PhasePartition};

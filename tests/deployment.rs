@@ -87,7 +87,10 @@ fn heuristic_family_never_produces_invalid_packings() {
             if let Some(s) = r.solution {
                 assert!(s.validate(&problem).is_ok(), "seed {seed}");
             } else {
-                assert!(r.peak > problem.capacity(), "seed {seed}: failure implies overshoot");
+                assert!(
+                    r.peak > problem.capacity(),
+                    "seed {seed}: failure implies overshoot"
+                );
             }
         }
     }

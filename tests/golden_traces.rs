@@ -32,7 +32,10 @@ fn model_traces_have_expected_structure() {
     );
 
     let stereonet = load("stereonet_110.trace");
-    assert!(stereonet.buffers().iter().any(|b| b.size() * 3 >= stereonet.max_contention()));
+    assert!(stereonet
+        .buffers()
+        .iter()
+        .any(|b| b.size() * 3 >= stereonet.max_contention()));
 }
 
 #[test]
@@ -59,8 +62,7 @@ fn certified_trace_is_tight() {
     // Certified instances use their construction packing's exact peak as
     // the capacity: zero slack, maximally hard while provably solvable.
     let p = load("certified_005.trace");
-    let result =
-        telamalloc::solve(&p, &Budget::steps(500_000), &TelaConfig::default());
+    let result = telamalloc::solve(&p, &Budget::steps(500_000), &TelaConfig::default());
     if let Some(s) = result.outcome.solution() {
         let peak = s.validate(&p).expect("valid");
         assert!(peak <= p.capacity());
