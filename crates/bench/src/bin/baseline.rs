@@ -1,0 +1,163 @@
+//! Portfolio-vs-single-variant baseline, emitting `BENCH_pr2.json`.
+//!
+//! Runs every default portfolio variant solo over a mixed workload,
+//! then the portfolio race itself at `--threads` workers, and reports
+//! solved count, total steps, and per-instance wall-time median for
+//! each. The JSON artifact is the regression record for the
+//! parallel-portfolio PR: the race must solve at least as many
+//! instances as the best single variant, in less median wall-time.
+//!
+//! The default mix is tail-weighted — mostly tight certified-solvable
+//! instances, plus sweep-family instances as the easy control — because
+//! the portfolio targets the contention tail (§7.3): easy instances are
+//! settled by the sequential base-variant sprint at single-thread
+//! speed, and the race only spawns for instances the sprint cannot.
+//!
+//! Flags: `--inputs N` (sweep inputs, default 4 → 8 configurations),
+//! `--certified N` (tight instances, default 14 → 28 configurations),
+//! `--steps S` (per-run cap, default 200000), `--threads T` (portfolio
+//! workers, default 4), `--repeats R` (timed runs per instance, default
+//! 3), `--out PATH` (default `BENCH_pr2.json`).
+
+use tela_bench::{arg_string, arg_usize, median_time, TextTable};
+use tela_model::{Budget, SolveOutcome};
+use tela_workloads::sweep::{certified_configs, sweep_configs, SweepConfig};
+use telamalloc::{default_variants, solve, solve_portfolio, TelaConfig};
+
+struct Row {
+    name: String,
+    solved: usize,
+    total: usize,
+    steps: u64,
+    median_wall_ms: f64,
+    max_wall_ms: f64,
+}
+
+fn median_ms(walls: &mut [f64]) -> f64 {
+    walls.sort_unstable_by(f64::total_cmp);
+    walls[walls.len() / 2]
+}
+
+fn measure(
+    name: &str,
+    configs: &[SweepConfig],
+    repeats: usize,
+    mut run: impl FnMut(&SweepConfig) -> (SolveOutcome, u64),
+) -> Row {
+    let mut walls = Vec::with_capacity(configs.len());
+    let mut solved = 0;
+    let mut steps = 0;
+    for config in configs {
+        let (wall, (outcome, run_steps)) = median_time(repeats, || run(config));
+        walls.push(wall.as_secs_f64() * 1e3);
+        if outcome.is_solved() {
+            solved += 1;
+            steps += run_steps;
+        }
+    }
+    let max_wall_ms = walls.iter().copied().fold(0.0, f64::max);
+    Row {
+        name: name.to_string(),
+        solved,
+        total: configs.len(),
+        steps,
+        median_wall_ms: median_ms(&mut walls),
+        max_wall_ms,
+    }
+}
+
+fn main() {
+    let inputs = arg_usize("--inputs", 4);
+    let certified = arg_usize("--certified", 14);
+    let step_cap = arg_usize("--steps", 200_000) as u64;
+    let threads = arg_usize("--threads", 4);
+    let repeats = arg_usize("--repeats", 3).max(1);
+    let out = arg_string("--out", "BENCH_pr2.json");
+
+    let mut configs = sweep_configs(inputs);
+    configs.extend(certified_configs(certified));
+
+    println!(
+        "# portfolio baseline: {} configurations, step cap {step_cap}, portfolio @{threads} threads",
+        configs.len()
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for variant in default_variants(&TelaConfig::default()) {
+        rows.push(measure(&variant.name, &configs, repeats, |c| {
+            let r = solve(&c.problem, &Budget::steps(step_cap), &variant.config);
+            (r.outcome, r.stats.steps)
+        }));
+    }
+    let race_config = TelaConfig {
+        threads,
+        ..TelaConfig::default()
+    };
+    let portfolio_name = format!("portfolio@{threads}");
+    rows.push(measure(&portfolio_name, &configs, repeats, |c| {
+        let race = solve_portfolio(&c.problem, &Budget::steps(step_cap), &race_config);
+        (race.result.outcome, race.result.stats.steps)
+    }));
+
+    let mut table = TextTable::new([
+        "Variant",
+        "Solved",
+        "Steps (solved)",
+        "Median wall",
+        "Max wall",
+    ]);
+    for row in &rows {
+        table.row([
+            row.name.clone(),
+            format!("{}/{}", row.solved, row.total),
+            row.steps.to_string(),
+            format!("{:.2}ms", row.median_wall_ms),
+            format!("{:.2}ms", row.max_wall_ms),
+        ]);
+    }
+    print!("{}", table.render());
+
+    let best_single = rows[..rows.len() - 1]
+        .iter()
+        .max_by(|a, b| {
+            (a.solved, -a.median_wall_ms)
+                .partial_cmp(&(b.solved, -b.median_wall_ms))
+                .expect("wall times are finite")
+        })
+        .expect("at least one single variant");
+    let portfolio = rows.last().expect("portfolio row");
+    println!(
+        "\n# best single variant: {} ({}/{} solved, median {:.2}ms)",
+        best_single.name, best_single.solved, best_single.total, best_single.median_wall_ms
+    );
+    println!(
+        "# portfolio@{threads}: {}/{} solved, median {:.2}ms",
+        portfolio.solved, portfolio.total, portfolio.median_wall_ms
+    );
+
+    let json = render_json(&rows, step_cap, threads, configs.len());
+    std::fs::write(&out, json).expect("write benchmark artifact");
+    println!("# wrote {out}");
+}
+
+/// Hand-rolled JSON (the workspace is offline; no serde).
+fn render_json(rows: &[Row], step_cap: u64, threads: usize, configs: usize) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!(
+        "  \"bench\": \"baseline\",\n  \"configurations\": {configs},\n  \"step_cap\": {step_cap},\n  \"portfolio_threads\": {threads},\n  \"variants\": [\n"
+    ));
+    for (i, row) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"solved\": {}, \"total\": {}, \"steps\": {}, \"median_wall_ms\": {:.3}, \"max_wall_ms\": {:.3}}}{}\n",
+            row.name,
+            row.solved,
+            row.total,
+            row.steps,
+            row.median_wall_ms,
+            row.max_wall_ms,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

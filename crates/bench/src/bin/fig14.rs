@@ -9,7 +9,8 @@
 //! 1.36-1.80× geomean step advantage.
 //!
 //! Flags: `--inputs N` (default 120; 596 reproduces the paper's scale),
-//! `--steps S` (cap, default 500000), `--threads T`.
+//! `--steps S` (cap, default 500000), `--threads T`, `--portfolio P`
+//! (0 = off; otherwise adds a portfolio-race row at `P` workers).
 
 use std::sync::Mutex;
 
@@ -17,28 +18,32 @@ use tela_bench::{arg_usize, TextTable};
 use tela_heuristics::SelectionStrategy;
 use tela_model::Budget;
 use tela_workloads::sweep::{sweep_configs, SweepConfig};
-use telamalloc::{solve, TelaConfig};
+use telamalloc::{solve, solve_portfolio, TelaConfig};
 
 #[derive(Clone)]
 struct Variant {
-    name: &'static str,
+    name: String,
     config: TelaConfig,
 }
 
-fn variants() -> Vec<Variant> {
+fn variants(portfolio: usize) -> Vec<Variant> {
     let mut v = vec![Variant {
-        name: "TelaMalloc",
+        name: "TelaMalloc".to_string(),
         config: TelaConfig::default(),
     }];
-    for (name, strategy) in [
-        ("max-size", SelectionStrategy::MaxSize),
-        ("max-area", SelectionStrategy::MaxArea),
-        ("max-lifetime", SelectionStrategy::MaxLifetime),
-        ("lowest-position", SelectionStrategy::LowestPosition),
-    ] {
+    for strategy in SelectionStrategy::ALL {
         v.push(Variant {
-            name,
+            name: strategy.to_string(),
             config: TelaConfig::single_strategy(strategy),
+        });
+    }
+    if portfolio > 0 {
+        v.push(Variant {
+            name: format!("portfolio@{portfolio}"),
+            config: TelaConfig {
+                threads: portfolio,
+                ..TelaConfig::default()
+            },
         });
     }
     v
@@ -48,13 +53,14 @@ fn main() {
     let inputs = arg_usize("--inputs", 120);
     let step_cap = arg_usize("--steps", 500_000) as u64;
     let threads = arg_usize("--threads", 1).max(1);
+    let portfolio = arg_usize("--portfolio", 0);
 
     println!("# Figure 14: block-selection strategies over {inputs} inputs x 2 memory sizes");
     println!("# step cap {step_cap}; paper shape: the combined TelaMalloc strategy has");
     println!("# far fewer failing configurations and the lowest geomean steps.\n");
 
     let configs = sweep_configs(inputs);
-    let variants = variants();
+    let variants = variants(portfolio);
     // results[v][c] = Some(steps) if solved, None if failed/capped.
     let results: Vec<Mutex<Vec<Option<u64>>>> = variants
         .iter()
@@ -109,7 +115,7 @@ fn main() {
             (log_sum / common.len() as f64).exp()
         };
         table.row([
-            variant.name.to_string(),
+            variant.name.clone(),
             fails.to_string(),
             format!("{geomean:.1}"),
             format!("{}/{}", configs.len() - fails, configs.len()),
@@ -124,6 +130,10 @@ fn main() {
 
 fn run_one(variant: &Variant, config: &SweepConfig, step_cap: u64) -> Option<u64> {
     let budget = Budget::steps(step_cap);
-    let result = solve(&config.problem, &budget, &variant.config);
+    let result = if variant.config.threads > 1 {
+        solve_portfolio(&config.problem, &budget, &variant.config).result
+    } else {
+        solve(&config.problem, &budget, &variant.config)
+    };
     result.outcome.is_solved().then_some(result.stats.steps)
 }

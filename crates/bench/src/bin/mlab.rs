@@ -1,7 +1,13 @@
 //! A/B harness for imitation-label variants (development tool).
+//!
+//! `--portfolio N` (default 0 = off) adds a non-ML reference leg: the
+//! portfolio race at `N` workers over the same backtrack-heavy tail, to
+//! compare how much of the learned policy's win a strategy race buys
+//! without any training.
+use tela_bench::arg_usize;
 use tela_learned::{collect_dataset, train_policy_from_samples, CollectConfig, GbtParams};
 use tela_model::{Budget, Problem};
-use telamalloc::{solve, solve_with, BacktrackPolicy, NullObserver, TelaConfig};
+use telamalloc::{solve, solve_portfolio, solve_with, BacktrackPolicy, NullObserver, TelaConfig};
 
 fn main() {
     let tela = TelaConfig::default();
@@ -67,6 +73,27 @@ fn main() {
         println!(
             "{name:12} samples={:6} improved={imp}/{} fixed={fixed} worse={worse} broke={broke}",
             samples.len(),
+            tail.len()
+        );
+    }
+    let portfolio = arg_usize("--portfolio", 0);
+    if portfolio > 0 {
+        let race_config = TelaConfig {
+            threads: portfolio,
+            ..tela.clone()
+        };
+        let (mut solved, mut fixed) = (0, 0);
+        for (c, _, s0) in &tail {
+            let race = solve_portfolio(&c.problem, &Budget::steps(50_000), &race_config);
+            if race.result.outcome.is_solved() {
+                solved += 1;
+                if !s0 {
+                    fixed += 1;
+                }
+            }
+        }
+        println!(
+            "portfolio@{portfolio:2} solved={solved}/{} fixed={fixed} (no training)",
             tail.len()
         );
     }

@@ -142,6 +142,16 @@ pub fn arg_usize(flag: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Parses `--flag value` style string arguments from `std::env::args`.
+pub fn arg_string(flag: &str, default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| default.to_string())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

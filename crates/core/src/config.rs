@@ -1,5 +1,7 @@
 use tela_heuristics::SelectionStrategy;
 
+use crate::portfolio::PortfolioVariant;
+
 /// Tuning knobs for the TelaMalloc search.
 ///
 /// The defaults correspond to the full system described in the paper
@@ -61,6 +63,18 @@ pub struct TelaConfig {
     /// `tela_cp::explain`). Costs extra solver probes per major
     /// backtrack.
     pub minimize_conflicts: bool,
+    /// OS threads for the portfolio race
+    /// ([`solve_portfolio`](crate::solve_portfolio)). `1` (the default)
+    /// runs variants sequentially; [`solve`](crate::solve) always runs
+    /// single-variant regardless of this setting, while the
+    /// [`Allocator`](crate::Allocator) front-end races a portfolio
+    /// whenever `threads > 1`.
+    pub threads: usize,
+    /// Portfolio competitors. Empty (the default) means
+    /// [`default_variants`](crate::default_variants): this
+    /// configuration first, then every §5.1 selection strategy crossed
+    /// with both backtrack policies.
+    pub variants: Vec<PortfolioVariant>,
 }
 
 impl Default for TelaConfig {
@@ -77,6 +91,8 @@ impl Default for TelaConfig {
             split_independent: true,
             preflight_audit: true,
             minimize_conflicts: false,
+            threads: 1,
+            variants: Vec::new(),
         }
     }
 }
@@ -110,6 +126,8 @@ mod tests {
         assert!(c.candidate_prepending);
         assert_eq!(c.stuck_subtree_limit, 100);
         assert!(c.preflight_audit);
+        assert_eq!(c.threads, 1);
+        assert!(c.variants.is_empty());
     }
 
     #[test]

@@ -8,6 +8,7 @@ use tela_audit::Certificate;
 use tela_model::{Budget, Problem, SolveOutcome, SolveStats};
 
 use crate::config::TelaConfig;
+use crate::portfolio::solve_portfolio;
 use crate::search::{solve, TelaResult};
 
 /// Which stage of the pipeline produced the answer.
@@ -84,7 +85,11 @@ impl Allocator {
             stats,
             certificate,
             ..
-        } = solve(problem, budget, &self.config);
+        } = if self.config.threads > 1 {
+            solve_portfolio(problem, budget, &self.config).result
+        } else {
+            solve(problem, budget, &self.config)
+        };
         PipelineResult {
             outcome,
             stage: Stage::TelaMalloc,

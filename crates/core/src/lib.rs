@@ -36,6 +36,7 @@
 mod backtrack;
 mod config;
 mod frontend;
+mod portfolio;
 mod search;
 
 pub use backtrack::{
@@ -44,6 +45,9 @@ pub use backtrack::{
 };
 pub use config::TelaConfig;
 pub use frontend::{Allocator, PipelineResult, Stage};
+pub use portfolio::{
+    default_variants, solve_portfolio, PortfolioResult, PortfolioVariant, VariantReport,
+};
 pub use search::{solve, solve_with, TelaResult};
 // Re-exported so pipeline consumers can inspect infeasibility witnesses
 // without depending on tela-audit directly.

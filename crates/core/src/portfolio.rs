@@ -1,0 +1,395 @@
+//! Parallel portfolio search: race strategy×policy variants, first
+//! solution wins.
+//!
+//! The paper's search is sensitive to the block-selection strategy and
+//! backtrack policy (Figure 14): no single variant dominates across
+//! workloads. The portfolio hedges that variance by racing diverse
+//! configurations — the full TelaMalloc configuration plus every §5.1
+//! selection strategy crossed with both backtrack policies — on scoped
+//! OS threads. The first worker to reach a *decisive* outcome (a
+//! validated solution, or a proof of infeasibility) claims the race and
+//! cancels the rest through a shared [`AtomicBool`] threaded into every
+//! worker's [`Budget`]; the CP solver and engine poll that flag on
+//! their step boundaries, so losers stop within one step.
+//!
+//! The shared-pruning channel is deliberately lock-light: the only
+//! atomics on the hot path are the cancellation flag (read) and one
+//! `swap` per decisive finish (claim); the winner slot's mutex is
+//! touched once per race. The `tela-audit` preflight runs once, up
+//! front, for the whole race — a certificate of infeasibility aborts
+//! the portfolio before any worker spawns.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use tela_audit::Verdict;
+use tela_heuristics::SelectionStrategy;
+use tela_model::{Budget, Problem, SolveOutcome, SolveStats};
+
+use crate::backtrack::{NullObserver, PlacedDecision};
+use crate::config::TelaConfig;
+use crate::search::{default_policy, solve_with, TelaResult};
+
+/// One competitor in the portfolio race: a named search configuration.
+#[derive(Debug, Clone)]
+pub struct PortfolioVariant {
+    /// Display name, e.g. `"max-size/fixed-step"`.
+    pub name: String,
+    /// The configuration this variant runs. Its portfolio fields
+    /// (`threads`, `variants`) and `preflight_audit` are ignored: races
+    /// never nest, and the driver preflights once for everyone.
+    pub config: TelaConfig,
+}
+
+/// What one variant did during the race.
+#[derive(Debug, Clone)]
+pub struct VariantReport {
+    /// The variant's display name.
+    pub name: String,
+    /// The variant's own outcome. Losers typically report
+    /// `BudgetExceeded` with [`SolveStats::cancelled`] set.
+    pub outcome: SolveOutcome,
+    /// The variant's own search statistics.
+    pub stats: SolveStats,
+}
+
+/// Result of a portfolio race.
+#[derive(Debug, Clone)]
+pub struct PortfolioResult {
+    /// The winning variant's result (or an aggregate `BudgetExceeded` /
+    /// `GaveUp` when nobody was decisive). `stats.elapsed` is the race's
+    /// wall-clock time, not the winner's own.
+    pub result: TelaResult,
+    /// Index into the variant list of the claiming worker, if any.
+    pub winner: Option<usize>,
+    /// Per-variant reports, indexed like the variant list. `None` means
+    /// the race was cancelled before that variant started.
+    pub reports: Vec<Option<VariantReport>>,
+}
+
+/// The default portfolio: the full TelaMalloc configuration (`base`)
+/// first, then every §5.1 selection strategy crossed with both
+/// backtrack policies (conflict-guided §5.4 vs. fixed-step) — nine
+/// variants in total.
+///
+/// Variant 0 running `base` makes the sequential (`threads == 1`) race
+/// behave exactly like [`solve`](crate::solve) whenever the base
+/// configuration succeeds: later variants only run if earlier ones give
+/// up within the budget.
+pub fn default_variants(base: &TelaConfig) -> Vec<PortfolioVariant> {
+    let mut variants = vec![PortfolioVariant {
+        name: "telamalloc".to_string(),
+        config: base.clone(),
+    }];
+    for strategy in SelectionStrategy::ALL {
+        for (conflict_guided, policy_name) in [(true, "conflict-guided"), (false, "fixed-step")] {
+            let mut config = TelaConfig::single_strategy(strategy);
+            config.conflict_guided_backtracking = conflict_guided;
+            variants.push(PortfolioVariant {
+                name: format!("{strategy}/{policy_name}"),
+                config,
+            });
+        }
+    }
+    variants
+}
+
+/// Worker-side view of a variant's configuration: the driver already
+/// preflighted, and races never nest.
+fn worker_config(variant: &PortfolioVariant) -> TelaConfig {
+    let mut config = variant.config.clone();
+    config.preflight_audit = false;
+    config.threads = 1;
+    config.variants = Vec::new();
+    config
+}
+
+/// Runs one variant to completion under `budget` and reports.
+fn run_variant(problem: &Problem, budget: &Budget, variant: &PortfolioVariant) -> TelaResult {
+    let config = worker_config(variant);
+    let mut policy = default_policy(&config);
+    let mut observer = NullObserver;
+    solve_with(problem, budget, &config, policy.as_mut(), &mut observer)
+}
+
+/// A decisive outcome ends the race: a solution, or a proof that no
+/// solution exists. `GaveUp` and `BudgetExceeded` are not proofs — some
+/// other variant may still succeed.
+fn is_decisive(outcome: &SolveOutcome) -> bool {
+    matches!(outcome, SolveOutcome::Solved(_) | SolveOutcome::Infeasible)
+}
+
+/// Races `config.variants` (or [`default_variants`]) on
+/// `config.threads` workers; first decisive outcome wins.
+///
+/// With `threads == 1` the variants run sequentially in order, so the
+/// result is deterministic; with more threads the *winner* may vary
+/// between runs, but every returned solution is a real solution and an
+/// `Infeasible` result is always backed by a proof (the preflight
+/// certificate or an exhaustive sub-search).
+///
+/// # Example
+///
+/// ```
+/// use telamalloc::{solve_portfolio, TelaConfig};
+/// use tela_model::{examples, Budget};
+///
+/// let config = TelaConfig {
+///     threads: 4,
+///     ..TelaConfig::default()
+/// };
+/// let problem = examples::figure1();
+/// let race = solve_portfolio(&problem, &Budget::steps(100_000), &config);
+/// let solution = race.result.outcome.solution().expect("figure1 is solvable");
+/// assert!(solution.validate(&problem).is_ok());
+/// ```
+pub fn solve_portfolio(problem: &Problem, budget: &Budget, config: &TelaConfig) -> PortfolioResult {
+    let start = Instant::now();
+    if config.preflight_audit {
+        match tela_audit::preflight(problem) {
+            Verdict::ProvablyInfeasible(cert) => {
+                return PortfolioResult {
+                    result: TelaResult {
+                        outcome: SolveOutcome::Infeasible,
+                        stats: stamp(SolveStats::default(), start),
+                        decisions: Vec::new(),
+                        certificate: Some(cert),
+                    },
+                    winner: None,
+                    reports: Vec::new(),
+                };
+            }
+            Verdict::TriviallyFeasible(solution) => {
+                let decisions = problem
+                    .iter()
+                    .map(|(id, _)| PlacedDecision {
+                        block: id,
+                        address: solution.address(id),
+                    })
+                    .collect();
+                return PortfolioResult {
+                    result: TelaResult {
+                        outcome: SolveOutcome::Solved(solution),
+                        stats: stamp(SolveStats::default(), start),
+                        decisions,
+                        certificate: None,
+                    },
+                    winner: None,
+                    reports: Vec::new(),
+                };
+            }
+            Verdict::NeedsSearch(_) => {}
+        }
+    }
+    let variants = if config.variants.is_empty() {
+        default_variants(config)
+    } else {
+        config.variants.clone()
+    };
+    let threads = config.threads.max(1).min(variants.len());
+    let mut race = if threads == 1 {
+        race_sequential(problem, budget, &variants)
+    } else {
+        race_parallel(problem, budget, &variants, threads)
+    };
+    race.result.stats.elapsed = start.elapsed();
+    race
+}
+
+fn stamp(mut stats: SolveStats, start: Instant) -> SolveStats {
+    stats.elapsed = start.elapsed();
+    stats
+}
+
+/// `threads == 1`: run variants in order until one is decisive.
+fn race_sequential(
+    problem: &Problem,
+    budget: &Budget,
+    variants: &[PortfolioVariant],
+) -> PortfolioResult {
+    let mut reports: Vec<Option<VariantReport>> = vec![None; variants.len()];
+    let mut winner = None;
+    for (index, variant) in variants.iter().enumerate() {
+        let result = run_variant(problem, budget, variant);
+        let decisive = is_decisive(&result.outcome);
+        reports[index] = Some(VariantReport {
+            name: variant.name.clone(),
+            outcome: result.outcome.clone(),
+            stats: result.stats,
+        });
+        if decisive {
+            winner = Some((index, result));
+            break;
+        }
+    }
+    finish_race(winner, reports)
+}
+
+/// Step cap for the sequential sprint that precedes a parallel race.
+///
+/// Most production instances are easy (§2.3): the base variant settles
+/// them in well under a few thousand steps. Racing those from a cold
+/// start taxes them with thread spawning and CPU time-slicing, so the
+/// driver first sprints variant 0 alone at full single-thread speed and
+/// only spawns the race for instances the sprint cannot settle. The
+/// sprint's steps are the race's only duplicated work, bounded by this
+/// cap (and by a quarter of the real budget, so tiny budgets keep most
+/// of their steps for the race).
+const SPRINT_STEPS: u64 = 4096;
+
+fn sprint_budget(budget: &Budget) -> Budget {
+    let cap = match budget.max_steps() {
+        Some(cap) => (cap / 4).clamp(1, SPRINT_STEPS),
+        None => SPRINT_STEPS,
+    };
+    budget.clone().with_max_steps(cap)
+}
+
+/// `threads > 1`: a short sequential sprint of the base variant, then
+/// workers pull variant indices from a shared counter and race; the
+/// first decisive finish claims the winner slot and raises the
+/// cancellation flag for everyone else.
+fn race_parallel(
+    problem: &Problem,
+    budget: &Budget,
+    variants: &[PortfolioVariant],
+    threads: usize,
+) -> PortfolioResult {
+    let sprint = run_variant(problem, &sprint_budget(budget), &variants[0]);
+    if is_decisive(&sprint.outcome) {
+        let mut reports: Vec<Option<VariantReport>> = vec![None; variants.len()];
+        reports[0] = Some(VariantReport {
+            name: variants[0].name.clone(),
+            outcome: sprint.outcome.clone(),
+            stats: sprint.stats,
+        });
+        return finish_race(Some((0, sprint)), reports);
+    }
+    let cancel = Arc::new(AtomicBool::new(false));
+    let claimed = AtomicBool::new(false);
+    let winner: Mutex<Option<(usize, TelaResult)>> = Mutex::new(None);
+    let reports: Vec<Mutex<Option<VariantReport>>> =
+        variants.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                if cancel.load(Ordering::Acquire) {
+                    break;
+                }
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some(variant) = variants.get(index) else {
+                    break;
+                };
+                let worker_budget = budget.clone().with_cancel(Arc::clone(&cancel));
+                let result = run_variant(problem, &worker_budget, variant);
+                let decisive = is_decisive(&result.outcome);
+                *reports[index].lock().expect("report slot poisoned") = Some(VariantReport {
+                    name: variant.name.clone(),
+                    outcome: result.outcome.clone(),
+                    stats: result.stats,
+                });
+                // Claim is a single uncontended swap; only the first
+                // decisive finisher takes the mutex and flips the flag.
+                if decisive && !claimed.swap(true, Ordering::AcqRel) {
+                    *winner.lock().expect("winner slot poisoned") = Some((index, result));
+                    cancel.store(true, Ordering::Release);
+                }
+            });
+        }
+    });
+    let winner = winner.into_inner().expect("winner slot poisoned");
+    let reports = reports
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("report slot poisoned"))
+        .collect();
+    finish_race(winner, reports)
+}
+
+/// Builds the final result: the winner's, or an aggregate over every
+/// variant that ran when nobody was decisive.
+fn finish_race(
+    winner: Option<(usize, TelaResult)>,
+    reports: Vec<Option<VariantReport>>,
+) -> PortfolioResult {
+    match winner {
+        Some((index, result)) => PortfolioResult {
+            result,
+            winner: Some(index),
+            reports,
+        },
+        None => {
+            let mut stats = SolveStats::default();
+            let mut budget_exceeded = false;
+            for report in reports.iter().flatten() {
+                stats.absorb(&report.stats);
+                budget_exceeded |= matches!(report.outcome, SolveOutcome::BudgetExceeded);
+            }
+            let outcome = if budget_exceeded {
+                SolveOutcome::BudgetExceeded
+            } else {
+                SolveOutcome::GaveUp
+            };
+            PortfolioResult {
+                result: TelaResult {
+                    outcome,
+                    stats,
+                    decisions: Vec::new(),
+                    certificate: None,
+                },
+                winner: None,
+                reports,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tela_model::examples;
+
+    #[test]
+    fn default_portfolio_has_base_plus_strategy_policy_cross() {
+        let base = TelaConfig::default();
+        let variants = default_variants(&base);
+        assert_eq!(variants.len(), 9);
+        assert_eq!(variants[0].name, "telamalloc");
+        assert_eq!(variants[0].config.selection, base.selection);
+        // 4 strategies × 2 policies, all distinct names.
+        let mut names: Vec<&str> = variants.iter().map(|v| v.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 9);
+        assert!(variants
+            .iter()
+            .skip(1)
+            .all(|v| v.config.selection.len() == 1));
+    }
+
+    #[test]
+    fn preflight_certificate_aborts_the_race() {
+        let p = examples::infeasible();
+        let config = TelaConfig {
+            threads: 4,
+            ..TelaConfig::default()
+        };
+        let race = solve_portfolio(&p, &Budget::unlimited(), &config);
+        assert_eq!(race.result.outcome, SolveOutcome::Infeasible);
+        // No worker ever started: the certificate settled the race.
+        assert!(race.winner.is_none());
+        assert!(race.reports.is_empty());
+        assert!(race.result.certificate.expect("witness").verify(&p));
+    }
+
+    #[test]
+    fn sequential_race_skips_later_variants_after_a_win() {
+        let p = examples::figure1();
+        let config = TelaConfig::default();
+        let race = solve_portfolio(&p, &Budget::steps(100_000), &config);
+        assert_eq!(race.winner, Some(0));
+        assert!(race.reports[0].is_some());
+        assert!(race.reports[1..].iter().all(Option::is_none));
+    }
+}

@@ -60,7 +60,7 @@ pub fn solve(problem: &Problem, budget: &Budget, config: &TelaConfig) -> TelaRes
     solve_with(problem, budget, config, policy.as_mut(), &mut observer)
 }
 
-fn default_policy(config: &TelaConfig) -> Box<dyn BacktrackPolicy> {
+pub(crate) fn default_policy(config: &TelaConfig) -> Box<dyn BacktrackPolicy> {
     if config.conflict_guided_backtracking {
         Box::new(ConflictGuidedPolicy)
     } else {
@@ -287,6 +287,9 @@ impl<'a> Engine<'a> {
     ) -> TelaResult {
         loop {
             if budget.exhausted(self.stats.steps) {
+                // Distinguish losing a portfolio race from running dry on
+                // steps or time, so reports can tell the two apart.
+                self.stats.cancelled = budget.cancelled();
                 return self.finish(SolveOutcome::BudgetExceeded);
             }
             if let Some(solution) = self.solver.solution() {

@@ -1,0 +1,167 @@
+//! Portfolio race contracts: sequential determinism, parallel
+//! soundness, and "the race never loses to its own base variant".
+
+use proptest::prelude::*;
+use tela_model::{Budget, Buffer, Problem, SolveOutcome, SolveStats};
+use tela_workloads::sweep::{certified_configs, sweep_configs};
+use telamalloc::{solve, solve_portfolio, PortfolioVariant, TelaConfig};
+
+/// Everything in [`SolveStats`] except wall-clock time, which can never
+/// be bit-identical across runs.
+fn clock_free(stats: &SolveStats) -> (u64, u64, u64, bool) {
+    (
+        stats.steps,
+        stats.minor_backtracks,
+        stats.major_backtracks,
+        stats.cancelled,
+    )
+}
+
+/// With one thread the portfolio's base variant is the plain search:
+/// when it wins, the race result is bit-identical to [`solve`]; when it
+/// gives up (certified instances are tight on purpose), its report
+/// still is, and only then do later variants run.
+#[test]
+fn single_thread_race_matches_solve_bit_for_bit() {
+    let config = TelaConfig::default();
+    let budget = Budget::steps(40_000);
+    let mut problems: Vec<(String, Problem)> =
+        vec![("figure1".to_string(), tela_model::examples::figure1())];
+    problems.extend(
+        certified_configs(2)
+            .into_iter()
+            .map(|s| (s.name, s.problem)),
+    );
+    let mut base_wins = 0;
+    for (name, p) in &problems {
+        let direct = solve(p, &budget, &config);
+        let race = solve_portfolio(p, &budget, &config);
+        if direct.outcome.is_solved() {
+            // The base variant was decisive: the race IS the search.
+            base_wins += 1;
+            assert_eq!(race.winner, Some(0), "{name}: base variant must win");
+            assert_eq!(direct.outcome, race.result.outcome, "{name}");
+            assert_eq!(
+                clock_free(&direct.stats),
+                clock_free(&race.result.stats),
+                "{name}"
+            );
+            assert_eq!(direct.decisions, race.result.decisions, "{name}");
+            assert!(race.reports[1..].iter().all(Option::is_none), "{name}");
+        } else {
+            // Base gave up; its report must still mirror the plain
+            // search exactly before the race moved on.
+            let report = race.reports[0].as_ref().expect("variant 0 always runs");
+            assert_eq!(report.outcome, direct.outcome, "{name}");
+            assert_eq!(
+                clock_free(&report.stats),
+                clock_free(&direct.stats),
+                "{name}"
+            );
+        }
+    }
+    assert!(base_wins > 0, "at least figure1 is won by the base variant");
+}
+
+/// Pinning the variant list to the base configuration alone makes the
+/// sequential race equivalent to [`solve`] on *every* outcome, not just
+/// wins.
+#[test]
+fn single_variant_race_matches_solve_on_every_outcome() {
+    let base = TelaConfig::default();
+    let config = TelaConfig {
+        variants: vec![PortfolioVariant {
+            name: "base".to_string(),
+            config: base.clone(),
+        }],
+        ..base.clone()
+    };
+    // Tight budget on purpose: exercise the BudgetExceeded path too.
+    for budget in [Budget::steps(50), Budget::steps(200_000)] {
+        for sweep in sweep_configs(4) {
+            let p = &sweep.problem;
+            let direct = solve(p, &budget, &base);
+            let race = solve_portfolio(p, &budget, &config);
+            assert_eq!(direct.outcome, race.result.outcome, "{}", sweep.name);
+            assert_eq!(
+                clock_free(&direct.stats),
+                clock_free(&race.result.stats),
+                "{}",
+                sweep.name
+            );
+        }
+    }
+}
+
+/// Every solution coming out of a multi-threaded race is a real
+/// solution, and the winner's report agrees with the final result.
+#[test]
+fn parallel_race_solutions_validate() {
+    let config = TelaConfig {
+        threads: 4,
+        ..TelaConfig::default()
+    };
+    let budget = Budget::steps(60_000);
+    for sweep in sweep_configs(4) {
+        let p = &sweep.problem;
+        let race = solve_portfolio(p, &budget, &config);
+        if let SolveOutcome::Solved(s) = &race.result.outcome {
+            assert!(s.validate(p).is_ok(), "{}", sweep.name);
+            let winner = race.winner.expect("a solved race has a winner");
+            let report = race.reports[winner]
+                .as_ref()
+                .expect("the winner filed a report");
+            assert_eq!(report.outcome, race.result.outcome, "{}", sweep.name);
+            assert!(
+                !report.stats.cancelled,
+                "{}: winners are never cancelled",
+                sweep.name
+            );
+        }
+    }
+}
+
+fn buffer_strategy() -> impl Strategy<Value = Buffer> {
+    (
+        0u32..8,
+        1u32..5,
+        1u64..6,
+        prop_oneof![Just(1u64), Just(2), Just(4)],
+    )
+        .prop_map(|(start, len, size, align)| {
+            Buffer::new(start, start + len, size).with_align(align)
+        })
+}
+
+fn problem_strategy() -> impl Strategy<Value = Problem> {
+    (prop::collection::vec(buffer_strategy(), 1..10), 6u64..14).prop_map(|(buffers, capacity)| {
+        Problem::new(buffers, capacity).expect("sizes below capacity")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Racing 2–4 workers on random instances: solutions validate,
+    /// and the portfolio never does worse than the plain search — the
+    /// base configuration is in the race, cancellation only fires once
+    /// a decisive (sound) outcome is claimed, so "solve() solves" must
+    /// imply "the portfolio solves".
+    #[test]
+    fn random_races_are_sound(problem in problem_strategy(), threads in 2usize..=4) {
+        let budget = Budget::steps(200_000);
+        let config = TelaConfig { threads, ..TelaConfig::default() };
+        let race = solve_portfolio(&problem, &budget, &config);
+        if let SolveOutcome::Solved(s) = &race.result.outcome {
+            prop_assert!(s.validate(&problem).is_ok());
+        }
+        let direct = solve(&problem, &budget, &TelaConfig::default());
+        if direct.outcome.is_solved() {
+            prop_assert!(
+                race.result.outcome.is_solved(),
+                "portfolio lost an instance its base variant solves: {:?}",
+                race.result.outcome
+            );
+        }
+    }
+}

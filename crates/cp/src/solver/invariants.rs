@@ -68,6 +68,7 @@ impl CpSolver {
         self.check_domain_wellformedness(true);
         self.check_domain_monotonicity(before);
         self.check_decided_orders();
+        self.check_occupancy_consistency();
     }
 
     /// Audits a conflict explanation before the failed level is rolled
@@ -109,6 +110,7 @@ impl CpSolver {
         self.check_fixed_consistency();
         self.check_domain_wellformedness(false);
         self.check_decided_orders();
+        self.check_occupancy_consistency();
     }
 
     /// Invariant audit counters accumulated so far.
@@ -290,6 +292,36 @@ impl CpSolver {
                     },
                 );
             }
+        }
+    }
+
+    /// The incrementally-maintained occupancy lists must equal a
+    /// from-scratch rebuild: for every buffer, exactly the intervals of
+    /// its *fixed* time-overlapping neighbors, sorted by the full tuple.
+    fn check_occupancy_consistency(&self) {
+        for i in 0..self.problem().len() {
+            let var = i as u32;
+            let mut expected: Vec<(Address, Address, u32)> = Vec::new();
+            for &pair in self.model.pairs_of(var) {
+                let (x, y) = self.model.pair(pair);
+                let other = if x == var { y } else { x };
+                if self.fixed[other as usize] {
+                    let addr = self.domains[other as usize].lo();
+                    let size = self.problem().buffers()[other as usize].size();
+                    expected.push((addr, addr + size, other));
+                }
+            }
+            expected.sort_unstable();
+            self.check(
+                self.occupancy[i] == expected,
+                "occupancy lists match a from-scratch rebuild",
+                || {
+                    format!(
+                        "b{i}: incremental {:?} vs rebuilt {expected:?}",
+                        self.occupancy[i]
+                    )
+                },
+            );
         }
     }
 

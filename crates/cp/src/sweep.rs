@@ -24,15 +24,20 @@ pub(crate) struct SweepResult {
 /// `size` fits without intersecting any of `occupied`.
 ///
 /// `occupied` holds `(start, end, var)` address intervals of fixed buffers
-/// that overlap the candidate in time; it is sorted in place by start
-/// address.
+/// that overlap the candidate in time, sorted by start address. The
+/// solver maintains these lists incrementally (see
+/// `CpSolver::occupancy_insert`), so the sweep no longer sorts per query.
 pub(crate) fn lowest_fit(
     size: Size,
     align: Size,
     lo: Address,
     hi: Address,
-    occupied: &mut [(Address, Address, u32)],
+    occupied: &[(Address, Address, u32)],
 ) -> SweepResult {
+    debug_assert!(
+        occupied.windows(2).all(|w| w[0].0 <= w[1].0),
+        "occupied intervals must be sorted by start address"
+    );
     let mut blockers = Vec::new();
     let mut candidate = match align_up(lo, align) {
         Some(c) => c,
@@ -49,7 +54,6 @@ pub(crate) fn lowest_fit(
             blockers,
         };
     }
-    occupied.sort_unstable_by_key(|&(start, _, _)| start);
     for &(start, end, var) in occupied.iter() {
         // Intervals are visited in start order; once an interval starts at
         // or past the candidate's top, no later interval can block it.
@@ -93,7 +97,9 @@ mod tests {
         hi: Address,
         occupied: &[(Address, Address, u32)],
     ) -> SweepResult {
-        lowest_fit(size, align, lo, hi, &mut occupied.to_vec())
+        let mut sorted = occupied.to_vec();
+        sorted.sort_unstable_by_key(|&(start, _, _)| start);
+        lowest_fit(size, align, lo, hi, &sorted)
     }
 
     #[test]
@@ -125,7 +131,9 @@ mod tests {
     }
 
     #[test]
-    fn unsorted_input_is_handled() {
+    fn unsorted_input_is_sorted_by_the_helper() {
+        // `lowest_fit` itself requires sorted input (the solver maintains
+        // sorted occupancy lists); the test helper sorts on its behalf.
         let r = fit(4, 1, 0, 12, &[(5, 9, 2), (0, 2, 1)]);
         assert_eq!(r.pos, Some(9));
     }

@@ -43,6 +43,15 @@ impl SelectionStrategy {
         SelectionStrategy::MaxArea,
     ];
 
+    /// Every strategy, in Figure 14's comparison order — the
+    /// enumeration portfolio races and ablation sweeps iterate.
+    pub const ALL: [SelectionStrategy; 4] = [
+        SelectionStrategy::MaxLifetime,
+        SelectionStrategy::MaxSize,
+        SelectionStrategy::MaxArea,
+        SelectionStrategy::LowestPosition,
+    ];
+
     /// The ranking key of `id` under this strategy — higher is better.
     /// Returns 0 for [`SelectionStrategy::LowestPosition`], which has no
     /// intrinsic key.

@@ -1,13 +1,20 @@
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::Solution;
 
-/// A step and/or wall-clock budget for a solver invocation.
+/// A step and/or wall-clock budget for a solver invocation, optionally
+/// carrying a cooperative cancellation flag.
 ///
 /// Every allocator entry point in the workspace takes a `Budget` so that
 /// experiments can bound work either by deterministic step counts (as the
 /// paper's Figure 14 sweep does with its 500,000-step cap) or by wall-clock
-/// deadlines (as the on-device setting requires).
+/// deadlines (as the on-device setting requires). A portfolio race
+/// additionally threads one shared [`AtomicBool`] through every worker's
+/// budget via [`Budget::with_cancel`]: the first worker to finish flips
+/// the flag and every other worker observes an exhausted budget at its
+/// next step.
 ///
 /// # Example
 ///
@@ -21,10 +28,11 @@ use crate::Solution;
 /// assert!(!budget.step_limit_reached(499_999));
 /// assert!(budget.step_limit_reached(500_000));
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Budget {
     deadline: Option<Instant>,
     max_steps: Option<u64>,
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 impl Budget {
@@ -33,6 +41,7 @@ impl Budget {
         Budget {
             deadline: None,
             max_steps: None,
+            cancel: None,
         }
     }
 
@@ -60,6 +69,27 @@ impl Budget {
         self
     }
 
+    /// Sets (or replaces) the absolute wall-clock deadline.
+    ///
+    /// [`Budget::with_timeout`] is this with `now + timeout`; tests use
+    /// the absolute form together with
+    /// [`deadline_passed_at`](Budget::deadline_passed_at) as a
+    /// deterministic fake clock.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a shared cancellation flag: once any holder stores `true`
+    /// the budget reports itself exhausted. Solvers never set the flag;
+    /// they only poll it (see [`Budget::cancelled`]).
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
     /// Returns true if `steps` meets or exceeds the step cap.
     pub fn step_limit_reached(&self, steps: u64) -> bool {
         self.max_steps.is_some_and(|cap| steps >= cap)
@@ -67,12 +97,28 @@ impl Budget {
 
     /// Returns true if the wall-clock deadline has passed.
     pub fn deadline_passed(&self) -> bool {
-        self.deadline.is_some_and(|d| Instant::now() >= d)
+        self.deadline_passed_at(Instant::now())
     }
 
-    /// Returns true if either limit is exhausted.
+    /// Returns true if the deadline is at or before `now` (the
+    /// deterministic form of [`Budget::deadline_passed`]).
+    pub fn deadline_passed_at(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now >= d)
+    }
+
+    /// Returns true if the shared cancellation flag has been raised.
+    ///
+    /// `Acquire` ordering: a worker observing the flag also observes the
+    /// winner's published result.
+    pub fn cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::Acquire))
+    }
+
+    /// Returns true if any limit is exhausted or the budget was cancelled.
     pub fn exhausted(&self, steps: u64) -> bool {
-        self.step_limit_reached(steps) || self.deadline_passed()
+        self.step_limit_reached(steps) || self.cancelled() || self.deadline_passed()
     }
 
     /// The configured step cap, if any.
@@ -103,6 +149,10 @@ pub struct SolveStats {
     pub major_backtracks: u64,
     /// Wall-clock time spent, if measured.
     pub elapsed: Duration,
+    /// True when the run stopped because its budget's shared cancellation
+    /// flag was raised (it lost a portfolio race), as opposed to running
+    /// out of steps or time on its own.
+    pub cancelled: bool,
 }
 
 impl SolveStats {
@@ -118,6 +168,7 @@ impl SolveStats {
         self.minor_backtracks += other.minor_backtracks;
         self.major_backtracks += other.major_backtracks;
         self.elapsed += other.elapsed;
+        self.cancelled |= other.cancelled;
     }
 }
 
@@ -219,16 +270,44 @@ mod tests {
 
     #[test]
     fn elapsed_deadline_detected() {
-        let b = Budget::timeout(Duration::from_nanos(1));
-        std::thread::sleep(Duration::from_millis(2));
-        assert!(b.deadline_passed());
-        assert!(b.exhausted(0));
+        // Deterministic fake clock: pin the deadline to an explicit
+        // instant and probe around it, instead of sleeping past a real
+        // one.
+        let t0 = Instant::now();
+        let b = Budget::unlimited().with_deadline(t0 + Duration::from_millis(5));
+        assert!(!b.deadline_passed_at(t0));
+        assert!(!b.deadline_passed_at(t0 + Duration::from_millis(4)));
+        assert!(b.deadline_passed_at(t0 + Duration::from_millis(5)));
+        assert!(b.deadline_passed_at(t0 + Duration::from_secs(1)));
     }
 
     #[test]
     fn future_deadline_not_passed() {
         let b = Budget::timeout(Duration::from_secs(3600));
         assert!(!b.deadline_passed());
+        assert!(!b.exhausted(0));
+    }
+
+    #[test]
+    fn cancellation_flag_exhausts_budget() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let b = Budget::steps(1_000).with_cancel(Arc::clone(&flag));
+        assert!(!b.cancelled());
+        assert!(!b.exhausted(0));
+        flag.store(true, Ordering::Release);
+        assert!(b.cancelled());
+        assert!(b.exhausted(0));
+        // Step caps still apply independently of the flag.
+        assert!(b.step_limit_reached(1_000));
+    }
+
+    #[test]
+    fn cancellation_flag_is_shared_across_clones() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let a = Budget::unlimited().with_cancel(Arc::clone(&flag));
+        let b = a.clone();
+        flag.store(true, Ordering::Release);
+        assert!(a.cancelled() && b.cancelled());
     }
 
     #[test]
