@@ -66,6 +66,7 @@ pub fn outcome_tag(outcome: &SolveOutcome) -> &'static str {
         SolveOutcome::Infeasible => "infeasible",
         SolveOutcome::GaveUp => "gave-up",
         SolveOutcome::BudgetExceeded => "timeout",
+        SolveOutcome::BestEffort(_) => "best-effort",
     }
 }
 

@@ -1,6 +1,7 @@
 use tela_heuristics::SelectionStrategy;
 
 use crate::portfolio::PortfolioVariant;
+use crate::resilience::LadderConfig;
 
 /// Tuning knobs for the TelaMalloc search.
 ///
@@ -75,6 +76,15 @@ pub struct TelaConfig {
     /// configuration first, then every §5.1 selection strategy crossed
     /// with both backtrack policies.
     pub variants: Vec<PortfolioVariant>,
+    /// Staged-retry settings for the escalation ladder
+    /// ([`EscalationLadder`](crate::EscalationLadder)): stage budget
+    /// slicing, spill-round cap, and inter-stage backoff.
+    pub ladder: LadderConfig,
+    /// Deterministic faults to inject into every solve (chaos testing
+    /// only; available under the `fault-inject` feature). `None`
+    /// injects nothing.
+    #[cfg(feature = "fault-inject")]
+    pub fault_plan: Option<tela_model::FaultPlan>,
 }
 
 impl Default for TelaConfig {
@@ -93,6 +103,9 @@ impl Default for TelaConfig {
             minimize_conflicts: false,
             threads: 1,
             variants: Vec::new(),
+            ladder: LadderConfig::default(),
+            #[cfg(feature = "fault-inject")]
+            fault_plan: None,
         }
     }
 }

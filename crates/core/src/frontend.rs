@@ -9,6 +9,7 @@ use tela_model::{Budget, Problem, SolveOutcome, SolveStats};
 
 use crate::config::TelaConfig;
 use crate::portfolio::solve_portfolio;
+use crate::resilience::{EscalationLadder, LadderResult};
 use crate::search::{solve, TelaResult};
 
 /// Which stage of the pipeline produced the answer.
@@ -97,6 +98,16 @@ impl Allocator {
             certificate,
         }
     }
+
+    /// Runs the resilient pipeline: the escalation ladder
+    /// ([`EscalationLadder`]) with panic-isolated workers and staged
+    /// budget slices. Unlike [`Allocator::allocate`], the outcome is
+    /// always `Solved`, `Infeasible`, or `BestEffort` — never a bare
+    /// `GaveUp`/`BudgetExceeded` and never a panic for a well-formed
+    /// problem.
+    pub fn allocate_resilient(&self, problem: &Problem, budget: &Budget) -> LadderResult {
+        EscalationLadder::new(self.config.clone()).solve(problem, budget)
+    }
 }
 
 #[cfg(test)]
@@ -129,6 +140,27 @@ mod tests {
         assert_eq!(r.outcome, SolveOutcome::Infeasible);
         let cert = r.certificate.expect("preflight provides a witness");
         assert!(cert.verify(&p));
+    }
+
+    #[test]
+    fn resilient_pipeline_never_leaves_the_ladder_outcomes() {
+        use tela_model::SolveOutcome;
+        for (p, budget) in [
+            (examples::tiny(), Budget::steps(100_000)),
+            (examples::figure1(), Budget::steps(100_000)),
+            (examples::infeasible(), Budget::steps(100_000)),
+            (examples::figure1(), Budget::steps(4)), // starved
+        ] {
+            let r = Allocator::default().allocate_resilient(&p, &budget);
+            match &r.outcome {
+                SolveOutcome::Solved(s) => assert!(s.validate(&r.problem).is_ok()),
+                SolveOutcome::Infeasible => assert!(r.certificate.is_some()),
+                SolveOutcome::BestEffort(b) => {
+                    assert!(b.partial.validate(&r.problem).is_ok());
+                }
+                other => panic!("ladder leaked {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -37,6 +37,7 @@ mod backtrack;
 mod config;
 mod frontend;
 mod portfolio;
+mod resilience;
 mod search;
 
 pub use backtrack::{
@@ -46,7 +47,11 @@ pub use backtrack::{
 pub use config::TelaConfig;
 pub use frontend::{Allocator, PipelineResult, Stage};
 pub use portfolio::{
-    default_variants, solve_portfolio, PortfolioResult, PortfolioVariant, VariantReport,
+    default_variants, solve_portfolio, PortfolioResult, PortfolioVariant, VariantOutcome,
+    VariantReport,
+};
+pub use resilience::{
+    EscalationLadder, LadderConfig, LadderResult, NoSpill, SpillHook, StageReport,
 };
 pub use search::{solve, solve_with, TelaResult};
 // Re-exported so pipeline consumers can inspect infeasibility witnesses

@@ -19,13 +19,15 @@
 //! front, for the whole race — a certificate of infeasibility aborts
 //! the portfolio before any worker spawns.
 
+use std::cell::{Cell, RefCell};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, Once, PoisonError};
 use std::time::Instant;
 
 use tela_audit::Verdict;
 use tela_heuristics::SelectionStrategy;
-use tela_model::{Budget, Problem, SolveOutcome, SolveStats};
+use tela_model::{Budget, BufferId, Problem, SolveOutcome, SolveStats};
 
 use crate::backtrack::{NullObserver, PlacedDecision};
 use crate::config::TelaConfig;
@@ -42,15 +44,51 @@ pub struct PortfolioVariant {
     pub config: TelaConfig,
 }
 
+/// How one variant's worker ended: with a solver outcome, or by
+/// panicking.
+///
+/// Panics are isolated per worker (`std::panic::catch_unwind` around
+/// the variant body): a bug in one variant is reported here while the
+/// race continues with the survivors, instead of unwinding through the
+/// thread scope and aborting the whole solve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VariantOutcome {
+    /// The variant ran to completion and reported this outcome.
+    Finished(SolveOutcome),
+    /// The variant's worker panicked; the message is the panic payload
+    /// (with location when the panic hook captured it).
+    Panicked {
+        /// The captured panic message.
+        message: String,
+    },
+}
+
+impl VariantOutcome {
+    /// The solver outcome, unless the variant panicked.
+    pub fn solve_outcome(&self) -> Option<&SolveOutcome> {
+        match self {
+            VariantOutcome::Finished(outcome) => Some(outcome),
+            VariantOutcome::Panicked { .. } => None,
+        }
+    }
+
+    /// Returns true if the variant's worker panicked.
+    pub fn is_panicked(&self) -> bool {
+        matches!(self, VariantOutcome::Panicked { .. })
+    }
+}
+
 /// What one variant did during the race.
 #[derive(Debug, Clone)]
 pub struct VariantReport {
     /// The variant's display name.
     pub name: String,
     /// The variant's own outcome. Losers typically report
-    /// `BudgetExceeded` with [`SolveStats::cancelled`] set.
-    pub outcome: SolveOutcome,
-    /// The variant's own search statistics.
+    /// `BudgetExceeded` with [`SolveStats::cancelled`] set; a panicked
+    /// variant reports the captured message instead.
+    pub outcome: VariantOutcome,
+    /// The variant's own search statistics (zeroed when the worker
+    /// panicked — its counters died with it).
     pub stats: SolveStats,
 }
 
@@ -66,6 +104,74 @@ pub struct PortfolioResult {
     /// Per-variant reports, indexed like the variant list. `None` means
     /// the race was cancelled before that variant started.
     pub reports: Vec<Option<VariantReport>>,
+}
+
+impl PortfolioResult {
+    /// Number of variants whose workers panicked during the race.
+    pub fn panicked(&self) -> usize {
+        self.reports
+            .iter()
+            .flatten()
+            .filter(|r| r.outcome.is_panicked())
+            .count()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Panic isolation.
+//
+// A scoped panic hook captures the panic message (payload plus source
+// location) into a thread-local while a variant body runs, so the
+// default hook stays silent for *expected* worker panics but still
+// prints for everything else in the process. `Once` keeps hook
+// installation idempotent across races and threads.
+
+static INSTALL_HOOK: Once = Once::new();
+
+thread_local! {
+    static CAPTURING: Cell<bool> = const { Cell::new(false) };
+    static LAST_PANIC: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+fn install_capture_hook() {
+    INSTALL_HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if CAPTURING.get() {
+                LAST_PANIC.set(Some(info.to_string()));
+            } else {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Runs `f`, converting a panic into the captured panic message.
+///
+/// Nesting-safe: the capture flag is saved and restored, so a
+/// `catch_panics` inside another one behaves correctly.
+pub(crate) fn catch_panics<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    install_capture_hook();
+    let was_capturing = CAPTURING.replace(true);
+    let result = catch_unwind(AssertUnwindSafe(f));
+    CAPTURING.set(was_capturing);
+    result.map_err(|payload| {
+        LAST_PANIC
+            .take()
+            .unwrap_or_else(|| payload_message(payload.as_ref()))
+    })
+}
+
+/// Fallback extraction straight from the payload, for panics that
+/// bypassed the hook (e.g. raised with `resume_unwind`).
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
 }
 
 /// The default portfolio: the full TelaMalloc configuration (`base`)
@@ -113,6 +219,47 @@ fn run_variant(problem: &Problem, budget: &Budget, variant: &PortfolioVariant) -
     solve_with(problem, budget, &config, policy.as_mut(), &mut observer)
 }
 
+/// Runs one variant with panic isolation: a panicking worker yields the
+/// captured message instead of unwinding through the race.
+fn run_variant_isolated(
+    problem: &Problem,
+    budget: &Budget,
+    variant: &PortfolioVariant,
+) -> Result<TelaResult, String> {
+    catch_panics(|| run_variant(problem, budget, variant))
+}
+
+/// The budget one variant runs under: the race budget, plus — with the
+/// `fault-inject` feature and a configured plan targeting this variant —
+/// a fresh fault injector. A fresh injector per run means a plan fires
+/// in both the sprint and the race proper.
+fn variant_budget(budget: &Budget, _config: &TelaConfig, _index: usize) -> Budget {
+    #[cfg(feature = "fault-inject")]
+    if let Some(plan) = &_config.fault_plan {
+        if plan.applies_to_variant(_index) {
+            return budget
+                .clone()
+                .with_fault_injector(Arc::new(plan.injector()));
+        }
+    }
+    budget.clone()
+}
+
+/// Remembers the longest committed prefix (and its conflict clique)
+/// among non-decisive finishes, for best-effort degradation.
+fn note_partial(best: &mut Option<(Vec<PlacedDecision>, Vec<BufferId>)>, result: &TelaResult) {
+    if is_decisive(&result.outcome) {
+        return;
+    }
+    let replace = match best {
+        None => !result.partial.is_empty() || !result.first_conflict.is_empty(),
+        Some((prefix, _)) => result.partial.len() > prefix.len(),
+    };
+    if replace {
+        *best = Some((result.partial.clone(), result.first_conflict.clone()));
+    }
+}
+
 /// A decisive outcome ends the race: a solution, or a proof that no
 /// solution exists. `GaveUp` and `BudgetExceeded` are not proofs — some
 /// other variant may still succeed.
@@ -154,6 +301,8 @@ pub fn solve_portfolio(problem: &Problem, budget: &Budget, config: &TelaConfig) 
                         outcome: SolveOutcome::Infeasible,
                         stats: stamp(SolveStats::default(), start),
                         decisions: Vec::new(),
+                        partial: Vec::new(),
+                        first_conflict: Vec::new(),
                         certificate: Some(cert),
                     },
                     winner: None,
@@ -173,6 +322,8 @@ pub fn solve_portfolio(problem: &Problem, budget: &Budget, config: &TelaConfig) 
                         outcome: SolveOutcome::Solved(solution),
                         stats: stamp(SolveStats::default(), start),
                         decisions,
+                        partial: Vec::new(),
+                        first_conflict: Vec::new(),
                         certificate: None,
                     },
                     winner: None,
@@ -189,9 +340,9 @@ pub fn solve_portfolio(problem: &Problem, budget: &Budget, config: &TelaConfig) 
     };
     let threads = config.threads.max(1).min(variants.len());
     let mut race = if threads == 1 {
-        race_sequential(problem, budget, &variants)
+        race_sequential(problem, budget, &variants, config)
     } else {
-        race_parallel(problem, budget, &variants, threads)
+        race_parallel(problem, budget, &variants, threads, config)
     };
     race.result.stats.elapsed = start.elapsed();
     race
@@ -207,23 +358,37 @@ fn race_sequential(
     problem: &Problem,
     budget: &Budget,
     variants: &[PortfolioVariant],
+    config: &TelaConfig,
 ) -> PortfolioResult {
     let mut reports: Vec<Option<VariantReport>> = vec![None; variants.len()];
     let mut winner = None;
+    let mut best_partial = None;
     for (index, variant) in variants.iter().enumerate() {
-        let result = run_variant(problem, budget, variant);
-        let decisive = is_decisive(&result.outcome);
-        reports[index] = Some(VariantReport {
-            name: variant.name.clone(),
-            outcome: result.outcome.clone(),
-            stats: result.stats,
-        });
-        if decisive {
-            winner = Some((index, result));
-            break;
+        let worker_budget = variant_budget(budget, config, index);
+        match run_variant_isolated(problem, &worker_budget, variant) {
+            Ok(result) => {
+                let decisive = is_decisive(&result.outcome);
+                note_partial(&mut best_partial, &result);
+                reports[index] = Some(VariantReport {
+                    name: variant.name.clone(),
+                    outcome: VariantOutcome::Finished(result.outcome.clone()),
+                    stats: result.stats,
+                });
+                if decisive {
+                    winner = Some((index, result));
+                    break;
+                }
+            }
+            Err(message) => {
+                reports[index] = Some(VariantReport {
+                    name: variant.name.clone(),
+                    outcome: VariantOutcome::Panicked { message },
+                    stats: SolveStats::default(),
+                });
+            }
         }
     }
-    finish_race(winner, reports)
+    finish_race(winner, reports, best_partial)
 }
 
 /// Step cap for the sequential sprint that precedes a parallel race.
@@ -255,20 +420,31 @@ fn race_parallel(
     budget: &Budget,
     variants: &[PortfolioVariant],
     threads: usize,
+    config: &TelaConfig,
 ) -> PortfolioResult {
-    let sprint = run_variant(problem, &sprint_budget(budget), &variants[0]);
-    if is_decisive(&sprint.outcome) {
-        let mut reports: Vec<Option<VariantReport>> = vec![None; variants.len()];
-        reports[0] = Some(VariantReport {
-            name: variants[0].name.clone(),
-            outcome: sprint.outcome.clone(),
-            stats: sprint.stats,
-        });
-        return finish_race(Some((0, sprint)), reports);
+    // The sprint runs isolated too: a deterministic early panic in
+    // variant 0 must not abort the race before it starts. A panicked or
+    // indecisive sprint is simply discarded — the race re-runs variant 0
+    // with its full budget and reports whatever happens there.
+    if let Ok(sprint) = run_variant_isolated(
+        problem,
+        &variant_budget(&sprint_budget(budget), config, 0),
+        &variants[0],
+    ) {
+        if is_decisive(&sprint.outcome) {
+            let mut reports: Vec<Option<VariantReport>> = vec![None; variants.len()];
+            reports[0] = Some(VariantReport {
+                name: variants[0].name.clone(),
+                outcome: VariantOutcome::Finished(sprint.outcome.clone()),
+                stats: sprint.stats,
+            });
+            return finish_race(Some((0, sprint)), reports, None);
+        }
     }
     let cancel = Arc::new(AtomicBool::new(false));
     let claimed = AtomicBool::new(false);
     let winner: Mutex<Option<(usize, TelaResult)>> = Mutex::new(None);
+    let best_partial: Mutex<Option<(Vec<PlacedDecision>, Vec<BufferId>)>> = Mutex::new(None);
     let reports: Vec<Mutex<Option<VariantReport>>> =
         variants.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
@@ -282,36 +458,65 @@ fn race_parallel(
                 let Some(variant) = variants.get(index) else {
                     break;
                 };
-                let worker_budget = budget.clone().with_cancel(Arc::clone(&cancel));
-                let result = run_variant(problem, &worker_budget, variant);
-                let decisive = is_decisive(&result.outcome);
-                *reports[index].lock().expect("report slot poisoned") = Some(VariantReport {
-                    name: variant.name.clone(),
-                    outcome: result.outcome.clone(),
-                    stats: result.stats,
-                });
-                // Claim is a single uncontended swap; only the first
-                // decisive finisher takes the mutex and flips the flag.
-                if decisive && !claimed.swap(true, Ordering::AcqRel) {
-                    *winner.lock().expect("winner slot poisoned") = Some((index, result));
-                    cancel.store(true, Ordering::Release);
-                }
+                let worker_budget =
+                    variant_budget(budget, config, index).with_cancel(Arc::clone(&cancel));
+                let report = match run_variant_isolated(problem, &worker_budget, variant) {
+                    Ok(result) => {
+                        let decisive = is_decisive(&result.outcome);
+                        let report = VariantReport {
+                            name: variant.name.clone(),
+                            outcome: VariantOutcome::Finished(result.outcome.clone()),
+                            stats: result.stats,
+                        };
+                        if decisive {
+                            // Claim is a single uncontended swap; only
+                            // the first decisive finisher takes the
+                            // mutex and flips the flag.
+                            if !claimed.swap(true, Ordering::AcqRel) {
+                                *lock_resilient(&winner) = Some((index, result));
+                                cancel.store(true, Ordering::Release);
+                            }
+                        } else {
+                            note_partial(&mut lock_resilient(&best_partial), &result);
+                        }
+                        report
+                    }
+                    Err(message) => VariantReport {
+                        name: variant.name.clone(),
+                        outcome: VariantOutcome::Panicked { message },
+                        stats: SolveStats::default(),
+                    },
+                };
+                *lock_resilient(&reports[index]) = Some(report);
             });
         }
     });
-    let winner = winner.into_inner().expect("winner slot poisoned");
+    let winner = winner.into_inner().unwrap_or_else(PoisonError::into_inner);
+    let best_partial = best_partial
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
     let reports = reports
         .into_iter()
-        .map(|slot| slot.into_inner().expect("report slot poisoned"))
+        .map(|slot| slot.into_inner().unwrap_or_else(PoisonError::into_inner))
         .collect();
-    finish_race(winner, reports)
+    finish_race(winner, reports, best_partial)
+}
+
+/// Locks a mutex, recovering the data from a poisoned lock: race
+/// bookkeeping stays usable even if some worker panicked outside the
+/// isolated region while holding a slot.
+fn lock_resilient<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Builds the final result: the winner's, or an aggregate over every
-/// variant that ran when nobody was decisive.
+/// variant that ran when nobody was decisive. The aggregate carries the
+/// longest committed prefix any variant reached, so the resilience
+/// ladder can degrade to a best-effort answer.
 fn finish_race(
     winner: Option<(usize, TelaResult)>,
     reports: Vec<Option<VariantReport>>,
+    best_partial: Option<(Vec<PlacedDecision>, Vec<BufferId>)>,
 ) -> PortfolioResult {
     match winner {
         Some((index, result)) => PortfolioResult {
@@ -324,18 +529,24 @@ fn finish_race(
             let mut budget_exceeded = false;
             for report in reports.iter().flatten() {
                 stats.absorb(&report.stats);
-                budget_exceeded |= matches!(report.outcome, SolveOutcome::BudgetExceeded);
+                budget_exceeded |= matches!(
+                    report.outcome,
+                    VariantOutcome::Finished(SolveOutcome::BudgetExceeded)
+                );
             }
             let outcome = if budget_exceeded {
                 SolveOutcome::BudgetExceeded
             } else {
                 SolveOutcome::GaveUp
             };
+            let (partial, first_conflict) = best_partial.unwrap_or_default();
             PortfolioResult {
                 result: TelaResult {
                     outcome,
                     stats,
                     decisions: Vec::new(),
+                    partial,
+                    first_conflict,
                     certificate: None,
                 },
                 winner: None,

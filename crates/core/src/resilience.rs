@@ -1,0 +1,483 @@
+//! The escalation ladder: staged retries with budget slicing, spill
+//! hooks, and best-effort degradation (paper §1, §2.3, §6.5).
+//!
+//! The paper's production chain never aborts a compilation because one
+//! solver stage failed: the fast heuristic runs first, the full search
+//! next, and when the instance genuinely does not fit, the framework
+//! spills a tensor to DRAM and tries again. [`EscalationLadder`]
+//! encodes that chain as explicit stages, each running under a slice of
+//! the caller's [`Budget`]:
+//!
+//! ```text
+//!   greedy heuristic ──solved──────────────────────────▶ Solved
+//!        │ failed
+//!        ▼
+//!   portfolio race  ──solved/infeasible(no spill)─────▶ Solved / Infeasible
+//!        │ budget exhausted or infeasible
+//!        ▼
+//!   spill round 1..N: evict → rebuild Problem → re-solve
+//!        │ rounds capped / spill impossible / out of time
+//!        ▼
+//!   BestEffort { validated partial, stage, steps, first conflict }
+//! ```
+//!
+//! Every exit is a well-formed [`SolveOutcome`]: the ladder never
+//! panics (workers are isolated) and never returns an unvalidated
+//! placement.
+
+use std::time::Duration;
+
+use tela_audit::Certificate;
+use tela_model::{
+    BestEffort, Budget, BufferId, PartialSolution, Problem, ResilienceStage, SolveOutcome,
+    SolveStats,
+};
+
+use crate::backtrack::PlacedDecision;
+use crate::config::TelaConfig;
+use crate::portfolio::{catch_panics, solve_portfolio};
+
+/// Tuning knobs for the [`EscalationLadder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LadderConfig {
+    /// Try the greedy heuristic before each portfolio stage (the paper's
+    /// fast path; it costs microseconds and wins on most production
+    /// instances).
+    pub greedy_first: bool,
+    /// Percentage of the remaining step budget granted to the first
+    /// portfolio attempt; the rest is held back for spill retries.
+    /// Ignored (the first attempt gets everything) when
+    /// `max_spill_rounds` is zero.
+    pub first_attempt_percent: u32,
+    /// Maximum number of spill-and-retry rounds after the first attempt.
+    pub max_spill_rounds: u32,
+    /// Sleep between stages (a production system would use this to
+    /// yield the core; tests keep it at zero).
+    pub backoff: Duration,
+}
+
+impl Default for LadderConfig {
+    fn default() -> Self {
+        LadderConfig {
+            greedy_first: true,
+            first_attempt_percent: 60,
+            max_spill_rounds: 8,
+            backoff: Duration::ZERO,
+        }
+    }
+}
+
+/// Supplies the next, smaller problem when a stage fails: each call
+/// evicts something (e.g. spills a tensor to DRAM, as
+/// `tela-pixel`'s `SpillReport` records) and rebuilds the [`Problem`].
+pub trait SpillHook {
+    /// Produces the problem for spill round `round` (1-based), or
+    /// `None` when nothing more can be evicted.
+    fn spill(&mut self, round: u32) -> Option<Problem>;
+}
+
+/// A [`SpillHook`] that never spills: the ladder degrades straight to
+/// [`SolveOutcome::BestEffort`] when the portfolio fails.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoSpill;
+
+impl SpillHook for NoSpill {
+    fn spill(&mut self, _round: u32) -> Option<Problem> {
+        None
+    }
+}
+
+/// What one ladder stage did.
+#[derive(Debug, Clone)]
+pub struct StageReport {
+    /// Which stage ran.
+    pub stage: ResilienceStage,
+    /// The stage's outcome (the heuristic stage only appears here when
+    /// it solved the instance).
+    pub outcome: SolveOutcome,
+    /// The stage's own search statistics.
+    pub stats: SolveStats,
+}
+
+/// Result of running the escalation ladder.
+#[derive(Debug, Clone)]
+pub struct LadderResult {
+    /// Always one of `Solved`, `Infeasible`, or `BestEffort` — the
+    /// ladder converts `GaveUp`/`BudgetExceeded` into a diagnosed
+    /// best-effort answer.
+    pub outcome: SolveOutcome,
+    /// The problem the outcome refers to: the input, unless spill
+    /// rounds rebuilt it (then the final spilled problem).
+    pub problem: Problem,
+    /// How many spill rounds ran.
+    pub spill_rounds: u32,
+    /// The stage that produced the final outcome.
+    pub stage: ResilienceStage,
+    /// Per-stage reports, in execution order.
+    pub stages: Vec<StageReport>,
+    /// Aggregate statistics across every stage.
+    pub stats: SolveStats,
+    /// The infeasibility witness, when the outcome is a proven
+    /// `Infeasible`.
+    pub certificate: Option<Certificate>,
+}
+
+/// The staged-retry driver: greedy → portfolio → spill-and-retry →
+/// best-effort (see the module docs for the stage diagram).
+///
+/// # Example
+///
+/// ```
+/// use telamalloc::{EscalationLadder, TelaConfig};
+/// use tela_model::{examples, Budget};
+///
+/// let ladder = EscalationLadder::new(TelaConfig::default());
+/// let result = ladder.solve(&examples::figure1(), &Budget::steps(500_000));
+/// assert!(result.outcome.is_solved());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EscalationLadder {
+    config: TelaConfig,
+}
+
+impl EscalationLadder {
+    /// Creates a ladder running `config` at every search stage.
+    pub fn new(config: TelaConfig) -> Self {
+        EscalationLadder { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TelaConfig {
+        &self.config
+    }
+
+    /// Runs the ladder without a spill hook: greedy, then the
+    /// portfolio, then straight to best-effort degradation.
+    pub fn solve(&self, problem: &Problem, budget: &Budget) -> LadderResult {
+        self.solve_with_spill(problem.clone(), budget, &mut NoSpill)
+    }
+
+    /// Runs the full ladder: after a failed attempt, `hook` may supply
+    /// a smaller (spilled) problem for the next round, up to
+    /// [`LadderConfig::max_spill_rounds`] times.
+    pub fn solve_with_spill(
+        &self,
+        problem: Problem,
+        budget: &Budget,
+        hook: &mut dyn SpillHook,
+    ) -> LadderResult {
+        let lc = self.config.ladder.clone();
+        let mut current = problem;
+        let mut agg = SolveStats::default();
+        let mut stages: Vec<StageReport> = Vec::new();
+        let mut round: u32 = 0;
+        // Assigned on every loop iteration before any `break` can run.
+        let mut last_partial: Vec<PlacedDecision>;
+        let mut last_conflict: Vec<BufferId>;
+        let mut deepest: ResilienceStage;
+
+        loop {
+            let stage_id = if round == 0 {
+                ResilienceStage::Portfolio
+            } else {
+                ResilienceStage::SpillRetry { round }
+            };
+
+            // Fast path: the greedy heuristic, isolated like any other
+            // worker — a panic in it merely skips to the portfolio.
+            if lc.greedy_first {
+                let greedy = catch_panics(|| tela_heuristics::greedy::solve(&current));
+                if let Ok(heuristic) = greedy {
+                    if let Some(solution) = heuristic.solution {
+                        if solution.validate(&current).is_ok() {
+                            let stage = if round == 0 {
+                                ResilienceStage::Heuristic
+                            } else {
+                                stage_id
+                            };
+                            stages.push(StageReport {
+                                stage,
+                                outcome: SolveOutcome::Solved(solution.clone()),
+                                stats: SolveStats::default(),
+                            });
+                            return LadderResult {
+                                outcome: SolveOutcome::Solved(solution),
+                                problem: current,
+                                spill_rounds: round,
+                                stage,
+                                stages,
+                                stats: agg,
+                                certificate: None,
+                            };
+                        }
+                    }
+                }
+            }
+
+            deepest = stage_id;
+            let stage_budget = round_budget(budget, &lc, agg.steps, round);
+            let race = solve_portfolio(&current, &stage_budget, &self.config);
+            agg.absorb(&race.result.stats);
+            stages.push(StageReport {
+                stage: stage_id,
+                outcome: race.result.outcome.clone(),
+                stats: race.result.stats,
+            });
+            let infeasible_here = matches!(race.result.outcome, SolveOutcome::Infeasible);
+            if let SolveOutcome::Solved(solution) = race.result.outcome {
+                return LadderResult {
+                    outcome: SolveOutcome::Solved(solution),
+                    problem: current,
+                    spill_rounds: round,
+                    stage: stage_id,
+                    stages,
+                    stats: agg,
+                    certificate: None,
+                };
+            }
+            // Partials from earlier rounds describe a different
+            // (pre-spill) problem, so each round overwrites them.
+            last_partial = race.result.partial;
+            last_conflict = race.result.first_conflict;
+
+            let out_of_time = budget.deadline_passed() || budget.cancelled();
+            if out_of_time || round >= lc.max_spill_rounds {
+                break;
+            }
+            let next = if self.spill_blocked(round + 1) {
+                None
+            } else {
+                hook.spill(round + 1)
+            };
+            match next {
+                Some(spilled) => {
+                    if !lc.backoff.is_zero() {
+                        std::thread::sleep(lc.backoff);
+                    }
+                    current = spilled;
+                    round += 1;
+                }
+                None => {
+                    // Nothing left to evict. An infeasibility proof for
+                    // the *unspilled* problem is a definitive answer;
+                    // after spilling it only describes the reduced
+                    // problem, so degrade instead.
+                    if infeasible_here && round == 0 {
+                        return LadderResult {
+                            outcome: SolveOutcome::Infeasible,
+                            problem: current,
+                            spill_rounds: 0,
+                            stage: stage_id,
+                            stages,
+                            stats: agg,
+                            certificate: race.result.certificate,
+                        };
+                    }
+                    break;
+                }
+            }
+        }
+
+        // Terminal degradation: package the longest committed prefix as
+        // a validated partial solution. Validation failure (e.g. a
+        // prefix from a sub-problem the spill hook since rebuilt) drops
+        // the prefix rather than returning an unchecked placement.
+        let partial =
+            PartialSolution::new(last_partial.iter().map(|d| (d.block, d.address)).collect());
+        let partial = if partial.validate(&current).is_ok() {
+            partial
+        } else {
+            PartialSolution::empty()
+        };
+        let best = BestEffort {
+            partial,
+            stage: deepest,
+            steps: agg.steps,
+            first_conflict: last_conflict,
+            spill_rounds: round,
+        };
+        LadderResult {
+            outcome: SolveOutcome::BestEffort(Box::new(best)),
+            problem: current,
+            spill_rounds: round,
+            stage: deepest,
+            stages,
+            stats: agg,
+            certificate: None,
+        }
+    }
+
+    /// Whether fault injection blocks this spill round (chaos testing
+    /// of the "spill failed" path).
+    fn spill_blocked(&self, _round: u32) -> bool {
+        #[cfg(feature = "fault-inject")]
+        if let Some(plan) = &self.config.fault_plan {
+            return plan.fail_spill_round == Some(_round);
+        }
+        false
+    }
+}
+
+/// The budget slice for one ladder stage.
+///
+/// Stage slices partition the caller's *remaining* step budget: the
+/// first attempt gets [`LadderConfig::first_attempt_percent`] of it
+/// (all of it when no spill rounds are configured); each spill round
+/// gets an even share of what is left at that point. Deadlines and
+/// cancellation flags pass through unchanged — wall-clock limits bound
+/// the whole ladder, not one stage.
+fn round_budget(budget: &Budget, lc: &LadderConfig, spent: u64, round: u32) -> Budget {
+    let Some(total) = budget.max_steps() else {
+        return budget.clone();
+    };
+    let remaining = total.saturating_sub(spent).max(1);
+    let slice = if round == 0 {
+        if lc.max_spill_rounds == 0 {
+            remaining
+        } else {
+            let percent = u128::from(lc.first_attempt_percent.min(100));
+            ((u128::from(remaining) * percent / 100).max(1)) as u64
+        }
+    } else {
+        // Even share over this and all remaining rounds.
+        let rounds_left = u64::from(lc.max_spill_rounds - round + 1);
+        (remaining / rounds_left).max(1)
+    };
+    budget.clone().with_max_steps(slice)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+    use tela_model::{examples, Buffer};
+
+    fn ladder() -> EscalationLadder {
+        EscalationLadder::new(TelaConfig::default())
+    }
+
+    #[test]
+    fn easy_instance_solved_by_heuristic_stage() {
+        let result = ladder().solve(&examples::tiny(), &Budget::steps(100_000));
+        assert!(result.outcome.is_solved());
+        assert_eq!(result.stage, ResilienceStage::Heuristic);
+        assert_eq!(result.spill_rounds, 0);
+    }
+
+    #[test]
+    fn tight_instance_solved_by_portfolio_stage() {
+        let p = examples::figure1();
+        let result = ladder().solve(&p, &Budget::steps(500_000));
+        let solution = result.outcome.solution().expect("figure1 is solvable");
+        assert!(solution.validate(&p).is_ok());
+        assert_eq!(result.stage, ResilienceStage::Portfolio);
+    }
+
+    #[test]
+    fn infeasible_without_spill_is_definitive() {
+        let result = ladder().solve(&examples::infeasible(), &Budget::steps(100_000));
+        assert_eq!(result.outcome, SolveOutcome::Infeasible);
+        assert!(result
+            .certificate
+            .expect("preflight witness")
+            .verify(&result.problem));
+    }
+
+    /// A spill hook that removes the last buffer each round, like the
+    /// pixel compiler evicting one tensor per spill round.
+    struct DropLast {
+        buffers: Vec<Buffer>,
+        capacity: u64,
+    }
+
+    impl SpillHook for DropLast {
+        fn spill(&mut self, _round: u32) -> Option<Problem> {
+            self.buffers.pop()?;
+            Problem::new(self.buffers.clone(), self.capacity).ok()
+        }
+    }
+
+    #[test]
+    fn two_spill_rounds_reach_a_solution() {
+        // Six fully-overlapping size-2 buffers in 8 units of memory:
+        // contention 12 > 8, and still 10 > 8 after one eviction. Two
+        // spill rounds bring it to 8 <= 8, which then solves.
+        let buffers: Vec<Buffer> = (0..6).map(|_| Buffer::new(0, 4, 2)).collect();
+        let problem = Problem::new(buffers.clone(), 8).unwrap();
+        let mut hook = DropLast {
+            buffers,
+            capacity: 8,
+        };
+        let result = ladder().solve_with_spill(problem, &Budget::steps(200_000), &mut hook);
+        let solution = result.outcome.solution().expect("solvable after 2 spills");
+        assert_eq!(result.spill_rounds, 2);
+        assert_eq!(result.problem.len(), 4);
+        assert!(solution.validate(&result.problem).is_ok());
+        // Stage reports track every attempt: the two failed rounds plus
+        // the winning one.
+        assert!(result.stages.len() >= 3);
+    }
+
+    #[test]
+    fn budget_starved_instance_degrades_to_best_effort() {
+        // Figure 1 defeats the greedy stage, and five steps are nowhere
+        // near enough for the search: the ladder must degrade, not
+        // abort, and the partial it returns must validate.
+        let p = examples::figure1();
+        let result = ladder().solve(&p, &Budget::steps(5));
+        let best = result
+            .outcome
+            .best_effort()
+            .expect("starved solve degrades");
+        assert!(best.partial.validate(&result.problem).is_ok());
+        assert!(best.steps > 0, "the search did spend its slice");
+        assert_eq!(best.spill_rounds, 0);
+        assert_eq!(result.stage, ResilienceStage::Portfolio);
+    }
+
+    #[test]
+    fn expired_deadline_still_terminates_with_best_effort() {
+        // Deterministic fake clock: the deadline is already in the past,
+        // so every stage sees an exhausted budget immediately. The
+        // ladder must still terminate with a well-formed outcome.
+        let p = examples::figure1();
+        let budget = Budget::unlimited().with_deadline(Instant::now() - Duration::from_secs(1));
+        let result = ladder().solve(&p, &budget);
+        let best = result.outcome.best_effort().expect("degrades, not aborts");
+        assert!(best.partial.validate(&result.problem).is_ok());
+    }
+
+    #[test]
+    fn round_budget_slices_are_deterministic() {
+        let lc = LadderConfig::default();
+        let budget = Budget::steps(1000);
+        // First attempt: 60% of the full budget.
+        assert_eq!(round_budget(&budget, &lc, 0, 0).max_steps(), Some(600));
+        // After 600 spent, round 1 shares the remaining 400 over the 8
+        // remaining rounds.
+        assert_eq!(round_budget(&budget, &lc, 600, 1).max_steps(), Some(50));
+        // Slices never reach zero, even when overspent.
+        assert_eq!(round_budget(&budget, &lc, 5000, 8).max_steps(), Some(1));
+        // No spill rounds: the first attempt gets everything.
+        let all_in = LadderConfig {
+            max_spill_rounds: 0,
+            ..LadderConfig::default()
+        };
+        assert_eq!(round_budget(&budget, &all_in, 0, 0).max_steps(), Some(1000));
+        // Unbounded budgets stay unbounded.
+        assert_eq!(
+            round_budget(&Budget::unlimited(), &lc, 0, 0).max_steps(),
+            None
+        );
+    }
+
+    #[test]
+    fn deadline_carries_into_stage_slices() {
+        let t0 = Instant::now();
+        let deadline = t0 + Duration::from_secs(3600);
+        let budget = Budget::steps(1000).with_deadline(deadline);
+        let slice = round_budget(&budget, &LadderConfig::default(), 0, 0);
+        assert!(!slice.deadline_passed_at(t0));
+        assert!(slice.deadline_passed_at(deadline));
+    }
+}

@@ -36,6 +36,15 @@ pub struct TelaResult {
     /// The successful decision path (placement order), empty unless
     /// solved.
     pub decisions: Vec<PlacedDecision>,
+    /// The committed placement prefix at the moment the search stopped
+    /// (empty when solved — `decisions` covers that case). The
+    /// resilience ladder turns this into a validated
+    /// [`tela_model::PartialSolution`] when degrading to
+    /// [`SolveOutcome::BestEffort`].
+    pub partial: Vec<PlacedDecision>,
+    /// The buffers involved in the first placement conflict the search
+    /// hit (subject plus culprits); empty if no conflict occurred.
+    pub first_conflict: Vec<BufferId>,
     /// When the preflight audit proved infeasibility, the independently
     /// checkable witness (see [`tela_audit::Certificate::verify`]).
     pub certificate: Option<Certificate>,
@@ -90,6 +99,8 @@ pub fn solve_with(
                     outcome: SolveOutcome::Infeasible,
                     stats,
                     decisions: Vec::new(),
+                    partial: Vec::new(),
+                    first_conflict: Vec::new(),
                     certificate: Some(cert),
                 };
             }
@@ -109,6 +120,8 @@ pub fn solve_with(
                     outcome: SolveOutcome::Solved(solution),
                     stats,
                     decisions,
+                    partial: Vec::new(),
+                    first_conflict: Vec::new(),
                     certificate: None,
                 };
             }
@@ -142,6 +155,11 @@ fn solve_split(
     let mut decisions = Vec::new();
     for group in groups {
         let buffers = group.iter().map(|&id| *problem.buffer(id)).collect();
+        // Invariant: a subset of a valid problem's buffers under the same
+        // capacity passes every `Problem::new` check (each buffer already
+        // validated, per-buffer size/align bounds unchanged, cumulative
+        // extent only shrinks), so this cannot fail for a well-formed
+        // input problem.
         let sub = Problem::new(buffers, problem.capacity())
             .expect("sub-problem inherits a valid capacity");
         let sub_result = Engine::run(&sub, budget, config, policy, observer);
@@ -159,10 +177,25 @@ fn solve_split(
             }
             other => {
                 stats.elapsed = start.elapsed();
+                // The partial prefix is everything committed so far:
+                // fully solved earlier groups plus the failing group's
+                // own prefix, remapped to original buffer ids.
+                let mut partial = decisions;
+                partial.extend(sub_result.partial.iter().map(|d| PlacedDecision {
+                    block: group[d.block.index()],
+                    address: d.address,
+                }));
+                let first_conflict = sub_result
+                    .first_conflict
+                    .iter()
+                    .map(|b| group[b.index()])
+                    .collect();
                 return TelaResult {
                     outcome: other,
                     stats,
                     decisions: Vec::new(),
+                    partial,
+                    first_conflict,
                     certificate: None,
                 };
             }
@@ -175,6 +208,8 @@ fn solve_split(
         outcome: SolveOutcome::Solved(solution),
         stats,
         decisions,
+        partial: Vec::new(),
+        first_conflict: Vec::new(),
         certificate: None,
     }
 }
@@ -229,6 +264,9 @@ struct Engine<'a> {
     current: Frame,
     global_backtracks: u64,
     stats: SolveStats,
+    /// Subject plus culprits of the first conflict ever seen, kept for
+    /// best-effort diagnostics.
+    first_conflict: Option<Vec<BufferId>>,
 }
 
 impl<'a> Engine<'a> {
@@ -246,6 +284,8 @@ impl<'a> Engine<'a> {
                     outcome: SolveOutcome::Infeasible,
                     stats: SolveStats::default(),
                     decisions: Vec::new(),
+                    partial: Vec::new(),
+                    first_conflict: Vec::new(),
                     certificate: None,
                 }
             }
@@ -275,6 +315,7 @@ impl<'a> Engine<'a> {
             current: Frame::new(None, 0),
             global_backtracks: 0,
             stats: SolveStats::default(),
+            first_conflict: None,
         };
         engine.search(budget, policy, observer)
     }
@@ -299,6 +340,8 @@ impl<'a> Engine<'a> {
                     outcome: SolveOutcome::Solved(solution),
                     stats: self.stats,
                     decisions: path,
+                    partial: Vec::new(),
+                    first_conflict: Vec::new(),
                     certificate: None,
                 };
             }
@@ -334,6 +377,8 @@ impl<'a> Engine<'a> {
             outcome,
             stats: self.stats,
             decisions: Vec::new(),
+            partial: self.path(),
+            first_conflict: self.first_conflict.clone().unwrap_or_default(),
             certificate: None,
         }
     }
@@ -342,6 +387,9 @@ impl<'a> Engine<'a> {
         self.frames
             .iter()
             .map(|f| {
+                // Invariant: a frame is only pushed onto `frames` after
+                // `try_candidate` sets `placed` (the swap in the Ok arm),
+                // and backtracking pops before clearing it.
                 let (block, address) = f.placed.expect("committed frame has a placement");
                 PlacedDecision { block, address }
             })
@@ -369,6 +417,11 @@ impl<'a> Engine<'a> {
             Err(conflict) => {
                 self.stats.minor_backtracks += 1;
                 self.global_backtracks += 1;
+                if self.first_conflict.is_none() {
+                    let mut clique = vec![block];
+                    clique.extend(conflict.culprits.iter().copied());
+                    self.first_conflict = Some(clique);
+                }
                 self.current.last_conflict = Some((conflict, block, position.unwrap_or(0)));
             }
         }
@@ -657,6 +710,8 @@ impl<'a> Engine<'a> {
         levels
             .into_iter()
             .map(|(level, from_conflict)| {
+                // Invariant: same as `path` — every frame in `frames` is
+                // committed, so `placed` is always `Some`.
                 let (block, _) = self.frames[level].placed.expect("committed frame");
                 let b = self.problem.buffer(block);
                 let same_region = match (from_phase, &self.phases) {

@@ -1,0 +1,172 @@
+//! Chaos tests: deterministic fault injection against the portfolio and
+//! the escalation ladder (requires `--features fault-inject`).
+//!
+//! The contract under test is the resilience layer's core promise: no
+//! matter which seeded fault fires — a worker panic, a virtual stall, a
+//! spurious cancellation, a failed spill — the pipeline terminates with
+//! a well-formed outcome and never returns an invalid placement.
+
+#![cfg(feature = "fault-inject")]
+
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+use tela_model::fault::FaultPlan;
+use tela_model::{examples, Budget, SolveOutcome};
+use telamalloc::{solve_portfolio, EscalationLadder, TelaConfig, VariantOutcome};
+
+fn panic_victim_config(threads: usize) -> TelaConfig {
+    TelaConfig {
+        threads,
+        fault_plan: Some(FaultPlan {
+            // Step 5 is well before figure1 resolves, so the victim
+            // always dies mid-search.
+            panic_at_step: Some(5),
+            victim_variant: Some(0),
+            ..FaultPlan::default()
+        }),
+        ..TelaConfig::default()
+    }
+}
+
+/// ISSUE acceptance: one injected variant panics at step N, the race
+/// still returns the surviving winner's `Solved` solution, and the
+/// panicked variant is reported as `Panicked`.
+#[test]
+fn sequential_race_survives_a_panicking_variant() {
+    let p = examples::figure1();
+    let race = solve_portfolio(&p, &Budget::steps(200_000), &panic_victim_config(1));
+    let solution = race.result.outcome.solution().expect("survivors win");
+    assert!(solution.validate(&p).is_ok());
+    let winner = race.winner.expect("a solved race has a winner");
+    assert!(winner > 0, "variant 0 panicked and cannot win");
+    let victim = race.reports[0].as_ref().expect("victim filed a report");
+    match &victim.outcome {
+        VariantOutcome::Panicked { message } => {
+            assert!(
+                message.contains("injected panic at step"),
+                "captured message: {message}"
+            );
+        }
+        other => panic!("victim should have panicked, reported {other:?}"),
+    }
+    assert_eq!(race.panicked(), 1);
+}
+
+#[test]
+fn parallel_race_survives_a_panicking_variant() {
+    let p = examples::figure1();
+    let race = solve_portfolio(&p, &Budget::steps(200_000), &panic_victim_config(4));
+    let solution = race.result.outcome.solution().expect("survivors win");
+    assert!(solution.validate(&p).is_ok());
+    assert!(race.winner.expect("winner") > 0);
+    // The sprint's panic is discarded; the race proper re-runs variant 0
+    // and records the panic there.
+    let victim = race.reports[0].as_ref().expect("victim filed a report");
+    assert!(victim.outcome.is_panicked());
+}
+
+#[test]
+fn panic_in_every_variant_still_terminates() {
+    let p = examples::figure1();
+    let config = TelaConfig {
+        fault_plan: Some(FaultPlan {
+            panic_at_step: Some(0),
+            victim_variant: None, // everyone dies
+            ..FaultPlan::default()
+        }),
+        ..TelaConfig::default()
+    };
+    let race = solve_portfolio(&p, &Budget::steps(200_000), &config);
+    assert!(race.winner.is_none());
+    assert!(!race.result.outcome.is_solved());
+    assert_eq!(race.panicked(), race.reports.len());
+}
+
+#[test]
+fn injected_cancellation_reads_as_a_lost_race() {
+    let p = examples::figure1();
+    let config = TelaConfig {
+        fault_plan: Some(FaultPlan {
+            cancel_at_step: Some(2),
+            ..FaultPlan::default()
+        }),
+        ..TelaConfig::default()
+    };
+    let race = solve_portfolio(&p, &Budget::steps(200_000), &config);
+    assert!(race.winner.is_none());
+    for report in race.reports.iter().flatten() {
+        assert_eq!(
+            report.outcome.solve_outcome(),
+            Some(&SolveOutcome::BudgetExceeded)
+        );
+        assert!(report.stats.cancelled, "injected cancel mimics a lost race");
+    }
+}
+
+#[test]
+fn injected_stall_trips_the_deadline_deterministically() {
+    let p = examples::figure1();
+    let config = TelaConfig {
+        fault_plan: Some(FaultPlan {
+            stall_at_step: Some((3, Duration::from_secs(7200))),
+            ..FaultPlan::default()
+        }),
+        ..TelaConfig::default()
+    };
+    // A one-hour deadline no solver could really hit: only the injected
+    // two-hour stall can trip it.
+    let budget = Budget::steps(200_000).with_deadline(Instant::now() + Duration::from_secs(3600));
+    let race = solve_portfolio(&p, &budget, &config);
+    assert!(race.winner.is_none());
+    for report in race.reports.iter().flatten() {
+        assert_eq!(
+            report.outcome.solve_outcome(),
+            Some(&SolveOutcome::BudgetExceeded)
+        );
+        assert!(report.stats.steps <= 4, "stall fires within a few steps");
+    }
+}
+
+#[test]
+fn ladder_downgrades_when_a_fault_starves_every_stage() {
+    let p = examples::figure1();
+    let config = TelaConfig {
+        fault_plan: Some(FaultPlan {
+            cancel_at_step: Some(1),
+            ..FaultPlan::default()
+        }),
+        ..TelaConfig::default()
+    };
+    let result = EscalationLadder::new(config).solve(&p, &Budget::steps(200_000));
+    let best = result.outcome.best_effort().expect("downgrade, not abort");
+    assert!(best.partial.validate(&result.problem).is_ok());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under every seeded fault plan the ladder terminates with one of
+    /// the three ladder outcomes, and whatever placement it returns —
+    /// full or partial — validates against the final problem.
+    #[test]
+    fn seeded_faults_never_break_the_ladder(seed in 0u64..512) {
+        let plan = FaultPlan::from_seed(seed);
+        let config = TelaConfig {
+            fault_plan: Some(plan),
+            ..TelaConfig::default()
+        };
+        let result = EscalationLadder::new(config).solve(
+            &examples::figure1(),
+            &Budget::steps(50_000),
+        );
+        match &result.outcome {
+            SolveOutcome::Solved(s) => prop_assert!(s.validate(&result.problem).is_ok()),
+            SolveOutcome::Infeasible => prop_assert!(result.certificate.is_some()),
+            SolveOutcome::BestEffort(b) => {
+                prop_assert!(b.partial.validate(&result.problem).is_ok());
+            }
+            other => prop_assert!(false, "ladder leaked {other:?}"),
+        }
+    }
+}

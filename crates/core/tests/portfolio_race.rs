@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use tela_model::{Budget, Buffer, Problem, SolveOutcome, SolveStats};
 use tela_workloads::sweep::{certified_configs, sweep_configs};
-use telamalloc::{solve, solve_portfolio, PortfolioVariant, TelaConfig};
+use telamalloc::{solve, solve_portfolio, PortfolioVariant, TelaConfig, VariantOutcome};
 
 /// Everything in [`SolveStats`] except wall-clock time, which can never
 /// be bit-identical across runs.
@@ -52,7 +52,11 @@ fn single_thread_race_matches_solve_bit_for_bit() {
             // Base gave up; its report must still mirror the plain
             // search exactly before the race moved on.
             let report = race.reports[0].as_ref().expect("variant 0 always runs");
-            assert_eq!(report.outcome, direct.outcome, "{name}");
+            assert_eq!(
+                report.outcome,
+                VariantOutcome::Finished(direct.outcome),
+                "{name}"
+            );
             assert_eq!(
                 clock_free(&report.stats),
                 clock_free(&direct.stats),
@@ -111,7 +115,12 @@ fn parallel_race_solutions_validate() {
             let report = race.reports[winner]
                 .as_ref()
                 .expect("the winner filed a report");
-            assert_eq!(report.outcome, race.result.outcome, "{}", sweep.name);
+            assert_eq!(
+                report.outcome,
+                VariantOutcome::Finished(race.result.outcome.clone()),
+                "{}",
+                sweep.name
+            );
             assert!(
                 !report.stats.cancelled,
                 "{}: winners are never cancelled",

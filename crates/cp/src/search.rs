@@ -98,7 +98,15 @@ pub fn solve_with_fixed(
         }
         if retry {
             retry = false;
-            let frame = frames.last_mut().expect("retry implies an open frame");
+            // INVARIANT: `retry` is only set while a frame is open (the
+            // backtrack loop above clears it before popping the last
+            // frame). Degrade to GaveUp rather than panic if that is ever
+            // violated — the solve hot path must not unwind.
+            let Some(frame) = frames.last_mut() else {
+                debug_assert!(false, "retry implies an open frame");
+                stats.elapsed = start.elapsed();
+                return (SolveOutcome::GaveUp, stats);
+            };
             if frame.exhausted {
                 // Both branches failed: backtrack further.
                 frames.pop();
@@ -130,9 +138,14 @@ pub fn solve_with_fixed(
 
         match solver.next_undecided_pair(cursor) {
             None => {
-                let solution = solver
-                    .lower_bound_solution()
-                    .expect("no undecided pair implies full ordering");
+                // INVARIANT: with every pair ordered, the propagation
+                // fixpoint's lower bounds form a valid packing. Degrade to
+                // GaveUp rather than panic if the encoding ever breaks it.
+                let Some(solution) = solver.lower_bound_solution() else {
+                    debug_assert!(false, "no undecided pair implies full ordering");
+                    stats.elapsed = start.elapsed();
+                    return (SolveOutcome::GaveUp, stats);
+                };
                 stats.elapsed = start.elapsed();
                 return (SolveOutcome::Solved(solution), stats);
             }

@@ -408,6 +408,9 @@ impl CpSolver {
     /// Panics if `level` is greater than the current level.
     pub fn pop_to_level(&mut self, level: usize) {
         assert!(level <= self.level(), "cannot pop forward to level {level}");
+        // INVARIANT: both `expect`s below are guarded by the loop
+        // conditions (`len() > level` / `len() > mark.trail_len` imply a
+        // poppable element); they cannot fire on the solve hot path.
         while self.levels.len() > level {
             let mark = self.levels.pop().expect("level exists");
             while self.trail.len() > mark.trail_len {

@@ -74,7 +74,7 @@ proptest! {
             SolveOutcome::Infeasible => {
                 prop_assert!(!expected, "CP reported infeasible but brute force solved it: {problem:?}");
             }
-            SolveOutcome::GaveUp | SolveOutcome::BudgetExceeded => {
+            SolveOutcome::GaveUp | SolveOutcome::BudgetExceeded | SolveOutcome::BestEffort(_) => {
                 prop_assert!(false, "complete search cannot give up within budget");
             }
         }

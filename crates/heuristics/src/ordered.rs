@@ -13,7 +13,7 @@
 //! single static criterion, which is exactly what the paper's Figure 14
 //! ablates (there, inside the full search; here, without backtracking).
 
-use tela_model::{BufferId, Problem};
+use tela_model::{Address, BufferId, Problem};
 
 use crate::placer::{place_in_order, Placer};
 use crate::{HeuristicResult, SelectionStrategy};
@@ -56,20 +56,26 @@ pub fn solve_best_fit(problem: &Problem) -> HeuristicResult {
     let mut placer = Placer::new(problem);
     let mut remaining: Vec<BufferId> = problem.iter().map(|(id, _)| id).collect();
     while !remaining.is_empty() {
-        let (pos, _) = remaining
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, &id)| {
-                let b = problem.buffer(id);
-                (
-                    placer.lowest_fit(id),
-                    std::cmp::Reverse(b.size()),
-                    id.index(),
-                )
-            })
-            .expect("remaining is non-empty");
+        // A block whose sweep overflows the address space sorts last
+        // (`Address::MAX`); if even the best candidate cannot be placed,
+        // abort to "no solution" rather than panic.
+        let Some((pos, _)) = remaining.iter().enumerate().min_by_key(|&(_, &id)| {
+            let b = problem.buffer(id);
+            (
+                placer.lowest_fit(id).unwrap_or(Address::MAX),
+                std::cmp::Reverse(b.size()),
+                id.index(),
+            )
+        }) else {
+            break;
+        };
         let id = remaining.swap_remove(pos);
-        placer.place(id);
+        if placer.place(id).is_none() {
+            return HeuristicResult {
+                solution: None,
+                peak: Address::MAX,
+            };
+        }
     }
     placer.finish()
 }

@@ -19,8 +19,8 @@ use crate::HeuristicResult;
 ///
 /// let problem = examples::tiny();
 /// let mut placer = Placer::new(&problem);
-/// assert_eq!(placer.place(BufferId::new(0)), 0);
-/// assert_eq!(placer.place(BufferId::new(1)), 8); // overlaps buffer 0
+/// assert_eq!(placer.place(BufferId::new(0)), Some(0));
+/// assert_eq!(placer.place(BufferId::new(1)), Some(8)); // overlaps buffer 0
 /// assert_eq!(placer.peak(), 16);
 /// ```
 #[derive(Debug)]
@@ -50,8 +50,10 @@ impl<'p> Placer<'p> {
     }
 
     /// The lowest feasible aligned address for `id` among already-placed
-    /// overlapping blocks, without committing it.
-    pub fn lowest_fit(&self, id: BufferId) -> Address {
+    /// overlapping blocks, without committing it. `None` means the sweep
+    /// overflowed the address space — the block cannot be placed at all
+    /// (only reachable with near-`u64::MAX` sizes or alignments).
+    pub fn lowest_fit(&self, id: BufferId) -> Option<Address> {
         let b = self.problem.buffer(id);
         let mut occupied: Vec<(Address, Address)> = self.neighbors[id.index()]
             .iter()
@@ -60,35 +62,37 @@ impl<'p> Placer<'p> {
                 let nb = &self.problem.buffers()[n as usize];
                 (
                     self.addresses[n as usize],
-                    self.addresses[n as usize] + nb.size(),
+                    self.addresses[n as usize].saturating_add(nb.size()),
                 )
             })
             .collect();
         occupied.sort_unstable();
-        let mut addr = 0;
+        let mut addr: Address = 0;
         for &(s, e) in &occupied {
-            if s >= addr + b.size() {
+            if s >= addr.checked_add(b.size())? {
                 break;
             }
             if e > addr {
-                addr = b.align_up(e).expect("addresses stay far from overflow");
+                addr = b.align_up(e)?;
             }
         }
-        addr
+        addr.checked_add(b.size())?;
+        Some(addr)
     }
 
-    /// Places `id` at its lowest fit and returns the address.
+    /// Places `id` at its lowest fit and returns the address, or `None`
+    /// (committing nothing) when the sweep overflowed the address space.
     ///
     /// # Panics
     ///
     /// Panics if `id` is already placed.
-    pub fn place(&mut self, id: BufferId) -> Address {
+    pub fn place(&mut self, id: BufferId) -> Option<Address> {
         assert!(!self.placed[id.index()], "buffer {id} is already placed");
-        let addr = self.lowest_fit(id);
+        let addr = self.lowest_fit(id)?;
         self.addresses[id.index()] = addr;
         self.placed[id.index()] = true;
         self.peak = self.peak.max(addr + self.problem.buffer(id).size());
-        addr
+        Some(addr)
     }
 
     /// Returns true if `id` has been placed.
@@ -127,11 +131,18 @@ impl<'p> Placer<'p> {
     }
 }
 
-/// Runs lowest-fit placement in the given order.
+/// Runs lowest-fit placement in the given order. An address-space
+/// overflow mid-sweep aborts to a "no solution" result instead of
+/// panicking.
 pub fn place_in_order(problem: &Problem, order: &[BufferId]) -> HeuristicResult {
     let mut placer = Placer::new(problem);
     for &id in order {
-        placer.place(id);
+        if placer.place(id).is_none() {
+            return HeuristicResult {
+                solution: None,
+                peak: Address::MAX,
+            };
+        }
     }
     placer.finish()
 }
@@ -174,7 +185,7 @@ mod tests {
         let id = BufferId::new(0);
         assert_eq!(placer.lowest_fit(id), placer.lowest_fit(id));
         let addr = placer.place(id);
-        assert_eq!(addr, 0);
+        assert_eq!(addr, Some(0));
         assert!(placer.is_placed(id));
     }
 

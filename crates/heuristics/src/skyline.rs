@@ -17,8 +17,8 @@ use tela_model::{Address, Buffer, Problem, TimeStep};
 /// let mut sky = Skyline::new(10);
 /// let a = Buffer::new(0, 4, 16);
 /// let b = Buffer::new(2, 6, 8);
-/// assert_eq!(sky.place(&a), 0);
-/// assert_eq!(sky.place(&b), 16); // rests on top of `a` where they overlap
+/// assert_eq!(sky.place(&a), Some(0));
+/// assert_eq!(sky.place(&b), Some(16)); // rests on top of `a` where they overlap
 /// assert_eq!(sky.top(3), 24);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,23 +58,26 @@ impl Skyline {
     }
 
     /// The lowest skyline address at which `buffer` can rest, honouring
-    /// its alignment (without placing it).
-    pub fn position_for(&self, buffer: &Buffer) -> Address {
+    /// its alignment (without placing it). `None` means aligning past the
+    /// current skyline would overflow the address space — the block
+    /// cannot rest anywhere.
+    pub fn position_for(&self, buffer: &Buffer) -> Option<Address> {
         let base = self.max_over(buffer.start(), buffer.end());
-        buffer
-            .align_up(base)
-            .expect("skyline addresses stay far from overflow")
+        let addr = buffer.align_up(base)?;
+        addr.checked_add(buffer.size())?;
+        Some(addr)
     }
 
     /// Places `buffer` on top of the skyline, returning its address and
-    /// raising the skyline over its live range.
-    pub fn place(&mut self, buffer: &Buffer) -> Address {
-        let addr = self.position_for(buffer);
+    /// raising the skyline over its live range, or `None` (leaving the
+    /// skyline untouched) when no in-range resting position exists.
+    pub fn place(&mut self, buffer: &Buffer) -> Option<Address> {
+        let addr = self.position_for(buffer)?;
         let new_top = addr + buffer.size();
         for t in &mut self.tops[buffer.start() as usize..buffer.end() as usize] {
             *t = new_top;
         }
-        addr
+        Some(addr)
     }
 
     /// The overall peak of the skyline.
@@ -98,8 +101,8 @@ mod tests {
     #[test]
     fn disjoint_buffers_share_ground_level() {
         let mut sky = Skyline::new(10);
-        assert_eq!(sky.place(&Buffer::new(0, 3, 7)), 0);
-        assert_eq!(sky.place(&Buffer::new(3, 6, 9)), 0);
+        assert_eq!(sky.place(&Buffer::new(0, 3, 7)), Some(0));
+        assert_eq!(sky.place(&Buffer::new(3, 6, 9)), Some(0));
         assert_eq!(sky.peak(), 9);
     }
 
@@ -107,8 +110,8 @@ mod tests {
     fn overlapping_buffers_stack() {
         let mut sky = Skyline::new(10);
         sky.place(&Buffer::new(0, 5, 4));
-        assert_eq!(sky.place(&Buffer::new(3, 8, 4)), 4);
-        assert_eq!(sky.place(&Buffer::new(7, 9, 4)), 8);
+        assert_eq!(sky.place(&Buffer::new(3, 8, 4)), Some(4));
+        assert_eq!(sky.place(&Buffer::new(7, 9, 4)), Some(8));
         assert_eq!(sky.peak(), 12);
     }
 
@@ -121,7 +124,7 @@ mod tests {
         sky.place(&Buffer::new(0, 4, 10));
         sky.place(&Buffer::new(4, 8, 2));
         // This block overlaps only [4, 8) where the skyline is 2.
-        assert_eq!(sky.place(&Buffer::new(5, 7, 3)), 2);
+        assert_eq!(sky.place(&Buffer::new(5, 7, 3)), Some(2));
     }
 
     #[test]
@@ -129,8 +132,8 @@ mod tests {
         let mut sky = Skyline::new(10);
         sky.place(&Buffer::new(0, 5, 10));
         let aligned = Buffer::new(2, 4, 8).with_align(32);
-        assert_eq!(sky.position_for(&aligned), 32);
-        assert_eq!(sky.place(&aligned), 32);
+        assert_eq!(sky.position_for(&aligned), Some(32));
+        assert_eq!(sky.place(&aligned), Some(32));
         assert_eq!(sky.top(3), 40);
     }
 

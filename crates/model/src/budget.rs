@@ -2,6 +2,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+#[cfg(feature = "fault-inject")]
+use crate::fault::FaultInjector;
+use crate::partial::BestEffort;
 use crate::Solution;
 
 /// A step and/or wall-clock budget for a solver invocation, optionally
@@ -33,6 +36,8 @@ pub struct Budget {
     deadline: Option<Instant>,
     max_steps: Option<u64>,
     cancel: Option<Arc<AtomicBool>>,
+    #[cfg(feature = "fault-inject")]
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl Budget {
@@ -42,6 +47,8 @@ impl Budget {
             deadline: None,
             max_steps: None,
             cancel: None,
+            #[cfg(feature = "fault-inject")]
+            faults: None,
         }
     }
 
@@ -90,6 +97,18 @@ impl Budget {
         self
     }
 
+    /// Attaches a deterministic fault injector: every
+    /// [`Budget::exhausted`] poll also advances the injector, which may
+    /// panic, raise a virtual stall, or flip an injected cancellation at
+    /// the step its [`crate::FaultPlan`] names. Test-only plumbing,
+    /// available under the `fault-inject` feature.
+    #[cfg(feature = "fault-inject")]
+    #[must_use]
+    pub fn with_fault_injector(mut self, faults: Arc<FaultInjector>) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
     /// Returns true if `steps` meets or exceeds the step cap.
     pub fn step_limit_reached(&self, steps: u64) -> bool {
         self.max_steps.is_some_and(|cap| steps >= cap)
@@ -103,7 +122,12 @@ impl Budget {
     /// Returns true if the deadline is at or before `now` (the
     /// deterministic form of [`Budget::deadline_passed`]).
     pub fn deadline_passed_at(&self, now: Instant) -> bool {
-        self.deadline.is_some_and(|d| now >= d)
+        // An injected stall shifts the observed clock forward without
+        // sleeping, so stall faults are deterministic.
+        match now.checked_add(self.injected_stall()) {
+            Some(shifted) => self.deadline.is_some_and(|d| shifted >= d),
+            None => self.deadline.is_some(),
+        }
     }
 
     /// Returns true if the shared cancellation flag has been raised.
@@ -114,16 +138,41 @@ impl Budget {
         self.cancel
             .as_ref()
             .is_some_and(|c| c.load(Ordering::Acquire))
+            || self.injected_cancel()
     }
 
     /// Returns true if any limit is exhausted or the budget was cancelled.
     pub fn exhausted(&self, steps: u64) -> bool {
+        #[cfg(feature = "fault-inject")]
+        if let Some(faults) = &self.faults {
+            faults.on_step(steps);
+        }
         self.step_limit_reached(steps) || self.cancelled() || self.deadline_passed()
     }
 
     /// The configured step cap, if any.
     pub fn max_steps(&self) -> Option<u64> {
         self.max_steps
+    }
+
+    /// Virtual clock skew raised by a stall fault (zero without the
+    /// `fault-inject` feature or when no stall fired).
+    fn injected_stall(&self) -> Duration {
+        #[cfg(feature = "fault-inject")]
+        if let Some(faults) = &self.faults {
+            return faults.stall();
+        }
+        Duration::ZERO
+    }
+
+    /// True when an injected (as opposed to real, shared-flag)
+    /// cancellation fired.
+    fn injected_cancel(&self) -> bool {
+        #[cfg(feature = "fault-inject")]
+        if let Some(faults) = &self.faults {
+            return faults.cancelled();
+        }
+        false
     }
 }
 
@@ -187,6 +236,13 @@ pub enum SolveOutcome {
     GaveUp,
     /// The step or time budget ran out before an answer was established.
     BudgetExceeded,
+    /// Every stage of the resilience ladder exhausted its budget; the
+    /// carried [`BestEffort`] holds the maximal *validated partial*
+    /// placement reached plus structured diagnostics (stage reached,
+    /// steps spent, first conflict clique). Callers should treat this
+    /// like [`SolveOutcome::BudgetExceeded`] but may use the partial
+    /// placement to decide what to spill or rematerialize.
+    BestEffort(Box<BestEffort>),
 }
 
 impl SolveOutcome {
@@ -194,6 +250,14 @@ impl SolveOutcome {
     pub fn solution(&self) -> Option<&Solution> {
         match self {
             SolveOutcome::Solved(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The best-effort diagnostics, if the solve degraded.
+    pub fn best_effort(&self) -> Option<&BestEffort> {
+        match self {
+            SolveOutcome::BestEffort(b) => Some(b),
             _ => None,
         }
     }
@@ -223,6 +287,7 @@ impl SolveOutcome {
             SolveOutcome::Infeasible => Err(SolveError::Infeasible),
             SolveOutcome::GaveUp => Err(SolveError::GaveUp),
             SolveOutcome::BudgetExceeded => Err(SolveError::BudgetExceeded),
+            SolveOutcome::BestEffort(_) => Err(SolveError::BestEffort),
         }
     }
 }
@@ -236,6 +301,8 @@ pub enum SolveError {
     GaveUp,
     /// The step or time budget ran out.
     BudgetExceeded,
+    /// The resilience ladder degraded to a best-effort partial solution.
+    BestEffort,
 }
 
 impl std::fmt::Display for SolveError {
@@ -244,6 +311,9 @@ impl std::fmt::Display for SolveError {
             SolveError::Infeasible => write!(f, "problem is infeasible"),
             SolveError::GaveUp => write!(f, "allocator gave up without an answer"),
             SolveError::BudgetExceeded => write!(f, "solver budget exceeded"),
+            SolveError::BestEffort => {
+                write!(f, "solver degraded to a best-effort partial solution")
+            }
         }
     }
 }
@@ -347,6 +417,23 @@ mod tests {
             Err(SolveError::BudgetExceeded)
         );
         assert!(SolveOutcome::Infeasible.solution().is_none());
+    }
+
+    #[test]
+    fn best_effort_outcome_reports_diagnostics() {
+        use crate::{PartialSolution, ResilienceStage};
+        let outcome = SolveOutcome::BestEffort(Box::new(BestEffort {
+            partial: PartialSolution::empty(),
+            stage: ResilienceStage::Portfolio,
+            steps: 42,
+            first_conflict: vec![],
+            spill_rounds: 0,
+        }));
+        assert!(!outcome.is_solved());
+        assert!(outcome.solution().is_none());
+        assert_eq!(outcome.best_effort().unwrap().steps, 42);
+        assert_eq!(outcome.into_result(), Err(SolveError::BestEffort));
+        assert!(SolveOutcome::Infeasible.best_effort().is_none());
     }
 
     #[test]

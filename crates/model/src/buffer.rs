@@ -19,6 +19,13 @@ pub struct BufferId(u32);
 
 impl BufferId {
     /// Creates a buffer id from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`. Ids are only minted for
+    /// buffers of an in-memory `Problem`, whose length is bounded far
+    /// below `u32::MAX` in practice; this is a constructor precondition,
+    /// not a solve-path hazard.
     pub fn new(index: usize) -> Self {
         BufferId(u32::try_from(index).expect("buffer index fits in u32"))
     }
@@ -40,6 +47,43 @@ impl From<usize> for BufferId {
         BufferId::new(index)
     }
 }
+
+/// Why a buffer description is malformed; see [`Buffer::try_new`] and
+/// [`Problem::new`](crate::Problem::new).
+///
+/// [`Buffer::new`] panics on these conditions; the fallible
+/// constructors return them instead, and [`Problem::new`] re-checks
+/// every buffer so that instances arriving through deserialization (which
+/// bypasses the constructors) are still rejected before any solver sees
+/// them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferError {
+    /// `end <= start`: the half-open live range `[start, end)` is empty.
+    EmptyLiveRange {
+        /// The start of the rejected range.
+        start: TimeStep,
+        /// The (exclusive) end of the rejected range.
+        end: TimeStep,
+    },
+    /// The buffer's size is zero.
+    ZeroSize,
+    /// The buffer's alignment is zero (1 means unconstrained).
+    ZeroAlign,
+}
+
+impl std::fmt::Display for BufferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BufferError::EmptyLiveRange { start, end } => {
+                write!(f, "buffer live range must be non-empty: [{start}, {end})")
+            }
+            BufferError::ZeroSize => write!(f, "buffer size must be positive"),
+            BufferError::ZeroAlign => write!(f, "alignment must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for BufferError {}
 
 /// A memory buffer with a fixed live range and size.
 ///
@@ -79,17 +123,31 @@ impl Buffer {
     /// rejected eagerly so every downstream invariant can rely on non-empty
     /// live ranges and positive sizes.
     pub fn new(start: TimeStep, end: TimeStep, size: Size) -> Self {
-        assert!(
-            end > start,
-            "buffer live range must be non-empty: [{start}, {end})"
-        );
-        assert!(size > 0, "buffer size must be positive");
-        Buffer {
+        match Buffer::try_new(start, end, size) {
+            Ok(b) => b,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`Buffer::new`].
+    ///
+    /// # Errors
+    ///
+    /// [`BufferError::EmptyLiveRange`] if `end <= start`,
+    /// [`BufferError::ZeroSize`] if `size == 0`.
+    pub fn try_new(start: TimeStep, end: TimeStep, size: Size) -> Result<Self, BufferError> {
+        if end <= start {
+            return Err(BufferError::EmptyLiveRange { start, end });
+        }
+        if size == 0 {
+            return Err(BufferError::ZeroSize);
+        }
+        Ok(Buffer {
             start,
             end,
             size,
             align: 1,
-        }
+        })
     }
 
     /// Returns a copy of this buffer with the given alignment requirement.
@@ -98,10 +156,52 @@ impl Buffer {
     ///
     /// Panics if `align == 0`.
     #[must_use]
-    pub fn with_align(mut self, align: Size) -> Self {
-        assert!(align > 0, "alignment must be positive");
+    pub fn with_align(self, align: Size) -> Self {
+        match self.try_with_align(align) {
+            Ok(b) => b,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`Buffer::with_align`].
+    ///
+    /// # Errors
+    ///
+    /// [`BufferError::ZeroAlign`] if `align == 0`.
+    pub fn try_with_align(mut self, align: Size) -> Result<Self, BufferError> {
+        if align == 0 {
+            return Err(BufferError::ZeroAlign);
+        }
         self.align = align;
-        self
+        Ok(self)
+    }
+
+    /// Re-checks the constructor invariants.
+    ///
+    /// The constructors already enforce these, but a `Buffer` can also
+    /// arrive through deserialization, which writes the fields directly;
+    /// [`Problem::new`](crate::Problem::new) calls this on every buffer so
+    /// degenerate instances are rejected at the boundary instead of
+    /// panicking deep inside a solver.
+    ///
+    /// # Errors
+    ///
+    /// The same [`BufferError`]s as [`Buffer::try_new`] and
+    /// [`Buffer::try_with_align`].
+    pub fn check(&self) -> Result<(), BufferError> {
+        if self.end <= self.start {
+            return Err(BufferError::EmptyLiveRange {
+                start: self.start,
+                end: self.end,
+            });
+        }
+        if self.size == 0 {
+            return Err(BufferError::ZeroSize);
+        }
+        if self.align == 0 {
+            return Err(BufferError::ZeroAlign);
+        }
+        Ok(())
     }
 
     /// First time step at which the buffer is live.
@@ -236,6 +336,87 @@ mod tests {
     #[should_panic(expected = "size")]
     fn zero_size_rejected() {
         let _ = Buffer::new(0, 1, 0);
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        assert_eq!(
+            Buffer::try_new(5, 5, 1),
+            Err(BufferError::EmptyLiveRange { start: 5, end: 5 })
+        );
+        assert_eq!(
+            Buffer::try_new(7, 3, 1),
+            Err(BufferError::EmptyLiveRange { start: 7, end: 3 })
+        );
+        assert_eq!(Buffer::try_new(0, 1, 0), Err(BufferError::ZeroSize));
+        assert!(Buffer::try_new(0, 1, 1).is_ok());
+    }
+
+    #[test]
+    fn try_with_align_rejects_zero() {
+        let b = Buffer::new(0, 1, 8);
+        assert_eq!(b.try_with_align(0), Err(BufferError::ZeroAlign));
+        assert_eq!(b.try_with_align(16).unwrap().align(), 16);
+    }
+
+    #[test]
+    fn check_validates_constructed_buffers() {
+        assert!(Buffer::new(0, 4, 16).with_align(8).check().is_ok());
+    }
+
+    #[test]
+    fn malformed_buffers_rejected_at_problem_construction() {
+        // Deserialization writes fields directly, bypassing the
+        // constructors; simulate that here (same-module field access)
+        // and check that `Problem::new` still rejects the result.
+        use crate::{Problem, ProblemError};
+        for (raw, error) in [
+            (
+                Buffer {
+                    start: 5,
+                    end: 5,
+                    size: 1,
+                    align: 1,
+                },
+                BufferError::EmptyLiveRange { start: 5, end: 5 },
+            ),
+            (
+                Buffer {
+                    start: 0,
+                    end: 1,
+                    size: 0,
+                    align: 1,
+                },
+                BufferError::ZeroSize,
+            ),
+            (
+                Buffer {
+                    start: 0,
+                    end: 1,
+                    size: 1,
+                    align: 0,
+                },
+                BufferError::ZeroAlign,
+            ),
+        ] {
+            let err = Problem::new(vec![raw], 100).unwrap_err();
+            assert_eq!(
+                err,
+                ProblemError::InvalidBuffer {
+                    buffer: crate::BufferId::new(0),
+                    error,
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn buffer_error_displays() {
+        assert!(BufferError::EmptyLiveRange { start: 2, end: 2 }
+            .to_string()
+            .contains("live range"));
+        assert!(BufferError::ZeroSize.to_string().contains("size"));
+        assert!(BufferError::ZeroAlign.to_string().contains("alignment"));
     }
 
     #[test]

@@ -42,7 +42,12 @@ impl ContentionProfile {
         let mut acc = 0i128;
         for d in delta.iter().take(horizon) {
             acc += d;
-            per_step.push(Size::try_from(acc).expect("contention is non-negative"));
+            // `Problem::new` rejects cumulative sizes past u64::MAX
+            // (ProblemError::ExtentOverflow), so the running sum always
+            // fits a Size; saturate rather than panic if a hand-built
+            // Problem ever violates that.
+            debug_assert!((0..=i128::from(Size::MAX)).contains(&acc));
+            per_step.push(Size::try_from(acc.max(0)).unwrap_or(Size::MAX));
         }
         ContentionProfile { per_step }
     }

@@ -1,0 +1,236 @@
+//! Deterministic fault injection for chaos-testing the solve pipeline.
+//!
+//! Available only under the `fault-inject` cargo feature. A seeded
+//! [`FaultPlan`] names *which* fault fires and *when* (in solver steps);
+//! a [`FaultInjector`] executes the plan as the attached [`Budget`]
+//! polls [`Budget::exhausted`]. All faults are deterministic: panics
+//! fire at an exact step, stalls advance a virtual clock instead of
+//! sleeping, and cancellations flip a private flag the budget observes
+//! exactly like a lost portfolio race.
+//!
+//! [`Budget`]: crate::Budget
+//! [`Budget::exhausted`]: crate::Budget::exhausted
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A deterministic script of faults to inject into one solve.
+///
+/// Each field is independent; `None` disables that fault. Step
+/// thresholds compare against the step counter the solver passes to
+/// [`crate::Budget::exhausted`], so the same plan fires at the same
+/// point on every run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Panic (with a recognizable message) once the step counter
+    /// reaches this value.
+    pub panic_at_step: Option<u64>,
+    /// From this step on, report the virtual clock as being this much
+    /// later than it really is — a deterministic stall.
+    pub stall_at_step: Option<(u64, Duration)>,
+    /// Report the budget as cancelled from this step on, as if the
+    /// solve had lost a portfolio race.
+    pub cancel_at_step: Option<u64>,
+    /// Make this spill round (1-based) fail to produce a new problem,
+    /// forcing the escalation ladder to stop spilling.
+    pub fail_spill_round: Option<u32>,
+    /// Restrict the plan to one portfolio variant (by index); `None`
+    /// applies it to every variant.
+    pub victim_variant: Option<usize>,
+}
+
+impl FaultPlan {
+    /// Derives a plan deterministically from `seed` (xorshift64*): the
+    /// same seed always yields the same plan, and the seed space covers
+    /// every fault kind, including the empty plan.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut state = seed.wrapping_mul(2685821657736338717).wrapping_add(1);
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state = state.wrapping_mul(2685821657736338717);
+            state
+        };
+        let mut plan = FaultPlan::default();
+        let kinds = next();
+        // Keep thresholds small so faults actually fire within typical
+        // test budgets; one plan may combine several fault kinds.
+        if kinds & 0b0001 != 0 {
+            plan.panic_at_step = Some(next() % 64);
+        }
+        if kinds & 0b0010 != 0 {
+            plan.stall_at_step = Some((next() % 64, Duration::from_secs(1 + next() % 3600)));
+        }
+        if kinds & 0b0100 != 0 {
+            plan.cancel_at_step = Some(next() % 64);
+        }
+        if kinds & 0b1000 != 0 {
+            plan.fail_spill_round = Some(1 + (next() % 4) as u32);
+        }
+        if kinds & 0b1_0000 != 0 {
+            plan.victim_variant = Some((next() % 9) as usize);
+        }
+        plan
+    }
+
+    /// Whether this plan targets the portfolio variant at `index`.
+    pub fn applies_to_variant(&self, index: usize) -> bool {
+        self.victim_variant.is_none_or(|v| v == index)
+    }
+
+    /// Returns true if the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        *self == FaultPlan::default()
+    }
+
+    /// Builds a fresh injector executing this plan.
+    pub fn injector(&self) -> FaultInjector {
+        FaultInjector::new(self.clone())
+    }
+}
+
+/// Executes a [`FaultPlan`] as the solver polls its budget.
+///
+/// Thread-safe: one injector may be shared by several budget clones.
+/// Stall and cancellation faults latch once fired.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    /// Virtual clock skew in nanoseconds, raised by a stall fault.
+    stalled_nanos: AtomicU64,
+    cancelled: AtomicBool,
+}
+
+impl FaultInjector {
+    /// Creates an injector for `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            plan,
+            stalled_nanos: AtomicU64::new(0),
+            cancelled: AtomicBool::new(false),
+        }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Advances the injector to `steps`, firing any fault whose
+    /// threshold has been reached.
+    ///
+    /// # Panics
+    ///
+    /// Panics (deliberately) when the plan's `panic_at_step` threshold
+    /// is reached — that is the injected fault.
+    pub fn on_step(&self, steps: u64) {
+        if let Some(at) = self.plan.panic_at_step {
+            if steps >= at {
+                panic!("fault-inject: injected panic at step {steps}");
+            }
+        }
+        if let Some((at, stall)) = self.plan.stall_at_step {
+            if steps >= at {
+                let nanos = u64::try_from(stall.as_nanos()).unwrap_or(u64::MAX);
+                self.stalled_nanos.store(nanos, Ordering::Release);
+            }
+        }
+        if let Some(at) = self.plan.cancel_at_step {
+            if steps >= at {
+                self.cancelled.store(true, Ordering::Release);
+            }
+        }
+    }
+
+    /// Current virtual clock skew (zero until a stall fault fires).
+    pub fn stall(&self) -> Duration {
+        Duration::from_nanos(self.stalled_nanos.load(Ordering::Acquire))
+    }
+
+    /// Whether an injected cancellation has fired.
+    pub fn cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Budget;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        for seed in 0..256 {
+            assert_eq!(FaultPlan::from_seed(seed), FaultPlan::from_seed(seed));
+        }
+        // The seed space exercises more than one plan.
+        let distinct: std::collections::HashSet<_> = (0..256)
+            .map(|s| format!("{:?}", FaultPlan::from_seed(s)))
+            .collect();
+        assert!(distinct.len() > 8, "only {} distinct plans", distinct.len());
+    }
+
+    #[test]
+    fn panic_fault_fires_at_threshold() {
+        let plan = FaultPlan {
+            panic_at_step: Some(5),
+            ..FaultPlan::default()
+        };
+        let budget = Budget::steps(1_000).with_fault_injector(Arc::new(plan.injector()));
+        assert!(!budget.exhausted(4));
+        let err = catch_unwind(AssertUnwindSafe(|| budget.exhausted(5))).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("injected panic at step 5"), "got: {msg}");
+    }
+
+    #[test]
+    fn cancel_fault_latches_and_exhausts() {
+        let plan = FaultPlan {
+            cancel_at_step: Some(3),
+            ..FaultPlan::default()
+        };
+        let budget = Budget::steps(1_000).with_fault_injector(Arc::new(plan.injector()));
+        assert!(!budget.exhausted(2));
+        assert!(!budget.cancelled());
+        assert!(budget.exhausted(3));
+        assert!(budget.cancelled());
+        // Latches: still cancelled at later (and earlier) polls.
+        assert!(budget.exhausted(0));
+    }
+
+    #[test]
+    fn stall_fault_advances_the_virtual_clock() {
+        let plan = FaultPlan {
+            stall_at_step: Some((2, Duration::from_secs(7200))),
+            ..FaultPlan::default()
+        };
+        let t0 = Instant::now();
+        let budget = Budget::unlimited()
+            .with_deadline(t0 + Duration::from_secs(3600))
+            .with_fault_injector(Arc::new(plan.injector()));
+        // Before the stall fires the deadline is an hour away.
+        assert!(!budget.deadline_passed_at(t0));
+        assert!(!budget.exhausted(1));
+        // The poll at step 2 raises a two-hour virtual stall, pushing
+        // the observed clock past the deadline deterministically.
+        assert!(budget.exhausted(2));
+        assert!(budget.deadline_passed_at(t0));
+    }
+
+    #[test]
+    fn victim_variant_scopes_the_plan() {
+        let everyone = FaultPlan::default();
+        assert!(everyone.applies_to_variant(0));
+        assert!(everyone.applies_to_variant(7));
+        let scoped = FaultPlan {
+            victim_variant: Some(2),
+            ..FaultPlan::default()
+        };
+        assert!(scoped.applies_to_variant(2));
+        assert!(!scoped.applies_to_variant(0));
+    }
+}

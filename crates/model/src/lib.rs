@@ -33,6 +33,9 @@ mod budget;
 mod buffer;
 mod contention;
 pub mod examples;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
+mod partial;
 mod problem;
 mod solution;
 mod split;
@@ -40,8 +43,11 @@ mod trace;
 
 pub use analysis::{maximal_live_sets, InstanceStats, LiveSet, PackingStats};
 pub use budget::{Budget, SolveError, SolveOutcome, SolveStats};
-pub use buffer::{Buffer, BufferId};
+pub use buffer::{Buffer, BufferError, BufferId};
 pub use contention::{ContentionProfile, Phase, PhasePartition};
+#[cfg(feature = "fault-inject")]
+pub use fault::{FaultInjector, FaultPlan};
+pub use partial::{BestEffort, PartialError, PartialSolution, ResilienceStage};
 pub use problem::{Problem, ProblemBuilder, ProblemError};
 pub use solution::{Solution, ValidationError};
 pub use split::split_independent;

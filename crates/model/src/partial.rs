@@ -1,0 +1,293 @@
+//! Partial solutions and best-effort diagnostics for degraded solves.
+//!
+//! When every stage of the resilience ladder exhausts its budget, the
+//! solver returns the *maximal placed prefix* it reached instead of
+//! nothing (paper §1: production allocators must degrade gracefully).
+//! A [`PartialSolution`] carries that prefix; [`BestEffort`] wraps it
+//! together with structured diagnostics — the stage reached, the steps
+//! spent, and the first conflict clique the search ran into.
+
+use serde::{Deserialize, Serialize};
+
+use crate::problem::ProblemError;
+use crate::solution::ValidationError;
+use crate::{Address, BufferId, Problem, Solution};
+
+/// The stage of the resilience ladder a solve reached before stopping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResilienceStage {
+    /// The greedy heuristic alone (stage 0 of the ladder).
+    Heuristic,
+    /// The full portfolio race (stage 1).
+    Portfolio,
+    /// A spill-and-retry round (stage 2+); `round` counts from 1.
+    SpillRetry {
+        /// Which spill round (1-based) the ladder was in.
+        round: u32,
+    },
+}
+
+impl std::fmt::Display for ResilienceStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResilienceStage::Heuristic => write!(f, "heuristic"),
+            ResilienceStage::Portfolio => write!(f, "portfolio"),
+            ResilienceStage::SpillRetry { round } => write!(f, "spill-retry round {round}"),
+        }
+    }
+}
+
+/// An assignment of addresses to a *subset* of a problem's buffers: the
+/// maximal placed prefix a search committed before running out of
+/// budget.
+///
+/// Unlike [`Solution`], which must cover every buffer, a partial
+/// solution names the buffers it places. [`PartialSolution::validate`]
+/// re-checks the placed subset against the original problem's capacity,
+/// alignment, and pairwise non-overlap constraints by building a
+/// sub-problem of only the placed buffers.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartialSolution {
+    placements: Vec<(BufferId, Address)>,
+}
+
+/// Reasons a [`PartialSolution`] fails validation against a [`Problem`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartialError {
+    /// A placement names a buffer the problem does not have.
+    UnknownBuffer(BufferId),
+    /// The same buffer is placed twice.
+    DuplicateBuffer(BufferId),
+    /// The placed subset does not form a valid sub-problem (cannot
+    /// happen for a well-formed source problem; reported rather than
+    /// panicking).
+    SubProblem(ProblemError),
+    /// The placed subset violates capacity, alignment, or non-overlap.
+    /// Buffer ids refer to the *original* problem.
+    Invalid(ValidationError),
+}
+
+impl std::fmt::Display for PartialError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartialError::UnknownBuffer(id) => {
+                write!(f, "partial solution places unknown buffer {id}")
+            }
+            PartialError::DuplicateBuffer(id) => {
+                write!(f, "partial solution places buffer {id} twice")
+            }
+            PartialError::SubProblem(e) => write!(f, "placed subset is not a valid problem: {e}"),
+            PartialError::Invalid(e) => write!(f, "placed subset is invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PartialError {}
+
+impl PartialSolution {
+    /// Wraps a list of `(buffer, address)` placements.
+    pub fn new(placements: Vec<(BufferId, Address)>) -> Self {
+        PartialSolution { placements }
+    }
+
+    /// A partial solution that places nothing.
+    pub fn empty() -> Self {
+        PartialSolution::default()
+    }
+
+    /// The placements, in the order they were committed.
+    pub fn placements(&self) -> &[(BufferId, Address)] {
+        &self.placements
+    }
+
+    /// Number of placed buffers.
+    pub fn len(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// Returns true if nothing is placed.
+    pub fn is_empty(&self) -> bool {
+        self.placements.is_empty()
+    }
+
+    /// The address assigned to `id`, if it is placed.
+    pub fn address_of(&self, id: BufferId) -> Option<Address> {
+        self.placements
+            .iter()
+            .find(|(b, _)| *b == id)
+            .map(|&(_, a)| a)
+    }
+
+    /// Validates the placed subset against `problem`: every placed id
+    /// must exist and be placed once, and the placements must satisfy
+    /// capacity, alignment, and pairwise non-overlap among themselves.
+    /// On success returns the peak address in use by the placed subset.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`PartialError`] found; validation errors
+    /// reference buffer ids of the original problem.
+    pub fn validate(&self, problem: &Problem) -> Result<Address, PartialError> {
+        let mut seen = vec![false; problem.len()];
+        for &(id, _) in &self.placements {
+            if id.index() >= problem.len() {
+                return Err(PartialError::UnknownBuffer(id));
+            }
+            if seen[id.index()] {
+                return Err(PartialError::DuplicateBuffer(id));
+            }
+            seen[id.index()] = true;
+        }
+        // Build the sub-problem of only the placed buffers. Dense index
+        // `i` in the sub-problem corresponds to `self.placements[i].0`
+        // in the original; errors are remapped back before returning.
+        let buffers = self
+            .placements
+            .iter()
+            .map(|&(id, _)| *problem.buffer(id))
+            .collect();
+        let sub = Problem::new(buffers, problem.capacity()).map_err(PartialError::SubProblem)?;
+        let addresses = self.placements.iter().map(|&(_, a)| a).collect();
+        Solution::new(addresses)
+            .validate(&sub)
+            .map_err(|e| PartialError::Invalid(self.remap(e)))
+    }
+
+    /// Maps a validation error's dense sub-problem ids back to the
+    /// original problem's buffer ids.
+    fn remap(&self, error: ValidationError) -> ValidationError {
+        let orig = |id: BufferId| self.placements[id.index()].0;
+        match error {
+            ValidationError::WrongLength { .. } => error,
+            ValidationError::ExceedsCapacity {
+                buffer,
+                top,
+                capacity,
+            } => ValidationError::ExceedsCapacity {
+                buffer: orig(buffer),
+                top,
+                capacity,
+            },
+            ValidationError::Misaligned {
+                buffer,
+                address,
+                align,
+            } => ValidationError::Misaligned {
+                buffer: orig(buffer),
+                address,
+                align,
+            },
+            ValidationError::Overlap { first, second } => ValidationError::Overlap {
+                first: orig(first),
+                second: orig(second),
+            },
+        }
+    }
+}
+
+impl FromIterator<(BufferId, Address)> for PartialSolution {
+    fn from_iter<T: IntoIterator<Item = (BufferId, Address)>>(iter: T) -> Self {
+        PartialSolution::new(iter.into_iter().collect())
+    }
+}
+
+/// Diagnostics returned when every stage of the resilience ladder
+/// exhausted its budget: the best validated partial placement plus
+/// where and how the search stopped.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BestEffort {
+    /// The maximal placed prefix, already validated by the producer.
+    pub partial: PartialSolution,
+    /// The deepest ladder stage that ran.
+    pub stage: ResilienceStage,
+    /// Total search steps spent across all stages.
+    pub steps: u64,
+    /// The buffers involved in the first placement conflict the search
+    /// hit (the conflict clique); empty if no conflict was recorded.
+    pub first_conflict: Vec<BufferId>,
+    /// How many spill rounds ran before giving up.
+    pub spill_rounds: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Buffer;
+
+    fn problem() -> Problem {
+        Problem::builder(10)
+            .buffer(Buffer::new(0, 4, 6))
+            .buffer(Buffer::new(2, 6, 4))
+            .buffer(Buffer::new(0, 2, 4))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn empty_partial_validates() {
+        let p = problem();
+        assert_eq!(PartialSolution::empty().validate(&p), Ok(0));
+    }
+
+    #[test]
+    fn valid_prefix_reports_peak() {
+        let p = problem();
+        let partial = PartialSolution::new(vec![(BufferId::new(0), 0), (BufferId::new(1), 6)]);
+        assert_eq!(partial.validate(&p), Ok(10));
+        assert_eq!(partial.address_of(BufferId::new(1)), Some(6));
+        assert_eq!(partial.address_of(BufferId::new(2)), None);
+    }
+
+    #[test]
+    fn unknown_and_duplicate_buffers_rejected() {
+        let p = problem();
+        let unknown = PartialSolution::new(vec![(BufferId::new(9), 0)]);
+        assert_eq!(
+            unknown.validate(&p),
+            Err(PartialError::UnknownBuffer(BufferId::new(9)))
+        );
+        let dup = PartialSolution::new(vec![(BufferId::new(1), 0), (BufferId::new(1), 4)]);
+        assert_eq!(
+            dup.validate(&p),
+            Err(PartialError::DuplicateBuffer(BufferId::new(1)))
+        );
+    }
+
+    #[test]
+    fn overlapping_prefix_rejected_with_original_ids() {
+        let p = problem();
+        // Buffers 0 and 1 overlap in time [2, 4); placing both at 0
+        // overlaps in space too.
+        let partial = PartialSolution::new(vec![(BufferId::new(1), 0), (BufferId::new(0), 0)]);
+        match partial.validate(&p) {
+            Err(PartialError::Invalid(ValidationError::Overlap { first, second })) => {
+                let mut pair = [first.index(), second.index()];
+                pair.sort_unstable();
+                assert_eq!(pair, [0, 1], "ids must refer to the original problem");
+            }
+            other => panic!("expected overlap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn capacity_violation_names_original_buffer() {
+        let p = problem();
+        let partial = PartialSolution::new(vec![(BufferId::new(2), 8)]);
+        match partial.validate(&p) {
+            Err(PartialError::Invalid(ValidationError::ExceedsCapacity { buffer, .. })) => {
+                assert_eq!(buffer, BufferId::new(2));
+            }
+            other => panic!("expected capacity violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stage_displays() {
+        assert_eq!(ResilienceStage::Heuristic.to_string(), "heuristic");
+        assert_eq!(ResilienceStage::Portfolio.to_string(), "portfolio");
+        assert_eq!(
+            ResilienceStage::SpillRetry { round: 3 }.to_string(),
+            "spill-retry round 3"
+        );
+    }
+}

@@ -1,5 +1,6 @@
 use serde::{Deserialize, Serialize};
 
+use crate::buffer::BufferError;
 use crate::contention::ContentionProfile;
 use crate::{Buffer, BufferId, Size, TimeStep};
 
@@ -43,6 +44,27 @@ pub enum ProblemError {
     },
     /// The problem has a zero memory capacity but at least one buffer.
     ZeroCapacity,
+    /// A buffer fails basic well-formedness (empty live range, zero
+    /// size, or zero alignment). Constructed `Buffer`s cannot trip this,
+    /// but deserialized ones bypass the constructors.
+    InvalidBuffer {
+        /// The malformed buffer.
+        buffer: BufferId,
+        /// What is wrong with it.
+        error: BufferError,
+    },
+    /// The buffer's `size + align - 1` overflows `u64`: rounding a
+    /// feasible base address up to the alignment and adding the size —
+    /// the core move of every placement sweep — could wrap for such a
+    /// buffer, so the combination is rejected at construction.
+    AlignOverflow {
+        /// The buffer whose size/alignment combination is unrepresentable.
+        buffer: BufferId,
+    },
+    /// The cumulative size of all buffers overflows `u64`. Contention
+    /// and packing arithmetic sum sizes; rejecting the overflow here
+    /// keeps those sums exact everywhere downstream.
+    ExtentOverflow,
 }
 
 impl std::fmt::Display for ProblemError {
@@ -57,6 +79,16 @@ impl std::fmt::Display for ProblemError {
                 "buffer {buffer} of size {size} exceeds memory capacity {capacity}"
             ),
             ProblemError::ZeroCapacity => write!(f, "memory capacity is zero"),
+            ProblemError::InvalidBuffer { buffer, error } => {
+                write!(f, "buffer {buffer} is malformed: {error}")
+            }
+            ProblemError::AlignOverflow { buffer } => write!(
+                f,
+                "aligning buffer {buffer} within the capacity overflows u64"
+            ),
+            ProblemError::ExtentOverflow => {
+                write!(f, "cumulative buffer size overflows u64")
+            }
         }
     }
 }
@@ -76,20 +108,37 @@ impl Problem {
     ///
     /// # Errors
     ///
-    /// Returns [`ProblemError`] if any single buffer cannot fit in memory,
-    /// or if the capacity is zero while buffers exist.
+    /// Returns [`ProblemError`] if any single buffer cannot fit in
+    /// memory, if the capacity is zero while buffers exist, if a buffer
+    /// is malformed (empty live range, zero size, zero alignment —
+    /// possible via deserialization, which bypasses the `Buffer`
+    /// constructors), or if alignment or cumulative-size arithmetic
+    /// would overflow `u64`.
     pub fn new(buffers: Vec<Buffer>, capacity: Size) -> Result<Self, ProblemError> {
         if capacity == 0 && !buffers.is_empty() {
             return Err(ProblemError::ZeroCapacity);
         }
+        let mut total: Size = 0;
         for (i, b) in buffers.iter().enumerate() {
+            let id = BufferId::new(i);
+            b.check()
+                .map_err(|error| ProblemError::InvalidBuffer { buffer: id, error })?;
             if b.size() > capacity {
                 return Err(ProblemError::BufferExceedsCapacity {
-                    buffer: BufferId::new(i),
+                    buffer: id,
                     size: b.size(),
                     capacity,
                 });
             }
+            // Placement sweeps round a candidate base up to the
+            // alignment and add the size; `size + align - 1` must be
+            // representable or that arithmetic can wrap mid-search.
+            if b.size().checked_add(b.align() - 1).is_none() {
+                return Err(ProblemError::AlignOverflow { buffer: id });
+            }
+            total = total
+                .checked_add(b.size())
+                .ok_or(ProblemError::ExtentOverflow)?;
         }
         Ok(Problem { buffers, capacity })
     }
@@ -321,6 +370,40 @@ mod tests {
     #[test]
     fn zero_capacity_empty_problem_allowed() {
         assert!(Problem::builder(0).build().is_ok());
+    }
+
+    #[test]
+    fn align_overflow_rejected() {
+        // size + align - 1 wraps: placement arithmetic could overflow
+        // mid-sweep, so construction refuses the combination.
+        let err = Problem::builder(u64::MAX)
+            .buffer(Buffer::new(0, 1, u64::MAX).with_align(2))
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ProblemError::AlignOverflow {
+                buffer: BufferId::new(0)
+            }
+        );
+        assert!(err.to_string().contains("overflows"));
+        // The same size without the alignment is representable.
+        assert!(Problem::builder(u64::MAX)
+            .buffer(Buffer::new(0, 1, u64::MAX))
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn extent_overflow_rejected() {
+        // Each buffer fits on its own, but the cumulative size wraps.
+        let err = Problem::builder(u64::MAX)
+            .buffer(Buffer::new(0, 1, u64::MAX))
+            .buffer(Buffer::new(2, 3, 1))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ProblemError::ExtentOverflow);
+        assert!(err.to_string().contains("cumulative"));
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! The compilation driver: schedule → lower → allocate → (spill →
 //! retry)*, mirroring the on-device flow of paper §2.3.
 
-use tela_model::{Budget, Problem, Solution, SolveStats};
-use telamalloc::{Allocator, Stage};
+use tela_model::{Budget, Problem, ResilienceStage, Solution, SolveOutcome, SolveStats};
+use telamalloc::{EscalationLadder, LadderConfig, SpillHook, Stage, TelaConfig};
 
 use crate::ir::Graph;
 use crate::memory::{lower, Lowered, LoweringConfig};
@@ -47,7 +47,7 @@ pub struct Compiled {
     pub schedule: Schedule,
     /// Which allocator stage succeeded.
     pub stage: Stage,
-    /// Allocation statistics of the successful attempt.
+    /// Aggregate allocation statistics across every attempt.
     pub stats: SolveStats,
     /// What had to be spilled to DRAM to fit.
     pub spills: SpillReport,
@@ -93,8 +93,8 @@ impl Compiler {
     }
 
     /// Compiles `graph`: schedules it, lowers it to buffers, and packs
-    /// them into the scratchpad, spilling activations to DRAM and
-    /// retrying when packing fails.
+    /// them into the scratchpad through the resilient escalation ladder,
+    /// spilling activations to DRAM and retrying when packing fails.
     ///
     /// # Errors
     ///
@@ -104,41 +104,104 @@ impl Compiler {
         let s = &self.settings;
         let sched = schedule(graph, s.schedule, s.lowering.bytes_per_element);
         let mut lowered: Lowered = lower(graph, &sched, &s.lowering);
-        let allocator = Allocator::default();
         let mut spills = SpillReport::empty();
 
-        for round in 0..=s.max_spill_rounds {
+        // Pre-spill down to the first buffer set that can possibly fit:
+        // the search stages should never be asked to disprove what
+        // arithmetic (oversized buffer, contention bound) already rules
+        // out. Eviction terminates — each round removes an activation.
+        let initial = loop {
             if let Ok(problem) = lowered.problem(s.scratchpad_bytes) {
                 if problem.max_contention() <= problem.capacity() {
-                    let result = allocator.allocate(&problem, &Budget::steps(s.allocation_steps));
-                    if let Some(solution) = result.outcome.solution() {
-                        return Ok(Compiled {
-                            solution: solution.clone(),
-                            problem,
-                            schedule: sched,
-                            stage: result.stage,
-                            stats: result.stats,
-                            spills,
-                        });
-                    }
+                    break problem;
                 }
             }
-            if round == s.max_spill_rounds {
-                break;
+            if !spill_once(&mut lowered, &mut spills, s.lowering.dma_staging_bytes) {
+                return Err(CompileError::Unallocatable {
+                    rounds: spills.evicted.len() as u32,
+                });
             }
-            // Packing failed (or was trivially impossible): evict one
-            // activation and retry.
-            let Some(victim) = pick_victim(&lowered, s.lowering.dma_staging_bytes) else {
-                break;
-            };
-            let (op, bytes, staging) = evict(&mut lowered, victim, s.lowering.dma_staging_bytes);
-            spills.evicted.push(op);
-            spills.bytes_spilled += bytes;
-            spills.staging_buffers += staging;
+        };
+
+        let config = TelaConfig {
+            ladder: LadderConfig {
+                max_spill_rounds: s.max_spill_rounds,
+                ..LadderConfig::default()
+            },
+            ..TelaConfig::default()
+        };
+        // The whole ladder shares one budget sized for the worst case:
+        // one full-strength attempt per spill round.
+        let budget = Budget::steps(
+            s.allocation_steps
+                .saturating_mul(u64::from(s.max_spill_rounds).saturating_add(1)),
+        );
+        let mut hook = LoweredSpillHook {
+            lowered: &mut lowered,
+            spills: &mut spills,
+            capacity: s.scratchpad_bytes,
+            staging_bytes: s.lowering.dma_staging_bytes,
+        };
+        let result = EscalationLadder::new(config).solve_with_spill(initial, &budget, &mut hook);
+        match result.outcome {
+            SolveOutcome::Solved(solution) => Ok(Compiled {
+                solution,
+                problem: result.problem,
+                schedule: sched,
+                stage: if result.stage == ResilienceStage::Heuristic {
+                    Stage::Heuristic
+                } else {
+                    Stage::TelaMalloc
+                },
+                stats: result.stats,
+                spills,
+            }),
+            // Infeasible and BestEffort both mean "does not fit even
+            // after spilling": the compiler's contract only has one
+            // failure mode.
+            _ => Err(CompileError::Unallocatable {
+                rounds: spills.evicted.len() as u32,
+            }),
         }
-        Err(CompileError::Unallocatable {
-            rounds: spills.evicted.len() as u32,
-        })
+    }
+}
+
+/// Evicts one activation into `spills`. Returns false when nothing
+/// spillable remains.
+fn spill_once(lowered: &mut Lowered, spills: &mut SpillReport, staging_bytes: u64) -> bool {
+    let Some(victim) = pick_victim(lowered, staging_bytes) else {
+        return false;
+    };
+    let (op, bytes, staging) = evict(lowered, victim, staging_bytes);
+    spills.evicted.push(op);
+    spills.bytes_spilled += bytes;
+    spills.staging_buffers += staging;
+    true
+}
+
+/// The [`SpillHook`] the compiler hands to the escalation ladder: each
+/// ladder round evicts activations until the rebuilt problem clears the
+/// static bounds again (matching the pre-spill loop), so every problem
+/// the search sees is at least arithmetically packable.
+struct LoweredSpillHook<'a> {
+    lowered: &'a mut Lowered,
+    spills: &'a mut SpillReport,
+    capacity: u64,
+    staging_bytes: u64,
+}
+
+impl SpillHook for LoweredSpillHook<'_> {
+    fn spill(&mut self, _round: u32) -> Option<Problem> {
+        loop {
+            if !spill_once(self.lowered, self.spills, self.staging_bytes) {
+                return None;
+            }
+            if let Ok(problem) = self.lowered.problem(self.capacity) {
+                if problem.max_contention() <= problem.capacity() {
+                    return Some(problem);
+                }
+            }
+        }
     }
 }
 
