@@ -73,6 +73,17 @@ pub enum Certificate {
 }
 
 impl Certificate {
+    /// A stable snake_case tag naming the certificate variant, used by
+    /// trace events and metric series names.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Certificate::OversizedBuffer { .. } => "oversized_buffer",
+            Certificate::ContentionBound { .. } => "contention_bound",
+            Certificate::PairPigeonhole { .. } => "pair_pigeonhole",
+            Certificate::BlockBound { .. } => "block_bound",
+        }
+    }
+
     /// Re-checks this certificate's premises and conclusion against
     /// `problem`, returning true only if the infeasibility argument holds.
     ///

@@ -21,6 +21,7 @@
 
 use tela_bench::{arg_string, arg_usize, median_time, TextTable};
 use tela_model::{Budget, SolveOutcome};
+use tela_trace::{MetricEntry, MetricValue, Tracer};
 use tela_workloads::sweep::{certified_configs, sweep_configs, SweepConfig};
 use telamalloc::{default_variants, solve, solve_portfolio, TelaConfig};
 
@@ -135,13 +136,35 @@ fn main() {
         portfolio.solved, portfolio.total, portfolio.median_wall_ms
     );
 
-    let json = render_json(&rows, step_cap, threads, configs.len());
+    // One traced (untimed) portfolio pass over the workload: the
+    // aggregated tela-trace metric series — backtracks by kind, conflict
+    // cliques, propagations, variant lifecycle counts — land in the
+    // artifact's "metrics" section. The timed runs above stay untraced so
+    // tracing overhead never contaminates the wall-time columns.
+    let tracer = Tracer::logical();
+    let traced_config = TelaConfig {
+        threads,
+        tracer: tracer.clone(),
+        ..TelaConfig::default()
+    };
+    for c in &configs {
+        let _ = solve_portfolio(&c.problem, &Budget::steps(step_cap), &traced_config);
+    }
+    let metrics = tracer.snapshot().map(|t| t.metrics).unwrap_or_default();
+
+    let json = render_json(&rows, &metrics, step_cap, threads, configs.len());
     std::fs::write(&out, json).expect("write benchmark artifact");
     println!("# wrote {out}");
 }
 
 /// Hand-rolled JSON (the workspace is offline; no serde).
-fn render_json(rows: &[Row], step_cap: u64, threads: usize, configs: usize) -> String {
+fn render_json(
+    rows: &[Row],
+    metrics: &[MetricEntry],
+    step_cap: u64,
+    threads: usize,
+    configs: usize,
+) -> String {
     let mut s = String::from("{\n");
     s.push_str(&format!(
         "  \"bench\": \"baseline\",\n  \"configurations\": {configs},\n  \"step_cap\": {step_cap},\n  \"portfolio_threads\": {threads},\n  \"variants\": [\n"
@@ -158,6 +181,25 @@ fn render_json(rows: &[Row], step_cap: u64, threads: usize, configs: usize) -> S
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ],\n  \"metrics\": {\n");
+    for (i, entry) in metrics.iter().enumerate() {
+        let value = match &entry.value {
+            MetricValue::Counter(v) => v.to_string(),
+            MetricValue::Gauge(v) => v.to_string(),
+            MetricValue::Histogram(h) => format!(
+                "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}}}",
+                h.count,
+                h.sum,
+                if h.count == 0 { 0 } else { h.min },
+                h.max
+            ),
+        };
+        s.push_str(&format!(
+            "    \"{}\": {value}{}\n",
+            entry.name,
+            if i + 1 == metrics.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  }\n}\n");
     s
 }

@@ -1,4 +1,5 @@
 use tela_heuristics::SelectionStrategy;
+use tela_trace::Tracer;
 
 use crate::portfolio::PortfolioVariant;
 use crate::resilience::LadderConfig;
@@ -80,6 +81,14 @@ pub struct TelaConfig {
     /// ([`EscalationLadder`](crate::EscalationLadder)): stage budget
     /// slicing, spill-round cap, and inter-stage backoff.
     pub ladder: LadderConfig,
+    /// Structured-event tracer threaded through every layer of the
+    /// solve (search spans, portfolio variant lifecycle, ladder stages,
+    /// CP conflict metrics). The default [`Tracer::disabled`] costs one
+    /// predicted branch per instrumentation point and allocates
+    /// nothing; build an enabled tracer with
+    /// [`Tracer::logical`]/[`Tracer::wall`] or
+    /// [`Tracer::from_env`] (`TELA_TRACE=1`).
+    pub tracer: Tracer,
     /// Deterministic faults to inject into every solve (chaos testing
     /// only; available under the `fault-inject` feature). `None`
     /// injects nothing.
@@ -104,6 +113,7 @@ impl Default for TelaConfig {
             threads: 1,
             variants: Vec::new(),
             ladder: LadderConfig::default(),
+            tracer: Tracer::disabled(),
             #[cfg(feature = "fault-inject")]
             fault_plan: None,
         }

@@ -71,19 +71,27 @@ impl Allocator {
 
     /// Runs the pipeline on `problem` within `budget` (the budget applies
     /// to the TelaMalloc stage; the heuristic is effectively free).
+    ///
+    /// `stats.elapsed` covers the whole pipeline, including the
+    /// heuristic stage, on every return path.
     pub fn allocate(&self, problem: &Problem, budget: &Budget) -> PipelineResult {
-        let heuristic = tela_heuristics::greedy::solve(problem);
+        let start = std::time::Instant::now();
+        let heuristic = tela_heuristics::greedy::solve_traced(problem, &self.config.tracer);
         if let Some(solution) = heuristic.solution {
+            let stats = SolveStats {
+                elapsed: start.elapsed(),
+                ..SolveStats::default()
+            };
             return PipelineResult {
                 outcome: SolveOutcome::Solved(solution),
                 stage: Stage::Heuristic,
-                stats: SolveStats::default(),
+                stats,
                 certificate: None,
             };
         }
         let TelaResult {
             outcome,
-            stats,
+            mut stats,
             certificate,
             ..
         } = if self.config.threads > 1 {
@@ -91,6 +99,7 @@ impl Allocator {
         } else {
             solve(problem, budget, &self.config)
         };
+        stats.elapsed = start.elapsed();
         PipelineResult {
             outcome,
             stage: Stage::TelaMalloc,

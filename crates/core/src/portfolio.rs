@@ -293,9 +293,52 @@ fn is_decisive(outcome: &SolveOutcome) -> bool {
 /// ```
 pub fn solve_portfolio(problem: &Problem, budget: &Budget, config: &TelaConfig) -> PortfolioResult {
     let start = Instant::now();
+    let tracer = &config.tracer;
+    let span = if tracer.enabled() {
+        tracer.count("portfolio.races", 1);
+        tracer.begin(
+            "portfolio",
+            "race",
+            vec![
+                ("buffers".into(), problem.len().into()),
+                ("threads".into(), config.threads.into()),
+            ],
+        )
+    } else {
+        tela_trace::SpanId::NULL
+    };
+    let mut race = run_portfolio(problem, budget, config);
+    race.result.stats.elapsed = start.elapsed();
+    // Surface caught worker panics in the aggregate diagnostics: the
+    // payloads themselves are on the per-variant reports and in the
+    // `portfolio.variant_panicked` trace events.
+    race.result.stats.panics += race.panicked() as u64;
+    if tracer.enabled() {
+        let ran = race.reports.iter().flatten().count() as u64;
+        tracer.count("portfolio.variants.run", ran);
+        tracer.count("portfolio.variants.panicked", race.panicked() as u64);
+        tracer.end(
+            span,
+            "portfolio",
+            "race",
+            vec![
+                ("outcome".into(), race.result.outcome.label().into()),
+                (
+                    "winner".into(),
+                    race.winner.map_or(-1i64, |w| w as i64).into(),
+                ),
+            ],
+        );
+    }
+    race
+}
+
+fn run_portfolio(problem: &Problem, budget: &Budget, config: &TelaConfig) -> PortfolioResult {
+    let start = Instant::now();
     if config.preflight_audit {
         match tela_audit::preflight(problem) {
             Verdict::ProvablyInfeasible(cert) => {
+                crate::search::note_certificate(&config.tracer, &cert);
                 return PortfolioResult {
                     result: TelaResult {
                         outcome: SolveOutcome::Infeasible,
@@ -310,6 +353,14 @@ pub fn solve_portfolio(problem: &Problem, budget: &Budget, config: &TelaConfig) 
                 };
             }
             Verdict::TriviallyFeasible(solution) => {
+                if config.tracer.enabled() {
+                    config.tracer.count("audit.preflight.trivial", 1);
+                    config.tracer.instant(
+                        "audit",
+                        "trivially_feasible",
+                        vec![("buffers".into(), problem.len().into())],
+                    );
+                }
                 let decisions = problem
                     .iter()
                     .map(|(id, _)| PlacedDecision {
@@ -363,10 +414,13 @@ fn race_sequential(
     let mut reports: Vec<Option<VariantReport>> = vec![None; variants.len()];
     let mut winner = None;
     let mut best_partial = None;
+    let mut buf = config.tracer.buffer();
     for (index, variant) in variants.iter().enumerate() {
+        let span = begin_variant(&mut buf, index, variant);
         let worker_budget = variant_budget(budget, config, index);
         match run_variant_isolated(problem, &worker_budget, variant) {
             Ok(result) => {
+                end_variant(&mut buf, span, index, variant, Ok(&result), config);
                 let decisive = is_decisive(&result.outcome);
                 note_partial(&mut best_partial, &result);
                 reports[index] = Some(VariantReport {
@@ -375,11 +429,13 @@ fn race_sequential(
                     stats: result.stats,
                 });
                 if decisive {
+                    note_win(&mut buf, index, variant);
                     winner = Some((index, result));
                     break;
                 }
             }
             Err(message) => {
+                end_variant(&mut buf, span, index, variant, Err(&message), config);
                 reports[index] = Some(VariantReport {
                     name: variant.name.clone(),
                     outcome: VariantOutcome::Panicked { message },
@@ -388,7 +444,100 @@ fn race_sequential(
             }
         }
     }
+    drop(buf);
     finish_race(winner, reports, best_partial)
+}
+
+// -----------------------------------------------------------------
+// Variant lifecycle trace events. Workers record through a per-thread
+// `TraceBuffer` so the shared sink lock is touched once per worker,
+// not once per event; sequence numbers still come from the shared
+// counter, so the merged timeline stays totally ordered.
+
+fn begin_variant(
+    buf: &mut tela_trace::TraceBuffer,
+    index: usize,
+    variant: &PortfolioVariant,
+) -> tela_trace::SpanId {
+    if !buf.enabled() {
+        return tela_trace::SpanId::NULL;
+    }
+    buf.begin(
+        "portfolio",
+        "variant",
+        vec![
+            ("index".into(), index.into()),
+            ("name".into(), variant.name.clone().into()),
+        ],
+    )
+}
+
+fn end_variant(
+    buf: &mut tela_trace::TraceBuffer,
+    span: tela_trace::SpanId,
+    index: usize,
+    variant: &PortfolioVariant,
+    result: Result<&TelaResult, &String>,
+    config: &TelaConfig,
+) {
+    if !buf.enabled() {
+        return;
+    }
+    match result {
+        Ok(result) => {
+            // Wall times are skipped under the logical clock so that
+            // deterministic traces stay byte-identical across runs.
+            if config.tracer.clock() == Some(tela_trace::ClockMode::Wall) {
+                config.tracer.observe(
+                    "portfolio.variant.elapsed_us",
+                    result.stats.elapsed.as_micros() as u64,
+                );
+            }
+            buf.end(
+                span,
+                "portfolio",
+                "variant",
+                vec![
+                    ("index".into(), index.into()),
+                    ("outcome".into(), result.outcome.label().into()),
+                    ("steps".into(), result.stats.steps.into()),
+                ],
+            );
+        }
+        Err(message) => {
+            buf.instant(
+                "portfolio",
+                "variant_panicked",
+                vec![
+                    ("index".into(), index.into()),
+                    ("name".into(), variant.name.clone().into()),
+                    ("message".into(), message.clone().into()),
+                ],
+            );
+            buf.end(
+                span,
+                "portfolio",
+                "variant",
+                vec![
+                    ("index".into(), index.into()),
+                    ("outcome".into(), "panicked".into()),
+                ],
+            );
+        }
+    }
+}
+
+fn note_win(buf: &mut tela_trace::TraceBuffer, index: usize, variant: &PortfolioVariant) {
+    if buf.enabled() {
+        buf.instant(
+            "portfolio",
+            "variant_won",
+            vec![
+                ("index".into(), index.into()),
+                ("name".into(), variant.name.clone().into()),
+            ],
+        );
+    }
 }
 
 /// Step cap for the sequential sprint that precedes a parallel race.
@@ -426,12 +575,23 @@ fn race_parallel(
     // variant 0 must not abort the race before it starts. A panicked or
     // indecisive sprint is simply discarded — the race re-runs variant 0
     // with its full budget and reports whatever happens there.
-    if let Ok(sprint) = run_variant_isolated(
+    let sprint = run_variant_isolated(
         problem,
         &variant_budget(&sprint_budget(budget), config, 0),
         &variants[0],
-    ) {
+    );
+    if config.tracer.enabled() {
+        let decisive = matches!(&sprint, Ok(r) if is_decisive(&r.outcome));
+        config.tracer.count("portfolio.sprints", 1);
+        config.tracer.instant(
+            "portfolio",
+            "sprint",
+            vec![("decisive".into(), decisive.into())],
+        );
+    }
+    if let Ok(sprint) = sprint {
         if is_decisive(&sprint.outcome) {
+            note_win(&mut config.tracer.buffer(), 0, &variants[0]);
             let mut reports: Vec<Option<VariantReport>> = vec![None; variants.len()];
             reports[0] = Some(VariantReport {
                 name: variants[0].name.clone(),
@@ -450,44 +610,53 @@ fn race_parallel(
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                if cancel.load(Ordering::Acquire) {
-                    break;
-                }
-                let index = next.fetch_add(1, Ordering::Relaxed);
-                let Some(variant) = variants.get(index) else {
-                    break;
-                };
-                let worker_budget =
-                    variant_budget(budget, config, index).with_cancel(Arc::clone(&cancel));
-                let report = match run_variant_isolated(problem, &worker_budget, variant) {
-                    Ok(result) => {
-                        let decisive = is_decisive(&result.outcome);
-                        let report = VariantReport {
-                            name: variant.name.clone(),
-                            outcome: VariantOutcome::Finished(result.outcome.clone()),
-                            stats: result.stats,
-                        };
-                        if decisive {
-                            // Claim is a single uncontended swap; only
-                            // the first decisive finisher takes the
-                            // mutex and flips the flag.
-                            if !claimed.swap(true, Ordering::AcqRel) {
-                                *lock_resilient(&winner) = Some((index, result));
-                                cancel.store(true, Ordering::Release);
-                            }
-                        } else {
-                            note_partial(&mut lock_resilient(&best_partial), &result);
-                        }
-                        report
+            scope.spawn(|| {
+                let mut buf = config.tracer.buffer();
+                loop {
+                    if cancel.load(Ordering::Acquire) {
+                        break;
                     }
-                    Err(message) => VariantReport {
-                        name: variant.name.clone(),
-                        outcome: VariantOutcome::Panicked { message },
-                        stats: SolveStats::default(),
-                    },
-                };
-                *lock_resilient(&reports[index]) = Some(report);
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(variant) = variants.get(index) else {
+                        break;
+                    };
+                    let span = begin_variant(&mut buf, index, variant);
+                    let worker_budget =
+                        variant_budget(budget, config, index).with_cancel(Arc::clone(&cancel));
+                    let report = match run_variant_isolated(problem, &worker_budget, variant) {
+                        Ok(result) => {
+                            end_variant(&mut buf, span, index, variant, Ok(&result), config);
+                            let decisive = is_decisive(&result.outcome);
+                            let report = VariantReport {
+                                name: variant.name.clone(),
+                                outcome: VariantOutcome::Finished(result.outcome.clone()),
+                                stats: result.stats,
+                            };
+                            if decisive {
+                                // Claim is a single uncontended swap; only
+                                // the first decisive finisher takes the
+                                // mutex and flips the flag.
+                                if !claimed.swap(true, Ordering::AcqRel) {
+                                    note_win(&mut buf, index, variant);
+                                    *lock_resilient(&winner) = Some((index, result));
+                                    cancel.store(true, Ordering::Release);
+                                }
+                            } else {
+                                note_partial(&mut lock_resilient(&best_partial), &result);
+                            }
+                            report
+                        }
+                        Err(message) => {
+                            end_variant(&mut buf, span, index, variant, Err(&message), config);
+                            VariantReport {
+                                name: variant.name.clone(),
+                                outcome: VariantOutcome::Panicked { message },
+                                stats: SolveStats::default(),
+                            }
+                        }
+                    };
+                    *lock_resilient(&reports[index]) = Some(report);
+                }
             });
         }
     });

@@ -25,7 +25,7 @@
 //! panics (workers are isolated) and never returns an unvalidated
 //! placement.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use tela_audit::Certificate;
 use tela_model::{
@@ -160,12 +160,52 @@ impl EscalationLadder {
     /// Runs the full ladder: after a failed attempt, `hook` may supply
     /// a smaller (spilled) problem for the next round, up to
     /// [`LadderConfig::max_spill_rounds`] times.
+    ///
+    /// The returned `stats.elapsed` is the ladder's own wall-clock time
+    /// across all stages, stamped on every exit path (heuristic win,
+    /// portfolio win, definitive infeasibility, best-effort).
     pub fn solve_with_spill(
         &self,
         problem: Problem,
         budget: &Budget,
         hook: &mut dyn SpillHook,
     ) -> LadderResult {
+        let start = Instant::now();
+        let tracer = &self.config.tracer;
+        let span = if tracer.enabled() {
+            tracer.count("ladder.runs", 1);
+            tracer.begin(
+                "ladder",
+                "solve",
+                vec![("buffers".into(), problem.len().into())],
+            )
+        } else {
+            tela_trace::SpanId::NULL
+        };
+        let mut result = self.run_ladder(problem, budget, hook);
+        result.stats.elapsed = start.elapsed();
+        if tracer.enabled() {
+            tracer.set_gauge("ladder.spill_rounds", i64::from(result.spill_rounds));
+            tracer.end(
+                span,
+                "ladder",
+                "solve",
+                vec![
+                    ("outcome".into(), result.outcome.label().into()),
+                    ("spill_rounds".into(), u64::from(result.spill_rounds).into()),
+                ],
+            );
+        }
+        result
+    }
+
+    fn run_ladder(
+        &self,
+        problem: Problem,
+        budget: &Budget,
+        hook: &mut dyn SpillHook,
+    ) -> LadderResult {
+        let tracer = &self.config.tracer;
         let lc = self.config.ladder.clone();
         let mut current = problem;
         let mut agg = SolveStats::default();
@@ -186,10 +226,19 @@ impl EscalationLadder {
             // Fast path: the greedy heuristic, isolated like any other
             // worker — a panic in it merely skips to the portfolio.
             if lc.greedy_first {
-                let greedy = catch_panics(|| tela_heuristics::greedy::solve(&current));
+                let greedy =
+                    catch_panics(|| tela_heuristics::greedy::solve_traced(&current, tracer));
                 if let Ok(heuristic) = greedy {
                     if let Some(solution) = heuristic.solution {
                         if solution.validate(&current).is_ok() {
+                            if tracer.enabled() {
+                                tracer.count("ladder.greedy_wins", 1);
+                                tracer.instant(
+                                    "ladder",
+                                    "greedy_solved",
+                                    vec![("round".into(), u64::from(round).into())],
+                                );
+                            }
                             let stage = if round == 0 {
                                 ResilienceStage::Heuristic
                             } else {
@@ -223,6 +272,27 @@ impl EscalationLadder {
                 outcome: race.result.outcome.clone(),
                 stats: race.result.stats,
             });
+            if tracer.enabled() {
+                tracer.count("ladder.stages", 1);
+                tracer.observe("ladder.stage.steps", race.result.stats.steps);
+                // Stage durations are real wall time, so they are only
+                // recorded under the wall clock — logical traces must
+                // stay byte-identical across runs.
+                if tracer.clock() == Some(tela_trace::ClockMode::Wall) {
+                    tracer.observe(
+                        "ladder.stage.elapsed_us",
+                        race.result.stats.elapsed.as_micros() as u64,
+                    );
+                }
+                tracer.instant(
+                    "ladder",
+                    "stage",
+                    vec![
+                        ("round".into(), u64::from(round).into()),
+                        ("outcome".into(), race.result.outcome.label().into()),
+                    ],
+                );
+            }
             let infeasible_here = matches!(race.result.outcome, SolveOutcome::Infeasible);
             if let SolveOutcome::Solved(solution) = race.result.outcome {
                 return LadderResult {
@@ -251,6 +321,17 @@ impl EscalationLadder {
             };
             match next {
                 Some(spilled) => {
+                    if tracer.enabled() {
+                        tracer.count("ladder.spills", 1);
+                        tracer.instant(
+                            "ladder",
+                            "spill",
+                            vec![
+                                ("round".into(), u64::from(round + 1).into()),
+                                ("buffers".into(), spilled.len().into()),
+                            ],
+                        );
+                    }
                     if !lc.backoff.is_zero() {
                         std::thread::sleep(lc.backoff);
                     }
@@ -289,6 +370,17 @@ impl EscalationLadder {
         } else {
             PartialSolution::empty()
         };
+        if tracer.enabled() {
+            tracer.count("ladder.degraded", 1);
+            tracer.instant(
+                "ladder",
+                "degraded",
+                vec![
+                    ("placed".into(), partial.len().into()),
+                    ("spill_rounds".into(), u64::from(round).into()),
+                ],
+            );
+        }
         let best = BestEffort {
             partial,
             stage: deepest,

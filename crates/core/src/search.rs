@@ -87,10 +87,50 @@ pub fn solve_with(
     policy: &mut dyn BacktrackPolicy,
     observer: &mut dyn SearchObserver,
 ) -> TelaResult {
+    let tracer = config.tracer.clone();
+    let span = if tracer.enabled() {
+        tracer.begin(
+            "search",
+            "solve",
+            vec![
+                ("buffers".into(), problem.len().into()),
+                ("capacity".into(), problem.capacity().into()),
+            ],
+        )
+    } else {
+        tela_trace::SpanId::NULL
+    };
+    let result = solve_with_inner(problem, budget, config, policy, observer);
+    if tracer.enabled() {
+        tracer.count("search.solves", 1);
+        tracer.count("search.steps", result.stats.steps);
+        tracer.count("search.backtracks.minor", result.stats.minor_backtracks);
+        tracer.count("search.backtracks.major", result.stats.major_backtracks);
+        tracer.end(
+            span,
+            "search",
+            "solve",
+            vec![
+                ("outcome".into(), result.outcome.label().into()),
+                ("steps".into(), result.stats.steps.into()),
+            ],
+        );
+    }
+    result
+}
+
+fn solve_with_inner(
+    problem: &Problem,
+    budget: &Budget,
+    config: &TelaConfig,
+    policy: &mut dyn BacktrackPolicy,
+    observer: &mut dyn SearchObserver,
+) -> TelaResult {
     let start = Instant::now();
     if config.preflight_audit {
         match tela_audit::preflight(problem) {
             Verdict::ProvablyInfeasible(cert) => {
+                note_certificate(&config.tracer, &cert);
                 let stats = SolveStats {
                     elapsed: start.elapsed(),
                     ..SolveStats::default()
@@ -105,6 +145,14 @@ pub fn solve_with(
                 };
             }
             Verdict::TriviallyFeasible(solution) => {
+                if config.tracer.enabled() {
+                    config.tracer.count("audit.preflight.trivial", 1);
+                    config.tracer.instant(
+                        "audit",
+                        "trivially_feasible",
+                        vec![("buffers".into(), problem.len().into())],
+                    );
+                }
                 let decisions = problem
                     .iter()
                     .map(|(id, _)| PlacedDecision {
@@ -125,7 +173,9 @@ pub fn solve_with(
                     certificate: None,
                 };
             }
-            Verdict::NeedsSearch(_) => {}
+            Verdict::NeedsSearch(_) => {
+                config.tracer.count("audit.preflight.needs_search", 1);
+            }
         }
     }
     if config.split_independent {
@@ -137,6 +187,24 @@ pub fn solve_with(
     let mut result = Engine::run(problem, budget, config, policy, observer);
     result.stats.elapsed = start.elapsed();
     result
+}
+
+/// Records a preflight infeasibility certificate into the trace, so a
+/// solve that never searches still yields an explanatory timeline: the
+/// certificate kind plus its human-readable argument.
+pub(crate) fn note_certificate(tracer: &tela_trace::Tracer, cert: &Certificate) {
+    if tracer.enabled() {
+        tracer.count("audit.preflight.infeasible", 1);
+        tracer.count(&format!("audit.certificate.{}", cert.kind_name()), 1);
+        tracer.instant(
+            "audit",
+            "certificate",
+            vec![
+                ("kind".into(), cert.kind_name().into()),
+                ("detail".into(), cert.to_string().into()),
+            ],
+        );
+    }
 }
 
 /// Solves each time-disjoint group independently and merges (§5.3).
@@ -277,7 +345,7 @@ impl<'a> Engine<'a> {
         policy: &mut dyn BacktrackPolicy,
         observer: &mut dyn SearchObserver,
     ) -> TelaResult {
-        let solver = match CpSolver::new(problem) {
+        let mut solver = match CpSolver::new(problem) {
             Ok(s) => s,
             Err(_) => {
                 return TelaResult {
@@ -290,6 +358,7 @@ impl<'a> Engine<'a> {
                 }
             }
         };
+        solver.set_tracer(config.tracer.clone());
         let phases = config
             .contention_grouping
             .then(|| PhasePartition::compute(problem));
@@ -317,7 +386,18 @@ impl<'a> Engine<'a> {
             stats: SolveStats::default(),
             first_conflict: None,
         };
-        engine.search(budget, policy, observer)
+        let result = engine.search(budget, policy, observer);
+        // Solver counters are sampled once per run, never incremented
+        // per propagation: the hot loop stays metric-free.
+        if config.tracer.enabled() {
+            config
+                .tracer
+                .count("cp.propagations", engine.solver.propagations());
+            config
+                .tracer
+                .count("cp.min_pos.queries", engine.solver.min_pos_queries());
+        }
+        result
     }
 
     fn search(
@@ -555,6 +635,17 @@ impl<'a> Engine<'a> {
     ) {
         self.stats.major_backtracks += 1;
         self.global_backtracks += 1;
+        #[cfg(feature = "trace")]
+        if self.config.tracer.enabled() {
+            self.config.tracer.instant(
+                "search",
+                "major_backtrack",
+                vec![
+                    ("level".into(), self.frames.len().into()),
+                    ("total".into(), self.global_backtracks.into()),
+                ],
+            );
+        }
 
         let conflict = self
             .current
@@ -564,11 +655,12 @@ impl<'a> Engine<'a> {
                 if self.config.minimize_conflicts && c.culprits.len() > 1 {
                     let placements: Vec<(BufferId, Address)> =
                         self.frames.iter().filter_map(|f| f.placed).collect();
-                    c.culprits = tela_cp::explain::minimize_conflict(
+                    c.culprits = tela_cp::explain::minimize_conflict_traced(
                         self.problem,
                         &placements,
                         (block, pos),
                         &c.culprits,
+                        &self.config.tracer,
                     );
                 }
                 c

@@ -12,6 +12,7 @@
 //! reproduces from the remaining placements alone.
 
 use tela_model::{Address, BufferId, Problem};
+use tela_trace::Tracer;
 
 use crate::solver::CpSolver;
 
@@ -47,6 +48,36 @@ pub type Placement = (BufferId, Address);
 /// # Ok::<(), tela_model::ProblemError>(())
 /// ```
 pub fn minimize_conflict(
+    problem: &Problem,
+    placements: &[Placement],
+    failing: Placement,
+    culprits: &[BufferId],
+) -> Vec<BufferId> {
+    minimize_conflict_traced(problem, placements, failing, culprits, &Tracer::disabled())
+}
+
+/// [`minimize_conflict`] with a [`Tracer`] attached: counts minimization
+/// calls and records how many spurious culprits the deletion filter
+/// removed (`cp.explain.removed` histogram).
+pub fn minimize_conflict_traced(
+    problem: &Problem,
+    placements: &[Placement],
+    failing: Placement,
+    culprits: &[BufferId],
+    tracer: &Tracer,
+) -> Vec<BufferId> {
+    let minimal = minimize_conflict_inner(problem, placements, failing, culprits);
+    if tracer.enabled() {
+        tracer.count("cp.explain.calls", 1);
+        tracer.observe(
+            "cp.explain.removed",
+            (culprits.len().saturating_sub(minimal.len())) as u64,
+        );
+    }
+    minimal
+}
+
+fn minimize_conflict_inner(
     problem: &Problem,
     placements: &[Placement],
     failing: Placement,

@@ -12,6 +12,7 @@
 //! every pair therefore proves infeasibility.
 
 use tela_model::{Budget, Problem, SolveOutcome, SolveStats};
+use tela_trace::Tracer;
 
 use crate::model::PairId;
 use crate::solver::{CpSolver, OrderState};
@@ -35,6 +36,18 @@ use crate::solver::{CpSolver, OrderState};
 /// ```
 pub fn solve_cp_only(problem: &Problem, budget: &Budget) -> (SolveOutcome, SolveStats) {
     solve_with_fixed(problem, &[], budget)
+}
+
+/// [`solve_cp_only`] with a [`Tracer`] attached: the solve is wrapped in
+/// a `cp.solve` span and the solver's deterministic work counters
+/// (steps, backtracks, propagations, min-feasible-position sweeps,
+/// conflicts) are recorded into the tracer's metrics registry.
+pub fn solve_cp_only_traced(
+    problem: &Problem,
+    budget: &Budget,
+    tracer: &Tracer,
+) -> (SolveOutcome, SolveStats) {
+    solve_with_fixed_traced(problem, &[], budget, tracer)
 }
 
 /// Decides feasibility of `problem` with some buffers pre-placed at
@@ -62,19 +75,82 @@ pub fn solve_with_fixed(
     fixed: &[(tela_model::BufferId, tela_model::Address)],
     budget: &Budget,
 ) -> (SolveOutcome, SolveStats) {
+    solve_with_fixed_traced(problem, fixed, budget, &Tracer::disabled())
+}
+
+/// [`solve_with_fixed`] with a [`Tracer`] attached (see
+/// [`solve_cp_only_traced`] for what is recorded).
+pub fn solve_with_fixed_traced(
+    problem: &Problem,
+    fixed: &[(tela_model::BufferId, tela_model::Address)],
+    budget: &Budget,
+    tracer: &Tracer,
+) -> (SolveOutcome, SolveStats) {
+    let span = if tracer.enabled() {
+        tracer.begin(
+            "cp",
+            "solve",
+            vec![
+                ("buffers".into(), problem.len().into()),
+                ("fixed".into(), fixed.len().into()),
+            ],
+        )
+    } else {
+        tela_trace::SpanId::NULL
+    };
+    let (outcome, stats, work) = run_search(problem, fixed, budget, tracer);
+    if tracer.enabled() {
+        tracer.count("cp.solves", 1);
+        tracer.count("cp.steps", stats.steps);
+        tracer.count("cp.backtracks.minor", stats.minor_backtracks);
+        tracer.count("cp.backtracks.major", stats.major_backtracks);
+        tracer.count("cp.propagations", work.propagations);
+        tracer.count("cp.min_pos.queries", work.min_pos_queries);
+        tracer.end(
+            span,
+            "cp",
+            "solve",
+            vec![
+                ("outcome".into(), outcome.label().into()),
+                ("steps".into(), stats.steps.into()),
+            ],
+        );
+    }
+    (outcome, stats)
+}
+
+/// Deterministic work counters sampled from the solver after a search.
+#[derive(Default)]
+struct SearchWork {
+    propagations: u64,
+    min_pos_queries: u64,
+}
+
+fn run_search(
+    problem: &Problem,
+    fixed: &[(tela_model::BufferId, tela_model::Address)],
+    budget: &Budget,
+    tracer: &Tracer,
+) -> (SolveOutcome, SolveStats, SearchWork) {
     let start = std::time::Instant::now();
     let mut stats = SolveStats::default();
     let mut solver = match CpSolver::new(problem) {
         Ok(s) => s,
         Err(_) => {
             stats.elapsed = start.elapsed();
-            return (SolveOutcome::Infeasible, stats);
+            return (SolveOutcome::Infeasible, stats, SearchWork::default());
         }
+    };
+    solver.set_tracer(tracer.clone());
+    let work = |s: &CpSolver| SearchWork {
+        propagations: s.propagations(),
+        min_pos_queries: s.min_pos_queries(),
     };
     for &(id, addr) in fixed {
         if solver.assign(id, addr).is_err() {
             stats.elapsed = start.elapsed();
-            return (SolveOutcome::Infeasible, stats);
+            let w = work(&solver);
+            return (SolveOutcome::Infeasible, stats, w);
         }
     }
 
@@ -94,7 +170,8 @@ pub fn solve_with_fixed(
     loop {
         if budget.exhausted(stats.steps) {
             stats.elapsed = start.elapsed();
-            return (SolveOutcome::BudgetExceeded, stats);
+            let w = work(&solver);
+            return (SolveOutcome::BudgetExceeded, stats, w);
         }
         if retry {
             retry = false;
@@ -105,7 +182,8 @@ pub fn solve_with_fixed(
             let Some(frame) = frames.last_mut() else {
                 debug_assert!(false, "retry implies an open frame");
                 stats.elapsed = start.elapsed();
-                return (SolveOutcome::GaveUp, stats);
+                let w = work(&solver);
+                return (SolveOutcome::GaveUp, stats, w);
             };
             if frame.exhausted {
                 // Both branches failed: backtrack further.
@@ -120,7 +198,8 @@ pub fn solve_with_fixed(
                     }
                     None => {
                         stats.elapsed = start.elapsed();
-                        return (SolveOutcome::Infeasible, stats);
+                        let w = work(&solver);
+                        return (SolveOutcome::Infeasible, stats, w);
                     }
                 }
             }
@@ -144,10 +223,12 @@ pub fn solve_with_fixed(
                 let Some(solution) = solver.lower_bound_solution() else {
                     debug_assert!(false, "no undecided pair implies full ordering");
                     stats.elapsed = start.elapsed();
-                    return (SolveOutcome::GaveUp, stats);
+                    let w = work(&solver);
+                    return (SolveOutcome::GaveUp, stats, w);
                 };
                 stats.elapsed = start.elapsed();
-                return (SolveOutcome::Solved(solution), stats);
+                let w = work(&solver);
+                return (SolveOutcome::Solved(solution), stats, w);
             }
             Some(pair) => {
                 let choice = preferred_order(&solver, pair);

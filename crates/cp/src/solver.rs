@@ -1,4 +1,7 @@
+use std::cell::Cell;
+
 use tela_model::{Address, BufferId, Problem, Solution};
+use tela_trace::Tracer;
 
 use crate::domain::Domain;
 use crate::model::{CpModel, ModelError, PairId};
@@ -165,6 +168,11 @@ pub struct CpSolver {
     /// read on unfix, when the domain may already have been restored.
     placed_addr: Vec<Address>,
     propagations: u64,
+    /// Count of min-feasible-position sweeps; a `Cell` because the query
+    /// methods take `&self` (each search worker owns its solver, so the
+    /// loss of `Sync` is harmless).
+    min_pos_queries: Cell<u64>,
+    tracer: Tracer,
     #[cfg(feature = "debug-invariants")]
     audit: invariants::AuditCounters,
 }
@@ -203,9 +211,58 @@ impl CpSolver {
             occupancy: vec![Vec::new(); n],
             placed_addr: vec![0; n],
             propagations: 0,
+            min_pos_queries: Cell::new(0),
+            tracer: Tracer::disabled(),
             #[cfg(feature = "debug-invariants")]
             audit: invariants::AuditCounters::default(),
         }
+    }
+
+    /// Attaches a tracer: conflicts are counted and their culprit-clique
+    /// sizes recorded as metrics (and, with the `trace` feature, emitted
+    /// as per-conflict events). A disabled tracer — the default — costs
+    /// one branch per conflict and nothing on the propagation hot loop.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The tracer attached via [`set_tracer`](CpSolver::set_tracer)
+    /// (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Number of min-feasible-position sweeps performed so far (a
+    /// deterministic work counter, like
+    /// [`propagations`](CpSolver::propagations)).
+    pub fn min_pos_queries(&self) -> u64 {
+        self.min_pos_queries.get()
+    }
+
+    /// Records a conflict into the attached tracer (no-op when the
+    /// tracer is disabled).
+    fn note_conflict(&self, conflict: &Conflict) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        self.tracer.count("cp.conflicts", 1);
+        self.tracer
+            .observe("cp.conflict.clique_size", conflict.culprits.len() as u64);
+        #[cfg(feature = "trace")]
+        self.tracer.instant(
+            "cp",
+            "conflict",
+            vec![
+                (
+                    "subject".into(),
+                    conflict
+                        .subject
+                        .map(|s| s.index())
+                        .map_or(tela_trace::Value::Str("none".to_string()), Into::into),
+                ),
+                ("culprits".into(), conflict.culprits.len().into()),
+            ],
+        );
     }
 
     /// The constraint model this solver operates on.
@@ -296,6 +353,7 @@ impl CpSolver {
         if !self.domains[id.index()].contains(addr) {
             let conflict = self.build_conflict(Some(var), &[var]);
             self.audit_conflict(&conflict);
+            self.note_conflict(&conflict);
             self.pop_level();
             return Err(conflict);
         }
@@ -315,6 +373,7 @@ impl CpSolver {
             Err(conflict_vars) => {
                 let conflict = self.build_conflict(conflict_vars.first().copied(), &conflict_vars);
                 self.audit_conflict(&conflict);
+                self.note_conflict(&conflict);
                 self.pop_level();
                 Err(conflict)
             }
@@ -368,6 +427,7 @@ impl CpSolver {
                 self.queue.clear();
                 let conflict = self.build_conflict(conflict_vars.first().copied(), &conflict_vars);
                 self.audit_conflict(&conflict);
+                self.note_conflict(&conflict);
                 self.pop_level();
                 Err(conflict)
             }
@@ -451,6 +511,7 @@ impl CpSolver {
     /// considers addresses `>= from`. Used to enumerate successive
     /// placement candidates.
     pub fn min_feasible_pos_at_least(&self, id: BufferId, from: Address) -> Option<Address> {
+        self.min_pos_queries.set(self.min_pos_queries.get() + 1);
         let d = &self.domains[id.index()];
         if d.is_empty() {
             return None;
@@ -475,7 +536,9 @@ impl CpSolver {
         for id in self.unfixed() {
             let d = &self.domains[id.index()];
             if d.is_empty() {
-                return Err(self.build_conflict(Some(id.index() as u32), &[id.index() as u32]));
+                let conflict = self.build_conflict(Some(id.index() as u32), &[id.index() as u32]);
+                self.note_conflict(&conflict);
+                return Err(conflict);
             }
             let b = self.problem().buffer(id);
             let occupied = &self.occupancy[id.index()];
@@ -492,6 +555,7 @@ impl CpSolver {
                     culprits,
                 };
                 self.audit_conflict(&conflict);
+                self.note_conflict(&conflict);
                 return Err(conflict);
             }
         }

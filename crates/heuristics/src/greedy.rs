@@ -28,17 +28,47 @@ use crate::HeuristicResult;
 /// assert_eq!(result.peak, 16);
 /// ```
 pub fn solve(problem: &Problem) -> HeuristicResult {
+    solve_traced(problem, &tela_trace::Tracer::disabled())
+}
+
+/// [`solve`] with a [`Tracer`](tela_trace::Tracer) attached: the run is
+/// wrapped in a `heuristic.greedy` span recording the outcome and peak,
+/// and counted under `heuristic.greedy.runs`.
+pub fn solve_traced(problem: &Problem, tracer: &tela_trace::Tracer) -> HeuristicResult {
+    let span = if tracer.enabled() {
+        tracer.begin(
+            "heuristic",
+            "greedy",
+            vec![("buffers".into(), problem.len().into())],
+        )
+    } else {
+        tela_trace::SpanId::NULL
+    };
     // Fail fast: when the static audit proves that some time step demands
     // more memory than exists, no placement order can succeed — skip the
     // skyline work and report the true peak demand (a lower bound every
     // packing must reach, and here already over capacity).
-    if tela_audit::passes::contention_bound(problem).is_some() {
-        return HeuristicResult {
+    let result = if tela_audit::passes::contention_bound(problem).is_some() {
+        HeuristicResult {
             solution: None,
             peak: problem.max_contention(),
-        };
+        }
+    } else {
+        place_in_order(problem, &placement_order(problem))
+    };
+    if tracer.enabled() {
+        tracer.count("heuristic.greedy.runs", 1);
+        tracer.end(
+            span,
+            "heuristic",
+            "greedy",
+            vec![
+                ("placed".into(), result.solution.is_some().into()),
+                ("peak".into(), result.peak.into()),
+            ],
+        );
     }
-    place_in_order(problem, &placement_order(problem))
+    result
 }
 
 /// The heuristic's placement order: decreasing contention, ties broken by

@@ -202,6 +202,11 @@ pub struct SolveStats {
     /// flag was raised (it lost a portfolio race), as opposed to running
     /// out of steps or time on its own.
     pub cancelled: bool,
+    /// Number of worker panics that were caught and contained during the
+    /// run (portfolio variants or ladder stages that died). The panic
+    /// payloads themselves are surfaced as `portfolio.variant_panicked`
+    /// trace events.
+    pub panics: u64,
 }
 
 impl SolveStats {
@@ -218,6 +223,7 @@ impl SolveStats {
         self.major_backtracks += other.major_backtracks;
         self.elapsed += other.elapsed;
         self.cancelled |= other.cancelled;
+        self.panics += other.panics;
     }
 }
 
@@ -273,6 +279,18 @@ impl SolveOutcome {
     /// Returns true if a solution was found.
     pub fn is_solved(&self) -> bool {
         matches!(self, SolveOutcome::Solved(_))
+    }
+
+    /// A stable snake_case tag naming the outcome variant, used by trace
+    /// events and bench reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SolveOutcome::Solved(_) => "solved",
+            SolveOutcome::Infeasible => "infeasible",
+            SolveOutcome::GaveUp => "gave_up",
+            SolveOutcome::BudgetExceeded => "budget_exceeded",
+            SolveOutcome::BestEffort(_) => "best_effort",
+        }
     }
 
     /// Converts to a `Result`, mapping non-solutions to [`SolveError`].

@@ -1,0 +1,225 @@
+//! The structured event vocabulary of a solve trace.
+//!
+//! A trace is a flat, seq-ordered list of [`Event`]s. Each event names a
+//! *layer* (the subsystem that emitted it: `search`, `cp`, `portfolio`,
+//! `ladder`, `audit`, `heuristic`), an event *name* within that layer,
+//! and a small bag of typed fields. Span begin/end pairs share a span id
+//! so timelines can reconstruct nesting and durations.
+
+use std::borrow::Cow;
+
+/// A typed event field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// An unsigned integer (counts, addresses, sizes, ticks).
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A boolean flag.
+    Bool(bool),
+    /// A string (outcome tags, variant names, panic messages).
+    Str(String),
+}
+
+impl Value {
+    /// The value as a `u64`, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            Value::I64(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::U64(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Whether an event is a point, a span opening, or a span closing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// A point event with no duration.
+    Instant,
+    /// Opens a span; the matching [`Phase::End`] shares its span id.
+    Begin,
+    /// Closes a span.
+    End,
+}
+
+impl Phase {
+    /// One-letter tag used by the JSONL encoding (`I`/`B`/`E`).
+    pub fn tag(self) -> &'static str {
+        match self {
+            Phase::Instant => "I",
+            Phase::Begin => "B",
+            Phase::End => "E",
+        }
+    }
+
+    /// Parses the one-letter JSONL tag.
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "I" => Some(Phase::Instant),
+            "B" => Some(Phase::Begin),
+            "E" => Some(Phase::End),
+            _ => None,
+        }
+    }
+}
+
+/// A field name: borrowed at record time, owned after parsing a trace
+/// back from JSONL.
+pub type FieldName = Cow<'static, str>;
+
+/// One structured trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Global sequence number (1-based, unique, totally ordered).
+    pub seq: u64,
+    /// Timestamp: logical tick (== `seq` under the deterministic clock)
+    /// or nanoseconds since trace start under the wall clock.
+    pub ts: u64,
+    /// Point / span-begin / span-end.
+    pub phase: Phase,
+    /// Span id shared by a begin/end pair; `0` for instants.
+    pub span: u64,
+    /// Emitting subsystem (`search`, `cp`, `portfolio`, `ladder`, ...).
+    pub layer: FieldName,
+    /// Event name within the layer.
+    pub name: FieldName,
+    /// Typed payload fields, in emission order.
+    pub fields: Vec<(FieldName, Value)>,
+}
+
+impl Event {
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+}
+
+/// Handle for an open span: carries the span id and the begin timestamp
+/// so the matching end event can record a duration.
+///
+/// A `SpanId` from a disabled tracer is [`SpanId::NULL`]; ending it is a
+/// no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId {
+    /// The span's unique id (the begin event's seq), or 0 when disabled.
+    pub id: u64,
+    /// Timestamp of the begin event.
+    pub ts: u64,
+}
+
+impl SpanId {
+    /// The null span produced by a disabled tracer.
+    pub const NULL: SpanId = SpanId { id: 0, ts: 0 };
+
+    /// Returns true for the null span.
+    pub fn is_null(self) -> bool {
+        self.id == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from(3u64), Value::U64(3));
+        assert_eq!(Value::from(3usize), Value::U64(3));
+        assert_eq!(Value::from(-3i64), Value::I64(-3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("x"), Value::Str("x".to_string()));
+        assert_eq!(Value::U64(7).as_u64(), Some(7));
+        assert_eq!(Value::I64(7).as_u64(), Some(7));
+        assert_eq!(Value::I64(-7).as_u64(), None);
+        assert_eq!(Value::Str("s".into()).as_str(), Some("s"));
+        assert_eq!(Value::U64(1).as_str(), None);
+    }
+
+    #[test]
+    fn phase_tags_round_trip() {
+        for phase in [Phase::Instant, Phase::Begin, Phase::End] {
+            assert_eq!(Phase::from_tag(phase.tag()), Some(phase));
+        }
+        assert_eq!(Phase::from_tag("X"), None);
+    }
+
+    #[test]
+    fn event_field_lookup() {
+        let e = Event {
+            seq: 1,
+            ts: 1,
+            phase: Phase::Instant,
+            span: 0,
+            layer: "test".into(),
+            name: "e".into(),
+            fields: vec![("k".into(), Value::U64(9))],
+        };
+        assert_eq!(e.field("k").and_then(Value::as_u64), Some(9));
+        assert!(e.field("missing").is_none());
+    }
+
+    #[test]
+    fn null_span() {
+        assert!(SpanId::NULL.is_null());
+        assert!(!SpanId { id: 3, ts: 0 }.is_null());
+    }
+}

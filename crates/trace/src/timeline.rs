@@ -1,0 +1,120 @@
+//! Compact plain-text timeline rendering.
+//!
+//! Turns a seq-ordered trace into an indented timeline: span begins
+//! open a nesting level (`+`), span ends close it (`-`, with the
+//! recorded duration), instants are points (`.`). Under the logical
+//! clock the output is fully deterministic, so two timelines can be
+//! diffed line-by-line in CI.
+
+use crate::event::{Phase, Value};
+use crate::tracer::{ClockMode, Trace};
+
+fn render_fields(event: &crate::event::Event) -> String {
+    let mut out = String::new();
+    for (k, v) in &event.fields {
+        out.push(' ');
+        out.push_str(k);
+        out.push('=');
+        match v {
+            Value::Str(s) if s.contains(' ') || s.contains('\n') => {
+                out.push('"');
+                out.push_str(&s.replace('\n', "\\n"));
+                out.push('"');
+            }
+            other => out.push_str(&other.to_string()),
+        }
+    }
+    out
+}
+
+/// Renders a trace's events as an indented text timeline.
+pub fn render_timeline(trace: &Trace) -> String {
+    let unit = match trace.clock {
+        ClockMode::Wall => "ns",
+        ClockMode::Logical => "tick",
+    };
+    let mut out = format!(
+        "timeline ({} events, {} clock, ts in {unit})\n",
+        trace.events.len(),
+        trace.clock.tag()
+    );
+    let ts_w = trace
+        .events
+        .iter()
+        .map(|e| e.ts.to_string().len())
+        .max()
+        .unwrap_or(1)
+        .max(2);
+    let mut depth: usize = 0;
+    for event in &trace.events {
+        let (marker, this_depth) = match event.phase {
+            Phase::Begin => {
+                let d = depth;
+                depth += 1;
+                ("+", d)
+            }
+            Phase::End => {
+                depth = depth.saturating_sub(1);
+                ("-", depth)
+            }
+            Phase::Instant => (".", depth),
+        };
+        out.push_str(&format!(
+            "{:>ts_w$}  {}{} {}.{}{}\n",
+            event.ts,
+            "  ".repeat(this_depth),
+            marker,
+            event.layer,
+            event.name,
+            render_fields(event)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::Tracer;
+
+    #[test]
+    fn timeline_nests_spans() {
+        let t = Tracer::logical();
+        let outer = t.begin("ladder", "stage", vec![("stage".into(), "greedy".into())]);
+        let inner = t.begin("search", "solve", vec![]);
+        t.instant("cp", "conflict", vec![("clique".into(), 3usize.into())]);
+        t.end(inner, "search", "solve", vec![]);
+        t.end(outer, "ladder", "stage", vec![]);
+        let text = render_timeline(&t.snapshot().unwrap());
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("timeline (5 events, logical clock"));
+        assert!(lines[1].contains("+ ladder.stage stage=greedy"));
+        assert!(lines[2].contains("  + search.solve"));
+        assert!(lines[3].contains("    . cp.conflict clique=3"));
+        assert!(lines[4].contains("  - search.solve dur=2"));
+        assert!(lines[5].contains("- ladder.stage dur=4"));
+    }
+
+    #[test]
+    fn quoted_string_fields() {
+        let t = Tracer::logical();
+        t.instant(
+            "portfolio",
+            "variant_panicked",
+            vec![("message".into(), "boom with spaces".into())],
+        );
+        let text = render_timeline(&t.snapshot().unwrap());
+        assert!(text.contains("message=\"boom with spaces\""));
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let build = || {
+            let t = Tracer::logical();
+            let s = t.begin("search", "solve", vec![]);
+            t.end(s, "search", "solve", vec![]);
+            render_timeline(&t.snapshot().unwrap())
+        };
+        assert_eq!(build(), build());
+    }
+}

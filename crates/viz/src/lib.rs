@@ -210,6 +210,123 @@ pub fn render_series(problem: &Problem, series: &[(&str, Vec<u64>)], style: &Sty
     out
 }
 
+/// Renders a solve trace (see `tela-trace`) as an SVG timeline: one
+/// swim-lane per layer (`search`, `portfolio`, `ladder`, ...), spans as
+/// horizontal bars from begin to end timestamp, instant events as
+/// vertical ticks. Works for both wall-clock and logical-clock traces —
+/// the x axis is simply the trace's own clock units.
+///
+/// Feed it a live [`tela_trace::Tracer::snapshot`] or a trace re-read
+/// from JSONL with [`tela_trace::parse_jsonl`]:
+///
+/// ```
+/// use tela_trace::Tracer;
+///
+/// let tracer = Tracer::logical();
+/// let span = tracer.begin("search", "solve", vec![]);
+/// tracer.instant("audit", "needs_search", vec![]);
+/// tracer.end(span, "search", "solve", vec![]);
+/// let svg = tela_viz::render_trace_timeline(&tracer.snapshot().unwrap(), &Default::default());
+/// assert!(svg.contains("</svg>"));
+/// ```
+pub fn render_trace_timeline(trace: &tela_trace::Trace, style: &Style) -> String {
+    use std::collections::BTreeMap;
+    use tela_trace::Phase;
+
+    let mut out = header(style);
+    let events = &trace.events;
+    // Swim-lanes: one per layer, in order of first appearance.
+    let mut lanes: Vec<&str> = Vec::new();
+    for e in events {
+        if !lanes.iter().any(|&l| l == e.layer.as_ref()) {
+            lanes.push(e.layer.as_ref());
+        }
+    }
+    let lane_of = |layer: &str| lanes.iter().position(|&l| l == layer).unwrap_or(0);
+
+    let t0 = events.iter().map(|e| e.ts).min().unwrap_or(0);
+    let t1 = events.iter().map(|e| e.ts).max().unwrap_or(0).max(t0 + 1);
+    let plot_w = f64::from(style.width - 2 * style.margin);
+    let plot_h = f64::from(style.height - 2 * style.margin);
+    let margin = f64::from(style.margin);
+    let label_w = 80.0_f64.min(plot_w / 4.0);
+    let x = |ts: u64| margin + label_w + (ts - t0) as f64 / (t1 - t0) as f64 * (plot_w - label_w);
+    let rows = lanes.len().max(1) as f64;
+    let row_h = plot_h / rows;
+    let y = |lane: usize| margin + lane as f64 * row_h;
+
+    // Lane labels and separators.
+    for (i, lane) in lanes.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "<text x=\"{:.1}\" y=\"{:.1}\">{lane}</text>",
+            margin,
+            y(i) + row_h / 2.0 + 3.0
+        );
+        let _ = writeln!(
+            out,
+            "<line x1=\"{:.1}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{:.1}\" stroke=\"#ddd\"/>",
+            margin,
+            y(i),
+            margin + plot_w,
+            y(i)
+        );
+    }
+
+    // Spans: pair each End with its Begin by span id; Begins still open
+    // at the end of the trace run to the right edge.
+    let mut open: BTreeMap<u64, &tela_trace::Event> = BTreeMap::new();
+    let bar_h = (row_h * 0.6).max(4.0);
+    let draw_bar = |out: &mut String, begin: &tela_trace::Event, end_ts: u64| {
+        let lane = lane_of(begin.layer.as_ref());
+        let x0 = x(begin.ts);
+        let w = (x(end_ts) - x0).max(1.0);
+        let _ = writeln!(
+            out,
+            "<rect x=\"{x0:.1}\" y=\"{:.1}\" width=\"{w:.1}\" height=\"{bar_h:.1}\" \
+             fill=\"{}\" stroke=\"#333\" stroke-width=\"0.5\"><title>{}.{} \
+             [{} → {end_ts}]</title></rect>",
+            y(lane) + (row_h - bar_h) / 2.0,
+            color(lane),
+            begin.layer,
+            begin.name,
+            begin.ts,
+        );
+    };
+    for e in events {
+        match e.phase {
+            Phase::Begin => {
+                open.insert(e.span, e);
+            }
+            Phase::End => {
+                if let Some(begin) = open.remove(&e.span) {
+                    draw_bar(&mut out, begin, e.ts);
+                }
+            }
+            Phase::Instant => {
+                let lane = lane_of(e.layer.as_ref());
+                let xe = x(e.ts);
+                let _ = writeln!(
+                    out,
+                    "<line x1=\"{xe:.1}\" y1=\"{:.1}\" x2=\"{xe:.1}\" y2=\"{:.1}\" \
+                     stroke=\"#222\" stroke-width=\"1.2\"><title>{}.{} @ {}</title></line>",
+                    y(lane) + row_h * 0.25,
+                    y(lane) + row_h * 0.75,
+                    e.layer,
+                    e.name,
+                    e.ts,
+                );
+            }
+        }
+    }
+    let still_open: Vec<&tela_trace::Event> = open.into_values().collect();
+    for begin in still_open {
+        draw_bar(&mut out, begin, t1);
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,5 +397,53 @@ mod tests {
         assert!(svg.contains("</svg>"));
         let svg = render_series(&p, &[], &Style::default());
         assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn trace_timeline_draws_lanes_spans_and_ticks() {
+        let tracer = tela_trace::Tracer::logical();
+        let outer = tracer.begin("search", "solve", vec![]);
+        tracer.instant("audit", "needs_search", vec![]);
+        let inner = tracer.begin("cp", "solve", vec![]);
+        tracer.end(inner, "cp", "solve", vec![]);
+        tracer.end(outer, "search", "solve", vec![]);
+        let svg = render_trace_timeline(&tracer.snapshot().unwrap(), &Style::default());
+        // Three lanes in first-appearance order, two span bars (plus the
+        // background rect), one instant tick plus lane separators.
+        assert!(svg.contains(">search<"));
+        assert!(svg.contains(">audit<"));
+        assert!(svg.contains(">cp<"));
+        assert_eq!(svg.matches("<title>").count(), 3);
+        assert!(svg.contains("<title>search.solve"));
+        assert!(svg.contains("<title>audit.needs_search"));
+    }
+
+    #[test]
+    fn trace_timeline_closes_unfinished_spans_at_the_edge() {
+        let tracer = tela_trace::Tracer::logical();
+        let _open = tracer.begin("portfolio", "race", vec![]);
+        tracer.instant("portfolio", "variant_panicked", vec![]);
+        let svg = render_trace_timeline(&tracer.snapshot().unwrap(), &Style::default());
+        assert!(svg.contains("<title>portfolio.race"));
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn trace_timeline_handles_empty_trace() {
+        let tracer = tela_trace::Tracer::logical();
+        let svg = render_trace_timeline(&tracer.snapshot().unwrap(), &Style::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn trace_timeline_is_deterministic() {
+        let make = || {
+            let tracer = tela_trace::Tracer::logical();
+            let s = tracer.begin("search", "solve", vec![("k".into(), 1u64.into())]);
+            tracer.end(s, "search", "solve", vec![]);
+            render_trace_timeline(&tracer.snapshot().unwrap(), &Style::default())
+        };
+        assert_eq!(make(), make());
     }
 }
