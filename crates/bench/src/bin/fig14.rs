@@ -12,7 +12,7 @@
 //! `--steps S` (cap, default 500000), `--threads T`, `--portfolio P`
 //! (0 = off; otherwise adds a portfolio-race row at `P` workers).
 
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use tela_bench::{arg_usize, TextTable};
 use tela_heuristics::SelectionStrategy;
@@ -79,7 +79,7 @@ fn main() {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some(&(v, c)) = work.get(i) else { break };
                 let outcome = run_one(&variants[v], &configs[c], step_cap);
-                results[v].lock().expect("no poisoned workers")[c] = outcome;
+                results[v].lock().unwrap_or_else(PoisonError::into_inner)[c] = outcome;
             });
         }
     });
@@ -87,7 +87,7 @@ fn main() {
     // Configurations solved by every strategy, for the geomean comparison.
     let solved: Vec<Vec<Option<u64>>> = results
         .iter()
-        .map(|m| m.lock().expect("done").clone())
+        .map(|m| m.lock().unwrap_or_else(PoisonError::into_inner).clone())
         .collect();
     let common: Vec<usize> = (0..configs.len())
         .filter(|&c| solved.iter().all(|v| v[c].is_some()))

@@ -292,6 +292,7 @@ fn is_decisive(outcome: &SolveOutcome) -> bool {
 /// assert!(solution.validate(&problem).is_ok());
 /// ```
 pub fn solve_portfolio(problem: &Problem, budget: &Budget, config: &TelaConfig) -> PortfolioResult {
+    // tela-lint: allow(deterministic-clock, reason = "stats-only wall stamping of elapsed; never branches the search")
     let start = Instant::now();
     let tracer = &config.tracer;
     let span = if tracer.enabled() {
@@ -334,6 +335,7 @@ pub fn solve_portfolio(problem: &Problem, budget: &Budget, config: &TelaConfig) 
 }
 
 fn run_portfolio(problem: &Problem, budget: &Budget, config: &TelaConfig) -> PortfolioResult {
+    // tela-lint: allow(deterministic-clock, reason = "stats-only wall stamping of elapsed; never branches the search")
     let start = Instant::now();
     if config.preflight_audit {
         match tela_audit::preflight(problem) {

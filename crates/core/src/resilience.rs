@@ -170,6 +170,7 @@ impl EscalationLadder {
         budget: &Budget,
         hook: &mut dyn SpillHook,
     ) -> LadderResult {
+        // tela-lint: allow(deterministic-clock, reason = "stats-only wall stamping of elapsed; never branches the search")
         let start = Instant::now();
         let tracer = &self.config.tracer;
         let span = if tracer.enabled() {

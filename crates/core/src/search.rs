@@ -126,6 +126,7 @@ fn solve_with_inner(
     policy: &mut dyn BacktrackPolicy,
     observer: &mut dyn SearchObserver,
 ) -> TelaResult {
+    // tela-lint: allow(deterministic-clock, reason = "stats-only wall stamping of elapsed; never branches the search")
     let start = Instant::now();
     if config.preflight_audit {
         match tela_audit::preflight(problem) {

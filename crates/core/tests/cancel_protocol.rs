@@ -1,0 +1,119 @@
+//! Deterministic-interleaving stress test for the portfolio's
+//! shared-`AtomicBool` cancel protocol, and the primary target of the
+//! nightly ThreadSanitizer CI job.
+//!
+//! The protocol under test (see `portfolio.rs`): workers share one
+//! cancellation flag through [`Budget::with_cancel`]; the winner
+//! publishes its result *before* flipping the flag with a `Release`
+//! store, and losers that observe the flag with an `Acquire` load must
+//! therefore also observe the published result.
+//!
+//! Plain counter loops race too chaotically to pin that ordering — most
+//! schedules never exercise the publish/observe edge. Here every round
+//! is barrier-aligned so all threads enter the race window together,
+//! and the designated winner rotates, so over the rounds every thread
+//! exercises both sides of the protocol on every core. Under TSan (or
+//! Miri) an incorrectly-relaxed store/load pair in either this test or
+//! the protocol itself is reported as a data race; without sanitizers
+//! the assertions still catch a reordered publish on weakly-ordered
+//! hardware.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+use tela_model::Budget;
+
+const THREADS: usize = 4;
+const ROUNDS: usize = 200;
+const NOT_PUBLISHED: u64 = u64::MAX;
+
+#[test]
+fn winner_publication_is_visible_to_cancelled_losers() {
+    let barrier = Barrier::new(THREADS);
+    let violations = AtomicU64::new(0);
+
+    // Per-round shared state, allocated up front so the measurement loop
+    // is pure synchronization.
+    let rounds: Vec<(Arc<AtomicBool>, AtomicU64)> = (0..ROUNDS)
+        .map(|_| {
+            (
+                Arc::new(AtomicBool::new(false)),
+                AtomicU64::new(NOT_PUBLISHED),
+            )
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        for thread_id in 0..THREADS {
+            let barrier = &barrier;
+            let rounds = &rounds;
+            let violations = &violations;
+            scope.spawn(move || {
+                for (round, (cancel, slot)) in rounds.iter().enumerate() {
+                    let winner = round % THREADS;
+                    let budget = Budget::unlimited().with_cancel(Arc::clone(cancel));
+                    barrier.wait();
+
+                    if thread_id == winner {
+                        // The protocol: publish the result first, then
+                        // raise the flag. The Release store pairs with
+                        // the Acquire load inside `Budget::cancelled`.
+                        slot.store(round as u64, Ordering::Relaxed);
+                        cancel.store(true, Ordering::Release);
+                    } else {
+                        // A loser polls exactly as solver inner loops
+                        // do, then must see the winner's publication.
+                        while !budget.cancelled() {
+                            std::hint::spin_loop();
+                        }
+                        if slot.load(Ordering::Relaxed) != round as u64 {
+                            violations.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+
+                    // Re-align before the next round so a fast winner
+                    // cannot lap a slow loser into the next flag.
+                    barrier.wait();
+                }
+            });
+        }
+    });
+
+    assert_eq!(
+        violations.load(Ordering::Relaxed),
+        0,
+        "a cancelled loser observed the flag without the winner's publication"
+    );
+}
+
+#[test]
+fn cancel_flag_is_idempotent_across_racing_winners() {
+    // Several "winners" may flip the flag concurrently (two workers
+    // finishing in the same instant); the flag must stay monotonic and
+    // every publication made before any flip must be visible.
+    let barrier = Barrier::new(THREADS);
+    let cancel = Arc::new(AtomicBool::new(false));
+    let published = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let barrier = &barrier;
+            let cancel = Arc::clone(&cancel);
+            let published = &published;
+            scope.spawn(move || {
+                let budget = Budget::unlimited().with_cancel(Arc::clone(&cancel));
+                barrier.wait();
+                published.fetch_add(1, Ordering::Relaxed);
+                cancel.store(true, Ordering::Release);
+                while !budget.cancelled() {
+                    std::hint::spin_loop();
+                }
+                // Own store at minimum is visible through the Acquire.
+                assert!(published.load(Ordering::Relaxed) >= 1);
+            });
+        }
+    });
+
+    assert!(cancel.load(Ordering::Acquire));
+    assert_eq!(published.load(Ordering::Relaxed), THREADS as u64);
+}

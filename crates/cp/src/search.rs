@@ -253,6 +253,7 @@ fn opposite(state: OrderState) -> OrderState {
     match state {
         OrderState::FirstBelow => OrderState::SecondBelow,
         OrderState::SecondBelow => OrderState::FirstBelow,
+        // tela-lint: allow(no-solve-path-panic, reason = "decide() rejects Undecided, so the stored first choice is always concrete")
         OrderState::Undecided => unreachable!("first choice is always concrete"),
     }
 }

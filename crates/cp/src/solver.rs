@@ -404,6 +404,7 @@ impl CpSolver {
         let (below, above) = match state {
             OrderState::FirstBelow => (x, y),
             OrderState::SecondBelow => (y, x),
+            // tela-lint: allow(no-solve-path-panic, reason = "documented caller contract: deciding a pair to Undecided is API misuse, not a solve failure")
             OrderState::Undecided => panic!("cannot decide a pair to Undecided"),
         };
         #[allow(clippy::let_unit_value)] // unit only without debug-invariants
@@ -466,15 +467,19 @@ impl CpSolver {
     /// # Panics
     ///
     /// Panics if `level` is greater than the current level.
+    // tela-lint: hot-path
     pub fn pop_to_level(&mut self, level: usize) {
         assert!(level <= self.level(), "cannot pop forward to level {level}");
-        // INVARIANT: both `expect`s below are guarded by the loop
-        // conditions (`len() > level` / `len() > mark.trail_len` imply a
-        // poppable element); they cannot fire on the solve hot path.
+        // INVARIANT: the `let … else` breaks below are unreachable — the
+        // loop conditions (`len() > level` / `len() > mark.trail_len`)
+        // imply a poppable element. Spelled without `expect` so even an
+        // impossible corruption degrades to a truncated pop instead of
+        // aborting the solve.
         while self.levels.len() > level {
-            let mark = self.levels.pop().expect("level exists");
+            let Some(mark) = self.levels.pop() else { break };
             while self.trail.len() > mark.trail_len {
-                match self.trail.pop().expect("trail entry exists") {
+                let Some(entry) = self.trail.pop() else { break };
+                match entry {
                     TrailEntry::Bounds { var, lo, hi, empty } => {
                         self.domains[var as usize].restore(lo, hi, empty);
                     }
@@ -484,7 +489,9 @@ impl CpSolver {
                 }
             }
             while self.fixed_order.len() > mark.fixed_len {
-                let var = self.fixed_order.pop().expect("fixed entry exists");
+                let Some(var) = self.fixed_order.pop() else {
+                    break;
+                };
                 self.occupancy_remove(var);
                 self.fixed[var as usize] = false;
             }
@@ -600,6 +607,7 @@ impl CpSolver {
             let list = &mut self.occupancy[other as usize];
             let at = list
                 .binary_search(&interval)
+                // tela-lint: allow(no-solve-path-panic, reason = "occupancy and fixed_order are mutated in lock-step; a missing interval is state corruption that must fail loudly, not degrade")
                 .expect("fixed interval is present in neighbor lists");
             list.remove(at);
         }
@@ -614,6 +622,7 @@ impl CpSolver {
 
     /// Fixpoint propagation. On conflict, returns the variables at the
     /// failing constraint.
+    // tela-lint: hot-path
     fn propagate(&mut self) -> Result<(), Vec<u32>> {
         while let Some(var) = self.queue.pop() {
             self.in_queue[var as usize] = false;

@@ -4,92 +4,23 @@
 //! (`pairs_of(var).to_vec()`) on every queue pop, allocating once per
 //! pop in the solver's innermost loop. This test counts global
 //! allocations across a propagation-heavy assignment sequence and fails
-//! if per-pop allocation sneaks back in.
+//! if per-pop allocation sneaks back in. (The static face of the same
+//! invariant is tela-lint's `no-hot-alloc` rule on the marked
+//! `propagate` function.)
 //!
 //! Not meaningful under `debug-invariants`: the audit allocates domain
 //! snapshots and occupancy rebuilds on every decision by design.
 
 #![cfg(not(feature = "debug-invariants"))]
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+mod common;
 
-use tela_cp::CpSolver;
-use tela_model::{Buffer, BufferId, Problem};
-
-struct CountingAlloc;
-
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        unsafe { System.alloc(layout) }
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        unsafe { System.dealloc(ptr, layout) }
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        unsafe { System.realloc(ptr, layout, new_size) }
-    }
-}
-
-#[global_allocator]
-static GLOBAL: CountingAlloc = CountingAlloc;
-
-/// `n` fully-overlapping unit buffers: the quadratic pair set makes
-/// propagation (not search) the dominant cost, mirroring the paper's
-/// full-overlap microbenchmark.
-fn full_overlap(n: usize) -> Problem {
-    Problem::builder(n as u64)
-        .buffers((0..n).map(|_| Buffer::new(0, 4, 1)))
-        .build()
-        .unwrap()
-}
-
-/// Runs the propagation-heavy assignment sequence and returns
-/// `(allocations, propagations, pops_lower_bound)`. `tracer` is
-/// installed before the loop when given, so the same workload measures
-/// the bare solver and the tracing-disabled solver identically.
-fn measure(p: &Problem, n: usize, tracer: Option<tela_trace::Tracer>) -> (u64, u64, u64) {
-    let mut solver = CpSolver::new(p).unwrap();
-    if let Some(tracer) = tracer {
-        solver.set_tracer(tracer);
-    }
-    let before = ALLOCS.load(Ordering::Relaxed);
-    let mut pops_lower_bound = 0u64;
-    for i in 0..n {
-        solver.assign(BufferId::new(i), i as u64).unwrap();
-        pops_lower_bound += 1;
-    }
-    let allocs = ALLOCS.load(Ordering::Relaxed) - before;
-    assert!(solver.solution().is_some());
-    (allocs, solver.propagations(), pops_lower_bound)
-}
-
-// One test function on purpose: the allocation counter is global, so a
-// second concurrently-running #[test] in this binary would contaminate
-// the deltas. Both measurements run sequentially here instead.
 #[test]
 fn propagation_does_not_allocate_per_pop() {
     let n = 32;
-    let p = full_overlap(n);
+    let p = common::full_overlap(n);
 
-    // The counting allocator is process-global, so the libtest harness
-    // thread occasionally leaks a stray allocation or two into the
-    // window. The solver's own count is deterministic and the noise is
-    // purely additive, so the minimum over a few repetitions is exact.
-    let min_allocs = |tracer: fn() -> Option<tela_trace::Tracer>| {
-        (0..5)
-            .map(|_| measure(&p, n, tracer()))
-            .min_by_key(|&(allocs, ..)| allocs)
-            .unwrap()
-    };
-
-    let (allocs, propagations, pops_lower_bound) = min_allocs(|| None);
+    let (allocs, propagations, pops_lower_bound) = common::min_measure(&p, n, || None);
     assert!(pops_lower_bound > 0 && propagations > pops_lower_bound);
     // With the per-pop `to_vec()`, this sequence measures 673
     // allocations (one per queue pop, 528 pops, plus 145 of amortized
@@ -102,20 +33,5 @@ fn propagation_does_not_allocate_per_pop() {
         allocs < 400,
         "propagation hot path allocated {allocs} times \
          ({propagations} propagations, >= {bound} pops)"
-    );
-
-    // Trace-overhead guard: a *disabled* tracer must be free on the hot
-    // path — same workload, not one extra allocation. The disabled
-    // check is a single predicted branch on an `Option`, so any
-    // difference here means an eager field/string build snuck in ahead
-    // of the `enabled()` guard.
-    let (traced_allocs, traced_propagations, _) =
-        min_allocs(|| Some(tela_trace::Tracer::disabled()));
-    assert_eq!(traced_propagations, propagations);
-    assert_eq!(
-        traced_allocs,
-        allocs,
-        "a disabled tracer added {} allocations to the propagate loop",
-        traced_allocs.saturating_sub(allocs)
     );
 }

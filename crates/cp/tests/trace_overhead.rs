@@ -1,0 +1,35 @@
+//! Zero-overhead guard for disabled tracing on the propagation hot path.
+//!
+//! A *disabled* tracer must be free: the same propagation-heavy workload
+//! may not allocate even once more than the bare solver. The disabled
+//! check is a single predicted branch on an `Option`, so any difference
+//! here means an eager field/string build snuck in ahead of the
+//! `enabled()` guard.
+//!
+//! Not meaningful under `debug-invariants` (the audit allocates by
+//! design); see `propagate_allocs.rs` for the bare-solver bound.
+
+#![cfg(not(feature = "debug-invariants"))]
+
+mod common;
+
+// One test function on purpose: the allocation counter is process-global,
+// so a second concurrently-running #[test] in this binary would
+// contaminate the deltas. Both measurements run sequentially here.
+#[test]
+fn disabled_tracer_adds_zero_allocations() {
+    let n = 32;
+    let p = common::full_overlap(n);
+
+    let (bare_allocs, bare_propagations, _) = common::min_measure(&p, n, || None);
+    let (traced_allocs, traced_propagations, _) =
+        common::min_measure(&p, n, || Some(tela_trace::Tracer::disabled()));
+
+    assert_eq!(traced_propagations, bare_propagations);
+    assert_eq!(
+        traced_allocs,
+        bare_allocs,
+        "a disabled tracer added {} allocations to the propagate loop",
+        traced_allocs.saturating_sub(bare_allocs)
+    );
+}

@@ -58,7 +58,7 @@ pub fn solve(problem: &Problem) -> HeuristicResult {
 
     let solution = Solution::new(addresses);
     debug_assert!(
-        solution.validate(&unbounded(problem)).is_ok(),
+        unbounded(problem).is_some_and(|p| solution.validate(&p).is_ok()),
         "BFC produced an overlapping packing"
     );
     HeuristicResult {
@@ -67,10 +67,10 @@ pub fn solve(problem: &Problem) -> HeuristicResult {
     }
 }
 
-fn unbounded(problem: &Problem) -> Problem {
-    problem
-        .with_capacity(u64::MAX)
-        .expect("raising capacity cannot fail")
+// Raising the capacity cannot fail in practice; `None` would only make
+// the debug assertion fire, never panic a release solve.
+fn unbounded(problem: &Problem) -> Option<Problem> {
+    problem.with_capacity(u64::MAX).ok()
 }
 
 /// Address-ordered free list over an unbounded memory `[0, ∞)`.

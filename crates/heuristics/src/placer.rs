@@ -114,14 +114,9 @@ impl<'p> Placer<'p> {
         assert!(self.placed.iter().all(|&p| p), "all blocks must be placed");
         let solution = Solution::new(self.addresses);
         debug_assert!(
-            solution
-                .validate(
-                    &self
-                        .problem
-                        .with_capacity(u64::MAX)
-                        .expect("raising capacity")
-                )
-                .is_ok(),
+            self.problem
+                .with_capacity(u64::MAX)
+                .is_ok_and(|p| solution.validate(&p).is_ok()),
             "placer produced an overlapping packing"
         );
         HeuristicResult {

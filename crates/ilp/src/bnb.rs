@@ -108,7 +108,12 @@ pub fn solve_ilp_with(
         }
         if retry {
             retry = false;
-            let frame = frames.last_mut().expect("retry implies an open frame");
+            let Some(frame) = frames.last_mut() else {
+                // Retry with no open frame means the root alternatives
+                // are spent; report infeasibility rather than panic.
+                stats.elapsed = start.elapsed();
+                return (SolveOutcome::Infeasible, stats);
+            };
             if frame.exhausted {
                 frames.pop();
                 match frames.last() {

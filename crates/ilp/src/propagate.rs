@@ -96,15 +96,18 @@ impl<'e> BoundStore<'e> {
         self.levels.push(self.trail.len());
     }
 
-    /// Undoes all changes of the most recent decision level.
-    ///
-    /// # Panics
-    ///
-    /// Panics if no level is open.
+    /// Undoes all changes of the most recent decision level. With no
+    /// level open this is a no-op: the search drives pushes and pops in
+    /// lock-step, and a stray pop must not abort a solve.
+    // tela-lint: hot-path
     pub fn pop_level(&mut self) {
-        let mark = self.levels.pop().expect("no open level to pop");
+        let Some(mark) = self.levels.pop() else {
+            return;
+        };
         while self.trail.len() > mark {
-            let (var, lo, hi) = self.trail.pop().expect("trail entry exists");
+            let Some((var, lo, hi)) = self.trail.pop() else {
+                break;
+            };
             self.lo[var as usize] = lo;
             self.hi[var as usize] = hi;
         }

@@ -1,0 +1,190 @@
+//! The ratchet: known violations live in a committed
+//! `lint-baseline.json`, keyed `rule → file → count`. CI fails on *new*
+//! violations (count above baseline) and on a *stale* baseline (count
+//! below, or an entry whose file is clean) — so the only way the file
+//! changes is downward, via `--update-baseline` after a real fix.
+//!
+//! Counts are per `(rule, file)` rather than per line on purpose:
+//! editing unrelated code in a file moves line numbers constantly, and
+//! a line-keyed baseline would churn on every refactor. Count-keyed
+//! entries are stable until someone actually adds or removes a
+//! violation.
+
+use std::collections::BTreeMap;
+
+use crate::json::{self, Json};
+use crate::rules::Diagnostic;
+
+/// Baseline contents: `rule → file → violation count`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Baseline {
+    pub rules: BTreeMap<String, BTreeMap<String, u64>>,
+}
+
+/// Outcome of comparing a fresh scan against the committed baseline.
+#[derive(Debug, Default)]
+pub struct BaselineDiff {
+    /// `(rule, file, baselined, found)` where `found > baselined`.
+    pub grown: Vec<(String, String, u64, u64)>,
+    /// `(rule, file, baselined, found)` where `found < baselined`: the
+    /// baseline is stale and must be regenerated to ratchet down.
+    pub stale: Vec<(String, String, u64, u64)>,
+}
+
+impl BaselineDiff {
+    pub fn is_clean(&self) -> bool {
+        self.grown.is_empty() && self.stale.is_empty()
+    }
+}
+
+impl Baseline {
+    /// Builds a baseline from a scan's surviving diagnostics.
+    pub fn from_diagnostics(diags: &[Diagnostic]) -> Baseline {
+        let mut rules: BTreeMap<String, BTreeMap<String, u64>> = BTreeMap::new();
+        for d in diags {
+            *rules
+                .entry(d.rule.to_string())
+                .or_default()
+                .entry(d.path.clone())
+                .or_insert(0) += 1;
+        }
+        Baseline { rules }
+    }
+
+    /// Total baselined violations.
+    pub fn total(&self) -> u64 {
+        self.rules.values().flat_map(|m| m.values()).sum()
+    }
+
+    /// Baselined count for one `(rule, file)`.
+    pub fn count(&self, rule: &str, file: &str) -> u64 {
+        self.rules
+            .get(rule)
+            .and_then(|m| m.get(file))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Compares `fresh` (a new scan) against `self` (the committed
+    /// ratchet).
+    pub fn diff(&self, fresh: &Baseline) -> BaselineDiff {
+        let mut out = BaselineDiff::default();
+        let mut keys: Vec<(String, String)> = Vec::new();
+        for (rule, files) in self.rules.iter().chain(fresh.rules.iter()) {
+            for file in files.keys() {
+                let key = (rule.clone(), file.clone());
+                if !keys.contains(&key) {
+                    keys.push(key);
+                }
+            }
+        }
+        keys.sort();
+        for (rule, file) in keys {
+            let base = self.count(&rule, &file);
+            let found = fresh.count(&rule, &file);
+            if found > base {
+                out.grown.push((rule, file, base, found));
+            } else if found < base {
+                out.stale.push((rule, file, base, found));
+            }
+        }
+        out
+    }
+
+    /// Serializes to the committed JSON format.
+    pub fn render(&self) -> String {
+        let mut rules = BTreeMap::new();
+        for (rule, files) in &self.rules {
+            let mut obj = BTreeMap::new();
+            for (file, count) in files {
+                obj.insert(file.clone(), Json::Num(*count));
+            }
+            rules.insert(rule.clone(), Json::Obj(obj));
+        }
+        let mut top = BTreeMap::new();
+        top.insert("version".to_string(), Json::Num(1));
+        top.insert(
+            "generated-by".to_string(),
+            Json::Str("tela-lint --update-baseline".to_string()),
+        );
+        top.insert("rules".to_string(), Json::Obj(rules));
+        Json::Obj(top).render()
+    }
+
+    /// Parses the committed JSON format.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let doc = json::parse(text)?;
+        let top = doc.as_obj().ok_or("baseline root must be an object")?;
+        match top.get("version").and_then(Json::as_num) {
+            Some(1) => {}
+            other => return Err(format!("unsupported baseline version {other:?}")),
+        }
+        let mut rules = BTreeMap::new();
+        let table = top
+            .get("rules")
+            .and_then(Json::as_obj)
+            .ok_or("baseline is missing the \"rules\" object")?;
+        for (rule, files) in table {
+            let files = files
+                .as_obj()
+                .ok_or_else(|| format!("rule {rule} must map files to counts"))?;
+            let mut counts = BTreeMap::new();
+            for (file, count) in files {
+                let n = count
+                    .as_num()
+                    .ok_or_else(|| format!("count for {rule}/{file} must be a number"))?;
+                counts.insert(file.clone(), n);
+            }
+            rules.insert(rule.clone(), counts);
+        }
+        Ok(Baseline { rules })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(rule: &'static str, path: &str) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: path.to_string(),
+            line: 1,
+            col: 1,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn counts_round_trip_through_json() {
+        let base = Baseline::from_diagnostics(&[
+            d("deterministic-clock", "crates/cp/src/search.rs"),
+            d("no-solve-path-panic", "crates/cp/src/solver.rs"),
+            d("no-solve-path-panic", "crates/cp/src/solver.rs"),
+        ]);
+        assert_eq!(base.total(), 3);
+        let parsed = Baseline::parse(&base.render()).unwrap();
+        assert_eq!(parsed, base);
+    }
+
+    #[test]
+    fn diff_classifies_growth_and_staleness() {
+        let committed = Baseline::from_diagnostics(&[
+            d("deterministic-clock", "a.rs"),
+            d("deterministic-clock", "a.rs"),
+            d("no-solve-path-panic", "b.rs"),
+        ]);
+        let fresh = Baseline::from_diagnostics(&[
+            d("deterministic-clock", "a.rs"),
+            d("poison-proof-locks", "c.rs"),
+        ]);
+        let diff = committed.diff(&fresh);
+        assert_eq!(
+            diff.grown,
+            vec![("poison-proof-locks".to_string(), "c.rs".to_string(), 0, 1)]
+        );
+        assert_eq!(diff.stale.len(), 2); // a.rs 2→1, b.rs 1→0
+        assert!(!diff.is_clean());
+        assert!(committed.diff(&committed).is_clean());
+    }
+}

@@ -1,0 +1,271 @@
+//! Workspace scanning and suppression handling: walks the crates,
+//! parses every source file, runs the per-file and per-crate rules,
+//! applies inline `allow(…)` suppressions, and reports what survived.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::features::{self, CrateManifest};
+use crate::manifest::{rules, Manifest};
+use crate::rules::{check_file, Diagnostic};
+use crate::source::SourceFile;
+
+/// Everything one scan produced.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations that survived suppression, sorted by
+    /// `(path, line, col, rule)`.
+    pub diagnostics: Vec<Diagnostic>,
+    /// How many diagnostics an inline `allow(…)` absorbed.
+    pub suppressed: usize,
+    pub files_scanned: usize,
+    pub crates_scanned: usize,
+}
+
+/// Scans the workspace rooted at `root`.
+///
+/// Covered: every `crates/*/src/**/*.rs`, the root package's `src/` and
+/// `examples/`, plus each crate's `Cargo.toml` for the feature-table
+/// checks. Deliberately not covered: `tests/` directories (integration
+/// tests unwrap and clock freely, like `#[cfg(test)]` code), `target/`,
+/// and `compat/` (stand-ins that mirror external crates' APIs, not our
+/// invariants).
+///
+/// # Errors
+///
+/// Only on I/O failure walking or reading the tree; individual files
+/// that fail to read UTF-8 are skipped.
+pub fn scan_workspace(root: &Path, manifest: &Manifest) -> io::Result<Report> {
+    let mut units: Vec<(CrateManifest, Vec<SourceFile>)> = Vec::new();
+
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = Vec::new();
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let path = entry?.path();
+            if path.is_dir() && path.join("Cargo.toml").is_file() {
+                crate_dirs.push(path);
+            }
+        }
+    }
+    crate_dirs.sort();
+
+    for dir in crate_dirs {
+        let fallback = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let toml_path = dir.join("Cargo.toml");
+        let toml_text = fs::read_to_string(&toml_path)?;
+        let krate = features::parse_cargo_toml(&relative(root, &toml_path), &toml_text, &fallback);
+        let mut files = Vec::new();
+        collect_rs(root, &dir.join("src"), &mut files)?;
+        units.push((krate, files));
+    }
+
+    // The root package: `src/` and `examples/` under the workspace
+    // `Cargo.toml`.
+    let root_toml = root.join("Cargo.toml");
+    if root_toml.is_file() {
+        let toml_text = fs::read_to_string(&root_toml)?;
+        let krate = features::parse_cargo_toml("Cargo.toml", &toml_text, "workspace-root");
+        let mut files = Vec::new();
+        collect_rs(root, &root.join("src"), &mut files)?;
+        collect_rs(root, &root.join("examples"), &mut files)?;
+        units.push((krate, files));
+    }
+
+    let mut report = Report {
+        crates_scanned: units.len(),
+        ..Report::default()
+    };
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    for (krate, files) in &units {
+        report.files_scanned += files.len();
+        for file in files {
+            raw.extend(check_file(file, manifest));
+        }
+        let refs: Vec<&SourceFile> = files.iter().collect();
+        raw.extend(features::check_feature_hygiene(krate, &refs, manifest));
+    }
+
+    let all_files: Vec<&SourceFile> = units.iter().flat_map(|(_, fs)| fs.iter()).collect();
+    let (survivors, suppressed) = apply_suppressions(raw, &all_files);
+    report.suppressed = suppressed;
+    report.diagnostics = survivors;
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    Ok(report)
+}
+
+/// Checks a single in-memory file (fixture tests and scratch edits).
+/// Applies the same suppression semantics as a workspace scan, minus
+/// the cross-file feature checks.
+pub fn check_source(virtual_path: &str, text: &str, manifest: &Manifest) -> Vec<Diagnostic> {
+    let file = SourceFile::parse(virtual_path, text);
+    let raw = check_file(&file, manifest);
+    let (mut survivors, _) = apply_suppressions(raw, &[&file]);
+    survivors.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    survivors
+}
+
+/// Applies inline suppressions and appends suppression-hygiene
+/// diagnostics (reason-less or unknown-rule or never-firing `allow`s,
+/// malformed directives). Returns `(survivors, suppressed_count)`.
+fn apply_suppressions(raw: Vec<Diagnostic>, files: &[&SourceFile]) -> (Vec<Diagnostic>, usize) {
+    let by_path: BTreeMap<&str, &SourceFile> =
+        files.iter().map(|f| (f.path.as_str(), *f)).collect();
+    let mut used: BTreeMap<(String, usize), bool> = BTreeMap::new();
+    for file in files {
+        for (i, _) in file.suppressions.iter().enumerate() {
+            used.insert((file.path.clone(), i), false);
+        }
+    }
+
+    let mut survivors = Vec::new();
+    let mut suppressed = 0usize;
+    for d in raw {
+        let mut absorbed = false;
+        if let Some(file) = by_path.get(d.path.as_str()) {
+            for (i, s) in file.suppressions.iter().enumerate() {
+                // A suppression covers its own line (trailing comment)
+                // and the line below (comment above the code).
+                let covers = s.line == d.line || s.line + 1 == d.line;
+                if covers && s.reasoned && s.rule == d.rule {
+                    used.insert((file.path.clone(), i), true);
+                    absorbed = true;
+                    break;
+                }
+            }
+        }
+        if absorbed {
+            suppressed += 1;
+        } else {
+            survivors.push(d);
+        }
+    }
+
+    for file in files {
+        for bad in &file.bad_directives {
+            survivors.push(Diagnostic {
+                rule: rules::SUPPRESSION_HYGIENE,
+                path: file.path.clone(),
+                line: bad.line,
+                col: bad.col,
+                message: bad.message.clone(),
+            });
+        }
+        for (i, s) in file.suppressions.iter().enumerate() {
+            if !s.reasoned {
+                continue; // already reported as a bad directive
+            }
+            if !rules::ALL.contains(&s.rule.as_str()) {
+                survivors.push(Diagnostic {
+                    rule: rules::SUPPRESSION_HYGIENE,
+                    path: file.path.clone(),
+                    line: s.line,
+                    col: s.col,
+                    message: format!("allow({}) names an unknown rule", s.rule),
+                });
+            } else if !used[&(file.path.clone(), i)] {
+                survivors.push(Diagnostic {
+                    rule: rules::SUPPRESSION_HYGIENE,
+                    path: file.path.clone(),
+                    line: s.line,
+                    col: s.col,
+                    message: format!(
+                        "allow({}) suppresses nothing — the violation is gone, \
+                         delete the comment",
+                        s.rule
+                    ),
+                });
+            }
+        }
+    }
+    (survivors, suppressed)
+}
+
+/// Recursively collects `.rs` files under `dir` (no-op when absent).
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(root, &path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            if let Ok(text) = fs::read_to_string(&path) {
+                out.push(SourceFile::parse(&relative(root, &path), &text));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Repo-relative path with `/` separators.
+fn relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reasoned_suppression_absorbs_and_unused_is_flagged() {
+        let src = "\
+fn f(o: Option<u32>) -> u32 {
+    // tela-lint: allow(no-solve-path-panic, reason = \"proven Some by caller\")
+    o.unwrap()
+}
+";
+        let d = check_source("crates/cp/src/x.rs", src, &Manifest::default());
+        assert!(d.is_empty(), "suppressed diagnostic leaked: {d:?}");
+
+        let unused = "\
+fn f() {}
+// tela-lint: allow(no-solve-path-panic, reason = \"nothing here\")
+fn g() {}
+";
+        let d = check_source("crates/cp/src/x.rs", unused, &Manifest::default());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "suppression-hygiene");
+        assert!(d[0].message.contains("suppresses nothing"));
+    }
+
+    #[test]
+    fn reasonless_suppression_does_not_suppress() {
+        let src = "\
+fn f(o: Option<u32>) -> u32 {
+    o.unwrap() // tela-lint: allow(no-solve-path-panic)
+}
+";
+        let d = check_source("crates/cp/src/x.rs", src, &Manifest::default());
+        // The unwrap survives AND the bad directive is reported.
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().any(|d| d.rule == "no-solve-path-panic"));
+        assert!(d.iter().any(|d| d.rule == "suppression-hygiene"));
+    }
+
+    #[test]
+    fn unknown_rule_suppression_is_flagged() {
+        let src = "// tela-lint: allow(no-such-rule, reason = \"typo\")\nfn f() {}\n";
+        let d = check_source("crates/cp/src/x.rs", src, &Manifest::default());
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("unknown rule"));
+    }
+}

@@ -1,0 +1,236 @@
+//! `feature-gate-hygiene`: cross-checks each crate's `cfg(feature =
+//! "…")` references against its `Cargo.toml` `[features]` table.
+//!
+//! Two failure modes:
+//! 1. a source file gates on a feature the crate never declares — the
+//!    gate silently never fires, so "gated" code is dead (or worse,
+//!    unconditionally compiled via a typo'd twin);
+//! 2. a declared *invariant* feature (`trace`, `fault-inject`,
+//!    `debug-invariants`) is neither referenced in any `cfg` nor
+//!    forwarded to a dependency's feature — the knob is wired to
+//!    nothing, and the CI feature matrix is testing a no-op.
+
+use crate::manifest::{rules, Manifest};
+use crate::rules::Diagnostic;
+use crate::source::SourceFile;
+
+/// One `name = […]` entry of a `[features]` table.
+#[derive(Debug, Clone)]
+pub struct FeatureDecl {
+    pub name: String,
+    /// 1-based line of the declaration in `Cargo.toml`.
+    pub line: u32,
+    /// True when the value array names at least one dependency feature
+    /// (`"tela-cp/trace"`): forwarding is a legitimate use on its own.
+    pub forwards: bool,
+}
+
+/// The slice of a crate's `Cargo.toml` the hygiene rule needs.
+#[derive(Debug, Clone)]
+pub struct CrateManifest {
+    /// Crate name from `[package] name = "…"` (falls back to the
+    /// directory name the caller supplies).
+    pub name: String,
+    /// Repo-relative path of the `Cargo.toml`.
+    pub path: String,
+    pub features: Vec<FeatureDecl>,
+}
+
+/// Extracts `[package] name` and the `[features]` table. Line-oriented
+/// on purpose: workspace `Cargo.toml`s are machine-edited and flat, and
+/// a full TOML parser is exactly the kind of dependency this crate
+/// refuses.
+pub fn parse_cargo_toml(path: &str, text: &str, fallback_name: &str) -> CrateManifest {
+    let mut name = fallback_name.to_string();
+    let mut features = Vec::new();
+    let mut section = String::new();
+    let mut pending: Option<(String, u32, String)> = None; // multi-line array
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let line = raw.trim();
+        if let Some((decl_name, decl_line, acc)) = &mut pending {
+            acc.push_str(raw);
+            if balanced(acc) {
+                features.push(FeatureDecl {
+                    name: decl_name.clone(),
+                    line: *decl_line,
+                    forwards: acc.contains('"'),
+                });
+                pending = None;
+            }
+            continue;
+        }
+        if line.starts_with('[') {
+            section = line.to_string();
+            continue;
+        }
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if section == "[package]" && name == fallback_name {
+            if let Some(v) = line.strip_prefix("name") {
+                let v = v.trim_start().trim_start_matches('=').trim();
+                if let Some(n) = v.strip_prefix('"').and_then(|v| v.split('"').next()) {
+                    name = n.to_string();
+                }
+            }
+        }
+        if section == "[features]" {
+            if let Some((key, value)) = line.split_once('=') {
+                let key = key.trim();
+                if key.is_empty() || key == "default" {
+                    continue;
+                }
+                if balanced(value) {
+                    features.push(FeatureDecl {
+                        name: key.to_string(),
+                        line: line_no,
+                        forwards: value.contains('"'),
+                    });
+                } else {
+                    pending = Some((key.to_string(), line_no, value.to_string()));
+                }
+            }
+        }
+    }
+    CrateManifest {
+        name,
+        path: path.to_string(),
+        features,
+    }
+}
+
+/// Are `[`/`]` balanced in `s` (ignoring string contents — feature
+/// arrays never contain brackets inside strings)?
+fn balanced(s: &str) -> bool {
+    let opens = s.bytes().filter(|&b| b == b'[').count();
+    let closes = s.bytes().filter(|&b| b == b']').count();
+    opens == closes
+}
+
+/// Every `feature = "…"` reference in `file`, as `(name, line, col)`.
+/// In practice this token sequence only occurs inside `cfg`/`cfg_attr`
+/// attributes and `cfg!` macros.
+pub fn feature_refs(file: &SourceFile) -> Vec<(String, u32, u32)> {
+    let mut refs = Vec::new();
+    for i in 0..file.tokens.len() {
+        if file.is_ident(i, "feature")
+            && file.is_punct(i + 1, '=')
+            && file
+                .tokens
+                .get(i + 2)
+                .is_some_and(|t| t.kind == crate::lexer::TokenKind::Str)
+        {
+            let lit = file.tok_str(i + 2);
+            let name = lit.trim_matches(|c| c == '"' || c == 'r' || c == '#');
+            let t = &file.tokens[i + 2];
+            refs.push((name.to_string(), t.line, t.col));
+        }
+    }
+    refs
+}
+
+/// Runs the hygiene checks for one crate.
+pub fn check_feature_hygiene(
+    krate: &CrateManifest,
+    files: &[&SourceFile],
+    manifest: &Manifest,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut referenced: Vec<String> = Vec::new();
+    for file in files {
+        for (name, line, col) in feature_refs(file) {
+            if !krate.features.iter().any(|f| f.name == name) {
+                out.push(Diagnostic {
+                    rule: rules::FEATURE_GATE_HYGIENE,
+                    path: file.path.clone(),
+                    line,
+                    col,
+                    message: format!(
+                        "cfg references feature \"{name}\" which {} does not declare \
+                         in its [features] table ({})",
+                        krate.name, krate.path
+                    ),
+                });
+            }
+            referenced.push(name);
+        }
+    }
+    for decl in &krate.features {
+        let invariant = manifest.invariant_features.iter().any(|f| f == &decl.name);
+        if invariant && !decl.forwards && !referenced.iter().any(|r| r == &decl.name) {
+            out.push(Diagnostic {
+                rule: rules::FEATURE_GATE_HYGIENE,
+                path: krate.path.clone(),
+                line: decl.line,
+                col: 1,
+                message: format!(
+                    "feature \"{}\" is declared but neither cfg-gates any code in \
+                     {} nor forwards to a dependency feature; the knob is wired to \
+                     nothing",
+                    decl.name, krate.name
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOML: &str = r#"
+[package]
+name = "tela-demo"
+
+[features]
+# gates the deep event stream
+trace = []
+fault-inject = ["tela-model/fault-inject"]
+debug-invariants = []
+"#;
+
+    #[test]
+    fn parses_package_and_features() {
+        let m = parse_cargo_toml("crates/demo/Cargo.toml", TOML, "demo");
+        assert_eq!(m.name, "tela-demo");
+        assert_eq!(m.features.len(), 3);
+        assert!(!m.features[0].forwards);
+        assert!(m.features[1].forwards);
+    }
+
+    #[test]
+    fn undeclared_reference_is_flagged_at_site() {
+        let m = parse_cargo_toml("crates/demo/Cargo.toml", TOML, "demo");
+        let f = SourceFile::parse(
+            "crates/demo/src/lib.rs",
+            "#[cfg(feature = \"trase\")]\nfn gated() {}\n",
+        );
+        let d = check_feature_hygiene(&m, &[&f], &Manifest::default());
+        // The typo'd reference, plus `trace` and `debug-invariants` now
+        // being declared-but-unused.
+        let typo: Vec<_> = d
+            .iter()
+            .filter(|d| d.message.contains("\"trase\""))
+            .collect();
+        assert_eq!(typo.len(), 1);
+        assert_eq!(typo[0].line, 1);
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn unused_invariant_feature_is_flagged_unless_forwarding() {
+        let m = parse_cargo_toml("crates/demo/Cargo.toml", TOML, "demo");
+        let f = SourceFile::parse(
+            "crates/demo/src/lib.rs",
+            "#[cfg(feature = \"trace\")]\nfn gated() {}\n",
+        );
+        let d = check_feature_hygiene(&m, &[&f], &Manifest::default());
+        // `trace` referenced, `fault-inject` forwards; `debug-invariants`
+        // is declared and wired to nothing.
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("debug-invariants"));
+        assert!(d[0].path.ends_with("Cargo.toml"));
+    }
+}

@@ -1,0 +1,429 @@
+//! A lightweight Rust scanner: tokens plus line comments, with enough
+//! structure (strings, char-vs-lifetime, nested block comments, raw
+//! strings, attributes) that rule checks never fire inside literals or
+//! doc text. Deliberately *not* a parser — the rules only need token
+//! sequences, brace matching, and attribute spans, so a full grammar
+//! would be cost without benefit (and a dependency magnet).
+
+/// What a token is. Punctuation is kept one character at a time; rules
+/// match multi-character operators (`::`, `->`) as adjacent puncts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw `r#ident`s, prefix stripped).
+    Ident,
+    /// A single punctuation character.
+    Punct(char),
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Numeric literal (integer or the leading part of a float).
+    Num,
+    /// Lifetime (`'a`) or loop label.
+    Lifetime,
+}
+
+/// One token with its position. `start..end` is the byte span in the
+/// source text; `line`/`col` are 1-based.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// One `//` line comment (block comments are skipped: directives live in
+/// line comments only, by design — they must be grep-able line-locally).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text including the leading slashes.
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// Scanner output: the token stream plus every line comment.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Scans `text` into tokens and line comments. Never fails: unterminated
+/// literals extend to end-of-file, unknown bytes become punctuation.
+pub fn lex(text: &str) -> Lexed {
+    Scanner::new(text).run()
+}
+
+struct Scanner<'a> {
+    text: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Lexed,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(text: &'a str) -> Self {
+        Scanner {
+            text,
+            bytes: text.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: Lexed::default(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        self.bytes.get(self.pos + ahead).copied().unwrap_or(0)
+    }
+
+    /// Advances one byte, maintaining line/col. Multi-byte UTF-8
+    /// continuation bytes advance the column once per leading byte,
+    /// which keeps columns byte-accurate enough for diagnostics.
+    fn bump(&mut self) {
+        if self.peek(0) == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if !is_utf8_continuation(self.peek(0)) {
+            self.col += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32, col: u32) {
+        self.out.tokens.push(Token {
+            kind,
+            start,
+            end: self.pos,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Lexed {
+        while self.pos < self.bytes.len() {
+            let (start, line, col) = (self.pos, self.line, self.col);
+            let c = self.peek(0);
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'"' => {
+                    self.string_literal();
+                    self.push(TokenKind::Str, start, line, col);
+                }
+                b'\'' => self.char_or_lifetime(start, line, col),
+                b'r' | b'b' if self.is_literal_prefix() => {
+                    self.prefixed_literal(start, line, col);
+                }
+                _ if is_ident_start(c) => {
+                    while is_ident_continue(self.peek(0)) {
+                        self.bump();
+                    }
+                    self.push(TokenKind::Ident, start, line, col);
+                }
+                b'0'..=b'9' => {
+                    while is_ident_continue(self.peek(0)) {
+                        self.bump();
+                    }
+                    self.push(TokenKind::Num, start, line, col);
+                }
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct(c as char), start, line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let (start, line, col) = (self.pos, self.line, self.col);
+        while self.pos < self.bytes.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            text: self.text[start..self.pos].to_string(),
+            line,
+            col,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        self.bump_n(2);
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump_n(2);
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump_n(2);
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// Consumes a `"…"` literal, honoring `\"` and `\\` escapes.
+    fn string_literal(&mut self) {
+        self.bump(); // opening quote
+        while self.pos < self.bytes.len() {
+            match self.peek(0) {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// `'` starts either a char literal or a lifetime. Heuristic: if an
+    /// identifier follows and is *not* closed by another `'`, it is a
+    /// lifetime (`'a`, `'static`); otherwise a char literal (`'a'`,
+    /// `'\n'`).
+    fn char_or_lifetime(&mut self, start: usize, line: u32, col: u32) {
+        if is_ident_start(self.peek(1)) {
+            // Find the end of the identifier run after the quote.
+            let mut k = 1;
+            while is_ident_continue(self.peek(k)) {
+                k += 1;
+            }
+            if self.peek(k) != b'\'' {
+                self.bump_n(k);
+                self.push(TokenKind::Lifetime, start, line, col);
+                return;
+            }
+        }
+        // Char literal: quote, (escape | char), closing quote.
+        self.bump();
+        if self.peek(0) == b'\\' {
+            self.bump_n(2);
+            // Multi-char escapes (\x7f, \u{..}) run to the closing quote.
+            while self.pos < self.bytes.len() && self.peek(0) != b'\'' {
+                self.bump();
+            }
+        } else if self.pos < self.bytes.len() {
+            self.bump();
+            while self.pos < self.bytes.len()
+                && self.peek(0) != b'\''
+                && is_utf8_continuation(self.peek(0))
+            {
+                self.bump();
+            }
+        }
+        if self.peek(0) == b'\'' {
+            self.bump();
+        }
+        self.push(TokenKind::Char, start, line, col);
+    }
+
+    /// True when the `r`/`b` at the cursor starts a literal (raw string,
+    /// byte string, byte char, raw identifier) rather than an ident.
+    fn is_literal_prefix(&self) -> bool {
+        match (self.peek(0), self.peek(1)) {
+            (b'r' | b'b', b'"') => true,
+            (b'r', b'#') => true, // raw string r#"…"# or raw ident r#ident
+            (b'b', b'\'') => true,
+            (b'b', b'r') => self.peek(2) == b'"' || self.peek(2) == b'#',
+            _ => false,
+        }
+    }
+
+    fn prefixed_literal(&mut self, start: usize, line: u32, col: u32) {
+        // Skip the prefix letters.
+        while matches!(self.peek(0), b'r' | b'b') && self.pos - start < 2 {
+            self.bump();
+        }
+        if self.peek(0) == b'#' && is_ident_start(self.peek(1)) {
+            // Raw identifier r#ident: emit as Ident.
+            self.bump();
+            while is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+            self.push(TokenKind::Ident, start, line, col);
+            return;
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == b'#' {
+            hashes += 1;
+            self.bump();
+        }
+        match self.peek(0) {
+            b'"' => {
+                if hashes == 0 {
+                    // Only `b"…"` reaches here with escapes; raw strings
+                    // (r"…") have no escapes, but treating both like a
+                    // plain string is safe because `\"` cannot appear in
+                    // our raw strings' grammar position unescaped.
+                    self.raw_or_plain_string(hashes);
+                } else {
+                    self.raw_or_plain_string(hashes);
+                }
+                self.push(TokenKind::Str, start, line, col);
+            }
+            b'\'' => {
+                self.char_or_lifetime(self.pos, line, col);
+                // Re-tag the token we just pushed so the span covers the
+                // b prefix.
+                if let Some(last) = self.out.tokens.last_mut() {
+                    last.start = start;
+                    last.col = col;
+                }
+            }
+            _ => {
+                // `r#` followed by nothing useful: emit puncts and move on.
+                self.push(TokenKind::Punct('#'), start, line, col);
+            }
+        }
+    }
+
+    /// Consumes a string opened at the cursor. `hashes > 0` means raw
+    /// string closed by `"` + that many `#`; `hashes == 0` with a raw
+    /// `r"` prefix still ends at the first unescaped quote, which is
+    /// correct for every raw string that contains no `\"` sequence.
+    fn raw_or_plain_string(&mut self, hashes: usize) {
+        self.bump(); // opening quote
+        while self.pos < self.bytes.len() {
+            if hashes == 0 && self.peek(0) == b'\\' {
+                self.bump_n(2);
+                continue;
+            }
+            if self.peek(0) == b'"' {
+                let mut ok = true;
+                for k in 0..hashes {
+                    if self.peek(1 + k) != b'#' {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    self.bump_n(1 + hashes);
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+fn is_utf8_continuation(c: u8) -> bool {
+    (c & 0xC0) == 0x80
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).tokens.iter().map(|t| t.kind).collect()
+    }
+
+    fn texts(src: &str) -> Vec<String> {
+        let lexed = lex(src);
+        lexed
+            .tokens
+            .iter()
+            .map(|t| src[t.start..t.end].to_string())
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        assert_eq!(texts("let x = 42;"), vec!["let", "x", "=", "42", ";"],);
+        assert_eq!(
+            kinds("a.b()"),
+            vec![
+                TokenKind::Ident,
+                TokenKind::Punct('.'),
+                TokenKind::Ident,
+                TokenKind::Punct('('),
+                TokenKind::Punct(')'),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        // The word `unwrap` inside a string must not produce an Ident.
+        let toks = lex(r#"let s = "x.unwrap()";"#);
+        assert!(toks.tokens.iter().all(|t| t.kind != TokenKind::Ident
+            || &r#"let s = "x.unwrap()";"#[t.start..t.end] != "unwrap"));
+        assert_eq!(kinds(r#""a\"b""#), vec![TokenKind::Str]);
+    }
+
+    #[test]
+    fn raw_strings_and_byte_strings() {
+        assert_eq!(
+            kinds(r###"r#"has "quotes" inside"#"###),
+            vec![TokenKind::Str]
+        );
+        assert_eq!(kinds(r#"b"bytes""#), vec![TokenKind::Str]);
+        assert_eq!(kinds("b'\\n'"), vec![TokenKind::Char]);
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        assert_eq!(
+            kinds("&'a str"),
+            vec![TokenKind::Punct('&'), TokenKind::Lifetime, TokenKind::Ident,]
+        );
+        assert_eq!(kinds("'a'"), vec![TokenKind::Char]);
+        assert_eq!(kinds("'\\''"), vec![TokenKind::Char]);
+        assert_eq!(kinds("'static"), vec![TokenKind::Lifetime]);
+    }
+
+    #[test]
+    fn comments_are_collected_not_tokenized() {
+        let lexed = lex("a // tela-lint: hot-path\nb /* block\nunwrap() */ c");
+        let idents = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .count();
+        assert_eq!(idents, 3);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].text, "// tela-lint: hot-path");
+        assert_eq!(lexed.comments[0].line, 1);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        assert_eq!(kinds("/* a /* b */ c */ x"), vec![TokenKind::Ident]);
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let lexed = lex("a\n  bb");
+        assert_eq!((lexed.tokens[0].line, lexed.tokens[0].col), (1, 1));
+        assert_eq!((lexed.tokens[1].line, lexed.tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let lexed = lex("r#type");
+        assert_eq!(lexed.tokens.len(), 1);
+        assert_eq!(lexed.tokens[0].kind, TokenKind::Ident);
+    }
+}

@@ -1,0 +1,123 @@
+//! Which rules apply where. Paths are repo-relative with `/` separators;
+//! an entry ending in `/` is a directory prefix, otherwise an exact file.
+//!
+//! The defaults encode this workspace's invariants:
+//! - the solve hot path (CP search/propagate, the portfolio and
+//!   resilience ladder, the heuristic placers, the ILP baseline) must
+//!   not panic;
+//! - wall clocks live only in `tela-trace` and the `Budget`/fault
+//!   machinery (benches and examples report wall time by design);
+//! - raw `std::thread::spawn` is reserved to the portfolio module —
+//!   everything else uses scoped threads through it.
+
+/// Rule ids, as they appear in diagnostics, suppressions, and the
+/// baseline file.
+pub mod rules {
+    pub const NO_SOLVE_PATH_PANIC: &str = "no-solve-path-panic";
+    pub const NO_HOT_ALLOC: &str = "no-hot-alloc";
+    pub const DETERMINISTIC_CLOCK: &str = "deterministic-clock";
+    pub const POISON_PROOF_LOCKS: &str = "poison-proof-locks";
+    pub const SCOPED_THREADS_ONLY: &str = "scoped-threads-only";
+    pub const FEATURE_GATE_HYGIENE: &str = "feature-gate-hygiene";
+    pub const SUPPRESSION_HYGIENE: &str = "suppression-hygiene";
+
+    /// Every rule id, for `tela-lint rules` and suppression validation.
+    pub const ALL: &[&str] = &[
+        NO_SOLVE_PATH_PANIC,
+        NO_HOT_ALLOC,
+        DETERMINISTIC_CLOCK,
+        POISON_PROOF_LOCKS,
+        SCOPED_THREADS_ONLY,
+        FEATURE_GATE_HYGIENE,
+        SUPPRESSION_HYGIENE,
+    ];
+}
+
+/// Path scoping for the rule set.
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    /// `no-solve-path-panic` applies only under these paths.
+    pub solve_hot_paths: Vec<String>,
+    /// Carve-outs inside `solve_hot_paths` where panicking is the
+    /// documented contract (the `debug-invariants` audit layer exists to
+    /// halt with a structured report).
+    pub solve_path_exempt: Vec<String>,
+    /// `deterministic-clock` is waived under these paths.
+    pub clock_allowed: Vec<String>,
+    /// `scoped-threads-only` is waived under these paths.
+    pub thread_allowed: Vec<String>,
+    /// Features whose declaration a crate must actually use (gate or
+    /// forward); referenced-but-undeclared is always an error.
+    pub invariant_features: Vec<String>,
+}
+
+impl Default for Manifest {
+    fn default() -> Self {
+        let s = |v: &[&str]| v.iter().map(|p| p.to_string()).collect();
+        Manifest {
+            solve_hot_paths: s(&[
+                "crates/cp/src/",
+                "crates/core/src/portfolio.rs",
+                "crates/core/src/resilience.rs",
+                "crates/heuristics/src/",
+                "crates/ilp/src/",
+            ]),
+            solve_path_exempt: s(&["crates/cp/src/solver/invariants.rs"]),
+            clock_allowed: s(&[
+                "crates/trace/src/",
+                "crates/model/src/budget.rs",
+                "crates/model/src/fault.rs",
+                "crates/bench/",
+                "examples/",
+            ]),
+            thread_allowed: s(&["crates/core/src/portfolio.rs"]),
+            invariant_features: s(&["trace", "fault-inject", "debug-invariants"]),
+        }
+    }
+}
+
+impl Manifest {
+    /// Does `path` fall under any entry of `set`?
+    fn matches(set: &[String], path: &str) -> bool {
+        set.iter().any(|entry| {
+            if entry.ends_with('/') {
+                path.starts_with(entry.as_str())
+            } else {
+                path == entry
+            }
+        })
+    }
+
+    /// Is `path` on the no-panic solve hot path?
+    pub fn on_solve_path(&self, path: &str) -> bool {
+        Self::matches(&self.solve_hot_paths, path) && !Self::matches(&self.solve_path_exempt, path)
+    }
+
+    /// May `path` read wall clocks?
+    pub fn clock_exempt(&self, path: &str) -> bool {
+        Self::matches(&self.clock_allowed, path)
+    }
+
+    /// May `path` call `std::thread::spawn`?
+    pub fn thread_exempt(&self, path: &str) -> bool {
+        Self::matches(&self.thread_allowed, path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scoping() {
+        let m = Manifest::default();
+        assert!(m.on_solve_path("crates/cp/src/solver.rs"));
+        assert!(!m.on_solve_path("crates/cp/src/solver/invariants.rs"));
+        assert!(m.on_solve_path("crates/core/src/portfolio.rs"));
+        assert!(!m.on_solve_path("crates/core/src/frontend.rs"));
+        assert!(m.clock_exempt("crates/model/src/budget.rs"));
+        assert!(!m.clock_exempt("crates/model/src/problem.rs"));
+        assert!(m.thread_exempt("crates/core/src/portfolio.rs"));
+        assert!(!m.thread_exempt("crates/core/src/resilience.rs"));
+    }
+}

@@ -1,0 +1,92 @@
+//! Shared test instrumentation: the counting global allocator behind
+//! the workspace's "zero allocations on the hot path" regression tests.
+//!
+//! PR 2 introduced this as a private shim inside
+//! `crates/cp/tests/propagate_allocs.rs`; it is promoted here so every
+//! allocation-guard test binary (`propagate_allocs`, `trace_overhead`,
+//! future arena work) installs the same audited shim instead of
+//! re-rolling its own `unsafe impl GlobalAlloc`.
+//!
+//! Usage — the `#[global_allocator]` attribute must live in the test
+//! binary itself:
+//!
+//! ```ignore
+//! use tela_lint::testing::CountingAlloc;
+//!
+//! #[global_allocator]
+//! static GLOBAL: CountingAlloc = CountingAlloc::new();
+//!
+//! let (allocs, result) = tela_lint::testing::count_allocations(|| work());
+//! ```
+//!
+//! The counter is process-global and other threads (the libtest
+//! harness) occasionally allocate inside the measurement window, so the
+//! noise is purely additive; take the minimum over a few repetitions
+//! (see [`min_allocations`]) for an exact figure.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-backed allocator that counts every `alloc`/`realloc`.
+/// Deallocations are not counted: the guarded property is "no new heap
+/// traffic", and frees always pair with a counted allocation.
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    /// `const` constructor for `#[global_allocator]` statics.
+    pub const fn new() -> Self {
+        CountingAlloc
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        CountingAlloc::new()
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Global allocation count so far. Only meaningful in a binary whose
+/// `#[global_allocator]` is a [`CountingAlloc`]; otherwise stays zero.
+pub fn allocation_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Runs `f` and returns `(allocations during f, f's result)`.
+pub fn count_allocations<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = allocation_count();
+    let result = f();
+    (allocation_count() - before, result)
+}
+
+/// Runs `f` `repetitions` times and returns its minimum allocation
+/// count (with the last run's result). The minimum is exact for a
+/// deterministic workload: harness-thread noise in the window is purely
+/// additive.
+pub fn min_allocations<R>(repetitions: usize, mut f: impl FnMut() -> R) -> (u64, R) {
+    assert!(repetitions > 0, "need at least one repetition");
+    let (mut best, mut result) = count_allocations(&mut f);
+    for _ in 1..repetitions {
+        let (allocs, r) = count_allocations(&mut f);
+        best = best.min(allocs);
+        result = r;
+    }
+    (best, result)
+}

@@ -1,0 +1,159 @@
+//! Fixture-driven rule tests, in the `compiletest` annotation style.
+//!
+//! Each `.rs` file under `tests/fixtures/` opens with a
+//! `//@ path: <virtual path>` directive selecting which manifest scope
+//! the fixture is checked under, and marks every expected diagnostic
+//! with a `//~ ERROR <rule>` annotation — on the offending line itself,
+//! or pointing N lines up with N carets (`//~^ ERROR <rule>`). The
+//! harness runs [`tela_lint::check_source`] and demands the annotated
+//! and reported `(line, rule)` multisets match exactly, so a fixture
+//! fails both when a rule misses a seeded violation and when it
+//! over-reports.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use tela_lint::manifest::Manifest;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// `(line, rule)` expectations parsed from `//~` annotations.
+fn expectations(text: &str) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let mut rest = line;
+        while let Some(at) = rest.find("//~") {
+            rest = &rest[at + 3..];
+            let carets = rest.chars().take_while(|&c| c == '^').count();
+            let tail = rest[carets..].trim_start();
+            let Some(rule_part) = tail.strip_prefix("ERROR") else {
+                panic!("malformed annotation on line {line_no}: {line}");
+            };
+            let rule = rule_part
+                .split_whitespace()
+                .next()
+                .unwrap_or_else(|| panic!("annotation names no rule on line {line_no}"));
+            out.push((line_no - carets as u32, rule.to_string()));
+        }
+    }
+    out.sort();
+    out
+}
+
+#[test]
+fn fixtures_report_exactly_the_annotated_diagnostics() {
+    let dir = fixture_dir();
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("no fixture dir {}: {e}", dir.display()))
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    entries.sort();
+    assert!(entries.len() >= 6, "fixture set went missing from {dir:?}");
+
+    let manifest = Manifest::default();
+    let mut failures = Vec::new();
+    for path in entries {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let first = text.lines().next().unwrap_or_default();
+        let virtual_path = first
+            .strip_prefix("//@ path:")
+            .unwrap_or_else(|| panic!("{name}: first line must be `//@ path: <path>`"))
+            .trim();
+
+        let expected = expectations(&text);
+        let mut actual: Vec<(u32, String)> =
+            tela_lint::check_source(virtual_path, &text, &manifest)
+                .into_iter()
+                .map(|d| (d.line, d.rule.to_string()))
+                .collect();
+        actual.sort();
+
+        if expected != actual {
+            let fmt = |v: &[(u32, String)]| {
+                v.iter()
+                    .map(|(l, r)| format!("{l}:{r}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            failures.push(format!(
+                "{name} (as {virtual_path}):\n  expected [{}]\n  actual   [{}]",
+                fmt(&expected),
+                fmt(&actual)
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n"));
+}
+
+/// Every rule id must appear in at least one fixture annotation, so a
+/// new rule cannot ship without fixture coverage. `feature-gate-hygiene`
+/// is crate-level and covered by [`feature_table_fixture`] instead.
+#[test]
+fn every_rule_has_fixture_coverage() {
+    let mut covered: BTreeMap<String, usize> = BTreeMap::new();
+    for entry in std::fs::read_dir(fixture_dir()).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "rs") {
+            let text = std::fs::read_to_string(&path).unwrap();
+            for (_, rule) in expectations(&text) {
+                *covered.entry(rule).or_default() += 1;
+            }
+        }
+    }
+    for rule in tela_lint::manifest::rules::ALL {
+        if *rule == tela_lint::manifest::rules::FEATURE_GATE_HYGIENE {
+            continue;
+        }
+        assert!(
+            covered.contains_key(*rule),
+            "rule `{rule}` has no fixture annotation; add one under tests/fixtures/"
+        );
+    }
+}
+
+/// Crate-level fixture for `feature-gate-hygiene`: a typo'd cfg
+/// reference is flagged at the use site, and a declared-but-unwired
+/// invariant feature is flagged at its Cargo.toml line.
+#[test]
+fn feature_table_fixture() {
+    use tela_lint::features::{check_feature_hygiene, parse_cargo_toml};
+    use tela_lint::source::SourceFile;
+
+    let toml = "\
+[package]
+name = \"tela-fixture\"
+
+[features]
+trace = []
+debug-invariants = []
+";
+    let krate = parse_cargo_toml("crates/fixture/Cargo.toml", toml, "fixture");
+    let src = SourceFile::parse(
+        "crates/fixture/src/lib.rs",
+        "#[cfg(feature = \"trase\")]\nfn gated() {}\n",
+    );
+    let d = check_feature_hygiene(&krate, &[&src], &Manifest::default());
+
+    // The typo'd reference at its use site…
+    let typo: Vec<_> = d
+        .iter()
+        .filter(|d| d.message.contains("\"trase\""))
+        .collect();
+    assert_eq!(typo.len(), 1);
+    assert_eq!(typo[0].path, "crates/fixture/src/lib.rs");
+    assert_eq!(typo[0].line, 1);
+    // …and both invariant features flagged at their declaration lines
+    // (`trace` is only referenced through the typo, so it too is unwired).
+    let decls: Vec<_> = d
+        .iter()
+        .filter(|d| d.path.ends_with("Cargo.toml"))
+        .collect();
+    assert_eq!(decls.len(), 2);
+    assert_eq!(decls[0].line, 5);
+    assert_eq!(decls[1].line, 6);
+}

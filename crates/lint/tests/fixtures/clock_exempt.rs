@@ -1,0 +1,6 @@
+//@ path: crates/trace/src/clock_fixture.rs
+// The trace crate owns the wall clock: no diagnostics expected here.
+
+fn sanctioned() -> std::time::Instant {
+    std::time::Instant::now()
+}

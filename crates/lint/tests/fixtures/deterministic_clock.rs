@@ -1,0 +1,9 @@
+//@ path: crates/model/src/clock_fixture.rs
+// A non-exempt module: wall-clock reads break deterministic replay.
+
+fn stamp() -> u128 {
+    let start = std::time::Instant::now(); //~ ERROR deterministic-clock
+    let wall = std::time::SystemTime::now(); //~ ERROR deterministic-clock
+    let _ = wall;
+    start.elapsed().as_nanos()
+}

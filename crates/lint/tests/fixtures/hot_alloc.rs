@@ -1,0 +1,21 @@
+//@ path: crates/viz/src/alloc_fixture.rs
+// `no-hot-alloc` fires only inside a function marked hot-path.
+
+use std::sync::Arc;
+
+// tela-lint: hot-path
+fn marked(xs: &Vec<u64>, shared: &Arc<u64>) -> Vec<u64> {
+    let mut out = Vec::new(); //~ ERROR no-hot-alloc
+    let copy = xs.to_vec(); //~ ERROR no-hot-alloc
+    let label = format!("{}", copy.len()); //~ ERROR no-hot-alloc
+    let _refcount_bump = Arc::clone(shared); // exempt: not an allocation
+    out.push(label.len() as u64);
+    out
+}
+
+fn unmarked() -> Vec<u64> {
+    // Same constructs, no marker: allocation is fine off the hot path.
+    let mut out = Vec::new();
+    out.push(1);
+    out.to_vec()
+}

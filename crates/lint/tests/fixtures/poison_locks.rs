@@ -1,0 +1,10 @@
+//@ path: crates/core/src/lock_fixture.rs
+// Every `.lock()` must recover from poisoning (the PR 4 pattern).
+
+use std::sync::{Mutex, PoisonError};
+
+fn locks(m: &Mutex<u64>) -> u64 {
+    let wedged = *m.lock().unwrap(); //~ ERROR poison-proof-locks
+    let recovered = *m.lock().unwrap_or_else(PoisonError::into_inner);
+    wedged + recovered
+}

@@ -1,0 +1,13 @@
+//@ path: crates/core/src/thread_fixture.rs
+// Raw spawns are reserved to the portfolio module; everyone else uses
+// scoped threads through it.
+
+fn detached() {
+    std::thread::spawn(|| {}); //~ ERROR scoped-threads-only
+}
+
+fn scoped() {
+    std::thread::scope(|s| {
+        s.spawn(|| {});
+    });
+}

@@ -1,0 +1,39 @@
+//@ path: crates/cp/src/fixture.rs
+// A solve-hot-path module: unwrap/expect, panic-family macros, and
+// slice indexing are all violations; test code is exempt.
+
+fn hot(o: Option<u32>, xs: &[u32]) -> u32 {
+    let a = o.unwrap(); //~ ERROR no-solve-path-panic
+    let b = o.expect("present"); //~ ERROR no-solve-path-panic
+    if a > b {
+        panic!("impossible"); //~ ERROR no-solve-path-panic
+    }
+    xs[0] //~ ERROR no-solve-path-panic
+}
+
+fn degraded(o: Option<u32>, xs: &[u32]) -> Option<u32> {
+    // The sanctioned shapes: `?`-style options and get().
+    let a = o?;
+    xs.get(a as usize).copied()
+}
+
+fn suppressed(xs: &[u32]) -> u32 {
+    // tela-lint: allow(no-solve-path-panic, reason = "index proven in bounds by the caller")
+    xs[1] + unreachable_len(xs)
+}
+
+fn unreachable_len(xs: &[u32]) -> u32 {
+    match xs.len() {
+        0 => unreachable!("caller checked non-empty"), //~ ERROR no-solve-path-panic
+        n => n as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_unwrap_freely() {
+        let xs = vec![1u32, 2];
+        assert_eq!(xs.first().copied().unwrap(), xs[0]);
+    }
+}

@@ -1,0 +1,16 @@
+//@ path: crates/cp/src/suppress_fixture.rs
+// Suppressions need a reason, a known rule, and a live violation.
+
+fn reasonless(o: Option<u32>) -> u32 {
+    o.unwrap() // tela-lint: allow(no-solve-path-panic)
+    //~^ ERROR no-solve-path-panic
+    //~^^ ERROR suppression-hygiene
+}
+
+// tela-lint: allow(no-such-rule, reason = "typo in the rule id")
+//~^ ERROR suppression-hygiene
+fn misnamed() {}
+
+// tela-lint: allow(no-solve-path-panic, reason = "nothing to suppress")
+//~^ ERROR suppression-hygiene
+fn unused() {}

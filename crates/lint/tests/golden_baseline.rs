@@ -1,0 +1,59 @@
+//! Golden test: the committed `lint-baseline.json` must match a fresh
+//! scan of the workspace exactly. This is the same comparison CI's
+//! `tela-lint` job performs, run from `cargo test` so a PR that adds a
+//! violation (baseline too small) or fixes one without ratcheting
+//! (baseline stale) fails locally too. Regenerate with
+//! `cargo run -p tela-lint -- check --update-baseline`.
+
+use std::path::PathBuf;
+
+use tela_lint::baseline::Baseline;
+use tela_lint::engine::scan_workspace;
+use tela_lint::manifest::Manifest;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+#[test]
+fn committed_baseline_matches_fresh_scan() {
+    let root = workspace_root();
+    let report = scan_workspace(&root, &Manifest::default()).expect("scan succeeds");
+    let fresh = Baseline::from_diagnostics(&report.diagnostics);
+
+    let path = root.join("lint-baseline.json");
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing {} ({e}); generate it with `cargo run -p tela-lint -- check \
+             --update-baseline`",
+            path.display()
+        )
+    });
+    let committed = Baseline::parse(&text).expect("committed baseline parses");
+
+    let diff = committed.diff(&fresh);
+    let mut lines = Vec::new();
+    for (rule, file, base, found) in &diff.grown {
+        lines.push(format!("NEW: [{rule}] {file}: {found} > baseline {base}"));
+    }
+    for (rule, file, base, found) in &diff.stale {
+        lines.push(format!("STALE: [{rule}] {file}: {found} < baseline {base}"));
+    }
+    assert!(
+        diff.is_clean(),
+        "lint-baseline.json is out of date; re-run `cargo run -p tela-lint -- \
+         check --update-baseline`:\n{}",
+        lines.join("\n")
+    );
+
+    // The rendered form must round-trip byte-identically too, so hand
+    // edits to the JSON cannot drift from the writer's format.
+    assert_eq!(
+        text,
+        committed.render(),
+        "lint-baseline.json is not in canonical form; regenerate it"
+    );
+}
