@@ -1,0 +1,87 @@
+//! Criterion microbenches for the zero-allocation CP core: the
+//! propagate, sweep, and trail primitives the PR 7 rework flattened.
+//!
+//! These isolate the solver ops from the search heuristics — `micro.rs`
+//! benches whole solves; here one iteration is a raw op sequence on a
+//! prepared `CpSolver`, so layout regressions in the hot loops show up
+//! undiluted. The `trend` binary times the same op sequences for the
+//! tolerance-gated `BENCH_pr7.json` snapshot.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tela_cp::CpSolver;
+use tela_model::BufferId;
+
+fn bench_cp_core(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cp_core");
+    group.sample_size(30);
+
+    // Propagate: fix every buffer of a full-overlap clique at its final
+    // address and roll back — each assignment re-propagates bounds
+    // through all decided pairs of the clique.
+    let problem = tela_workloads::micro::full_overlap(64);
+    // Stacked-in-order addresses: the clique is an exact fit, so the
+    // prefix sums of the sizes are the (unique up to permutation)
+    // consistent placement.
+    let addrs: Vec<u64> = problem
+        .buffers()
+        .iter()
+        .scan(0u64, |acc, b| {
+            let a = *acc;
+            *acc += b.size();
+            Some(a)
+        })
+        .collect();
+    let mut solver = CpSolver::new(&problem).expect("exact-fit clique builds");
+    group.bench_function("propagate/assign-chain-64", |b| {
+        b.iter(|| {
+            for (i, &a) in addrs.iter().enumerate() {
+                solver
+                    .assign_deferred(BufferId::new(i), black_box(a))
+                    .expect("exact-fit chain is consistent");
+            }
+            solver.pop_to_level(0);
+            solver.propagations()
+        })
+    });
+
+    // Sweep: lowest-fit queries over a half-fixed clique — the bitset
+    // occupancy timeline path of `min_feasible_pos`.
+    let mut solver = CpSolver::new(&problem).expect("clique builds");
+    for (i, &a) in addrs.iter().enumerate().take(32) {
+        solver
+            .assign_deferred(BufferId::new(i), a)
+            .expect("first half places");
+    }
+    group.bench_function("sweep/min-feasible-pos-64", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 32..64usize {
+                acc += solver
+                    .min_feasible_pos(black_box(BufferId::new(i)))
+                    .expect("headroom remains");
+            }
+            acc
+        })
+    });
+
+    // Trail: one assignment's push/undo churn, isolated by popping
+    // immediately — trail entries, level marks, and stamp dedup.
+    let mut solver = CpSolver::new(&problem).expect("clique builds");
+    group.bench_function("trail/assign-pop-64", |b| {
+        b.iter(|| {
+            for (i, &a) in addrs.iter().enumerate() {
+                solver
+                    .assign_deferred(BufferId::new(i), black_box(a))
+                    .expect("consistent");
+                solver.pop_level();
+            }
+            solver.level()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cp_core);
+criterion_main!(benches);

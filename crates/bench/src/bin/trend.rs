@@ -1,0 +1,356 @@
+//! `bench trend`: the schema-stable performance snapshot behind
+//! `BENCH_pr7.json`, with tolerance-band regression gating.
+//!
+//! One run measures three layers and writes them as a flat, stable
+//! schema (`schema_version` guards shape changes):
+//!
+//! - **suite** — the baseline workload of `baseline.rs` (sweep +
+//!   certified configurations), measured two ways: a **single** pass
+//!   running the default variant solo (the direct comparable to the
+//!   `telamalloc` row of `BENCH_pr2.json`, whose 670 ms worst case is
+//!   the number PR 7 set out to beat — `single_max_wall_ms` is the
+//!   headline metric), and a **portfolio** race at `--threads` workers
+//!   (solved count, median and worst-case wall). Wall times take the
+//!   best of `--repeats` runs: the regression gate cares about the
+//!   floor the code can hit, not scheduler noise on top of it.
+//! - **giant** — one bounded-degree certified-solvable instance with
+//!   `--giant` buffers (default 30 000, the ROADMAP's smoke-scale
+//!   giant-instance item): solved flag and wall time.
+//! - **micro** — in-process op-sequence timings for the propagate,
+//!   sweep, and trail primitives (the same sequences as the
+//!   `cp_core` criterion bench), best-of-`--repeats` in ns.
+//!
+//! With `--check PATH` the run additionally compares itself against a
+//! committed snapshot and exits non-zero when any gate fails:
+//! solved counts must not drop (no band), and every wall/ns metric must
+//! stay within `--tolerance` percent (default 50, sized for
+//! cross-machine CI noise) of the snapshot. Refresh the snapshot by
+//! committing the new artifact: `cargo bench-trend` (alias for this
+//! binary) writes `BENCH_pr7.json` in place.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use tela_bench::{arg_string, arg_usize, TextTable};
+use tela_cp::CpSolver;
+use tela_model::{Budget, BufferId, SolveOutcome};
+use tela_workloads::sweep::{certified_configs, giant_config, sweep_configs};
+use telamalloc::{solve, solve_portfolio, TelaConfig};
+
+/// Flat metric list: `(key, value, gate)` — the JSON is generated from
+/// this, so emit order and key set stay schema-stable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Gate {
+    /// Lower is better; fails beyond `+tolerance%` of the snapshot.
+    Band,
+    /// Higher is better; fails on any drop below the snapshot.
+    Floor,
+}
+
+fn main() {
+    let inputs = arg_usize("--inputs", 4);
+    let certified = arg_usize("--certified", 14);
+    let step_cap = arg_usize("--steps", 200_000) as u64;
+    let threads = arg_usize("--threads", 4);
+    let repeats = arg_usize("--repeats", 3).max(1);
+    let giant_n = arg_usize("--giant", 30_000);
+    let tolerance = arg_usize("--tolerance", 50) as f64;
+    let out = arg_string("--out", "BENCH_pr7.json");
+    let check = arg_string("--check", "");
+
+    let mut configs = sweep_configs(inputs);
+    configs.extend(certified_configs(certified));
+    println!(
+        "# bench trend: {} suite configurations @{threads} threads, giant {giant_n}, step cap {step_cap}",
+        configs.len()
+    );
+
+    // Suite, single pass: the default variant solo. This is the
+    // apples-to-apples successor of the `telamalloc` row in
+    // `BENCH_pr2.json` — same solver configuration, same suite — whose
+    // worst case was 670 ms there.
+    let solo_config = TelaConfig::default();
+    let solo_reps = repeats.max(7);
+    let mut single_walls: Vec<f64> = Vec::with_capacity(configs.len());
+    let mut single_solved = 0usize;
+    for c in &configs {
+        let (ms, outcome) = best_time(solo_reps, || {
+            solve(&c.problem, &Budget::steps(step_cap), &solo_config).outcome
+        });
+        single_walls.push(ms);
+        if outcome.is_solved() {
+            single_solved += 1;
+        }
+    }
+    single_walls.sort_unstable_by(f64::total_cmp);
+    let single_max_ms = single_walls.last().copied().unwrap_or(0.0);
+    println!(
+        "# single (default variant): {single_solved}/{} solved, worst case {single_max_ms:.2}ms",
+        configs.len()
+    );
+
+    // Suite, portfolio race over the same workload.
+    let race_config = TelaConfig {
+        threads,
+        ..TelaConfig::default()
+    };
+    let mut walls: Vec<f64> = Vec::with_capacity(configs.len());
+    let mut solved = 0usize;
+    let mut table = TextTable::new(["Instance", "Outcome", "Wall"]);
+    for c in &configs {
+        let (ms, outcome) = best_time(repeats, || {
+            solve_portfolio(&c.problem, &Budget::steps(step_cap), &race_config)
+                .result
+                .outcome
+        });
+        walls.push(ms);
+        if outcome.is_solved() {
+            solved += 1;
+        } else {
+            table.row([c.name.clone(), format!("{outcome:?}"), format!("{ms:.2}ms")]);
+        }
+    }
+    walls.sort_unstable_by(f64::total_cmp);
+    let median_ms = walls[walls.len() / 2];
+    let max_ms = walls.last().copied().unwrap_or(0.0);
+    println!("# unsolved instances:");
+    print!("{}", table.render());
+    println!(
+        "# suite: {solved}/{} solved, median {median_ms:.2}ms, worst case {max_ms:.2}ms",
+        configs.len()
+    );
+
+    // Giant: one bounded-degree instance at smoke scale. One timed run
+    // (it dominates the trend wall time; its band is sized accordingly).
+    let giant = giant_config(giant_n, 5);
+    let (giant_ms, giant_outcome) = best_time(1, || {
+        solve_portfolio(&giant.problem, &Budget::steps(step_cap * 10), &race_config)
+            .result
+            .outcome
+    });
+    println!(
+        "# giant: {} ({} buffers) -> {} in {giant_ms:.2}ms",
+        giant.name,
+        giant.problem.len(),
+        if giant_outcome.is_solved() {
+            "solved"
+        } else {
+            "UNSOLVED"
+        },
+    );
+
+    // Micro: raw op sequences on a prepared solver (see the cp_core
+    // criterion bench for the same shapes), best-of-`repeats`.
+    let micro_reps = repeats.max(5);
+    let propagate_ns = best_of(micro_reps, propagate_chain_ns);
+    let sweep_ns = best_of(micro_reps, sweep_queries_ns);
+    let trail_ns = best_of(micro_reps, trail_churn_ns);
+    println!(
+        "# micro: propagate chain {propagate_ns} ns, sweep queries {sweep_ns} ns, trail churn {trail_ns} ns"
+    );
+
+    let metrics: Vec<(&str, f64, Gate)> = vec![
+        ("suite_configurations", configs.len() as f64, Gate::Floor),
+        ("single_solved", single_solved as f64, Gate::Floor),
+        ("single_max_wall_ms", single_max_ms, Gate::Band),
+        ("suite_solved", solved as f64, Gate::Floor),
+        ("suite_median_wall_ms", median_ms, Gate::Band),
+        ("suite_max_wall_ms", max_ms, Gate::Band),
+        ("giant_buffers", giant.problem.len() as f64, Gate::Floor),
+        (
+            "giant_solved",
+            if giant_outcome.is_solved() { 1.0 } else { 0.0 },
+            Gate::Floor,
+        ),
+        ("giant_wall_ms", giant_ms, Gate::Band),
+        ("micro_propagate_chain_ns", propagate_ns as f64, Gate::Band),
+        ("micro_sweep_queries_ns", sweep_ns as f64, Gate::Band),
+        ("micro_trail_churn_ns", trail_ns as f64, Gate::Band),
+    ];
+
+    let json = render_json(&metrics, step_cap, threads);
+    if !check.is_empty() {
+        let snapshot = std::fs::read_to_string(&check)
+            .unwrap_or_else(|e| panic!("cannot read snapshot {check}: {e}"));
+        let failures = compare(&metrics, &snapshot, tolerance);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("REGRESSION: {f}");
+            }
+            eprintln!(
+                "# {} of {} gates failed against {check} (tolerance {tolerance}%)",
+                failures.len(),
+                metrics.len()
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "# all {} gates within tolerance {tolerance}% of {check}",
+            metrics.len()
+        );
+    }
+    std::fs::write(&out, json).expect("write benchmark artifact");
+    println!("# wrote {out}");
+}
+
+fn best_of(reps: usize, f: impl Fn() -> u64) -> u64 {
+    (0..reps).map(|_| f()).min().unwrap_or(0)
+}
+
+/// Best-of-`reps` wall time in ms; the outcome is checked to be
+/// identical across repeats (a solve whose outcome flips between runs
+/// would make the timing meaningless).
+fn best_time(reps: usize, mut f: impl FnMut() -> SolveOutcome) -> (f64, SolveOutcome) {
+    let mut best = f64::MAX;
+    let mut outcome = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let o = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        if let Some(prev) = &outcome {
+            assert_eq!(
+                std::mem::discriminant(prev),
+                std::mem::discriminant(&o),
+                "outcome flipped between repeats"
+            );
+        }
+        outcome = Some(o);
+    }
+    (best, outcome.expect("at least one repeat"))
+}
+
+/// Prefix-sum stacking addresses for the exact-fit clique.
+fn clique() -> (tela_model::Problem, Vec<u64>) {
+    let problem = tela_workloads::micro::full_overlap(64);
+    let addrs = problem
+        .buffers()
+        .iter()
+        .scan(0u64, |acc, b| {
+            let a = *acc;
+            *acc += b.size();
+            Some(a)
+        })
+        .collect();
+    (problem, addrs)
+}
+
+/// ns for one assign-all + pop cycle over the 64-clique (propagation
+/// dominated: every assignment tightens all decided pairs).
+fn propagate_chain_ns() -> u64 {
+    let (problem, addrs) = clique();
+    let mut solver = CpSolver::new(&problem).expect("clique builds");
+    // Warm-up grows scratch to steady state.
+    for _ in 0..2 {
+        for (i, &a) in addrs.iter().enumerate() {
+            solver
+                .assign_deferred(BufferId::new(i), a)
+                .expect("exact fit");
+        }
+        solver.pop_to_level(0);
+    }
+    let start = Instant::now();
+    for (i, &a) in addrs.iter().enumerate() {
+        solver
+            .assign_deferred(BufferId::new(i), black_box(a))
+            .expect("exact fit");
+    }
+    solver.pop_to_level(0);
+    start.elapsed().as_nanos() as u64
+}
+
+/// ns for 32 lowest-fit queries against a half-fixed clique.
+fn sweep_queries_ns() -> u64 {
+    let (problem, addrs) = clique();
+    let mut solver = CpSolver::new(&problem).expect("clique builds");
+    for (i, &a) in addrs.iter().enumerate().take(32) {
+        solver
+            .assign_deferred(BufferId::new(i), a)
+            .expect("first half places");
+    }
+    let _ = solver.min_feasible_pos(BufferId::new(32)); // warm the timeline
+    let start = Instant::now();
+    let mut acc = 0u64;
+    for i in 32..64usize {
+        acc += solver
+            .min_feasible_pos(black_box(BufferId::new(i)))
+            .expect("headroom remains");
+    }
+    black_box(acc);
+    start.elapsed().as_nanos() as u64
+}
+
+/// ns for 64 single-assignment push/undo round trips.
+fn trail_churn_ns() -> u64 {
+    let (problem, addrs) = clique();
+    let mut solver = CpSolver::new(&problem).expect("clique builds");
+    for (i, &a) in addrs.iter().enumerate() {
+        solver.assign_deferred(BufferId::new(i), a).expect("warm");
+        solver.pop_level();
+    }
+    let start = Instant::now();
+    for (i, &a) in addrs.iter().enumerate() {
+        solver
+            .assign_deferred(BufferId::new(i), black_box(a))
+            .expect("consistent");
+        solver.pop_level();
+    }
+    start.elapsed().as_nanos() as u64
+}
+
+/// Hand-rolled flat JSON (the workspace is offline; no serde).
+fn render_json(metrics: &[(&str, f64, Gate)], step_cap: u64, threads: usize) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"bench\": \"trend\",\n  \"schema_version\": 1,\n");
+    s.push_str(&format!(
+        "  \"step_cap\": {step_cap},\n  \"portfolio_threads\": {threads},\n"
+    ));
+    for (i, (key, value, _)) in metrics.iter().enumerate() {
+        let sep = if i + 1 == metrics.len() { "" } else { "," };
+        if value.fract() == 0.0 {
+            s.push_str(&format!("  \"{key}\": {value:.0}{sep}\n"));
+        } else {
+            s.push_str(&format!("  \"{key}\": {value:.3}{sep}\n"));
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Pulls `"key": <number>` out of the flat snapshot (schema-stable keys
+/// are unique, so plain scanning stands in for a JSON parser).
+fn json_number(snapshot: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = snapshot.find(&needle)? + needle.len();
+    let rest = snapshot[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// One failure message per breached gate.
+fn compare(metrics: &[(&str, f64, Gate)], snapshot: &str, tolerance: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    for &(key, value, gate) in metrics {
+        let Some(committed) = json_number(snapshot, key) else {
+            failures.push(format!("snapshot is missing \"{key}\" — schema drift?"));
+            continue;
+        };
+        match gate {
+            Gate::Floor => {
+                if value < committed {
+                    failures.push(format!("{key}: {value} fell below committed {committed}"));
+                }
+            }
+            Gate::Band => {
+                let limit = committed * (1.0 + tolerance / 100.0);
+                if value > limit {
+                    failures.push(format!(
+                        "{key}: {value:.1} exceeds committed {committed:.1} by more than {tolerance}% (limit {limit:.1})"
+                    ));
+                }
+            }
+        }
+    }
+    failures
+}

@@ -13,7 +13,7 @@ use std::collections::VecDeque;
 use std::time::Instant;
 
 use tela_audit::{Certificate, Verdict};
-use tela_cp::{Conflict, CpSolver};
+use tela_cp::{Conflict, ConflictSeed, CpSolver};
 use tela_heuristics::SelectionStrategy;
 use tela_model::{Address, Budget, BufferId, PhasePartition, Problem, SolveOutcome, SolveStats};
 
@@ -303,8 +303,11 @@ struct Frame {
     /// subtree backtrack counter is the difference to the current count.
     opened_at_backtracks: u64,
     /// Most recent conflict seen at this point, with the candidate
-    /// placement that triggered it.
-    last_conflict: Option<(Conflict, BufferId, Address)>,
+    /// placement that triggered it. The seed is `None` when the
+    /// candidate had no feasible position at all (empty domain); the
+    /// full explanation is materialized only if a major backtrack
+    /// actually reads it.
+    last_conflict: Option<(Option<ConflictSeed>, BufferId, Address)>,
 }
 
 impl Frame {
@@ -320,6 +323,41 @@ impl Frame {
             last_conflict: None,
         }
     }
+
+    /// Clears a recycled frame for a fresh decision point, keeping the
+    /// queue/tried allocations for reuse.
+    fn reset(&mut self, context_phase: Option<usize>, opened_at_backtracks: u64) {
+        self.queue.clear();
+        self.queue_built = false;
+        self.tried.clear();
+        self.placed = None;
+        self.context_phase = context_phase;
+        self.backtracks_to = 0;
+        self.opened_at_backtracks = opened_at_backtracks;
+        self.last_conflict = None;
+    }
+}
+
+/// Reusable engine scratch. Every buffer here is cleared and refilled in
+/// place, so steady-state queue builds, backtracks, and frame turnover
+/// run without heap allocation (the conflict explanation itself is the
+/// one owned value still produced per minor backtrack).
+#[derive(Default)]
+struct EngineScratch {
+    /// Dedup marker per buffer for queue building.
+    seen: Vec<bool>,
+    /// Flat candidate pool for the uncapped fallback queue.
+    pool: Vec<BufferId>,
+    /// Per-phase candidate pools (a single pool when phases are off).
+    pools: Vec<Vec<BufferId>>,
+    /// Pool visit order, context phase first; indexes into `pools`.
+    pool_order: Vec<usize>,
+    /// Placement level per buffer for backtrack-target construction.
+    level_of: Vec<usize>,
+    /// Committed-path buffer for backtrack contexts.
+    path: Vec<PlacedDecision>,
+    /// Retired frames kept so their queue/tried capacity is reused.
+    frames: Vec<Frame>,
 }
 
 struct Engine<'a> {
@@ -329,6 +367,16 @@ struct Engine<'a> {
     phases: Option<PhasePartition>,
     buffer_contention: Vec<u64>,
     culprit_counts: Vec<u64>,
+    /// Per-selection-strategy rank arrays (`rank[id]` = position in the
+    /// strategy's total order, best first). Lifetime/size/area keys are
+    /// problem-static, so these are computed once and queue builds
+    /// reduce to rank lookups; `None` for the dynamic
+    /// [`SelectionStrategy::LowestPosition`].
+    selection_ranks: Vec<Option<Vec<u32>>>,
+    /// All buffers pre-sorted by the primary strategy's static order.
+    /// When present, pools are filled by walking this order, which
+    /// leaves them sorted without any per-level sort.
+    primary_order: Option<Vec<BufferId>>,
     frames: Vec<Frame>,
     current: Frame,
     global_backtracks: u64,
@@ -336,6 +384,7 @@ struct Engine<'a> {
     /// Subject plus culprits of the first conflict ever seen, kept for
     /// best-effort diagnostics.
     first_conflict: Option<Vec<BufferId>>,
+    scratch: EngineScratch,
 }
 
 impl<'a> Engine<'a> {
@@ -374,6 +423,33 @@ impl<'a> Engine<'a> {
                     .unwrap_or(0)
             })
             .collect();
+        let selection_ranks: Vec<Option<Vec<u32>>> = config
+            .selection
+            .iter()
+            .map(|&strategy| {
+                if strategy == SelectionStrategy::LowestPosition {
+                    return None;
+                }
+                let mut ids: Vec<u32> = (0..problem.len() as u32).collect();
+                ids.sort_unstable_by_key(|&i| {
+                    (
+                        std::cmp::Reverse(strategy.key(problem, BufferId::new(i as usize))),
+                        i,
+                    )
+                });
+                let mut rank = vec![0u32; problem.len()];
+                for (pos, &i) in ids.iter().enumerate() {
+                    rank[i as usize] = pos as u32;
+                }
+                Some(rank)
+            })
+            .collect();
+        let primary_order = selection_ranks.first().and_then(|ranks| {
+            let rank = ranks.as_ref()?;
+            let mut ids: Vec<BufferId> = (0..problem.len()).map(BufferId::new).collect();
+            ids.sort_unstable_by_key(|id| rank[id.index()]);
+            Some(ids)
+        });
         let mut engine = Engine {
             problem,
             config,
@@ -381,11 +457,14 @@ impl<'a> Engine<'a> {
             phases,
             buffer_contention,
             culprit_counts: vec![0; problem.len()],
+            selection_ranks,
+            primary_order,
             frames: Vec::new(),
             current: Frame::new(None, 0),
             global_backtracks: 0,
             stats: SolveStats::default(),
             first_conflict: None,
+            scratch: EngineScratch::default(),
         };
         let result = engine.search(budget, policy, observer);
         // Solver counters are sampled once per run, never incremented
@@ -434,11 +513,11 @@ impl<'a> Engine<'a> {
                     subtree_backtracks: self.global_backtracks - self.current.opened_at_backtracks,
                     total_backtracks: self.global_backtracks,
                 };
-                self.current.queue = if policy.expand_candidates(&step_ctx) {
-                    self.full_queue()
+                if policy.expand_candidates(&step_ctx) {
+                    self.fill_full_queue()
                 } else {
                     self.build_queue()
-                };
+                }
                 self.current.queue_built = true;
             }
             match self.current.queue.pop_front() {
@@ -465,16 +544,20 @@ impl<'a> Engine<'a> {
     }
 
     fn path(&self) -> Vec<PlacedDecision> {
-        self.frames
-            .iter()
-            .map(|f| {
-                // Invariant: a frame is only pushed onto `frames` after
-                // `try_candidate` sets `placed` (the swap in the Ok arm),
-                // and backtracking pops before clearing it.
-                let (block, address) = f.placed.expect("committed frame has a placement");
-                PlacedDecision { block, address }
-            })
-            .collect()
+        let mut out = Vec::with_capacity(self.frames.len());
+        self.fill_path(&mut out);
+        out
+    }
+
+    fn fill_path(&self, out: &mut Vec<PlacedDecision>) {
+        out.clear();
+        out.extend(self.frames.iter().map(|f| {
+            // Invariant: a frame is only pushed onto `frames` after
+            // `try_candidate` sets `placed` (the swap in the Ok arm),
+            // and backtracking pops before clearing it.
+            let (block, address) = f.placed.expect("committed frame has a placement");
+            PlacedDecision { block, address }
+        }));
     }
 
     fn try_candidate(&mut self, block: BufferId) {
@@ -482,28 +565,31 @@ impl<'a> Engine<'a> {
         self.stats.steps += 1;
         let position = self.position_for(block);
         let result = match position {
-            Some(pos) => self.solver.assign(block, pos).map(|()| pos),
-            None => Err(Conflict {
-                subject: Some(block),
-                culprits: Vec::new(),
-            }),
+            Some(pos) => self
+                .solver
+                .assign_deferred(block, pos)
+                .map(|()| pos)
+                .map_err(Some),
+            None => Err(None),
         };
         match result {
             Ok(pos) => {
                 self.current.placed = Some((block, pos));
                 let phase = self.phases.as_ref().map(|p| p.phase_of(block));
-                let next = Frame::new(phase, self.global_backtracks);
+                let next = self.recycled_frame(phase, self.global_backtracks);
                 self.frames.push(std::mem::replace(&mut self.current, next));
             }
-            Err(conflict) => {
+            Err(seed) => {
                 self.stats.minor_backtracks += 1;
                 self.global_backtracks += 1;
                 if self.first_conflict.is_none() {
                     let mut clique = vec![block];
-                    clique.extend(conflict.culprits.iter().copied());
+                    if let Some(seed) = &seed {
+                        clique.extend(self.solver.explain(seed).culprits);
+                    }
                     self.first_conflict = Some(clique);
                 }
-                self.current.last_conflict = Some((conflict, block, position.unwrap_or(0)));
+                self.current.last_conflict = Some((seed, block, position.unwrap_or(0)));
             }
         }
     }
@@ -533,22 +619,64 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// A frame for the next decision point, reusing a retired frame's
+    /// buffers when one is available.
+    fn recycled_frame(&mut self, context_phase: Option<usize>, opened_at_backtracks: u64) -> Frame {
+        let mut f = self
+            .scratch
+            .frames
+            .pop()
+            .unwrap_or_else(|| Frame::new(None, 0));
+        f.reset(context_phase, opened_at_backtracks);
+        f
+    }
+
     /// The uncapped fallback queue: every unplaced block, ordered by the
     /// primary strategy (used by the §8.3 expansion hook and the §6.5
-    /// stay-and-try-all fallback).
-    fn full_queue(&self) -> VecDeque<BufferId> {
-        let mut pool: Vec<BufferId> = self.solver.unfixed().collect();
+    /// stay-and-try-all fallback). Fills `self.current.queue` in place.
+    fn fill_full_queue(&mut self) {
+        let mut pool = std::mem::take(&mut self.scratch.pool);
+        pool.clear();
+        self.for_each_unfixed(|id| pool.push(id));
         self.order_pool(&mut pool);
-        pool.into()
+        let mut out = std::mem::take(&mut self.current.queue);
+        out.clear();
+        out.extend(pool.iter().copied());
+        self.current.queue = out;
+        self.scratch.pool = pool;
+    }
+
+    /// Visits every unplaced buffer — in the primary strategy's static
+    /// order when one exists (so collected pools come out pre-sorted),
+    /// in id order otherwise.
+    fn for_each_unfixed(&self, mut f: impl FnMut(BufferId)) {
+        match &self.primary_order {
+            Some(order) => {
+                for &id in order {
+                    if !self.solver.is_fixed(id) {
+                        f(id);
+                    }
+                }
+            }
+            None => self.solver.unfixed().for_each(f),
+        }
     }
 
     /// Builds the candidate queue for the current decision point:
     /// strategy picks from the context phase first, then from the other
-    /// phases in priority order (§5.1, §5.3), capped per §5.4.
-    fn build_queue(&self) -> VecDeque<BufferId> {
+    /// phases in priority order (§5.1, §5.3), capped per §5.4. Fills
+    /// `self.current.queue` in place; all intermediate storage lives in
+    /// the engine scratch, so steady-state queue builds never allocate.
+    fn build_queue(&mut self) {
         let cap = self.config.max_candidates_per_level.max(1);
-        let mut out: VecDeque<BufferId> = VecDeque::new();
-        let mut seen = vec![false; self.problem.len()];
+        let mut out = std::mem::take(&mut self.current.queue);
+        out.clear();
+        let mut seen = std::mem::take(&mut self.scratch.seen);
+        seen.clear();
+        seen.resize(self.problem.len(), false);
+        let mut pools = std::mem::take(&mut self.scratch.pools);
+        let mut order = std::mem::take(&mut self.scratch.pool_order);
+        self.fill_pools(&mut pools, &mut order);
         let push = |out: &mut VecDeque<BufferId>, seen: &mut Vec<bool>, id: BufferId| {
             if !seen[id.index()] && out.len() < cap {
                 seen[id.index()] = true;
@@ -556,51 +684,73 @@ impl<'a> Engine<'a> {
             }
         };
 
-        let pools = self.candidate_pools();
-        for pool in pools {
+        for &pi in &order {
+            // `fill_pools` only emits in-bounds pool indices.
+            let Some(pool) = pools.get_mut(pi) else {
+                continue;
+            };
             if pool.is_empty() || out.len() >= cap {
                 continue;
             }
-            for strategy in &self.config.selection {
-                if let Some(pick) = self.pick(*strategy, &pool) {
+            for (si, strategy) in self.config.selection.iter().enumerate() {
+                if let Some(pick) = self.pick(si, *strategy, pool) {
                     push(&mut out, &mut seen, pick);
                 }
             }
-            let mut rest = pool;
-            self.order_pool(&mut rest);
-            for id in rest {
-                push(&mut out, &mut seen, id);
+            self.order_pool(pool);
+            for &queued in pool.iter() {
+                push(&mut out, &mut seen, queued);
             }
         }
-        out
+        self.current.queue = out;
+        self.scratch.seen = seen;
+        self.scratch.pools = pools;
+        self.scratch.pool_order = order;
     }
 
-    /// Unplaced blocks grouped into phase pools, context phase first.
-    fn candidate_pools(&self) -> Vec<Vec<BufferId>> {
-        let unplaced: Vec<BufferId> = self.solver.unfixed().collect();
+    /// Groups the unplaced blocks into phase pools and records the visit
+    /// order (context phase first). Pool storage is reused across calls.
+    fn fill_pools(&self, pools: &mut Vec<Vec<BufferId>>, order: &mut Vec<usize>) {
+        order.clear();
         let Some(phases) = &self.phases else {
-            return vec![unplaced];
+            if pools.is_empty() {
+                pools.push(Vec::new());
+            }
+            pools[0].clear();
+            let pool = &mut pools[0];
+            self.for_each_unfixed(|id| pool.push(id));
+            order.push(0);
+            return;
         };
+        if pools.len() < phases.len() {
+            pools.resize_with(phases.len(), Vec::new);
+        }
+        for pool in pools.iter_mut() {
+            pool.clear();
+        }
+        self.for_each_unfixed(|id| {
+            // `phase_of` is a total map over the problem's buffers.
+            if let Some(pool) = pools.get_mut(phases.phase_of(id)) {
+                pool.push(id);
+            }
+        });
+        order.extend(0..phases.len());
         let context = self
             .current
             .context_phase
             .or_else(|| self.frames.last().and_then(|f| f.context_phase));
-        let mut pools: Vec<Vec<BufferId>> = vec![Vec::new(); phases.len()];
-        for id in unplaced {
-            pools[phases.phase_of(id)].push(id);
-        }
-        let mut order: Vec<usize> = (0..pools.len()).collect();
         if let Some(ctx) = context {
             order.retain(|&p| p != ctx);
             order.insert(0, ctx);
         }
-        order
-            .into_iter()
-            .map(|p| std::mem::take(&mut pools[p]))
-            .collect()
     }
 
-    fn pick(&self, strategy: SelectionStrategy, pool: &[BufferId]) -> Option<BufferId> {
+    fn pick(&self, si: usize, strategy: SelectionStrategy, pool: &[BufferId]) -> Option<BufferId> {
+        if let Some(Some(rank)) = self.selection_ranks.get(si) {
+            // Static strategy: the precomputed rank is its exact
+            // (key-descending, id-ascending) order.
+            return pool.iter().copied().min_by_key(|id| rank[id.index()]);
+        }
         match strategy {
             SelectionStrategy::LowestPosition => pool
                 .iter()
@@ -611,14 +761,24 @@ impl<'a> Engine<'a> {
     }
 
     /// Orders the remainder of a pool by the primary strategy's key.
+    ///
+    /// The keys carry the buffer index as a tiebreak, so they are unique
+    /// per element and the unstable sorts below order exactly like the
+    /// stable ones — without the stable sort's temporary allocation.
+    /// Pools filled through [`for_each_unfixed`](Engine::for_each_unfixed)
+    /// under a static primary strategy arrive pre-sorted, so this only
+    /// runs for the dynamic lowest-position order.
     fn order_pool(&self, pool: &mut [BufferId]) {
+        if self.primary_order.is_some() {
+            return;
+        }
         match self.config.selection.first() {
             Some(SelectionStrategy::LowestPosition) => {
-                pool.sort_by_key(|&id| (self.solver.domain(id).lo(), id.index()));
+                pool.sort_unstable_by_key(|&id| (self.solver.domain(id).lo(), id.index()));
             }
             Some(strategy) => {
                 let strategy = *strategy;
-                pool.sort_by_key(|&id| {
+                pool.sort_unstable_by_key(|&id| {
                     (
                         std::cmp::Reverse(strategy.key(self.problem, id)),
                         id.index(),
@@ -648,31 +808,37 @@ impl<'a> Engine<'a> {
             );
         }
 
-        let conflict = self
-            .current
-            .last_conflict
-            .take()
-            .map(|(mut c, block, pos)| {
-                if self.config.minimize_conflicts && c.culprits.len() > 1 {
-                    let placements: Vec<(BufferId, Address)> =
-                        self.frames.iter().filter_map(|f| f.placed).collect();
-                    c.culprits = tela_cp::explain::minimize_conflict_traced(
-                        self.problem,
-                        &placements,
-                        (block, pos),
-                        &c.culprits,
-                        &self.config.tracer,
-                    );
-                }
-                c
-            });
+        let conflict = self.current.last_conflict.take().map(|(seed, block, pos)| {
+            // Materialize the one explanation this backtrack reads;
+            // the intervening minor backtracks never paid for theirs.
+            let mut c = match &seed {
+                Some(seed) => self.solver.explain(seed),
+                None => Conflict {
+                    subject: Some(block),
+                    culprits: Vec::new(),
+                },
+            };
+            if self.config.minimize_conflicts && c.culprits.len() > 1 {
+                let placements: Vec<(BufferId, Address)> =
+                    self.frames.iter().filter_map(|f| f.placed).collect();
+                c.culprits = tela_cp::explain::minimize_conflict_traced(
+                    self.problem,
+                    &placements,
+                    (block, pos),
+                    &c.culprits,
+                    &self.config.tracer,
+                );
+            }
+            c
+        });
         if let Some(c) = &conflict {
             for &culprit in &c.culprits {
                 self.culprit_counts[culprit.index()] += 1;
             }
         }
         let targets = self.build_targets(conflict.as_ref());
-        let path = self.path();
+        let mut path = std::mem::take(&mut self.scratch.path);
+        self.fill_path(&mut path);
         let ctx = BacktrackContext {
             problem: self.problem,
             targets: &targets,
@@ -683,6 +849,7 @@ impl<'a> Engine<'a> {
         let choice = policy.choose(&ctx);
         observer.on_major_backtrack(&ctx, choice);
         let _ = ctx;
+        self.scratch.path = path;
 
         match choice {
             BacktrackChoice::StayAndTryAll => {
@@ -725,10 +892,21 @@ impl<'a> Engine<'a> {
             }
         }
 
-        let failing = std::mem::replace(&mut self.current, Frame::new(None, 0));
-        let mut dropped = self.frames.split_off(level);
+        let mut failing = std::mem::replace(&mut self.current, Frame::new(None, 0));
+        // Detach the abandoned suffix without allocating a holding
+        // vector: `frames[level]` becomes the new decision point, the
+        // deeper frames retire into the scratch pool for reuse.
+        let mut retired = std::mem::take(&mut self.scratch.frames);
+        let mut drained = self.frames.drain(level..);
+        let mut target = drained
+            .next()
+            .expect("jump target is an existing decision level");
+        for mut f in drained {
+            f.last_conflict = None;
+            retired.push(f);
+        }
+        self.scratch.frames = retired;
         self.solver.pop_to_level(level);
-        let mut target = dropped.remove(0);
         target.placed = None;
         target.backtracks_to += 1;
         // Reset the subtree counter: a fresh visit starts a fresh subtree.
@@ -736,12 +914,12 @@ impl<'a> Engine<'a> {
         target.last_conflict = None;
 
         if self.config.candidate_prepending {
-            // Prepend the failing point's candidate set (§5.4), dropping
-            // anything already queued and respecting the cap.
+            // Prepend the failing point's candidate set (§5.4) — tried
+            // first, then its remaining queue, reversed so the earliest
+            // candidate ends up at the front — dropping anything already
+            // queued and respecting the cap.
             let cap = self.config.max_candidates_per_level.max(1);
-            let mut prepend: Vec<BufferId> = failing.tried;
-            prepend.extend(failing.queue);
-            for id in prepend.into_iter().rev() {
+            for &id in failing.tried.iter().chain(failing.queue.iter()).rev() {
                 if !target.queue.contains(&id) && !self.solver.is_fixed(id) {
                     target.queue.push_front(id);
                 }
@@ -751,12 +929,16 @@ impl<'a> Engine<'a> {
             }
         }
         self.current = target;
+        failing.last_conflict = None;
+        self.scratch.frames.push(failing);
     }
 
     /// Builds the candidate backtrack targets (§6.2): conflict culprits
     /// minus the most recent one, padded with exponential-range fillers.
-    fn build_targets(&self, conflict: Option<&Conflict>) -> Vec<BacktrackTarget> {
-        let mut level_of = vec![usize::MAX; self.problem.len()];
+    fn build_targets(&mut self, conflict: Option<&Conflict>) -> Vec<BacktrackTarget> {
+        let mut level_of = std::mem::take(&mut self.scratch.level_of);
+        level_of.clear();
+        level_of.resize(self.problem.len(), usize::MAX);
         for (lvl, f) in self.frames.iter().enumerate() {
             if let Some((block, _)) = f.placed {
                 level_of[block.index()] = lvl;
@@ -800,6 +982,7 @@ impl<'a> Engine<'a> {
             .last()
             .and_then(|f| f.placed)
             .and_then(|(b, _)| self.phases.as_ref().map(|p| p.phase_of(b)));
+        self.scratch.level_of = level_of;
         levels
             .into_iter()
             .map(|(level, from_conflict)| {

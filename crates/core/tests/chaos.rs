@@ -11,8 +11,9 @@
 use std::time::{Duration, Instant};
 
 use proptest::prelude::*;
+use tela_cp::search::solve_cp_only;
 use tela_model::fault::FaultPlan;
-use tela_model::{examples, Budget, SolveOutcome};
+use tela_model::{examples, Budget, Buffer, Problem, SolveOutcome};
 use telamalloc::{solve_portfolio, EscalationLadder, TelaConfig, VariantOutcome};
 
 fn panic_victim_config(threads: usize) -> TelaConfig {
@@ -169,4 +170,51 @@ proptest! {
             other => prop_assert!(false, "ladder leaked {other:?}"),
         }
     }
+
+    /// PR7 flat-solver equivalence, fault-injected flavor: on random
+    /// small instances, whatever *definitive* answer the faulted ladder
+    /// produces must agree with the complete CP oracle run clean on the
+    /// ladder's final problem. Faults may downgrade (best-effort) but
+    /// never flip Solved/Infeasible.
+    #[test]
+    fn faulted_runs_never_contradict_the_cp_oracle(
+        seed in 0u64..512,
+        problem in small_problem_strategy(),
+    ) {
+        let config = TelaConfig {
+            fault_plan: Some(FaultPlan::from_seed(seed)),
+            ..TelaConfig::default()
+        };
+        let result = EscalationLadder::new(config).solve(&problem, &Budget::steps(50_000));
+        match &result.outcome {
+            SolveOutcome::Solved(s) => prop_assert!(s.validate(&result.problem).is_ok()),
+            SolveOutcome::Infeasible => {
+                let (oracle, _) = solve_cp_only(&result.problem, &Budget::steps(1_000_000));
+                prop_assert!(
+                    matches!(oracle, SolveOutcome::Infeasible),
+                    "faulted ladder claimed infeasible, clean oracle found {oracle:?}"
+                );
+            }
+            SolveOutcome::BestEffort(b) => {
+                prop_assert!(b.partial.validate(&result.problem).is_ok());
+            }
+            other => prop_assert!(false, "ladder leaked {other:?}"),
+        }
+    }
+}
+
+/// Small random instances in the brute-forceable regime (mirrors the
+/// `tela-cp` equivalence suites).
+fn small_problem_strategy() -> impl Strategy<Value = Problem> {
+    let buffer = (
+        0u32..6,
+        1u32..5,
+        1u64..6,
+        prop_oneof![Just(1u64), Just(2), Just(4)],
+    )
+        .prop_map(|(start, len, size, align)| {
+            Buffer::new(start, start + len, size).with_align(align)
+        });
+    (prop::collection::vec(buffer, 1..6), 6u64..13)
+        .prop_map(|(buffers, capacity)| Problem::new(buffers, capacity).expect("sizes fit"))
 }

@@ -44,11 +44,13 @@
 
 mod domain;
 pub mod explain;
+mod ids;
 mod model;
 pub mod search;
 mod solver;
 mod sweep;
 
 pub use domain::Domain;
-pub use model::{CpModel, ModelError, PairId};
-pub use solver::{Conflict, CpSolver, InvariantReport, OrderState};
+pub use ids::{PairId, VarId};
+pub use model::{CpModel, ModelError};
+pub use solver::{Conflict, ConflictSeed, CpSolver, InvariantReport, OrderState};

@@ -1,7 +1,6 @@
 use tela_model::{BufferId, Problem};
 
-/// Index of an ordering pair within a [`CpModel`].
-pub type PairId = u32;
+use crate::ids::{Arena, PairId, VarId};
 
 /// The static constraint model of an allocation problem: the
 /// `OverlappingBuffers` pair set and, per buffer, the pairs it
@@ -10,6 +9,17 @@ pub type PairId = u32;
 /// A `CpModel` is immutable; [`CpSolver`](crate::CpSolver) layers mutable
 /// search state (domains, ordering decisions, trail) on top of it. Build
 /// one model per problem and share it across repeated solves.
+///
+/// # Layout
+///
+/// The adjacency relation is stored in compressed-sparse-row form: one
+/// offsets array (`adj_off`, length `n + 1`) and two parallel flat
+/// payload arrays indexed by the same position — the pair index
+/// (`adj_pair`) and the *other* endpoint of that pair (`adj_other`),
+/// precomputed so the propagation loop never re-derives it with a
+/// branch. Per-buffer rows are ordered by ascending pair index, which
+/// makes iteration order (and therefore propagation order) identical to
+/// the historical `Vec<Vec<PairId>>` layout.
 ///
 /// # Example
 ///
@@ -24,10 +34,22 @@ pub type PairId = u32;
 #[derive(Debug, Clone)]
 pub struct CpModel {
     problem: Problem,
-    /// `(x, y)` buffer index pairs with `x < y`, time-overlapping.
+    /// `(x, y)` buffer index pairs with `x < y`, time-overlapping,
+    /// sorted ascending.
     pairs: Vec<(u32, u32)>,
-    /// For each buffer, indices into `pairs` it participates in.
-    adjacency: Vec<Vec<PairId>>,
+    /// CSR offsets: buffer `v`'s adjacency row is
+    /// `adj_pair[adj_off[v]..adj_off[v + 1]]`.
+    adj_off: Vec<u32>,
+    /// Flat pair indices, rows ordered by ascending pair index.
+    adj_pair: Vec<PairId>,
+    /// Parallel to `adj_pair`: the other endpoint of each pair.
+    adj_other: Vec<u32>,
+    /// Per pair: its two flat adjacency slots — `[slot in x's row,
+    /// slot in y's row]`. Lets the solver maintain per-slot order
+    /// state without searching the rows.
+    pair_slots: Vec<[u32; 2]>,
+    /// Largest adjacency row length (used to preallocate sweep scratch).
+    max_degree: u32,
 }
 
 /// Errors detected while building a [`CpModel`].
@@ -65,7 +87,7 @@ impl std::fmt::Display for ModelError {
 impl std::error::Error for ModelError {}
 
 impl CpModel {
-    /// Builds the pair set and adjacency lists for `problem`.
+    /// Builds the pair set and CSR adjacency for `problem`.
     ///
     /// # Errors
     ///
@@ -98,15 +120,50 @@ impl CpModel {
             .map(|(a, b)| (a.index() as u32, b.index() as u32))
             .collect();
         pairs.sort_unstable();
-        let mut adjacency = vec![Vec::new(); problem.len()];
-        for (i, &(x, y)) in pairs.iter().enumerate() {
-            adjacency[x as usize].push(i as PairId);
-            adjacency[y as usize].push(i as PairId);
+
+        // CSR build: count row lengths, prefix-sum into offsets, then
+        // fill each row in ascending pair-index order with a per-row
+        // write cursor.
+        let n = problem.len();
+        let mut adj_off = vec![0u32; n + 1];
+        for &(x, y) in &pairs {
+            *adj_off.at_mut(x as usize + 1) += 1;
+            *adj_off.at_mut(y as usize + 1) += 1;
         }
+        let mut max_degree = 0u32;
+        let mut running = 0u32;
+        for v in 0..n {
+            let degree = *adj_off.at(v + 1);
+            max_degree = max_degree.max(degree);
+            running += degree;
+            *adj_off.at_mut(v + 1) = running;
+        }
+        let total = adj_off.last().copied().unwrap_or(0) as usize;
+        let mut adj_pair = vec![PairId::new(0); total];
+        let mut adj_other = vec![0u32; total];
+        let mut cursor: Vec<u32> = adj_off.iter().take(n).copied().collect();
+        let mut pair_slots = Vec::with_capacity(pairs.len());
+        for (i, &(x, y)) in pairs.iter().enumerate() {
+            let p = PairId::new(i as u32);
+            let cx = *cursor.at(x as usize) as usize;
+            *adj_pair.at_mut(cx) = p;
+            *adj_other.at_mut(cx) = y;
+            *cursor.at_mut(x as usize) += 1;
+            let cy = *cursor.at(y as usize) as usize;
+            *adj_pair.at_mut(cy) = p;
+            *adj_other.at_mut(cy) = x;
+            *cursor.at_mut(y as usize) += 1;
+            pair_slots.push([cx as u32, cy as u32]);
+        }
+
         Ok(CpModel {
             problem: problem.clone(),
             pairs,
-            adjacency,
+            adj_off,
+            adj_pair,
+            adj_other,
+            pair_slots,
+            max_degree,
         })
     }
 
@@ -122,22 +179,60 @@ impl CpModel {
     }
 
     /// The `(x, y)` buffer indices of pair `pair` (with `x < y`).
+    #[inline(always)]
     pub(crate) fn pair(&self, pair: PairId) -> (u32, u32) {
-        self.pairs[pair as usize]
+        *self.pairs.at(pair.idx())
     }
 
-    /// Pairs involving buffer index `var`.
+    /// The position range of buffer `var`'s adjacency row in the flat
+    /// CSR arrays.
+    #[inline(always)]
+    pub(crate) fn row(&self, var: u32) -> std::ops::Range<usize> {
+        *self.adj_off.at(var as usize) as usize..*self.adj_off.at(var as usize + 1) as usize
+    }
+
+    /// The pair index stored at flat adjacency position `at`.
+    #[inline(always)]
+    pub(crate) fn row_pair(&self, at: usize) -> PairId {
+        *self.adj_pair.at(at)
+    }
+
+    /// The other endpoint stored at flat adjacency position `at`.
+    #[inline(always)]
+    pub(crate) fn row_other(&self, at: usize) -> u32 {
+        *self.adj_other.at(at)
+    }
+
+    /// The two flat adjacency slots of `pair`: `[x's row, y's row]`.
+    #[inline(always)]
+    pub(crate) fn pair_slots(&self, pair: PairId) -> [u32; 2] {
+        *self.pair_slots.at(pair.idx())
+    }
+
+    /// Total number of flat adjacency slots (twice the pair count).
+    pub(crate) fn adj_len(&self) -> usize {
+        self.adj_other.len()
+    }
+
+    /// Pairs involving buffer index `var`, ascending by pair index.
+    #[cfg(test)]
     pub(crate) fn pairs_of(&self, var: u32) -> &[PairId] {
-        &self.adjacency[var as usize]
+        self.adj_pair.get(self.row(var)).unwrap_or(&[])
+    }
+
+    /// Largest number of pairs any single buffer participates in.
+    pub(crate) fn max_degree(&self) -> usize {
+        self.max_degree as usize
     }
 
     /// Buffer ids overlapping `id` in time.
     pub fn neighbors(&self, id: BufferId) -> impl Iterator<Item = BufferId> + '_ {
-        let var = id.index() as u32;
-        self.adjacency[id.index()].iter().map(move |&p| {
-            let (x, y) = self.pair(p);
-            BufferId::new(if x == var { y as usize } else { x as usize })
-        })
+        let var = VarId::from(id);
+        self.adj_other
+            .get(self.row(var.raw()))
+            .unwrap_or(&[])
+            .iter()
+            .map(|&o| BufferId::new(o as usize))
     }
 }
 
@@ -181,6 +276,28 @@ mod tests {
     }
 
     #[test]
+    fn csr_rows_are_sorted_by_pair_index_and_consistent() {
+        let p = examples::figure1();
+        let model = CpModel::new(&p).unwrap();
+        let mut total = 0;
+        for (id, _) in p.iter() {
+            let var = id.index() as u32;
+            let row = model.pairs_of(var);
+            assert!(row.windows(2).all(|w| w[0] < w[1]), "row sorted for {id}");
+            for (at, &pair) in model.row(var).zip(row.iter()) {
+                let (x, y) = model.pair(pair);
+                assert!(x == var || y == var, "pair endpoint mismatch");
+                let other = if x == var { y } else { x };
+                assert_eq!(model.row_other(at), other, "precomputed other endpoint");
+                assert_eq!(model.row_pair(at), pair);
+            }
+            total += row.len();
+            assert!(row.len() <= model.max_degree());
+        }
+        assert_eq!(total, 2 * model.pair_count(), "every pair in two rows");
+    }
+
+    #[test]
     fn no_pairs_for_disjoint_buffers() {
         let p = Problem::builder(10)
             .buffer(Buffer::new(0, 1, 5))
@@ -189,6 +306,7 @@ mod tests {
             .unwrap();
         let model = CpModel::new(&p).unwrap();
         assert_eq!(model.pair_count(), 0);
+        assert_eq!(model.max_degree(), 0);
     }
 
     #[test]
@@ -200,5 +318,6 @@ mod tests {
             .unwrap();
         let model = CpModel::new(&p).unwrap();
         assert_eq!(model.pair_count(), (n * (n - 1) / 2) as usize);
+        assert_eq!(model.max_degree(), (n - 1) as usize);
     }
 }

@@ -14,7 +14,7 @@
 use tela_model::{Budget, Problem, SolveOutcome, SolveStats};
 use tela_trace::Tracer;
 
-use crate::model::PairId;
+use crate::ids::PairId;
 use crate::solver::{CpSolver, OrderState};
 
 /// Solves `problem` with the plain CP search, within `budget`.
@@ -163,7 +163,7 @@ fn run_search(
         cursor: PairId,
     }
     let mut frames: Vec<Frame> = Vec::new();
-    let mut cursor: PairId = 0;
+    let mut cursor = PairId::new(0);
     // A frame that failed its first branch and needs the second tried.
     let mut retry = false;
 

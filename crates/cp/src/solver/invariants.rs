@@ -30,6 +30,7 @@ use std::cell::Cell;
 use tela_model::Address;
 
 use super::{Conflict, CpSolver, DomainsBefore, InvariantReport, OrderState};
+use crate::ids::PairId;
 
 /// Interior-mutable check/violation tallies: audits run from `&self`
 /// query paths as well as `&mut self` decision paths.
@@ -68,7 +69,7 @@ impl CpSolver {
         self.check_domain_wellformedness(true);
         self.check_domain_monotonicity(before);
         self.check_decided_orders();
-        self.check_occupancy_consistency();
+        self.check_sweep_consistency();
     }
 
     /// Audits a conflict explanation before the failed level is rolled
@@ -110,7 +111,7 @@ impl CpSolver {
         self.check_fixed_consistency();
         self.check_domain_wellformedness(false);
         self.check_decided_orders();
-        self.check_occupancy_consistency();
+        self.check_sweep_consistency();
     }
 
     /// Invariant audit counters accumulated so far.
@@ -166,11 +167,21 @@ impl CpSolver {
                 )
             },
         );
-        for &var in &self.fixed_order {
+        for (i, &var) in self.fixed_order.iter().enumerate() {
             self.check(
                 self.fixed[var as usize],
                 "assignment stack entries are flagged fixed",
                 || format!("b{var} on the stack but not flagged"),
+            );
+            self.check(
+                self.rank[var as usize] as usize == i,
+                "ranks mirror the assignment stack",
+                || {
+                    format!(
+                        "b{var} at stack position {i} but rank {}",
+                        self.rank[var as usize]
+                    )
+                },
             );
             self.check(
                 self.domains[var as usize].is_fixed(),
@@ -247,7 +258,7 @@ impl CpSolver {
     /// (propagation derives one from any disjoint placement).
     fn check_decided_orders(&self) {
         for (p, &state) in self.orders.iter().enumerate() {
-            let (x, y) = self.model.pair(p as u32);
+            let (x, y) = self.model.pair(PairId::new(p as u32));
             let (below, above) = match state {
                 OrderState::FirstBelow => (x, y),
                 OrderState::SecondBelow => (y, x),
@@ -295,32 +306,41 @@ impl CpSolver {
         }
     }
 
-    /// The incrementally-maintained occupancy lists must equal a
-    /// from-scratch rebuild: for every buffer, exactly the intervals of
-    /// its *fixed* time-overlapping neighbors, sorted by the full tuple.
-    fn check_occupancy_consistency(&self) {
+    /// The solver's min-feasible-position machinery must be
+    /// self-consistent: the reusable bitset timeline is clean between
+    /// queries (every `mark` was undone by a matching `clear`), and for
+    /// every buffer the solver's sweep — bitset or sorted-interval mode,
+    /// whichever the capacity selects — agrees with a from-scratch
+    /// reference walk over a freshly rebuilt fixed-neighbor interval
+    /// list.
+    fn check_sweep_consistency(&self) {
+        self.check(
+            self.sweep.borrow().timeline.is_clear(),
+            "sweep timeline is clear between queries",
+            || "a marked interval was not cleared".to_string(),
+        );
         for i in 0..self.problem().len() {
             let var = i as u32;
-            let mut expected: Vec<(Address, Address, u32)> = Vec::new();
-            for &pair in self.model.pairs_of(var) {
-                let (x, y) = self.model.pair(pair);
-                let other = if x == var { y } else { x };
-                if self.fixed[other as usize] {
-                    let addr = self.domains[other as usize].lo();
-                    let size = self.problem().buffers()[other as usize].size();
-                    expected.push((addr, addr + size, other));
+            let d = self.domains[i];
+            if d.is_empty() {
+                continue;
+            }
+            let (size, align) = (self.sizes[i], self.aligns[i]);
+            let mut occupied: Vec<(Address, Address, u32)> = Vec::new();
+            for at in self.model.row(var) {
+                let other = self.model.row_other(at) as usize;
+                if self.fixed[other] {
+                    let addr = self.domains[other].lo();
+                    occupied.push((addr, addr + self.sizes[other], other as u32));
                 }
             }
-            expected.sort_unstable();
+            occupied.sort_unstable();
+            let reference = crate::sweep::lowest_fit_pos(size, align, d.lo(), d.hi(), &occupied);
+            let swept = self.sweep_lowest(var, size, align, d.lo(), d.hi());
             self.check(
-                self.occupancy[i] == expected,
-                "occupancy lists match a from-scratch rebuild",
-                || {
-                    format!(
-                        "b{i}: incremental {:?} vs rebuilt {expected:?}",
-                        self.occupancy[i]
-                    )
-                },
+                swept == reference,
+                "sweep agrees with the reference interval walk",
+                || format!("b{i}: sweep {swept:?} vs reference {reference:?} over {occupied:?}"),
             );
         }
     }

@@ -5,12 +5,222 @@
 //! fits — the "ask the solver for the lowest valid location" query of the
 //! paper's §5.2 — and, when no address exists, reports which placements
 //! blocked it (feeding conflict-guided backtracking, §5.4).
+//!
+//! Two implementations share the same semantics:
+//!
+//! - [`BitTimeline`] marks occupied address intervals as bits in a flat
+//!   word array and scans for the lowest aligned zero-run of the
+//!   candidate's size. Marking and clearing are word-masked range
+//!   operations, so a query touches only the words its intervals cover;
+//!   the timeline is reused across queries and allocates only when the
+//!   capacity first grows. This is the hot path for on-chip-sized
+//!   capacities.
+//! - [`lowest_fit_pos`]/[`lowest_fit_explain`] walk a sorted interval
+//!   list, bumping the candidate past each blocking interval. The
+//!   interval walk is the fallback for capacities too large to bitmap
+//!   and the only form that reports *which* placements blocked a failed
+//!   candidate (the cold explanation path).
+//!
+//! Both return the same address for the same occupied set: the lowest
+//! aligned address in `[lo, hi]` whose `size`-wide window intersects no
+//! occupied interval.
 
 use tela_model::{Address, Size};
 
 use crate::domain::align_up;
+use crate::ids::Arena;
 
-/// Outcome of a lowest-fit sweep.
+/// Capacities up to this many bits use the bitset timeline; larger
+/// capacities fall back to the sorted-interval walk. 1 Mi bits = 128 KiB
+/// of scratch per solver, far above any realistic on-chip arena while
+/// keeping portfolio workers cheap.
+pub(crate) const BITMAP_MAX_BITS: u64 = 1 << 20;
+
+const WORD_BITS: usize = u64::BITS as usize;
+
+/// A reusable bitset over `[0, capacity)` addresses: bit `a` is set while
+/// some fixed buffer occupies address `a` during the candidate's
+/// lifetime. Queries mark intervals, scan, and clear the same intervals,
+/// leaving the timeline all-zero between queries.
+#[derive(Debug, Default)]
+pub(crate) struct BitTimeline {
+    words: Vec<u64>,
+}
+
+impl BitTimeline {
+    /// Ensures the timeline covers `bits` addresses. Allocates only on
+    /// growth; steady-state queries reuse the existing words.
+    pub(crate) fn ensure_bits(&mut self, bits: u64) {
+        let need = (bits as usize).div_ceil(WORD_BITS);
+        if self.words.len() < need {
+            self.words.resize(need, 0);
+        }
+    }
+
+    /// True when no bit is set (the between-queries resting state; used
+    /// by the `debug-invariants` audit).
+    #[cfg(feature = "debug-invariants")]
+    pub(crate) fn is_clear(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Sets bits `[start, end)`.
+    // tela-lint: hot-path
+    #[inline]
+    pub(crate) fn mark(&mut self, start: Address, end: Address) {
+        let (start, end) = (start as usize, end as usize);
+        if start >= end {
+            return;
+        }
+        let (first, last) = (start / WORD_BITS, (end - 1) / WORD_BITS);
+        let head = !0u64 << (start % WORD_BITS);
+        let tail = !0u64 >> (WORD_BITS - 1 - (end - 1) % WORD_BITS);
+        if first == last {
+            *self.words.at_mut(first) |= head & tail;
+        } else {
+            *self.words.at_mut(first) |= head;
+            for wi in first + 1..last {
+                *self.words.at_mut(wi) = !0;
+            }
+            *self.words.at_mut(last) |= tail;
+        }
+    }
+
+    /// Clears bits `[start, end)`. Clearing each marked interval (even
+    /// when intervals overlapped) restores the all-zero resting state.
+    // tela-lint: hot-path
+    #[inline]
+    pub(crate) fn clear(&mut self, start: Address, end: Address) {
+        let (start, end) = (start as usize, end as usize);
+        if start >= end {
+            return;
+        }
+        let (first, last) = (start / WORD_BITS, (end - 1) / WORD_BITS);
+        let head = !0u64 << (start % WORD_BITS);
+        let tail = !0u64 >> (WORD_BITS - 1 - (end - 1) % WORD_BITS);
+        if first == last {
+            *self.words.at_mut(first) &= !(head & tail);
+        } else {
+            *self.words.at_mut(first) &= !head;
+            for wi in first + 1..last {
+                *self.words.at_mut(wi) = 0;
+            }
+            *self.words.at_mut(last) &= !tail;
+        }
+    }
+
+    /// Index of the first set bit in `[start, end)`, if any.
+    // tela-lint: hot-path
+    #[inline]
+    fn first_set_in(&self, start: usize, end: usize) -> Option<usize> {
+        if start >= end {
+            return None;
+        }
+        let last = (end - 1) / WORD_BITS;
+        let mut wi = start / WORD_BITS;
+        let mut word = *self.words.at(wi) & (!0u64 << (start % WORD_BITS));
+        loop {
+            if wi == last {
+                word &= !0u64 >> (WORD_BITS - 1 - (end - 1) % WORD_BITS);
+            }
+            if word != 0 {
+                return Some(wi * WORD_BITS + word.trailing_zeros() as usize);
+            }
+            if wi == last {
+                return None;
+            }
+            wi += 1;
+            word = *self.words.at(wi);
+        }
+    }
+
+    /// Index of the first clear bit at or after `from` (capped at the
+    /// timeline's end, where everything beyond the marked intervals is
+    /// clear by construction).
+    // tela-lint: hot-path
+    #[inline]
+    fn next_clear_from(&self, from: usize) -> usize {
+        let mut wi = from / WORD_BITS;
+        let mut word = !*self.words.at(wi) & (!0u64 << (from % WORD_BITS));
+        loop {
+            if word != 0 {
+                return wi * WORD_BITS + word.trailing_zeros() as usize;
+            }
+            wi += 1;
+            if wi >= self.words.len() {
+                return self.words.len() * WORD_BITS;
+            }
+            word = !*self.words.at(wi);
+        }
+    }
+
+    /// Lowest aligned address in `[lo, hi]` whose `size`-wide window has
+    /// no set bit. Intervals must already be marked; the caller clears
+    /// them afterwards.
+    // tela-lint: hot-path
+    pub(crate) fn lowest_fit(
+        &self,
+        size: Size,
+        align: Size,
+        lo: Address,
+        hi: Address,
+    ) -> Option<Address> {
+        let mut candidate = align_up(lo, align)?;
+        while candidate <= hi {
+            match self.first_set_in(candidate as usize, (candidate + size) as usize) {
+                None => return Some(candidate),
+                Some(p) => {
+                    let next = self.next_clear_from(p) as Address;
+                    candidate = align_up(next, align)?;
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Finds the lowest aligned address in `[lo, hi]` where a buffer of
+/// `size` fits without intersecting any of `occupied` — the interval-walk
+/// twin of [`BitTimeline::lowest_fit`], used when the capacity is too
+/// large to bitmap.
+///
+/// `occupied` holds `(start, end, var)` address intervals of fixed
+/// buffers that overlap the candidate in time, sorted by start address.
+// tela-lint: hot-path
+pub(crate) fn lowest_fit_pos(
+    size: Size,
+    align: Size,
+    lo: Address,
+    hi: Address,
+    occupied: &[(Address, Address, u32)],
+) -> Option<Address> {
+    debug_assert!(
+        // tela-lint: allow(no-solve-path-panic, reason = "debug-only precondition check; windows(2) yields exactly-2-element slices")
+        occupied.windows(2).all(|w| w[0].0 <= w[1].0),
+        "occupied intervals must be sorted by start address"
+    );
+    let mut candidate = align_up(lo, align)?;
+    if candidate > hi {
+        return None;
+    }
+    for &(start, end, _) in occupied.iter() {
+        // Intervals are visited in start order; once an interval starts at
+        // or past the candidate's top, no later interval can block it.
+        if start >= candidate.saturating_add(size) {
+            break;
+        }
+        if end > candidate {
+            // This interval intersects [candidate, candidate + size).
+            candidate = align_up(end, align)?;
+            if candidate > hi {
+                return None;
+            }
+        }
+    }
+    Some(candidate)
+}
+
+/// Outcome of an explaining lowest-fit sweep.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct SweepResult {
     /// Lowest feasible aligned start address, if any.
@@ -20,14 +230,11 @@ pub(crate) struct SweepResult {
     pub blockers: Vec<u32>,
 }
 
-/// Finds the lowest aligned address in `[lo, hi]` where a buffer of
-/// `size` fits without intersecting any of `occupied`.
-///
-/// `occupied` holds `(start, end, var)` address intervals of fixed buffers
-/// that overlap the candidate in time, sorted by start address. The
-/// solver maintains these lists incrementally (see
-/// `CpSolver::occupancy_insert`), so the sweep no longer sorts per query.
-pub(crate) fn lowest_fit(
+/// [`lowest_fit_pos`] with blocker attribution: records which placements
+/// forced the candidate upward. Only used on the cold explanation path
+/// (building a [`Conflict`](crate::Conflict) after a sweep failure), so
+/// the blocker `Vec` allocation is acceptable here.
+pub(crate) fn lowest_fit_explain(
     size: Size,
     align: Size,
     lo: Address,
@@ -35,6 +242,7 @@ pub(crate) fn lowest_fit(
     occupied: &[(Address, Address, u32)],
 ) -> SweepResult {
     debug_assert!(
+        // tela-lint: allow(no-solve-path-panic, reason = "debug-only precondition check; windows(2) yields exactly-2-element slices")
         occupied.windows(2).all(|w| w[0].0 <= w[1].0),
         "occupied intervals must be sorted by start address"
     );
@@ -55,13 +263,10 @@ pub(crate) fn lowest_fit(
         };
     }
     for &(start, end, var) in occupied.iter() {
-        // Intervals are visited in start order; once an interval starts at
-        // or past the candidate's top, no later interval can block it.
         if start >= candidate.saturating_add(size) {
             break;
         }
         if end > candidate {
-            // This interval intersects [candidate, candidate + size).
             blockers.push(var);
             candidate = match align_up(end, align) {
                 Some(c) => c,
@@ -90,6 +295,9 @@ pub(crate) fn lowest_fit(
 mod tests {
     use super::*;
 
+    /// Runs the same query through the interval walk, the explaining
+    /// walk, and the bitset timeline, asserting all three agree on the
+    /// position before returning the explained result.
     fn fit(
         size: Size,
         align: Size,
@@ -98,8 +306,34 @@ mod tests {
         occupied: &[(Address, Address, u32)],
     ) -> SweepResult {
         let mut sorted = occupied.to_vec();
-        sorted.sort_unstable_by_key(|&(start, _, _)| start);
-        lowest_fit(size, align, lo, hi, &sorted)
+        sorted.sort_unstable();
+        let explained = lowest_fit_explain(size, align, lo, hi, &sorted);
+        assert_eq!(
+            lowest_fit_pos(size, align, lo, hi, &sorted),
+            explained.pos,
+            "interval walk disagrees with its explaining twin"
+        );
+        let bits = occupied
+            .iter()
+            .map(|&(_, end, _)| end)
+            .max()
+            .unwrap_or(0)
+            .max(hi + size);
+        let mut timeline = BitTimeline::default();
+        timeline.ensure_bits(bits);
+        for &(start, end, _) in occupied {
+            timeline.mark(start, end);
+        }
+        assert_eq!(
+            timeline.lowest_fit(size, align, lo, hi),
+            explained.pos,
+            "bitset timeline disagrees with the interval walk"
+        );
+        for &(start, end, _) in occupied {
+            timeline.clear(start, end);
+        }
+        assert!(timeline.words.iter().all(|&w| w == 0), "clear is total");
+        explained
     }
 
     #[test]
@@ -132,8 +366,8 @@ mod tests {
 
     #[test]
     fn unsorted_input_is_sorted_by_the_helper() {
-        // `lowest_fit` itself requires sorted input (the solver maintains
-        // sorted occupancy lists); the test helper sorts on its behalf.
+        // The sweep entry points require sorted input (the solver gathers
+        // and sorts fixed neighbors); the test helper sorts on its behalf.
         let r = fit(4, 1, 0, 12, &[(5, 9, 2), (0, 2, 1)]);
         assert_eq!(r.pos, Some(9));
     }
@@ -177,5 +411,37 @@ mod tests {
         let r = fit(2, 1, 0, 2, &[(0, 2, 0), (2, 5, 1)]);
         assert_eq!(r.pos, None);
         assert_eq!(r.blockers, vec![0, 1]);
+    }
+
+    #[test]
+    fn word_boundary_runs() {
+        // Intervals crossing 64-bit word boundaries: candidate must land
+        // exactly past the run regardless of word alignment.
+        let r = fit(5, 1, 0, 200, &[(0, 63, 0), (63, 130, 1)]);
+        assert_eq!(r.pos, Some(130));
+        let r = fit(64, 1, 0, 200, &[(10, 70, 0)]);
+        assert_eq!(r.pos, Some(70));
+        let r = fit(1, 1, 0, 200, &[(0, 64, 0)]);
+        assert_eq!(r.pos, Some(64));
+    }
+
+    #[test]
+    fn exact_word_sized_gap() {
+        // A free gap of exactly one word between two runs.
+        let r = fit(64, 1, 0, 500, &[(0, 64, 0), (128, 256, 1)]);
+        assert_eq!(r.pos, Some(64));
+        let r = fit(65, 1, 0, 500, &[(0, 64, 0), (128, 256, 1)]);
+        assert_eq!(r.pos, Some(256));
+    }
+
+    #[test]
+    fn timeline_grows_lazily_and_reuses() {
+        let mut t = BitTimeline::default();
+        t.ensure_bits(10);
+        assert_eq!(t.words.len(), 1);
+        t.ensure_bits(1000);
+        assert_eq!(t.words.len(), 16);
+        t.ensure_bits(10); // never shrinks
+        assert_eq!(t.words.len(), 16);
     }
 }

@@ -15,6 +15,57 @@
 
 mod common;
 
+use tela_cp::CpSolver;
+use tela_lint::testing::count_allocations;
+use tela_model::BufferId;
+
+/// One full allocate→backtrack→reallocate cycle with sweep queries and
+/// a deferred minor-backtrack mixed in — the steady-state shape of the
+/// search loop. Returns the allocation count for the cycle.
+fn steady_state_cycle(solver: &mut CpSolver, n: usize) -> u64 {
+    let (allocs, ()) = count_allocations(|| {
+        for i in 0..n {
+            let id = BufferId::new(i);
+            // Sweep path: bitset-timeline lowest-fit over the fixed set.
+            let pos = solver.min_feasible_pos(id).expect("placeable");
+            solver.assign_deferred(id, pos).expect("consistent");
+            if i == n / 2 {
+                // Minor backtrack: a deliberately colliding assignment
+                // fails and rolls back. The deferred seed is `Copy`; no
+                // conflict materialization, no allocation.
+                let last = BufferId::new(i - 1);
+                let occupied = solver.assignment(last).expect("just placed");
+                solver
+                    .assign_deferred(BufferId::new(i + 1), occupied)
+                    .expect_err("collides with a placed buffer");
+            }
+        }
+        solver.pop_to_level(0);
+    });
+    allocs
+}
+
+#[test]
+fn steady_state_search_performs_zero_allocations() {
+    let n = 32;
+    let p = common::full_overlap(n);
+    let mut solver = CpSolver::new(&p).unwrap();
+    // Warm-up cycle: trail, queue, levels, and sweep scratch grow to
+    // their steady-state capacity here and are reused afterwards.
+    steady_state_cycle(&mut solver, n);
+    // The counting allocator is process-global, so a harness thread can
+    // leak a stray allocation into one window; the solver's own count
+    // is deterministic, so the minimum over repetitions is exact.
+    let allocs = (0..5)
+        .map(|_| steady_state_cycle(&mut solver, n))
+        .min()
+        .unwrap();
+    assert_eq!(
+        allocs, 0,
+        "steady-state propagate/sweep/backtrack cycle must not allocate"
+    );
+}
+
 #[test]
 fn propagation_does_not_allocate_per_pop() {
     let n = 32;

@@ -1,0 +1,383 @@
+//! Equivalence of the flat queue-driven solver against a naive
+//! reference oracle.
+//!
+//! The production [`CpSolver`] earns its speed from machinery that is
+//! easy to get subtly wrong: directional dirty-bit queues, per-slot
+//! order-state bytes, per-level trail deduplication, and forced-order
+//! detection inside propagation. The oracle here has none of that: it
+//! re-applies every constraint touching a changed variable to fixpoint
+//! after each operation and snapshots full state per decision level.
+//! Bounds propagation is
+//! monotone, so both must compute the same closure — identical Ok/Err
+//! outcomes, domains, order decisions, and fixed sets after every
+//! operation, including rollback equivalence after failures and
+//! arbitrary backtracks.
+
+use proptest::prelude::*;
+use tela_cp::{CpSolver, Domain, OrderState, PairId};
+use tela_model::{Buffer, BufferId, Problem};
+
+/// Naive reference solver: same constraint semantics as [`CpSolver`]
+/// (it reuses [`Domain`] for the bounds arithmetic), but exhaustive
+/// re-application instead of queues and full-state snapshots instead of
+/// a trail.
+struct RefSolver {
+    sizes: Vec<u64>,
+    /// `(x, y)` buffer index pairs with `x < y`, sorted ascending —
+    /// the same enumeration order `CpModel` assigns to `PairId`s.
+    pairs: Vec<(usize, usize)>,
+    domains: Vec<Domain>,
+    orders: Vec<OrderState>,
+    fixed: Vec<bool>,
+    saved: Vec<(Vec<Domain>, Vec<OrderState>, Vec<bool>)>,
+}
+
+impl RefSolver {
+    /// Seeds initial domains from the solver so both start identically.
+    fn new(problem: &Problem, solver: &CpSolver) -> Self {
+        let mut pairs: Vec<(usize, usize)> = problem
+            .overlapping_pairs()
+            .map(|(a, b)| {
+                let (a, b) = (a.index(), b.index());
+                if a < b {
+                    (a, b)
+                } else {
+                    (b, a)
+                }
+            })
+            .collect();
+        pairs.sort_unstable();
+        RefSolver {
+            sizes: problem.buffers().iter().map(|b| b.size()).collect(),
+            domains: (0..problem.len())
+                .map(|i| solver.domain(BufferId::new(i)))
+                .collect(),
+            orders: vec![OrderState::Undecided; pairs.len()],
+            pairs,
+            fixed: vec![false; problem.len()],
+            saved: Vec::new(),
+        }
+    }
+
+    fn level(&self) -> usize {
+        self.saved.len()
+    }
+
+    fn push_level(&mut self) {
+        self.saved.push((
+            self.domains.clone(),
+            self.orders.clone(),
+            self.fixed.clone(),
+        ));
+    }
+
+    /// Discards the current level, restoring its pre-push snapshot.
+    fn pop_failed(&mut self) {
+        let (domains, orders, fixed) = self.saved.pop().expect("level was pushed");
+        self.domains = domains;
+        self.orders = orders;
+        self.fixed = fixed;
+    }
+
+    fn pop_to_level(&mut self, level: usize) {
+        assert!(level <= self.level());
+        if level < self.level() {
+            let (domains, orders, fixed) = self.saved[level].clone();
+            self.domains = domains;
+            self.orders = orders;
+            self.fixed = fixed;
+            self.saved.truncate(level);
+        }
+    }
+
+    fn assign(&mut self, idx: usize, addr: u64) -> Result<(), ()> {
+        self.push_level();
+        if !self.domains[idx].contains(addr) {
+            self.pop_failed();
+            return Err(());
+        }
+        self.domains[idx].fix(addr);
+        self.fixed[idx] = true;
+        self.close(vec![idx]).inspect_err(|()| self.pop_failed())
+    }
+
+    fn decide(&mut self, pair: usize, state: OrderState) -> Result<(), ()> {
+        assert_eq!(self.orders[pair], OrderState::Undecided);
+        self.push_level();
+        self.orders[pair] = state;
+        let (x, y) = self.pairs[pair];
+        let mut dirty = Vec::new();
+        let first = match state {
+            OrderState::FirstBelow => self.apply(x, y, &mut dirty),
+            OrderState::SecondBelow => self.apply(y, x, &mut dirty),
+            OrderState::Undecided => unreachable!("cannot decide to Undecided"),
+        };
+        first
+            .and_then(|()| self.close(dirty))
+            .inspect_err(|()| self.pop_failed())
+    }
+
+    /// Could `below` be placed entirely under `above`?
+    fn possible(&self, below: usize, above: usize) -> bool {
+        let (db, da) = (&self.domains[below], &self.domains[above]);
+        !db.is_empty() && !da.is_empty() && db.lo() + self.sizes[below] <= da.hi()
+    }
+
+    /// Enforces `pos(below) + size(below) <= pos(above)`, pushing any
+    /// variable whose bounds moved onto the dirty worklist.
+    fn apply(&mut self, below: usize, above: usize, dirty: &mut Vec<usize>) -> Result<(), ()> {
+        let lo_bound = self.domains[below].lo() + self.sizes[below];
+        if self.domains[above].tighten_lo(lo_bound) {
+            if self.domains[above].is_empty() {
+                return Err(());
+            }
+            dirty.push(above);
+        }
+        match self.domains[above].hi().checked_sub(self.sizes[below]) {
+            Some(bound) => {
+                if self.domains[below].tighten_hi(bound) {
+                    if self.domains[below].is_empty() {
+                        return Err(());
+                    }
+                    dirty.push(below);
+                }
+            }
+            None => return Err(()),
+        }
+        Ok(())
+    }
+
+    /// Incremental closure from the seed variables: every pair touching
+    /// a dirty variable is fully re-applied (forced orders committed),
+    /// and newly moved variables join the worklist. The solver is
+    /// *incremental by contract* — a pair that is forced in the root
+    /// state stays undecided until a chain of real changes reaches one
+    /// of its endpoints — so the oracle must not sweep unreached pairs.
+    fn close(&mut self, mut dirty: Vec<usize>) -> Result<(), ()> {
+        while let Some(v) = dirty.pop() {
+            for p in 0..self.pairs.len() {
+                let (x, y) = self.pairs[p];
+                if x != v && y != v {
+                    continue;
+                }
+                match self.orders[p] {
+                    OrderState::Undecided => match (self.possible(x, y), self.possible(y, x)) {
+                        (false, false) => return Err(()),
+                        (true, false) => {
+                            self.orders[p] = OrderState::FirstBelow;
+                            self.apply(x, y, &mut dirty)?;
+                        }
+                        (false, true) => {
+                            self.orders[p] = OrderState::SecondBelow;
+                            self.apply(y, x, &mut dirty)?;
+                        }
+                        (true, true) => {}
+                    },
+                    OrderState::FirstBelow => self.apply(x, y, &mut dirty)?,
+                    OrderState::SecondBelow => self.apply(y, x, &mut dirty)?,
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Linear-scan twin of [`CpSolver::min_feasible_pos_at_least`]:
+    /// lowest aligned in-domain address clear of every *fixed*
+    /// time-overlapping neighbor.
+    fn min_pos(&self, problem: &Problem, idx: usize, from: u64) -> Option<u64> {
+        let d = &self.domains[idx];
+        if d.is_empty() {
+            return None;
+        }
+        let me = problem.buffers()[idx];
+        let base = d.lo().max(from);
+        let mut addr = base + (me.align() - base % me.align()) % me.align();
+        while addr <= d.hi() {
+            let free = (0..problem.len()).all(|j| {
+                let other = problem.buffers()[j];
+                j == idx || !self.fixed[j] || !other.overlaps_in_time(&me) || {
+                    let pos = self.domains[j].lo();
+                    addr + me.size() <= pos || pos + other.size() <= addr
+                }
+            });
+            if free {
+                return Some(addr);
+            }
+            addr += me.align();
+        }
+        None
+    }
+}
+
+/// Full observable-state comparison after each operation.
+fn assert_state_matches(solver: &CpSolver, reference: &RefSolver, op: usize) {
+    assert_eq!(solver.level(), reference.level(), "level after op {op}");
+    for i in 0..reference.domains.len() {
+        let id = BufferId::new(i);
+        assert_eq!(
+            solver.domain(id),
+            reference.domains[i],
+            "domain of buffer {i} after op {op}"
+        );
+        assert_eq!(
+            solver.is_fixed(id),
+            reference.fixed[i],
+            "fixed flag of buffer {i} after op {op}"
+        );
+        let expected = reference.fixed[i].then(|| reference.domains[i].lo());
+        assert_eq!(
+            solver.assignment(id),
+            expected,
+            "assignment {i} after op {op}"
+        );
+    }
+    for p in 0..reference.pairs.len() {
+        assert_eq!(
+            solver.order(PairId::new(p as u32)),
+            reference.orders[p],
+            "order of pair {p} after op {op}"
+        );
+    }
+}
+
+fn buffer_strategy() -> impl Strategy<Value = Buffer> {
+    (
+        0u32..6,
+        1u32..5,
+        1u64..6,
+        prop_oneof![Just(1u64), Just(2), Just(4)],
+    )
+        .prop_map(|(start, len, size, align)| {
+            Buffer::new(start, start + len, size).with_align(align)
+        })
+}
+
+fn problem_strategy() -> impl Strategy<Value = Problem> {
+    (prop::collection::vec(buffer_strategy(), 1..7), 6u64..14).prop_map(|(buffers, capacity)| {
+        Problem::new(buffers, capacity).expect("sizes below capacity")
+    })
+}
+
+/// `(kind, a, b)` op codes: 0–1 assign, 2 decide, 3 backtrack.
+fn script_strategy() -> impl Strategy<Value = Vec<(u8, u16, u16)>> {
+    prop::collection::vec((0u8..4, 0u16..4096, 0u16..4096), 1..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Random interleavings of assignments (in- and out-of-domain),
+    /// explicit order decisions, and multi-level backtracks: the flat
+    /// solver and the oracle agree on every Ok/Err outcome and on the
+    /// complete observable state after every operation — success and
+    /// rollback alike.
+    #[test]
+    fn flat_solver_matches_reference_oracle(
+        problem in problem_strategy(),
+        script in script_strategy(),
+    ) {
+        // Contention-over-capacity instances are rejected at model build
+        // (trivially infeasible, no search state to compare) — skip them.
+        if std::env::var_os("EQUIV_DEBUG").is_some() {
+            eprintln!("case: {problem:?} script {script:?}");
+        }
+        let Ok(mut solver) = CpSolver::new(&problem) else {
+            continue;
+        };
+        let mut reference = RefSolver::new(&problem, &solver);
+        assert_state_matches(&solver, &reference, 0);
+        prop_assert_eq!(solver.model().pair_count(), reference.pairs.len());
+
+        for (op, &(kind, a, b)) in script.iter().enumerate() {
+            match kind {
+                0 | 1 => {
+                    let unfixed: Vec<usize> =
+                        (0..problem.len()).filter(|&i| !reference.fixed[i]).collect();
+                    let Some(&idx) = unfixed.get(a as usize % unfixed.len().max(1)) else {
+                        continue;
+                    };
+                    let id = BufferId::new(idx);
+                    // Sweep query equivalence on the live state.
+                    prop_assert_eq!(
+                        solver.min_feasible_pos(id),
+                        reference.min_pos(&problem, idx, 0),
+                        "min_feasible_pos({}) before op {}", idx, op
+                    );
+                    let d = reference.domains[idx];
+                    // `+ 3` overshoots the domain for some scripts, so the
+                    // out-of-domain rejection path is exercised too.
+                    let steps = (d.hi() - d.lo()) / d.align();
+                    let addr = d.lo() + (b as u64 % (steps + 3)) * d.align();
+                    let got = solver.assign_deferred(id, addr);
+                    let want = reference.assign(idx, addr);
+                    prop_assert_eq!(
+                        got.is_err(), want.is_err(),
+                        "assign({}, {}) outcome at op {}", idx, addr, op
+                    );
+                }
+                2 => {
+                    let undecided: Vec<usize> = (0..reference.pairs.len())
+                        .filter(|&p| reference.orders[p] == OrderState::Undecided)
+                        .collect();
+                    let Some(&p) = undecided.get(a as usize % undecided.len().max(1)) else {
+                        continue;
+                    };
+                    let state = if b & 1 == 0 {
+                        OrderState::FirstBelow
+                    } else {
+                        OrderState::SecondBelow
+                    };
+                    let got = solver.decide(PairId::new(p as u32), state);
+                    let want = reference.decide(p, state);
+                    prop_assert_eq!(
+                        got.is_err(), want.is_err(),
+                        "decide({}, {:?}) outcome at op {}", p, state, op
+                    );
+                }
+                _ => {
+                    let target = a as usize % (solver.level() + 1);
+                    solver.pop_to_level(target);
+                    reference.pop_to_level(target);
+                }
+            }
+            assert_state_matches(&solver, &reference, op + 1);
+        }
+
+        // Final sweep-query agreement, including non-zero `from` offsets.
+        for i in 0..problem.len() {
+            for from in [0, 1, 3, 7] {
+                prop_assert_eq!(
+                    solver.min_feasible_pos_at_least(BufferId::new(i), from),
+                    reference.min_pos(&problem, i, from),
+                    "final min_feasible_pos_at_least({}, {})", i, from
+                );
+            }
+        }
+    }
+}
+
+/// Regression shape for the fix-bit: `b0`'s domain is pinned to a single
+/// address by its alignment, so fixing it moves *no* bound — yet the fix
+/// forces the undecided pair (b1 can no longer fit below b0). A queue
+/// keyed only on moved bounds would skip the pair and leave a fixed pair
+/// undecided; the oracle and the `DIRTY_FIX` bit both catch it.
+#[test]
+fn no_bound_movement_assign_still_forces_undecided_pairs() {
+    let p = Problem::builder(8)
+        .buffer(Buffer::new(0, 4, 4).with_align(8)) // domain pinned to {0}
+        .buffer(Buffer::new(0, 4, 4))
+        .build()
+        .unwrap();
+    let mut solver = CpSolver::new(&p).unwrap();
+    let mut reference = RefSolver::new(&p, &solver);
+    assert!(
+        solver.domain(BufferId::new(0)).is_fixed(),
+        "pinned by alignment"
+    );
+
+    solver.assign(BufferId::new(0), 0).unwrap();
+    reference.assign(0, 0).unwrap();
+    assert_state_matches(&solver, &reference, 1);
+    assert_eq!(solver.order(PairId::new(0)), OrderState::FirstBelow);
+    assert_eq!(solver.domain(BufferId::new(1)).lo(), 4);
+}

@@ -16,7 +16,8 @@
 //! #[global_allocator]
 //! static GLOBAL: CountingAlloc = CountingAlloc::new();
 //!
-//! let (allocs, result) = tela_lint::testing::count_allocations(|| work());
+//! let (allocs, result) = tela_lint::testing::count_allocations(|| vec![0u8; 64]);
+//! assert!(allocs >= 1);
 //! ```
 //!
 //! The counter is process-global and other threads (the libtest

@@ -206,6 +206,64 @@ pub fn certified_solvable(seed: u64) -> Problem {
     Problem::new(buffers, peak).expect("constructed packing fits its peak")
 }
 
+/// A giant certified-solvable instance: `n` buffers streamed along a
+/// long timeline with bounded concurrent liveness, packed lowest-fit so
+/// a solution exists by construction, with `slack_percent` headroom
+/// over the packing's peak.
+///
+/// This is the smoke-scale version of the ROADMAP's 10⁵–10⁶-buffer
+/// item: the pair count stays linear in `n` (concurrency is bounded by
+/// the birth rate × lifetime window, not by `n`), so asymptotic wins in
+/// the propagate/sweep core show up as wall-time, not as a pair-count
+/// explosion.
+pub fn giant(seed: u64, n: usize, slack_percent: u32) -> Problem {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0xD6E8_FEB8_6659_FD93) ^ 0x617E);
+    // Two births per timestep and lifetimes up to 24 steps bound the
+    // expected concurrency around two dozen buffers.
+    let mut placed: Vec<(Buffer, u64)> = Vec::new();
+    let mut peak = 0u64;
+    for i in 0..n {
+        let start = (i / 2) as u32;
+        let len = rng.random_range(1u32..=24);
+        let size = rng.random_range(8u64..256);
+        let b = Buffer::new(start, start + len, size);
+        // Lowest fit among the still-live placed buffers; the scan only
+        // sees the bounded-concurrency window, never all of `placed`.
+        let mut occupied: Vec<(u64, u64)> = placed
+            .iter()
+            .rev()
+            .take_while(|(p, _)| p.end() + 64 > start)
+            .filter(|(p, _)| p.overlaps_in_time(&b))
+            .map(|&(p, addr)| (addr, addr + p.size()))
+            .collect();
+        occupied.sort_unstable();
+        let mut addr = 0u64;
+        for &(s, e) in &occupied {
+            if s >= addr + size {
+                break;
+            }
+            if e > addr {
+                addr = e;
+            }
+        }
+        peak = peak.max(addr + size);
+        placed.push((b, addr));
+    }
+    let buffers: Vec<Buffer> = placed.into_iter().map(|(b, _)| b).collect();
+    let capacity = peak * u64::from(100 + slack_percent) / 100;
+    Problem::new(buffers, capacity).expect("constructed packing fits its peak")
+}
+
+/// The [`giant`] instance as a named sweep configuration
+/// (e.g. `"giant-030000@5%"`).
+pub fn giant_config(n: usize, slack_percent: u32) -> SweepConfig {
+    SweepConfig {
+        name: format!("giant-{n:06}@{slack_percent}%"),
+        problem: giant(1, n, slack_percent),
+        slack_percent,
+    }
+}
+
 /// Memory slacks applied to certified instances, relative to the known
 /// packing's peak (two memory sizes per input, as in the paper's sweep).
 pub const CERTIFIED_SLACKS: [u32; 2] = [1, 3];
@@ -273,6 +331,24 @@ mod tests {
             assert!(c.name.starts_with("certified-"));
             assert!(c.problem.max_contention() <= c.problem.capacity());
         }
+    }
+
+    #[test]
+    fn giant_instances_are_bounded_degree_and_deterministic() {
+        let p = giant(1, 10_000, 5);
+        assert_eq!(p.len(), 10_000);
+        assert!(p.max_contention() <= p.capacity());
+        // Bounded concurrency: the pair set stays linear in n, far from
+        // the quadratic worst case.
+        let pairs = p.overlapping_pairs().count();
+        assert!(
+            pairs < 60 * p.len(),
+            "{pairs} pairs for {} buffers — concurrency unbounded?",
+            p.len()
+        );
+        assert_eq!(p.buffers(), giant(1, 10_000, 5).buffers());
+        let config = giant_config(10_000, 5);
+        assert_eq!(config.name, "giant-010000@5%");
     }
 
     #[test]
