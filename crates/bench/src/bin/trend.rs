@@ -1,5 +1,5 @@
 //! `bench trend`: the schema-stable performance snapshot behind
-//! `BENCH_pr7.json`, with tolerance-band regression gating.
+//! `BENCH_pr8.json`, with tolerance-band regression gating.
 //!
 //! One run measures three layers and writes them as a flat, stable
 //! schema (`schema_version` guards shape changes):
@@ -13,6 +13,11 @@
 //!   (solved count, median and worst-case wall). Wall times take the
 //!   best of `--repeats` runs: the regression gate cares about the
 //!   floor the code can hit, not scheduler noise on top of it.
+//!   An **adaptive** pass repeats the portfolio measurement at 2 and at
+//!   `--threads` workers with the committed `tela-learned` variant
+//!   ranker driving the bandit scheduler (`adaptive2_*`/`adaptive4_*`):
+//!   the PR 8 headline is that ranked seeding plus quota scheduling at
+//!   2 threads solves what the blind race needs 4 threads for.
 //! - **giant** — one bounded-degree certified-solvable instance with
 //!   `--giant` buffers (default 30 000, the ROADMAP's smoke-scale
 //!   giant-instance item): solved flag and wall time.
@@ -24,18 +29,21 @@
 //! committed snapshot and exits non-zero when any gate fails:
 //! solved counts must not drop (no band), and every wall/ns metric must
 //! stay within `--tolerance` percent (default 50, sized for
-//! cross-machine CI noise) of the snapshot. Refresh the snapshot by
-//! committing the new artifact: `cargo bench-trend` (alias for this
-//! binary) writes `BENCH_pr7.json` in place.
+//! cross-machine CI noise) of the snapshot. Metrics the snapshot does
+//! not know yet (new in this PR) are reported and skipped, so a fresh
+//! artifact can gate against the previous PR's snapshot. Refresh the
+//! snapshot by committing the new artifact: `cargo bench-trend` (alias
+//! for this binary) writes `BENCH_pr8.json` in place.
 
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 
 use tela_bench::{arg_string, arg_usize, TextTable};
 use tela_cp::CpSolver;
 use tela_model::{Budget, BufferId, SolveOutcome};
-use tela_workloads::sweep::{certified_configs, giant_config, sweep_configs};
-use telamalloc::{solve, solve_portfolio, TelaConfig};
+use tela_workloads::sweep::{certified_configs, giant_config, sweep_configs, SweepConfig};
+use telamalloc::{solve, solve_portfolio, AdaptiveConfig, TelaConfig, VariantRanker};
 
 /// Flat metric list: `(key, value, gate)` — the JSON is generated from
 /// this, so emit order and key set stay schema-stable.
@@ -55,7 +63,7 @@ fn main() {
     let repeats = arg_usize("--repeats", 3).max(1);
     let giant_n = arg_usize("--giant", 30_000);
     let tolerance = arg_usize("--tolerance", 50) as f64;
-    let out = arg_string("--out", "BENCH_pr7.json");
+    let out = arg_string("--out", "BENCH_pr8.json");
     let check = arg_string("--check", "");
 
     let mut configs = sweep_configs(inputs);
@@ -120,6 +128,17 @@ fn main() {
         configs.len()
     );
 
+    // Suite, adaptive passes: the same race driven by the committed
+    // ranker model and the bandit quota scheduler, at 2 workers (the
+    // efficiency claim: ranked seeding recovers the blind race's solve
+    // count on half the threads) and at `--threads` (the latency claim:
+    // no slower than blind at equal width).
+    let ranker = tela_learned::PortfolioRanker::embedded().into_shared();
+    let (adaptive2_solved, adaptive2_median_ms, adaptive2_max_ms) =
+        adaptive_pass(&configs, &ranker, 2, step_cap, repeats);
+    let (adaptive4_solved, adaptive4_median_ms, adaptive4_max_ms) =
+        adaptive_pass(&configs, &ranker, threads, step_cap, repeats);
+
     // Giant: one bounded-degree instance at smoke scale. One timed run
     // (it dominates the trend wall time; its band is sized accordingly).
     let giant = giant_config(giant_n, 5);
@@ -156,6 +175,12 @@ fn main() {
         ("suite_solved", solved as f64, Gate::Floor),
         ("suite_median_wall_ms", median_ms, Gate::Band),
         ("suite_max_wall_ms", max_ms, Gate::Band),
+        ("adaptive2_solved", adaptive2_solved as f64, Gate::Floor),
+        ("adaptive2_median_wall_ms", adaptive2_median_ms, Gate::Band),
+        ("adaptive2_max_wall_ms", adaptive2_max_ms, Gate::Band),
+        ("adaptive4_solved", adaptive4_solved as f64, Gate::Floor),
+        ("adaptive4_median_wall_ms", adaptive4_median_ms, Gate::Band),
+        ("adaptive4_max_wall_ms", adaptive4_max_ms, Gate::Band),
         ("giant_buffers", giant.problem.len() as f64, Gate::Floor),
         (
             "giant_solved",
@@ -191,6 +216,46 @@ fn main() {
     }
     std::fs::write(&out, json).expect("write benchmark artifact");
     println!("# wrote {out}");
+}
+
+/// One adaptive suite pass: `(solved, median ms, max ms)` with the
+/// learned ranker and the bandit scheduler at `threads` workers.
+fn adaptive_pass(
+    configs: &[SweepConfig],
+    ranker: &Arc<dyn VariantRanker>,
+    threads: usize,
+    step_cap: u64,
+    repeats: usize,
+) -> (usize, f64, f64) {
+    let config = TelaConfig {
+        threads,
+        adaptive: AdaptiveConfig {
+            ranker: Some(Arc::clone(ranker)),
+            ..AdaptiveConfig::default()
+        },
+        ..TelaConfig::default()
+    };
+    let mut walls: Vec<f64> = Vec::with_capacity(configs.len());
+    let mut solved = 0usize;
+    for c in configs {
+        let (ms, outcome) = best_time(repeats, || {
+            solve_portfolio(&c.problem, &Budget::steps(step_cap), &config)
+                .result
+                .outcome
+        });
+        walls.push(ms);
+        if outcome.is_solved() {
+            solved += 1;
+        }
+    }
+    walls.sort_unstable_by(f64::total_cmp);
+    let median_ms = walls[walls.len() / 2];
+    let max_ms = walls.last().copied().unwrap_or(0.0);
+    println!(
+        "# adaptive@{threads}: {solved}/{} solved, median {median_ms:.2}ms, worst case {max_ms:.2}ms",
+        configs.len()
+    );
+    (solved, median_ms, max_ms)
 }
 
 fn best_of(reps: usize, f: impl Fn() -> u64) -> u64 {
@@ -333,7 +398,9 @@ fn compare(metrics: &[(&str, f64, Gate)], snapshot: &str, tolerance: f64) -> Vec
     let mut failures = Vec::new();
     for &(key, value, gate) in metrics {
         let Some(committed) = json_number(snapshot, key) else {
-            failures.push(format!("snapshot is missing \"{key}\" — schema drift?"));
+            // New in this PR: the previous snapshot predates the metric.
+            // Report and skip — the next committed artifact gates it.
+            println!("# gate skipped: snapshot has no \"{key}\" (new metric)");
             continue;
         };
         match gate {

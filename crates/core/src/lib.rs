@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod adaptive;
 mod backtrack;
 mod config;
 mod frontend;
@@ -40,6 +41,7 @@ mod portfolio;
 mod resilience;
 mod search;
 
+pub use adaptive::{AdaptiveConfig, AdaptiveReport, RoundReport, RunReport, VariantRanker};
 pub use backtrack::{
     BacktrackChoice, BacktrackContext, BacktrackPolicy, BacktrackTarget, ConflictGuidedPolicy,
     FixedStepPolicy, NullObserver, PlacedDecision, SearchObserver, StepContext, TargetFeatures,
@@ -48,7 +50,7 @@ pub use config::TelaConfig;
 pub use frontend::{Allocator, PipelineResult, Stage};
 pub use portfolio::{
     default_variants, solve_portfolio, PortfolioResult, PortfolioVariant, VariantOutcome,
-    VariantReport,
+    VariantReport, WinnerInfo,
 };
 pub use resilience::{
     EscalationLadder, LadderConfig, LadderResult, NoSpill, SpillHook, StageReport,

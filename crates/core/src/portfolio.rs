@@ -27,8 +27,9 @@ use std::time::Instant;
 
 use tela_audit::Verdict;
 use tela_heuristics::SelectionStrategy;
-use tela_model::{Budget, BufferId, Problem, SolveOutcome, SolveStats};
+use tela_model::{Budget, BufferId, Problem, RaceWinner, SolveOutcome, SolveStats};
 
+use crate::adaptive::AdaptiveReport;
 use crate::backtrack::{NullObserver, PlacedDecision};
 use crate::config::TelaConfig;
 use crate::search::{default_policy, solve_with, TelaResult};
@@ -78,6 +79,24 @@ impl VariantOutcome {
     }
 }
 
+/// Identity of the race's winning variant: which strategy×policy
+/// configuration claimed the race, and on which worker thread.
+///
+/// Attached to [`TelaResult::winner`] (and, in compact numeric form, to
+/// [`SolveStats::winner`](tela_model::SolveStats) as a
+/// [`RaceWinner`], which survives [`SolveStats::absorb`] through the
+/// resilience ladder and front-end aggregation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WinnerInfo {
+    /// Index into the race's variant list.
+    pub index: usize,
+    /// The winning variant's display name, e.g. `"max-size/fixed-step"`.
+    pub name: String,
+    /// Worker-thread ordinal that ran the winning attempt (`0` for
+    /// sequential races and the pre-race sprint).
+    pub thread: u32,
+}
+
 /// What one variant did during the race.
 #[derive(Debug, Clone)]
 pub struct VariantReport {
@@ -104,6 +123,10 @@ pub struct PortfolioResult {
     /// Per-variant reports, indexed like the variant list. `None` means
     /// the race was cancelled before that variant started.
     pub reports: Vec<Option<VariantReport>>,
+    /// Round-by-round schedule of the adaptive scheduler, when it ran
+    /// (a [`VariantRanker`](crate::adaptive::VariantRanker) was
+    /// configured and no fault plan was active). `None` for blind races.
+    pub adaptive: Option<AdaptiveReport>,
 }
 
 impl PortfolioResult {
@@ -192,6 +215,16 @@ pub fn default_variants(base: &TelaConfig) -> Vec<PortfolioVariant> {
         for (conflict_guided, policy_name) in [(true, "conflict-guided"), (false, "fixed-step")] {
             let mut config = TelaConfig::single_strategy(strategy);
             config.conflict_guided_backtracking = conflict_guided;
+            // Skip cross entries that would search identically to an
+            // already-listed variant (e.g. a `single_strategy` base):
+            // a duplicate worker can only waste a thread, never win
+            // anything the original would not.
+            if variants
+                .iter()
+                .any(|v| same_search_behavior(&v.config, &config))
+            {
+                continue;
+            }
             variants.push(PortfolioVariant {
                 name: format!("{strategy}/{policy_name}"),
                 config,
@@ -199,6 +232,25 @@ pub fn default_variants(base: &TelaConfig) -> Vec<PortfolioVariant> {
         }
     }
     variants
+}
+
+/// True when two configurations would run bit-identical searches, i.e.
+/// they agree on every field that steers the search tree. Driver-side
+/// fields (`threads`, `variants`, `preflight_audit`, `tracer`, ladder
+/// and adaptive settings, fault plans) are ignored: the race overrides
+/// them per worker anyway (see [`worker_config`]).
+fn same_search_behavior(a: &TelaConfig, b: &TelaConfig) -> bool {
+    a.selection == b.selection
+        && a.solver_guided_placement == b.solver_guided_placement
+        && a.contention_grouping == b.contention_grouping
+        && a.conflict_guided_backtracking == b.conflict_guided_backtracking
+        && (a.conflict_guided_backtracking || a.fixed_backtrack_steps == b.fixed_backtrack_steps)
+        && a.candidate_prepending == b.candidate_prepending
+        && a.max_candidates_per_level == b.max_candidates_per_level
+        && a.stuck_subtree_limit == b.stuck_subtree_limit
+        && a.split_independent == b.split_independent
+        && a.minimize_conflicts == b.minimize_conflicts
+        && a.perturbation_seed == b.perturbation_seed
 }
 
 /// Worker-side view of a variant's configuration: the driver already
@@ -221,7 +273,7 @@ fn run_variant(problem: &Problem, budget: &Budget, variant: &PortfolioVariant) -
 
 /// Runs one variant with panic isolation: a panicking worker yields the
 /// captured message instead of unwinding through the race.
-fn run_variant_isolated(
+pub(crate) fn run_variant_isolated(
     problem: &Problem,
     budget: &Budget,
     variant: &PortfolioVariant,
@@ -233,7 +285,7 @@ fn run_variant_isolated(
 /// `fault-inject` feature and a configured plan targeting this variant —
 /// a fresh fault injector. A fresh injector per run means a plan fires
 /// in both the sprint and the race proper.
-fn variant_budget(budget: &Budget, _config: &TelaConfig, _index: usize) -> Budget {
+pub(crate) fn variant_budget(budget: &Budget, _config: &TelaConfig, _index: usize) -> Budget {
     #[cfg(feature = "fault-inject")]
     if let Some(plan) = &_config.fault_plan {
         if plan.applies_to_variant(_index) {
@@ -247,7 +299,10 @@ fn variant_budget(budget: &Budget, _config: &TelaConfig, _index: usize) -> Budge
 
 /// Remembers the longest committed prefix (and its conflict clique)
 /// among non-decisive finishes, for best-effort degradation.
-fn note_partial(best: &mut Option<(Vec<PlacedDecision>, Vec<BufferId>)>, result: &TelaResult) {
+pub(crate) fn note_partial(
+    best: &mut Option<(Vec<PlacedDecision>, Vec<BufferId>)>,
+    result: &TelaResult,
+) {
     if is_decisive(&result.outcome) {
         return;
     }
@@ -263,7 +318,7 @@ fn note_partial(best: &mut Option<(Vec<PlacedDecision>, Vec<BufferId>)>, result:
 /// A decisive outcome ends the race: a solution, or a proof that no
 /// solution exists. `GaveUp` and `BudgetExceeded` are not proofs — some
 /// other variant may still succeed.
-fn is_decisive(outcome: &SolveOutcome) -> bool {
+pub(crate) fn is_decisive(outcome: &SolveOutcome) -> bool {
     matches!(outcome, SolveOutcome::Solved(_) | SolveOutcome::Infeasible)
 }
 
@@ -318,6 +373,17 @@ pub fn solve_portfolio(problem: &Problem, budget: &Budget, config: &TelaConfig) 
         let ran = race.reports.iter().flatten().count() as u64;
         tracer.count("portfolio.variants.run", ran);
         tracer.count("portfolio.variants.panicked", race.panicked() as u64);
+        if let Some(info) = &race.result.winner {
+            tracer.instant(
+                "portfolio",
+                "winner",
+                vec![
+                    ("index".into(), info.index.into()),
+                    ("name".into(), info.name.clone().into()),
+                    ("thread".into(), u64::from(info.thread).into()),
+                ],
+            );
+        }
         tracer.end(
             span,
             "portfolio",
@@ -349,9 +415,11 @@ fn run_portfolio(problem: &Problem, budget: &Budget, config: &TelaConfig) -> Por
                         partial: Vec::new(),
                         first_conflict: Vec::new(),
                         certificate: Some(cert),
+                        winner: None,
                     },
                     winner: None,
                     reports: Vec::new(),
+                    adaptive: None,
                 };
             }
             Verdict::TriviallyFeasible(solution) => {
@@ -378,9 +446,11 @@ fn run_portfolio(problem: &Problem, budget: &Budget, config: &TelaConfig) -> Por
                         partial: Vec::new(),
                         first_conflict: Vec::new(),
                         certificate: None,
+                        winner: None,
                     },
                     winner: None,
                     reports: Vec::new(),
+                    adaptive: None,
                 };
             }
             Verdict::NeedsSearch(_) => {}
@@ -392,7 +462,13 @@ fn run_portfolio(problem: &Problem, budget: &Budget, config: &TelaConfig) -> Por
         config.variants.clone()
     };
     let threads = config.threads.max(1).min(variants.len());
-    let mut race = if threads == 1 {
+    // The adaptive scheduler only engages when a ranker is configured
+    // and no fault plan is active: under fault injection the portfolio
+    // must degrade to the blind race bit-for-bit so the chaos and
+    // trace-determinism suites exercise unchanged behavior.
+    let mut race = if let Some(ranker) = adaptive_ranker(config) {
+        crate::adaptive::race_adaptive(problem, budget, &variants, threads, config, ranker.as_ref())
+    } else if threads == 1 {
         race_sequential(problem, budget, &variants, config)
     } else {
         race_parallel(problem, budget, &variants, threads, config)
@@ -404,6 +480,16 @@ fn run_portfolio(problem: &Problem, budget: &Budget, config: &TelaConfig) -> Por
 fn stamp(mut stats: SolveStats, start: Instant) -> SolveStats {
     stats.elapsed = start.elapsed();
     stats
+}
+
+/// The configured ranker, unless a fault plan forces the deterministic
+/// blind-race fallback.
+fn adaptive_ranker(config: &TelaConfig) -> Option<&Arc<dyn crate::adaptive::VariantRanker>> {
+    #[cfg(feature = "fault-inject")]
+    if config.fault_plan.is_some() {
+        return None;
+    }
+    config.adaptive.ranker.as_ref()
 }
 
 /// `threads == 1`: run variants in order until one is decisive.
@@ -432,7 +518,7 @@ fn race_sequential(
                 });
                 if decisive {
                     note_win(&mut buf, index, variant);
-                    winner = Some((index, result));
+                    winner = Some((index, 0, result));
                     break;
                 }
             }
@@ -447,7 +533,7 @@ fn race_sequential(
         }
     }
     drop(buf);
-    finish_race(winner, reports, best_partial)
+    finish_race(winner, variants, reports, best_partial)
 }
 
 // -----------------------------------------------------------------
@@ -456,7 +542,7 @@ fn race_sequential(
 // not once per event; sequence numbers still come from the shared
 // counter, so the merged timeline stays totally ordered.
 
-fn begin_variant(
+pub(crate) fn begin_variant(
     buf: &mut tela_trace::TraceBuffer,
     index: usize,
     variant: &PortfolioVariant,
@@ -474,7 +560,7 @@ fn begin_variant(
     )
 }
 
-fn end_variant(
+pub(crate) fn end_variant(
     buf: &mut tela_trace::TraceBuffer,
     span: tela_trace::SpanId,
     index: usize,
@@ -529,7 +615,11 @@ fn end_variant(
     }
 }
 
-fn note_win(buf: &mut tela_trace::TraceBuffer, index: usize, variant: &PortfolioVariant) {
+pub(crate) fn note_win(
+    buf: &mut tela_trace::TraceBuffer,
+    index: usize,
+    variant: &PortfolioVariant,
+) {
     if buf.enabled() {
         buf.instant(
             "portfolio",
@@ -600,19 +690,25 @@ fn race_parallel(
                 outcome: VariantOutcome::Finished(sprint.outcome.clone()),
                 stats: sprint.stats,
             });
-            return finish_race(Some((0, sprint)), reports, None);
+            return finish_race(Some((0, 0, sprint)), variants, reports, None);
         }
     }
     let cancel = Arc::new(AtomicBool::new(false));
     let claimed = AtomicBool::new(false);
-    let winner: Mutex<Option<(usize, TelaResult)>> = Mutex::new(None);
+    let winner: Mutex<Option<(usize, u32, TelaResult)>> = Mutex::new(None);
     let best_partial: Mutex<Option<(Vec<PlacedDecision>, Vec<BufferId>)>> = Mutex::new(None);
     let reports: Vec<Mutex<Option<VariantReport>>> =
         variants.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
+        for worker in 0..threads {
+            let cancel = &cancel;
+            let claimed = &claimed;
+            let winner = &winner;
+            let best_partial = &best_partial;
+            let reports = &reports;
+            let next = &next;
+            scope.spawn(move || {
                 let mut buf = config.tracer.buffer();
                 loop {
                     if cancel.load(Ordering::Acquire) {
@@ -624,7 +720,7 @@ fn race_parallel(
                     };
                     let span = begin_variant(&mut buf, index, variant);
                     let worker_budget =
-                        variant_budget(budget, config, index).with_cancel(Arc::clone(&cancel));
+                        variant_budget(budget, config, index).with_cancel(Arc::clone(cancel));
                     let report = match run_variant_isolated(problem, &worker_budget, variant) {
                         Ok(result) => {
                             end_variant(&mut buf, span, index, variant, Ok(&result), config);
@@ -640,11 +736,11 @@ fn race_parallel(
                                 // mutex and flips the flag.
                                 if !claimed.swap(true, Ordering::AcqRel) {
                                     note_win(&mut buf, index, variant);
-                                    *lock_resilient(&winner) = Some((index, result));
+                                    *lock_resilient(winner) = Some((index, worker as u32, result));
                                     cancel.store(true, Ordering::Release);
                                 }
                             } else {
-                                note_partial(&mut lock_resilient(&best_partial), &result);
+                                note_partial(&mut lock_resilient(best_partial), &result);
                             }
                             report
                         }
@@ -670,13 +766,13 @@ fn race_parallel(
         .into_iter()
         .map(|slot| slot.into_inner().unwrap_or_else(PoisonError::into_inner))
         .collect();
-    finish_race(winner, reports, best_partial)
+    finish_race(winner, variants, reports, best_partial)
 }
 
 /// Locks a mutex, recovering the data from a poisoned lock: race
 /// bookkeeping stays usable even if some worker panicked outside the
 /// isolated region while holding a slot.
-fn lock_resilient<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+pub(crate) fn lock_resilient<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -684,17 +780,34 @@ fn lock_resilient<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 /// variant that ran when nobody was decisive. The aggregate carries the
 /// longest committed prefix any variant reached, so the resilience
 /// ladder can degrade to a best-effort answer.
-fn finish_race(
-    winner: Option<(usize, TelaResult)>,
+pub(crate) fn finish_race(
+    winner: Option<(usize, u32, TelaResult)>,
+    variants: &[PortfolioVariant],
     reports: Vec<Option<VariantReport>>,
     best_partial: Option<(Vec<PlacedDecision>, Vec<BufferId>)>,
 ) -> PortfolioResult {
     match winner {
-        Some((index, result)) => PortfolioResult {
-            result,
-            winner: Some(index),
-            reports,
-        },
+        Some((index, thread, mut result)) => {
+            let name = variants
+                .get(index)
+                .map(|v| v.name.clone())
+                .unwrap_or_default();
+            result.winner = Some(WinnerInfo {
+                index,
+                name,
+                thread,
+            });
+            result.stats.winner = Some(RaceWinner {
+                variant: index as u32,
+                thread,
+            });
+            PortfolioResult {
+                result,
+                winner: Some(index),
+                reports,
+                adaptive: None,
+            }
+        }
         None => {
             let mut stats = SolveStats::default();
             let mut budget_exceeded = false;
@@ -711,6 +824,10 @@ fn finish_race(
                 SolveOutcome::GaveUp
             };
             let (partial, first_conflict) = best_partial.unwrap_or_default();
+            // Aggregate stats absorbed per-variant stats, none of which
+            // carry a race winner; make the "nobody won" contract
+            // explicit on both levels.
+            stats.winner = None;
             PortfolioResult {
                 result: TelaResult {
                     outcome,
@@ -719,9 +836,11 @@ fn finish_race(
                     partial,
                     first_conflict,
                     certificate: None,
+                    winner: None,
                 },
                 winner: None,
                 reports,
+                adaptive: None,
             }
         }
     }
@@ -748,6 +867,28 @@ mod tests {
             .iter()
             .skip(1)
             .all(|v| v.config.selection.len() == 1));
+    }
+
+    #[test]
+    fn default_portfolio_dedups_variants_matching_the_base() {
+        // A single-strategy base searches identically to one of the
+        // strategy×policy cross entries; that entry must not be listed
+        // twice.
+        let base = TelaConfig::single_strategy(SelectionStrategy::MaxSize);
+        let variants = default_variants(&base);
+        assert_eq!(variants.len(), 8);
+        assert_eq!(variants[0].name, "telamalloc");
+        assert!(
+            !variants
+                .iter()
+                .skip(1)
+                .any(|v| v.name == "max-size/fixed-step"),
+            "the base IS max-size/fixed-step; the cross entry is a duplicate"
+        );
+        // The other policy for the same strategy still races.
+        assert!(variants
+            .iter()
+            .any(|v| v.name == "max-size/conflict-guided"));
     }
 
     #[test]

@@ -48,6 +48,10 @@ pub struct TelaResult {
     /// When the preflight audit proved infeasibility, the independently
     /// checkable witness (see [`tela_audit::Certificate::verify`]).
     pub certificate: Option<Certificate>,
+    /// The portfolio variant that produced this result, when it came out
+    /// of a race ([`solve_portfolio`](crate::solve_portfolio) fills this
+    /// on the winning result; plain [`solve`] runs leave it `None`).
+    pub winner: Option<crate::portfolio::WinnerInfo>,
 }
 
 /// Solves `problem` with the default configuration and backtrack policy.
@@ -143,6 +147,7 @@ fn solve_with_inner(
                     partial: Vec::new(),
                     first_conflict: Vec::new(),
                     certificate: Some(cert),
+                    winner: None,
                 };
             }
             Verdict::TriviallyFeasible(solution) => {
@@ -172,6 +177,7 @@ fn solve_with_inner(
                     partial: Vec::new(),
                     first_conflict: Vec::new(),
                     certificate: None,
+                    winner: None,
                 };
             }
             Verdict::NeedsSearch(_) => {
@@ -266,6 +272,7 @@ fn solve_split(
                     partial,
                     first_conflict,
                     certificate: None,
+                    winner: None,
                 };
             }
         }
@@ -280,6 +287,7 @@ fn solve_split(
         partial: Vec::new(),
         first_conflict: Vec::new(),
         certificate: None,
+        winner: None,
     }
 }
 
@@ -405,6 +413,7 @@ impl<'a> Engine<'a> {
                     partial: Vec::new(),
                     first_conflict: Vec::new(),
                     certificate: None,
+                    winner: None,
                 }
             }
         };
@@ -423,6 +432,7 @@ impl<'a> Engine<'a> {
                     .unwrap_or(0)
             })
             .collect();
+        let seed = config.perturbation_seed;
         let selection_ranks: Vec<Option<Vec<u32>>> = config
             .selection
             .iter()
@@ -431,12 +441,30 @@ impl<'a> Engine<'a> {
                     return None;
                 }
                 let mut ids: Vec<u32> = (0..problem.len() as u32).collect();
-                ids.sort_unstable_by_key(|&i| {
-                    (
-                        std::cmp::Reverse(strategy.key(problem, BufferId::new(i as usize))),
-                        i,
-                    )
-                });
+                if seed == 0 {
+                    ids.sort_unstable_by_key(|&i| {
+                        (
+                            std::cmp::Reverse(strategy.key(problem, BufferId::new(i as usize))),
+                            i,
+                        )
+                    });
+                } else {
+                    // Perturbed restart: jitter each key by a hash of
+                    // `(seed, id)` and break remaining ties by a seeded
+                    // token, so the ordering genuinely differs per seed
+                    // (see `tela_heuristics::perturb`).
+                    ids.sort_unstable_by_key(|&i| {
+                        (
+                            std::cmp::Reverse(tela_heuristics::perturb::jitter_key(
+                                strategy.key(problem, BufferId::new(i as usize)),
+                                u64::from(i),
+                                seed,
+                            )),
+                            tela_heuristics::perturb::tiebreak(u64::from(i), seed),
+                            i,
+                        )
+                    });
+                }
                 let mut rank = vec![0u32; problem.len()];
                 for (pos, &i) in ids.iter().enumerate() {
                     rank[i as usize] = pos as u32;
@@ -466,7 +494,8 @@ impl<'a> Engine<'a> {
             first_conflict: None,
             scratch: EngineScratch::default(),
         };
-        let result = engine.search(budget, policy, observer);
+        let mut result = engine.search(budget, policy, observer);
+        result.stats.propagations = engine.solver.propagations();
         // Solver counters are sampled once per run, never incremented
         // per propagation: the hot loop stays metric-free.
         if config.tracer.enabled() {
@@ -503,6 +532,7 @@ impl<'a> Engine<'a> {
                     partial: Vec::new(),
                     first_conflict: Vec::new(),
                     certificate: None,
+                    winner: None,
                 };
             }
             if !self.current.queue_built {
@@ -540,6 +570,7 @@ impl<'a> Engine<'a> {
             partial: self.path(),
             first_conflict: self.first_conflict.clone().unwrap_or_default(),
             certificate: None,
+            winner: None,
         }
     }
 
@@ -755,8 +786,22 @@ impl<'a> Engine<'a> {
             SelectionStrategy::LowestPosition => pool
                 .iter()
                 .copied()
-                .min_by_key(|&id| (self.solver.domain(id).lo(), id.index())),
+                .min_by_key(|&id| (self.solver.domain(id).lo(), self.position_tiebreak(id))),
             _ => strategy.pick(self.problem, pool.iter().copied()),
+        }
+    }
+
+    /// Tiebreak among equal lowest positions: plain id order normally, a
+    /// seeded hash under a perturbed restart (lowest-position has no
+    /// static key to jitter, so the tiebreak is where its perturbation
+    /// lives).
+    // tela-lint: hot-path
+    fn position_tiebreak(&self, id: BufferId) -> u64 {
+        let seed = self.config.perturbation_seed;
+        if seed == 0 {
+            id.index() as u64
+        } else {
+            tela_heuristics::perturb::tiebreak(id.index() as u64, seed)
         }
     }
 
@@ -774,7 +819,9 @@ impl<'a> Engine<'a> {
         }
         match self.config.selection.first() {
             Some(SelectionStrategy::LowestPosition) => {
-                pool.sort_unstable_by_key(|&id| (self.solver.domain(id).lo(), id.index()));
+                pool.sort_unstable_by_key(|&id| {
+                    (self.solver.domain(id).lo(), self.position_tiebreak(id))
+                });
             }
             Some(strategy) => {
                 let strategy = *strategy;

@@ -1,0 +1,78 @@
+//! Trains the portfolio variant ranker from suite self-play and writes
+//! the committed text model.
+//!
+//! ```text
+//! cargo run --release -p tela-learned --bin train_ranker -- \
+//!     [--inputs 4] [--certified 14] [--steps 200000] \
+//!     [--out crates/learned/models/portfolio_ranker.txt]
+//! ```
+//!
+//! The training set mirrors the `bench trend` suite (sweep + certified
+//! configurations) so the model is trained on the same population the
+//! regression gate measures. Collection is deterministic; rerunning
+//! this binary reproduces the committed model byte for byte.
+
+use tela_learned::ranker::save_ranker;
+use tela_learned::selfplay::{ranker_params, self_play, train_ranker};
+use tela_model::Budget;
+use tela_workloads::sweep::{certified_configs, sweep_configs};
+use telamalloc::{default_variants, TelaConfig};
+
+fn arg_usize(flag: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn arg_string(flag: &str, default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| default.to_string())
+}
+
+fn main() {
+    let inputs = arg_usize("--inputs", 4);
+    let certified = arg_usize("--certified", 14);
+    let steps = arg_usize("--steps", 200_000) as u64;
+    let out = arg_string("--out", "crates/learned/models/portfolio_ranker.txt");
+
+    let mut configs = sweep_configs(inputs);
+    configs.extend(certified_configs(certified));
+    let instances: Vec<(String, tela_model::Problem)> =
+        configs.into_iter().map(|c| (c.name, c.problem)).collect();
+    let variants = default_variants(&TelaConfig::default());
+    println!(
+        "# train_ranker: {} instances x {} variants, {steps} steps each",
+        instances.len(),
+        variants.len()
+    );
+
+    let samples = self_play(&instances, &variants, &Budget::steps(steps));
+    let decisive = samples.iter().filter(|s| s.utility > 0.0).count();
+    println!(
+        "# collected {} samples ({decisive} decisive)",
+        samples.len()
+    );
+    for v in &variants {
+        let wins = samples
+            .iter()
+            .filter(|s| s.variant == v.name && s.utility > 0.0)
+            .count();
+        println!("#   {:<28} {wins}/{} decisive", v.name, instances.len());
+    }
+
+    let ranker = train_ranker(&samples, &ranker_params());
+    save_ranker(&ranker, std::path::Path::new(&out)).expect("write model file");
+    println!(
+        "# wrote {} ({} variant models, {} features)",
+        out,
+        ranker.len(),
+        tela_model::InstanceStats::FEATURE_COUNT
+    );
+}

@@ -1,0 +1,182 @@
+//! Suite self-play: training data for the portfolio ranker.
+//!
+//! The backtrack model (§6) learns from an oracle; the variant ranker
+//! learns from the portfolio itself. Every portfolio variant is run
+//! solo on every training instance and labelled with a *utility* — a
+//! monotone transform of "did it solve, and how cheaply" — and a GBT
+//! per variant regresses that utility from the instance's
+//! [`InstanceStats::feature_vector`]. At solve time the adaptive
+//! scheduler ranks variants by predicted utility and seeds the race
+//! with the top-k (telamalloc's `AdaptiveConfig`).
+
+use tela_model::{Budget, InstanceStats, Problem};
+use telamalloc::{solve, PortfolioVariant};
+
+use crate::gbt::{Gbt, GbtParams};
+use crate::ranker::PortfolioRanker;
+
+/// One labelled observation: a variant's performance on one instance.
+#[derive(Debug, Clone)]
+pub struct VariantSample {
+    /// The variant's display name (the ranker's lookup key).
+    pub variant: String,
+    /// The instance's [`InstanceStats::feature_vector`].
+    pub features: Vec<f64>,
+    /// The observed [`utility`] of this run.
+    pub utility: f64,
+}
+
+/// The training label of one solo run: `1 / (1 + ln(1 + steps))` when
+/// the variant reached a decisive outcome (solved or proved
+/// infeasibility), `0` otherwise.
+///
+/// Decisiveness dominates — any win outranks any loss — and among wins
+/// the log transform compresses the heavy-tailed step distribution so
+/// a 10×-cheaper solve looks meaningfully (not astronomically) better.
+pub fn utility(decisive: bool, steps: u64) -> f64 {
+    if decisive {
+        1.0 / (1.0 + (1.0 + steps as f64).ln())
+    } else {
+        0.0
+    }
+}
+
+/// Runs every variant solo on every instance and labels the runs.
+///
+/// Runs are sequential and deterministic: same instances, same
+/// variants, same budget ⇒ the same dataset, so the committed model is
+/// reproducible by rerunning `train_ranker`.
+pub fn self_play(
+    instances: &[(String, Problem)],
+    variants: &[PortfolioVariant],
+    budget: &Budget,
+) -> Vec<VariantSample> {
+    let mut samples = Vec::with_capacity(instances.len() * variants.len());
+    for (_, problem) in instances {
+        let features = InstanceStats::of(problem).feature_vector().to_vec();
+        for variant in variants {
+            let mut config = variant.config.clone();
+            config.threads = 1;
+            config.variants = Vec::new();
+            let result = solve(problem, budget, &config);
+            let decisive = matches!(
+                result.outcome,
+                tela_model::SolveOutcome::Solved(_) | tela_model::SolveOutcome::Infeasible
+            );
+            samples.push(VariantSample {
+                variant: variant.name.clone(),
+                features: features.clone(),
+                utility: utility(decisive, result.stats.steps),
+            });
+        }
+    }
+    samples
+}
+
+/// Fits one GBT per variant over its samples and packs them into a
+/// [`PortfolioRanker`].
+///
+/// Variants with no samples are skipped (the ranker scores them at the
+/// neutral midpoint at solve time). Samples are grouped by variant
+/// name in first-seen order, so the model file is deterministic.
+pub fn train_ranker(samples: &[VariantSample], params: &GbtParams) -> PortfolioRanker {
+    let mut order: Vec<&str> = Vec::new();
+    for s in samples {
+        if !order.contains(&s.variant.as_str()) {
+            order.push(&s.variant);
+        }
+    }
+    let mut models = Vec::with_capacity(order.len());
+    for name in order {
+        let rows: Vec<Vec<f64>> = samples
+            .iter()
+            .filter(|s| s.variant == name)
+            .map(|s| s.features.clone())
+            .collect();
+        let targets: Vec<f64> = samples
+            .iter()
+            .filter(|s| s.variant == name)
+            .map(|s| s.utility)
+            .collect();
+        if rows.is_empty() {
+            continue;
+        }
+        models.push((name.to_string(), Gbt::fit(&rows, &targets, params)));
+    }
+    PortfolioRanker::new(models)
+}
+
+/// Compact hyperparameters for the ranker's per-variant models: the
+/// feature space is 10-dimensional and training sets are tens of
+/// instances, so shallow few-tree ensembles generalize better than the
+/// paper's 100-tree backtrack forest — and keep the committed text
+/// model small.
+pub fn ranker_params() -> GbtParams {
+    GbtParams {
+        n_trees: 16,
+        learning_rate: 0.2,
+        max_depth: 3,
+        min_samples_leaf: 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tela_model::examples;
+    use telamalloc::{default_variants, TelaConfig};
+
+    #[test]
+    fn utility_orders_outcomes_sensibly() {
+        // Any decisive run beats any indecisive one.
+        assert!(utility(true, 1_000_000) > utility(false, 1));
+        // Cheaper decisive runs score higher.
+        assert!(utility(true, 10) > utility(true, 10_000));
+        // Bounded in (0, 1].
+        assert_eq!(utility(true, 0), 1.0);
+        assert!(utility(true, u64::MAX / 2) > 0.0);
+    }
+
+    #[test]
+    fn self_play_labels_every_variant_on_every_instance() {
+        let instances = vec![
+            ("tiny".to_string(), examples::tiny()),
+            ("fig1".to_string(), examples::figure1()),
+        ];
+        let variants = default_variants(&TelaConfig::default());
+        let samples = self_play(&instances, &variants, &Budget::steps(50_000));
+        assert_eq!(samples.len(), instances.len() * variants.len());
+        // Deterministic: a second pass produces identical labels.
+        let again = self_play(&instances, &variants, &Budget::steps(50_000));
+        for (a, b) in samples.iter().zip(&again) {
+            assert_eq!(a.variant, b.variant);
+            assert_eq!(a.utility, b.utility);
+            assert_eq!(a.features, b.features);
+        }
+        // The trivially-solvable instances should be decisive for the
+        // base variant at least.
+        assert!(samples.iter().any(|s| s.utility > 0.0));
+    }
+
+    #[test]
+    fn trained_ranker_round_trips_and_scores() {
+        let instances = vec![
+            ("tiny".to_string(), examples::tiny()),
+            ("fig1".to_string(), examples::figure1()),
+            ("aligned".to_string(), examples::aligned()),
+        ];
+        let variants = default_variants(&TelaConfig::default());
+        let samples = self_play(&instances, &variants, &Budget::steps(50_000));
+        let ranker = train_ranker(&samples, &ranker_params());
+        assert_eq!(ranker.len(), variants.len());
+        let restored =
+            PortfolioRanker::from_text(&ranker.to_text()).expect("trained model round trips");
+        let features = InstanceStats::of(&examples::figure1()).feature_vector();
+        for v in &variants {
+            assert_eq!(
+                ranker.predict(&v.name, &features),
+                restored.predict(&v.name, &features)
+            );
+        }
+    }
+}

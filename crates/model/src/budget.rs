@@ -188,6 +188,18 @@ impl Default for Budget {
     }
 }
 
+/// Identity of the portfolio variant that settled a race, in the
+/// `Copy`-friendly form carried on [`SolveStats`] (the display name
+/// travels separately, on `telamalloc`'s richer result types).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RaceWinner {
+    /// Index into the race's variant list.
+    pub variant: u32,
+    /// Ordinal of the worker thread that ran the winning variant
+    /// (0 for a sequential race or the pre-race sprint).
+    pub thread: u32,
+}
+
 /// Statistics reported by a solver run.
 ///
 /// *Steps* count decisions (block placements plus backtrack-driven
@@ -202,6 +214,10 @@ pub struct SolveStats {
     pub minor_backtracks: u64,
     /// Multi-step, conflict-guided backtracks.
     pub major_backtracks: u64,
+    /// CP-solver propagation count — the adaptive portfolio's progress
+    /// signal alongside depth and backtracks (zero for solvers that do
+    /// not propagate).
+    pub propagations: u64,
     /// Wall-clock time spent, if measured.
     pub elapsed: Duration,
     /// True when the run stopped because its budget's shared cancellation
@@ -213,6 +229,10 @@ pub struct SolveStats {
     /// payloads themselves are surfaced as `portfolio.variant_panicked`
     /// trace events.
     pub panics: u64,
+    /// The portfolio variant that settled the race producing these
+    /// stats, if one did. Survives [`SolveStats::absorb`], so the
+    /// resilience ladder and the `Allocator` frontend report it too.
+    pub winner: Option<RaceWinner>,
 }
 
 impl SolveStats {
@@ -227,9 +247,11 @@ impl SolveStats {
         self.steps += other.steps;
         self.minor_backtracks += other.minor_backtracks;
         self.major_backtracks += other.major_backtracks;
+        self.propagations += other.propagations;
         self.elapsed += other.elapsed;
         self.cancelled |= other.cancelled;
         self.panics += other.panics;
+        self.winner = self.winner.or(other.winner);
     }
 }
 
@@ -421,6 +443,30 @@ mod tests {
         a.absorb(&b);
         assert_eq!(a.steps, 12);
         assert_eq!(a.total_backtracks(), 6);
+    }
+
+    #[test]
+    fn stats_absorb_keeps_first_winner() {
+        let mut a = SolveStats::default();
+        assert_eq!(a.winner, None);
+        let first = SolveStats {
+            winner: Some(RaceWinner {
+                variant: 3,
+                thread: 1,
+            }),
+            ..Default::default()
+        };
+        let second = SolveStats {
+            winner: Some(RaceWinner {
+                variant: 7,
+                thread: 0,
+            }),
+            ..Default::default()
+        };
+        a.absorb(&first);
+        a.absorb(&second);
+        assert_eq!(a.winner.unwrap().variant, 3);
+        assert_eq!(a.winner.unwrap().thread, 1);
     }
 
     #[test]

@@ -42,7 +42,7 @@ mod split;
 mod trace;
 
 pub use analysis::{maximal_live_sets, InstanceStats, LiveSet, PackingStats};
-pub use budget::{Budget, SolveError, SolveOutcome, SolveStats};
+pub use budget::{Budget, RaceWinner, SolveError, SolveOutcome, SolveStats};
 pub use buffer::{Buffer, BufferError, BufferId};
 pub use contention::{ContentionProfile, Phase, PhasePartition};
 #[cfg(feature = "fault-inject")]
