@@ -1,0 +1,277 @@
+//! `bench throughput`: end-to-end service throughput and latency for
+//! `tela-server`, behind the same Floor/Band trend gates as
+//! `BENCH_pr8.json` (artifact: `BENCH_pr9.json`).
+//!
+//! For each concurrency level N ∈ {1, 4, 16} the harness boots a fresh
+//! in-process server on a loopback socket and drives it with N client
+//! threads over real TCP, twice:
+//!
+//! - **cold** — every request is a structurally distinct problem, so
+//!   each one walks the full pipeline (admission → queue → escalation
+//!   ladder). Reported: solves/sec plus p50/p99/max request latency.
+//! - **warm** — one problem is primed, then every request is a renamed/
+//!   shifted variant of it: all cache hits, zero solve-path entries
+//!   (asserted via the server's `solve_calls` counter). Reported:
+//!   responses/sec plus p99 latency — the cache-hit fast path.
+//!
+//! The run also asserts the service invariant in countable form: every
+//! request produced exactly one terminal response
+//! (`zero_non_terminal = 1` is a Floor-gated schema metric).
+//!
+//! With `--check PATH` the run gates itself against a committed
+//! snapshot: counts and invariants are Floors, latencies are Bands
+//! (fail above `+tolerance%`), and rates are RateBands (fail below
+//! `committed / (1 + tolerance%)`) — sized for cross-machine CI noise
+//! via `--tolerance`.
+
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use tela_bench::{
+    arg_f64, arg_string, arg_usize, compare_trend, render_trend_json, Gate, TextTable,
+};
+use tela_model::{problem_to_text, Buffer, Problem};
+use tela_server::{Client, Request, Server, ServerConfig, Status, TenantConfig};
+
+const CONCURRENCY: [usize; 3] = [1, 4, 16];
+
+fn main() {
+    let requests = arg_usize("--requests", 96);
+    let workers = arg_usize("--workers", 4);
+    let tolerance = arg_usize("--tolerance", 50) as f64;
+    let slack = arg_f64("--slack", 2.0);
+    let out = arg_string("--out", "BENCH_pr9.json");
+    let check = arg_string("--check", "");
+
+    println!("# bench throughput: {requests} requests per phase, {workers} workers, N in {CONCURRENCY:?}");
+
+    let mut metrics: Vec<(String, f64, Gate)> = Vec::new();
+    let mut table = TextTable::new(["N", "phase", "rps", "p50", "p99", "max"]);
+    let mut all_terminal = true;
+    for &n in &CONCURRENCY {
+        let (cold, warm, terminal) = measure(n, workers, requests);
+        all_terminal &= terminal;
+        table.row([
+            n.to_string(),
+            "cold".into(),
+            format!("{:.0}", cold.rps),
+            format!("{:.2}ms", cold.p50_ms),
+            format!("{:.2}ms", cold.p99_ms),
+            format!("{:.2}ms", cold.max_ms),
+        ]);
+        table.row([
+            n.to_string(),
+            "warm".into(),
+            format!("{:.0}", warm.rps),
+            format!("{:.2}ms", warm.p50_ms),
+            format!("{:.2}ms", warm.p99_ms),
+            format!("{:.2}ms", warm.max_ms),
+        ]);
+        metrics.push((format!("cold_rps_n{n}"), cold.rps, Gate::RateBand));
+        metrics.push((format!("cold_p50_ms_n{n}"), cold.p50_ms, Gate::Band));
+        metrics.push((format!("cold_p99_ms_n{n}"), cold.p99_ms, Gate::Band));
+        metrics.push((format!("cold_max_ms_n{n}"), cold.max_ms, Gate::Band));
+        metrics.push((format!("warm_rps_n{n}"), warm.rps, Gate::RateBand));
+        metrics.push((format!("warm_p99_ms_n{n}"), warm.p99_ms, Gate::Band));
+    }
+    print!("{}", table.render());
+    metrics.push((
+        "zero_non_terminal".to_string(),
+        if all_terminal { 1.0 } else { 0.0 },
+        Gate::Floor,
+    ));
+    assert!(all_terminal, "some request did not get a terminal response");
+
+    let borrowed: Vec<(&str, f64, Gate)> = metrics
+        .iter()
+        .map(|(k, v, g)| (k.as_str(), *v, *g))
+        .collect();
+    let json = render_trend_json(
+        "throughput",
+        &[
+            ("requests_per_phase", requests as u64),
+            ("server_workers", workers as u64),
+        ],
+        &borrowed,
+    );
+    if !check.is_empty() {
+        let snapshot = std::fs::read_to_string(&check)
+            .unwrap_or_else(|e| panic!("cannot read snapshot {check}: {e}"));
+        let failures = compare_trend(&borrowed, &snapshot, tolerance, slack);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("REGRESSION: {f}");
+            }
+            eprintln!(
+                "# {} of {} gates failed against {check} (tolerance {tolerance}%)",
+                failures.len(),
+                borrowed.len()
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "# all {} gates within tolerance {tolerance}% of {check}",
+            borrowed.len()
+        );
+    }
+    std::fs::write(&out, json).expect("write benchmark artifact");
+    println!("# wrote {out}");
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Phase {
+    rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+}
+
+/// A small always-feasible problem, structurally unique per `tag`
+/// (peak live size 94 against capacity ≥ 128).
+fn cold_problem(tag: u64) -> Problem {
+    Problem::builder(128 + (tag % 7))
+        .buffer(Buffer::new(0, 4, 40 + (tag % 31)))
+        .buffer(Buffer::new(2, 6, 24))
+        .buffer(Buffer::new(5, 9, 48))
+        .buffer(Buffer::new(7, 9, 16 + ((tag / 31) % 17)))
+        .build()
+        .expect("cold problems are valid")
+}
+
+/// A renamed/shifted variant of the warm problem: same canonical form
+/// (cache hit), different surface text.
+fn warm_problem(variant: u64) -> Problem {
+    let shift = (variant % 13) as u32;
+    let mut buffers = vec![
+        Buffer::new(shift, 4 + shift, 40),
+        Buffer::new(2 + shift, 6 + shift, 24),
+        Buffer::new(5 + shift, 9 + shift, 48),
+    ];
+    buffers.rotate_left((variant % 3) as usize);
+    Problem::new(buffers, 96).expect("warm problems are valid")
+}
+
+/// Runs the cold and warm phases at concurrency `n` against a fresh
+/// server; returns both phases plus the terminality check.
+fn measure(n: usize, workers: usize, requests: usize) -> (Phase, Phase, bool) {
+    let server = Server::new(ServerConfig {
+        workers,
+        queue_capacity: 256,
+        degrade_watermark: 224,
+        cache_capacity: 4 * requests,
+        admission: TenantConfig {
+            // The bench measures pipeline throughput, not the token
+            // bucket: admit everything.
+            refill_per_sec: 1_000_000,
+            burst: 1_000_000,
+            ..TenantConfig::default()
+        },
+        ..ServerConfig::default()
+    });
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let shutdown = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let serving = scope.spawn(|| server.serve(listener, &shutdown));
+        // Panic-safe: flip shutdown BEFORE unwinding out of the scope, or
+        // a failed assertion would leave the accept loop running and the
+        // scope join would hang the whole bench.
+        let measured = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // Cold: distinct problems, full pipeline.
+            let cold = drive(addr, n, requests, |i| cold_problem(0xC01D_0000 + i));
+            let cold_solves = server.stats().solve_calls.load(Ordering::Relaxed);
+            assert!(
+                cold_solves >= requests as u64 / 2,
+                "cold phase barely solved"
+            );
+
+            // Warm: prime one canonical form, then hammer renamed variants.
+            let mut primer = Client::connect(addr).expect("connect primer");
+            let primed = primer
+                .request(&Request {
+                    id: 0,
+                    tenant: "bench".into(),
+                    problem: problem_to_text(&warm_problem(0)),
+                    max_steps: Some(500_000),
+                    deadline_ms: Some(5_000),
+                })
+                .expect("prime the cache");
+            assert_eq!(primed.status, Status::Solved, "warm primer must solve");
+            let solves_before_warm = server.stats().solve_calls.load(Ordering::Relaxed);
+            let warm = drive(addr, n, requests, warm_problem);
+            // The warm phase must never have entered the solve path.
+            assert_eq!(
+                server.stats().solve_calls.load(Ordering::Relaxed),
+                solves_before_warm,
+                "warm requests leaked into the solve path"
+            );
+            (cold, warm)
+        }));
+        shutdown.store(true, Ordering::Release);
+        serving.join().expect("server thread").expect("serve");
+        let (cold, warm) = match measured {
+            Ok(phases) => phases,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        let stats = server.stats();
+        let terminal = stats.terminal_total() == stats.responses.load(Ordering::Relaxed);
+        (cold, warm, terminal)
+    })
+}
+
+/// Fires `requests` requests from `n` client threads (`problem_of`
+/// keyed by a global request index) and aggregates latencies.
+fn drive(
+    addr: SocketAddr,
+    n: usize,
+    requests: usize,
+    problem_of: impl Fn(u64) -> Problem + Sync,
+) -> Phase {
+    let per_client = requests.div_ceil(n);
+    let t0 = Instant::now();
+    let mut latencies: Vec<Duration> = std::thread::scope(|scope| {
+        let problem_of = &problem_of;
+        let handles: Vec<_> = (0..n)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect client");
+                    let mut latencies = Vec::with_capacity(per_client);
+                    for i in 0..per_client {
+                        let index = (c * per_client + i) as u64;
+                        let request = Request {
+                            id: index,
+                            tenant: "bench".into(),
+                            problem: problem_to_text(&problem_of(index)),
+                            max_steps: Some(500_000),
+                            deadline_ms: Some(5_000),
+                        };
+                        let sent = Instant::now();
+                        let response = client.request(&request).expect("terminal response");
+                        latencies.push(sent.elapsed());
+                        assert_ne!(
+                            response.status,
+                            Status::Infeasible,
+                            "bench problems are solvable"
+                        );
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall = t0.elapsed();
+    latencies.sort_unstable();
+    let total = latencies.len();
+    let pct = |p: usize| latencies[(total * p / 100).min(total - 1)].as_secs_f64() * 1e3;
+    Phase {
+        rps: total as f64 / wall.as_secs_f64().max(1e-9),
+        p50_ms: pct(50),
+        p99_ms: pct(99),
+        max_ms: latencies[total - 1].as_secs_f64() * 1e3,
+    }
+}

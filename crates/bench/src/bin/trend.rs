@@ -39,21 +39,13 @@ use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
 
-use tela_bench::{arg_string, arg_usize, TextTable};
+use tela_bench::{
+    arg_f64, arg_string, arg_usize, compare_trend, render_trend_json, Gate, TextTable,
+};
 use tela_cp::CpSolver;
 use tela_model::{Budget, BufferId, SolveOutcome};
 use tela_workloads::sweep::{certified_configs, giant_config, sweep_configs, SweepConfig};
 use telamalloc::{solve, solve_portfolio, AdaptiveConfig, TelaConfig, VariantRanker};
-
-/// Flat metric list: `(key, value, gate)` — the JSON is generated from
-/// this, so emit order and key set stay schema-stable.
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum Gate {
-    /// Lower is better; fails beyond `+tolerance%` of the snapshot.
-    Band,
-    /// Higher is better; fails on any drop below the snapshot.
-    Floor,
-}
 
 fn main() {
     let inputs = arg_usize("--inputs", 4);
@@ -63,6 +55,7 @@ fn main() {
     let repeats = arg_usize("--repeats", 3).max(1);
     let giant_n = arg_usize("--giant", 30_000);
     let tolerance = arg_usize("--tolerance", 50) as f64;
+    let slack = arg_f64("--slack", 0.5);
     let out = arg_string("--out", "BENCH_pr8.json");
     let check = arg_string("--check", "");
 
@@ -193,11 +186,20 @@ fn main() {
         ("micro_trail_churn_ns", trail_ns as f64, Gate::Band),
     ];
 
-    let json = render_json(&metrics, step_cap, threads);
+    // Flat metric list: `(key, value, gate)` — the JSON is generated
+    // from this, so emit order and key set stay schema-stable.
+    let json = render_trend_json(
+        "trend",
+        &[
+            ("step_cap", step_cap),
+            ("portfolio_threads", threads as u64),
+        ],
+        &metrics,
+    );
     if !check.is_empty() {
         let snapshot = std::fs::read_to_string(&check)
             .unwrap_or_else(|e| panic!("cannot read snapshot {check}: {e}"));
-        let failures = compare(&metrics, &snapshot, tolerance);
+        let failures = compare_trend(&metrics, &snapshot, tolerance, slack);
         if !failures.is_empty() {
             for f in &failures {
                 eprintln!("REGRESSION: {f}");
@@ -360,64 +362,4 @@ fn trail_churn_ns() -> u64 {
         solver.pop_level();
     }
     start.elapsed().as_nanos() as u64
-}
-
-/// Hand-rolled flat JSON (the workspace is offline; no serde).
-fn render_json(metrics: &[(&str, f64, Gate)], step_cap: u64, threads: usize) -> String {
-    let mut s = String::from("{\n");
-    s.push_str("  \"bench\": \"trend\",\n  \"schema_version\": 1,\n");
-    s.push_str(&format!(
-        "  \"step_cap\": {step_cap},\n  \"portfolio_threads\": {threads},\n"
-    ));
-    for (i, (key, value, _)) in metrics.iter().enumerate() {
-        let sep = if i + 1 == metrics.len() { "" } else { "," };
-        if value.fract() == 0.0 {
-            s.push_str(&format!("  \"{key}\": {value:.0}{sep}\n"));
-        } else {
-            s.push_str(&format!("  \"{key}\": {value:.3}{sep}\n"));
-        }
-    }
-    s.push_str("}\n");
-    s
-}
-
-/// Pulls `"key": <number>` out of the flat snapshot (schema-stable keys
-/// are unique, so plain scanning stands in for a JSON parser).
-fn json_number(snapshot: &str, key: &str) -> Option<f64> {
-    let needle = format!("\"{key}\":");
-    let at = snapshot.find(&needle)? + needle.len();
-    let rest = snapshot[at..].trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
-/// One failure message per breached gate.
-fn compare(metrics: &[(&str, f64, Gate)], snapshot: &str, tolerance: f64) -> Vec<String> {
-    let mut failures = Vec::new();
-    for &(key, value, gate) in metrics {
-        let Some(committed) = json_number(snapshot, key) else {
-            // New in this PR: the previous snapshot predates the metric.
-            // Report and skip — the next committed artifact gates it.
-            println!("# gate skipped: snapshot has no \"{key}\" (new metric)");
-            continue;
-        };
-        match gate {
-            Gate::Floor => {
-                if value < committed {
-                    failures.push(format!("{key}: {value} fell below committed {committed}"));
-                }
-            }
-            Gate::Band => {
-                let limit = committed * (1.0 + tolerance / 100.0);
-                if value > limit {
-                    failures.push(format!(
-                        "{key}: {value:.1} exceeds committed {committed:.1} by more than {tolerance}% (limit {limit:.1})"
-                    ));
-                }
-            }
-        }
-    }
-    failures
 }

@@ -413,30 +413,76 @@ impl EscalationLadder {
 
 /// The budget slice for one ladder stage.
 ///
-/// Stage slices partition the caller's *remaining* step budget: the
-/// first attempt gets [`LadderConfig::first_attempt_percent`] of it
-/// (all of it when no spill rounds are configured); each spill round
-/// gets an even share of what is left at that point. Deadlines and
-/// cancellation flags pass through unchanged — wall-clock limits bound
-/// the whole ladder, not one stage.
+/// Stage slices partition the caller's *remaining* budget along both
+/// axes, re-measured at the moment the stage starts:
+///
+/// - **Steps**: the first attempt gets
+///   [`LadderConfig::first_attempt_percent`] of the steps not yet spent
+///   (all of them when no spill rounds are configured); each spill
+///   round gets an even share of what is left at that point.
+/// - **Deadline**: the same fractions applied to the time left until
+///   the caller's deadline *as of now*. Slicing from the remaining time
+///   rather than static fractions of the original grant means a slow
+///   earlier stage (a pathological greedy pass, a long first portfolio
+///   attempt) shrinks later slices proportionally instead of handing a
+///   later stage a deadline that already expired inside its
+///   "reserved" share. A stage slice never extends past the caller's
+///   own deadline, and when the caller's deadline has already passed
+///   it is handed through unchanged — the stage observes an exhausted
+///   budget at its first poll and returns promptly.
+///
+/// Cancellation flags pass through unchanged.
 fn round_budget(budget: &Budget, lc: &LadderConfig, spent: u64, round: u32) -> Budget {
-    let Some(total) = budget.max_steps() else {
-        return budget.clone();
-    };
-    let remaining = total.saturating_sub(spent).max(1);
-    let slice = if round == 0 {
-        if lc.max_spill_rounds == 0 {
-            remaining
+    // tela-lint: allow(deterministic-clock, reason = "re-measuring the remaining deadline is the point of per-stage slicing; step-only budgets never read the clock")
+    let now = budget.deadline().map(|_| Instant::now());
+    round_budget_at(budget, lc, spent, round, now)
+}
+
+/// Deterministic core of [`round_budget`]: `now` is the instant the
+/// stage starts (`None` when the budget has no deadline, so no clock is
+/// read on the step-only path).
+fn round_budget_at(
+    budget: &Budget,
+    lc: &LadderConfig,
+    spent: u64,
+    round: u32,
+    now: Option<Instant>,
+) -> Budget {
+    // The stage's share of what remains, as a (numerator, denominator)
+    // fraction — shared by the step and deadline axes.
+    let share = |remaining: u128| -> u128 {
+        if round == 0 {
+            if lc.max_spill_rounds == 0 {
+                remaining
+            } else {
+                remaining * u128::from(lc.first_attempt_percent.min(100)) / 100
+            }
         } else {
-            let percent = u128::from(lc.first_attempt_percent.min(100));
-            ((u128::from(remaining) * percent / 100).max(1)) as u64
+            // Even share over this and all remaining rounds.
+            remaining / u128::from(lc.max_spill_rounds - round + 1)
         }
-    } else {
-        // Even share over this and all remaining rounds.
-        let rounds_left = u64::from(lc.max_spill_rounds - round + 1);
-        (remaining / rounds_left).max(1)
     };
-    budget.clone().with_max_steps(slice)
+
+    let mut slice = budget.clone();
+    if let Some(total) = budget.max_steps() {
+        let remaining = total.saturating_sub(spent).max(1);
+        let steps = (share(u128::from(remaining)).max(1)) as u64;
+        slice = slice.with_max_steps(steps);
+    }
+    if let (Some(deadline), Some(now)) = (budget.deadline(), now) {
+        let remaining = deadline.saturating_duration_since(now);
+        if !remaining.is_zero() {
+            let nanos = share(remaining.as_nanos()).min(remaining.as_nanos());
+            let stage_deadline = now
+                .checked_add(Duration::from_nanos(nanos.min(u128::from(u64::MAX)) as u64))
+                .unwrap_or(deadline)
+                .min(deadline);
+            slice = slice.with_deadline(stage_deadline);
+        }
+        // Already expired: hand the caller's deadline through unchanged
+        // so the stage terminates at its first budget poll.
+    }
+    slice
 }
 
 #[cfg(test)]
@@ -571,6 +617,77 @@ mod tests {
         let budget = Budget::steps(1000).with_deadline(deadline);
         let slice = round_budget(&budget, &LadderConfig::default(), 0, 0);
         assert!(!slice.deadline_passed_at(t0));
+        assert!(slice.deadline_passed_at(deadline));
+    }
+
+    #[test]
+    fn stage_deadlines_derive_from_remaining_time() {
+        // Fake clock throughout: the caller granted 100s total.
+        let lc = LadderConfig::default();
+        let t0 = Instant::now();
+        let deadline = t0 + Duration::from_secs(100);
+        let budget = Budget::unlimited().with_deadline(deadline);
+
+        // First attempt, started immediately: 60% of the 100s remain
+        // reserved for it, so its slice expires at t0+60s, not at the
+        // caller's deadline.
+        let first = round_budget_at(&budget, &lc, 0, 0, Some(t0));
+        assert!(!first.deadline_passed_at(t0 + Duration::from_secs(59)));
+        assert!(first.deadline_passed_at(t0 + Duration::from_secs(60)));
+
+        // A slow earlier stage ate 90 of the 100 seconds. Round 1's
+        // share is measured from the 10s that *remain*: an even share
+        // over the 8 remaining rounds (1.25s), not 1/8 of the original
+        // 40% holdback computed at t0.
+        let late = t0 + Duration::from_secs(90);
+        let retry = round_budget_at(&budget, &lc, 0, 1, Some(late));
+        assert!(!retry.deadline_passed_at(late + Duration::from_millis(1249)));
+        assert!(retry.deadline_passed_at(late + Duration::from_millis(1250)));
+
+        // The final spill round gets everything still on the clock.
+        let last = round_budget_at(&budget, &lc, 0, lc.max_spill_rounds, Some(late));
+        assert!(!last.deadline_passed_at(deadline - Duration::from_millis(1)));
+        assert!(last.deadline_passed_at(deadline));
+    }
+
+    #[test]
+    fn expired_caller_deadline_passes_through_unchanged() {
+        // When the deadline already passed, the stage must see an
+        // exhausted budget immediately — not a zero-length slice pinned
+        // to some later `now`.
+        let lc = LadderConfig::default();
+        let t0 = Instant::now();
+        let deadline = t0 + Duration::from_secs(1);
+        let budget = Budget::unlimited().with_deadline(deadline);
+        let after = t0 + Duration::from_secs(5);
+        let slice = round_budget_at(&budget, &lc, 0, 0, Some(after));
+        assert!(slice.deadline_passed_at(after));
+        assert_eq!(slice.deadline(), Some(deadline));
+    }
+
+    #[test]
+    fn step_only_budgets_slice_without_reading_the_clock() {
+        // `now == None` is the no-deadline path; step slicing is
+        // unchanged from the static-fraction behaviour.
+        let lc = LadderConfig::default();
+        let slice = round_budget_at(&Budget::steps(1000), &lc, 0, 0, None);
+        assert_eq!(slice.max_steps(), Some(600));
+        assert_eq!(slice.deadline(), None);
+    }
+
+    #[test]
+    fn stage_slice_never_extends_past_the_caller_deadline() {
+        // No spill rounds: the first attempt's share is 100% of the
+        // remainder, which must clamp exactly to the caller's deadline.
+        let all_in = LadderConfig {
+            max_spill_rounds: 0,
+            ..LadderConfig::default()
+        };
+        let t0 = Instant::now();
+        let deadline = t0 + Duration::from_secs(10);
+        let budget = Budget::unlimited().with_deadline(deadline);
+        let slice = round_budget_at(&budget, &all_in, 0, 0, Some(t0));
+        assert!(!slice.deadline_passed_at(deadline - Duration::from_millis(1)));
         assert!(slice.deadline_passed_at(deadline));
     }
 }

@@ -68,6 +68,11 @@ impl Default for Manifest {
                 "crates/model/src/budget.rs",
                 "crates/model/src/fault.rs",
                 "crates/bench/",
+                // The server lives in wall-clock time by design: token
+                // buckets refill, deadlines expire, and retry hints are
+                // computed against real elapsed time. Determinism there
+                // comes from injecting explicit `Instant`s in tests.
+                "crates/server/src/",
                 "examples/",
             ]),
             thread_allowed: s(&["crates/core/src/portfolio.rs"]),
@@ -116,6 +121,7 @@ mod tests {
         assert!(m.on_solve_path("crates/core/src/portfolio.rs"));
         assert!(!m.on_solve_path("crates/core/src/frontend.rs"));
         assert!(m.clock_exempt("crates/model/src/budget.rs"));
+        assert!(m.clock_exempt("crates/server/src/admission.rs"));
         assert!(!m.clock_exempt("crates/model/src/problem.rs"));
         assert!(m.thread_exempt("crates/core/src/portfolio.rs"));
         assert!(!m.thread_exempt("crates/core/src/resilience.rs"));

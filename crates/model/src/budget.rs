@@ -109,6 +109,16 @@ impl Budget {
         self
     }
 
+    /// The absolute wall-clock deadline, if one is set.
+    ///
+    /// Consumers that slice a budget into stages (the escalation
+    /// ladder, the allocation server) read this to derive per-stage
+    /// deadlines from the *remaining* time rather than static
+    /// fractions of the original grant.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
     /// Returns true if `steps` meets or exceeds the step cap.
     pub fn step_limit_reached(&self, steps: u64) -> bool {
         self.max_steps.is_some_and(|cap| steps >= cap)

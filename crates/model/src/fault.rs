@@ -154,6 +154,113 @@ impl FaultInjector {
     }
 }
 
+/// A deterministic script of *server-shaped* faults for chaos-testing a
+/// long-running allocation service.
+///
+/// Where [`FaultPlan`] scripts faults inside one solve (in solver
+/// steps), a `ServerFaultPlan` scripts faults around the request
+/// lifecycle of a multi-tenant server, keyed by the server's global
+/// request ordinal (0-based, in admission order):
+///
+/// - **worker faults** are executed by the server itself via
+///   [`ServerFaultPlan::worker_panics_on`] — the worker thread handling
+///   the named request panics mid-request and must be respawned;
+/// - **client faults** (`stall`, `disconnect`) script the *test
+///   harness's* client behaviour: the chaos suite reads them to decide
+///   which request to abandon mid-flight or stall before reading the
+///   reply, exercising the server's cancel-on-disconnect and
+///   slow-reader paths;
+/// - **burst** scripts a queue-full surge: starting at the named
+///   request, the harness fires `size` extra concurrent requests to
+///   force load shedding;
+/// - `solver` is an ordinary per-solve [`FaultPlan`] the server threads
+///   into the victim request's budget.
+///
+/// One seed therefore describes a complete scenario — who panics, who
+/// hangs up, when the thundering herd arrives — reproducibly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerFaultPlan {
+    /// Panic inside the worker while it handles this request ordinal.
+    pub worker_panic_request: Option<u64>,
+    /// The harness client owning this request ordinal disconnects
+    /// without reading its reply.
+    pub client_disconnect_request: Option<u64>,
+    /// The harness client owning this request ordinal stalls for the
+    /// given duration before reading its reply.
+    pub client_stall_request: Option<(u64, Duration)>,
+    /// From this request ordinal, the harness fires `1`-th extra
+    /// concurrent requests at once (queue-full burst).
+    pub burst: Option<(u64, u32)>,
+    /// Solver-level faults injected into the budget of the request
+    /// named by `worker_panic_request` — or of every request when no
+    /// panic victim is set.
+    pub solver: FaultPlan,
+}
+
+impl ServerFaultPlan {
+    /// Derives a plan deterministically from `seed`; the seed space
+    /// covers every fault kind (including combinations and the empty
+    /// plan), with small ordinals so faults fire within short soaks.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut state = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0x2545_F491_4F6C_DD1D);
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state = state.wrapping_mul(2685821657736338717);
+            state
+        };
+        let kinds = next();
+        let mut plan = ServerFaultPlan::default();
+        if kinds & 0b0001 != 0 {
+            plan.worker_panic_request = Some(next() % 24);
+        }
+        if kinds & 0b0010 != 0 {
+            plan.client_disconnect_request = Some(next() % 24);
+        }
+        if kinds & 0b0100 != 0 {
+            plan.client_stall_request = Some((next() % 24, Duration::from_millis(next() % 200)));
+        }
+        if kinds & 0b1000 != 0 {
+            plan.burst = Some((next() % 24, 4 + (next() % 12) as u32));
+        }
+        if kinds & 0b1_0000 != 0 {
+            plan.solver = FaultPlan {
+                // Solver-internal panics are the portfolio's own chaos
+                // surface; at the server level keep stall/cancel, which
+                // exercise deadline and cancellation handling.
+                panic_at_step: None,
+                ..FaultPlan::from_seed(next())
+            };
+        }
+        plan
+    }
+
+    /// Whether the worker handling request `ordinal` should panic (the
+    /// server calls this once per request, before solving).
+    pub fn worker_panics_on(&self, ordinal: u64) -> bool {
+        self.worker_panic_request == Some(ordinal)
+    }
+
+    /// The solver-level fault plan for request `ordinal`, if any.
+    pub fn solver_plan_for(&self, ordinal: u64) -> Option<&FaultPlan> {
+        if self.solver.is_empty() {
+            return None;
+        }
+        match self.worker_panic_request {
+            Some(victim) if victim != ordinal => None,
+            _ => Some(&self.solver),
+        }
+    }
+
+    /// Returns true if the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        *self == ServerFaultPlan::default()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,5 +339,71 @@ mod tests {
         };
         assert!(scoped.applies_to_variant(2));
         assert!(!scoped.applies_to_variant(0));
+    }
+
+    #[test]
+    fn server_plans_are_deterministic_and_cover_every_fault_kind() {
+        let mut saw_panic = false;
+        let mut saw_disconnect = false;
+        let mut saw_stall = false;
+        let mut saw_burst = false;
+        let mut saw_solver = false;
+        let mut saw_empty = false;
+        for seed in 0..256 {
+            let plan = ServerFaultPlan::from_seed(seed);
+            assert_eq!(plan, ServerFaultPlan::from_seed(seed), "seed {seed}");
+            saw_panic |= plan.worker_panic_request.is_some();
+            saw_disconnect |= plan.client_disconnect_request.is_some();
+            saw_stall |= plan.client_stall_request.is_some();
+            saw_burst |= plan.burst.is_some();
+            saw_solver |= !plan.solver.is_empty();
+            saw_empty |= plan.is_empty();
+        }
+        assert!(saw_panic && saw_disconnect && saw_stall && saw_burst && saw_solver && saw_empty);
+    }
+
+    #[test]
+    fn worker_panic_fires_on_exactly_one_request_ordinal() {
+        let plan = ServerFaultPlan {
+            worker_panic_request: Some(3),
+            ..ServerFaultPlan::default()
+        };
+        assert!(!plan.worker_panics_on(2));
+        assert!(plan.worker_panics_on(3));
+        // The respawned worker must not be re-killed on later requests.
+        assert!(!plan.worker_panics_on(4));
+        assert!(!ServerFaultPlan::default().worker_panics_on(0));
+    }
+
+    #[test]
+    fn solver_plan_targets_the_panic_victim_or_everyone() {
+        let solver = FaultPlan {
+            cancel_at_step: Some(5),
+            ..FaultPlan::default()
+        };
+        let targeted = ServerFaultPlan {
+            worker_panic_request: Some(2),
+            solver: solver.clone(),
+            ..ServerFaultPlan::default()
+        };
+        assert!(targeted.solver_plan_for(1).is_none());
+        assert_eq!(targeted.solver_plan_for(2), Some(&solver));
+        let broadcast = ServerFaultPlan {
+            solver: solver.clone(),
+            ..ServerFaultPlan::default()
+        };
+        assert_eq!(broadcast.solver_plan_for(0), Some(&solver));
+        assert_eq!(broadcast.solver_plan_for(9), Some(&solver));
+        assert!(ServerFaultPlan::default().solver_plan_for(0).is_none());
+    }
+
+    #[test]
+    fn seeded_server_solver_plans_never_script_solver_panics() {
+        // Worker panics are scripted separately; the solver sub-plan is
+        // restricted to stall/cancel-shaped faults.
+        for seed in 0..512 {
+            let plan = ServerFaultPlan::from_seed(seed);
+            assert_eq!(plan.solver.panic_at_step, None, "seed {seed}");
+        }
     }
 }

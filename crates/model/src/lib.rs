@@ -35,6 +35,7 @@ mod contention;
 pub mod examples;
 #[cfg(feature = "fault-inject")]
 pub mod fault;
+mod fingerprint;
 mod partial;
 mod problem;
 mod solution;
@@ -46,7 +47,8 @@ pub use budget::{Budget, RaceWinner, SolveError, SolveOutcome, SolveStats};
 pub use buffer::{Buffer, BufferError, BufferId};
 pub use contention::{ContentionProfile, Phase, PhasePartition};
 #[cfg(feature = "fault-inject")]
-pub use fault::{FaultInjector, FaultPlan};
+pub use fault::{FaultInjector, FaultPlan, ServerFaultPlan};
+pub use fingerprint::{fingerprint, CanonicalBuffer, CanonicalForm, Fingerprint};
 pub use partial::{BestEffort, PartialError, PartialSolution, ResilienceStage};
 pub use problem::{Problem, ProblemBuilder, ProblemError};
 pub use solution::{Solution, ValidationError};

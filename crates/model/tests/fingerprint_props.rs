@@ -1,0 +1,158 @@
+//! Property tests for cache-fingerprint canonicalization: renaming
+//! buffers and uniformly shifting lifetimes must never change a
+//! fingerprint (no spurious cache misses), while size/alignment/interval
+//! and capacity perturbations always must (no false cache hits).
+
+use proptest::prelude::*;
+use tela_model::{fingerprint, Buffer, CanonicalForm, Problem, Solution};
+
+fn buffer_strategy() -> impl Strategy<Value = Buffer> {
+    (
+        0u32..12,
+        1u32..6,
+        1u64..8,
+        prop_oneof![Just(1u64), Just(2), Just(4), Just(8)],
+    )
+        .prop_map(|(start, len, size, align)| {
+            Buffer::new(start, start + len, size).with_align(align)
+        })
+}
+
+fn problem_strategy() -> impl Strategy<Value = Problem> {
+    (prop::collection::vec(buffer_strategy(), 1..12), 8u64..64).prop_map(|(buffers, capacity)| {
+        Problem::new(buffers, capacity).expect("sizes below capacity")
+    })
+}
+
+/// Applies a deterministic permutation (derived from `seed`) and a
+/// uniform `shift` to every buffer.
+fn rename_and_shift(problem: &Problem, seed: u64, shift: u32) -> Problem {
+    let mut buffers: Vec<Buffer> = problem
+        .buffers()
+        .iter()
+        .map(|b| Buffer::new(b.start() + shift, b.end() + shift, b.size()).with_align(b.align()))
+        .collect();
+    // Fisher–Yates with a splitmix64 stream: a real permutation, seeded.
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for i in (1..buffers.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        buffers.swap(i, j);
+    }
+    Problem::new(buffers, problem.capacity()).expect("renaming/shift preserves validity")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn renaming_and_uniform_shift_preserve_fingerprints(
+        problem in problem_strategy(),
+        seed in 0u64..u64::MAX,
+        shift in 0u32..100,
+    ) {
+        let transformed = rename_and_shift(&problem, seed, shift);
+        prop_assert_eq!(fingerprint(&problem), fingerprint(&transformed));
+        prop_assert!(CanonicalForm::of(&problem).matches(&CanonicalForm::of(&transformed)));
+    }
+
+    #[test]
+    fn size_perturbation_changes_the_fingerprint(
+        problem in problem_strategy(),
+        victim in 0usize..4096,
+    ) {
+        let idx = victim % problem.len();
+        let buffers: Vec<Buffer> = problem
+            .buffers()
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let size = if i == idx { b.size() + 1 } else { b.size() };
+                Buffer::new(b.start(), b.end(), size).with_align(b.align())
+            })
+            .collect();
+        // Growing one buffer may exceed capacity; grow capacity in step
+        // only when needed, which itself changes the form.
+        let capacity = problem.capacity().max(buffers[idx].size());
+        let perturbed = Problem::new(buffers, capacity).expect("still valid");
+        prop_assert_ne!(fingerprint(&problem), fingerprint(&perturbed));
+        prop_assert!(!CanonicalForm::of(&problem).matches(&CanonicalForm::of(&perturbed)));
+    }
+
+    #[test]
+    fn alignment_perturbation_changes_the_fingerprint(
+        problem in problem_strategy(),
+        victim in 0usize..4096,
+    ) {
+        let idx = victim % problem.len();
+        let buffers: Vec<Buffer> = problem
+            .buffers()
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let align = if i == idx { b.align() * 16 } else { b.align() };
+                Buffer::new(b.start(), b.end(), b.size()).with_align(align)
+            })
+            .collect();
+        let perturbed = Problem::new(buffers, problem.capacity()).expect("still valid");
+        prop_assert_ne!(fingerprint(&problem), fingerprint(&perturbed));
+    }
+
+    #[test]
+    fn interval_perturbation_changes_the_fingerprint(
+        problem in problem_strategy(),
+        victim in 0usize..4096,
+    ) {
+        let idx = victim % problem.len();
+        let buffers: Vec<Buffer> = problem
+            .buffers()
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let end = if i == idx { b.end() + 1 } else { b.end() };
+                Buffer::new(b.start(), end, b.size()).with_align(b.align())
+            })
+            .collect();
+        let perturbed = Problem::new(buffers, problem.capacity()).expect("still valid");
+        prop_assert_ne!(fingerprint(&problem), fingerprint(&perturbed));
+    }
+
+    #[test]
+    fn capacity_perturbation_changes_the_fingerprint(problem in problem_strategy()) {
+        let perturbed = problem.with_capacity(problem.capacity() + 1).expect("larger is valid");
+        prop_assert_ne!(fingerprint(&problem), fingerprint(&perturbed));
+    }
+
+    #[test]
+    fn translated_cached_solutions_validate_on_the_renamed_problem(
+        problem in problem_strategy(),
+        seed in 0u64..u64::MAX,
+        shift in 0u32..50,
+    ) {
+        // "Solve" by stacking every buffer disjointly — always valid if
+        // it fits; skip instances where it does not.
+        let mut addr = 0u64;
+        let mut addresses = Vec::with_capacity(problem.len());
+        for b in problem.buffers() {
+            let aligned = addr.div_ceil(b.align()) * b.align();
+            addresses.push(aligned);
+            addr = aligned + b.size();
+        }
+        prop_assume!(addr <= problem.capacity());
+        let solution = Solution::new(addresses);
+        prop_assert!(solution.validate(&problem).is_ok());
+
+        let renamed = rename_and_shift(&problem, seed, shift);
+        let slots = CanonicalForm::of(&problem).slot_addresses(&solution);
+        let replayed = CanonicalForm::of(&renamed)
+            .translate(&slots)
+            .expect("matching forms have matching slot counts");
+        prop_assert!(replayed.validate(&renamed).is_ok());
+    }
+}

@@ -1,0 +1,227 @@
+//! Per-tenant admission control: token buckets and solve quotas.
+//!
+//! Each tenant owns a token bucket (`burst` capacity, `refill_per_sec`
+//! tokens per second) plus hard caps on the step budget and deadline any
+//! one request may claim. Admission is the *first* gate after the cache:
+//! a request that cannot take a token is answered `Rejected` with a
+//! `retry_after_ms` hint computed from the bucket's actual deficit, so
+//! well-behaved clients converge on the sustainable rate instead of
+//! hammering.
+//!
+//! All decisions take an explicit `now: Instant`, which keeps the logic
+//! deterministic under test; the server passes the real clock.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Per-tenant limits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantConfig {
+    /// Sustained admission rate, tokens (requests) per second.
+    pub refill_per_sec: u32,
+    /// Bucket capacity: how many requests may burst at once.
+    pub burst: u32,
+    /// Hard cap on one request's step budget.
+    pub step_quota: u64,
+    /// Hard cap on one request's deadline.
+    pub deadline_cap: Duration,
+}
+
+impl Default for TenantConfig {
+    fn default() -> Self {
+        TenantConfig {
+            refill_per_sec: 50,
+            burst: 20,
+            step_quota: 2_000_000,
+            deadline_cap: Duration::from_secs(10),
+        }
+    }
+}
+
+/// One tenant's bucket state, in token-nanoseconds to avoid floats.
+#[derive(Debug)]
+struct Bucket {
+    /// Tokens × `NANOS_PER_TOKEN` currently available.
+    level: u128,
+    /// Last refill instant.
+    refreshed: Instant,
+}
+
+const NANOS_PER_TOKEN: u128 = 1_000_000_000;
+
+/// The admission decision for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Admitted; a token was consumed.
+    Granted,
+    /// Refused; retry after roughly this long.
+    Denied {
+        /// How long until a token will be available.
+        retry_after: Duration,
+    },
+}
+
+/// Thread-safe admission controller over all tenants.
+///
+/// Unknown tenants get the default [`TenantConfig`]; named overrides
+/// are fixed at construction.
+#[derive(Debug, Default)]
+pub struct AdmissionController {
+    default_config: TenantConfig,
+    overrides: HashMap<String, TenantConfig>,
+    buckets: Mutex<HashMap<String, Bucket>>,
+}
+
+impl AdmissionController {
+    /// Creates a controller with `default_config` for unknown tenants.
+    pub fn new(default_config: TenantConfig) -> Self {
+        AdmissionController {
+            default_config,
+            overrides: HashMap::new(),
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Adds a per-tenant override.
+    pub fn with_tenant(mut self, name: impl Into<String>, config: TenantConfig) -> Self {
+        self.overrides.insert(name.into(), config);
+        self
+    }
+
+    /// The limits that apply to `tenant`.
+    pub fn config_for(&self, tenant: &str) -> &TenantConfig {
+        self.overrides.get(tenant).unwrap_or(&self.default_config)
+    }
+
+    /// Tries to admit one request for `tenant` at `now`.
+    pub fn try_admit_at(&self, tenant: &str, now: Instant) -> Admission {
+        let config = self.config_for(tenant);
+        let rate = u128::from(config.refill_per_sec.max(1));
+        let capacity = u128::from(config.burst.max(1)) * NANOS_PER_TOKEN;
+        let mut buckets = self
+            .buckets
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let bucket = buckets.entry(tenant.to_string()).or_insert(Bucket {
+            level: capacity,
+            refreshed: now,
+        });
+        // Refill for elapsed time, saturating at the burst capacity.
+        let elapsed = now.saturating_duration_since(bucket.refreshed).as_nanos();
+        bucket.level = (bucket.level + elapsed * rate).min(capacity);
+        bucket.refreshed = now;
+        if bucket.level >= NANOS_PER_TOKEN {
+            bucket.level -= NANOS_PER_TOKEN;
+            Admission::Granted
+        } else {
+            let deficit = NANOS_PER_TOKEN - bucket.level;
+            let wait_nanos = deficit.div_ceil(rate);
+            Admission::Denied {
+                retry_after: Duration::from_nanos(wait_nanos.min(u128::from(u64::MAX)) as u64),
+            }
+        }
+    }
+
+    /// Clamps a request's asked step budget to the tenant's quota.
+    pub fn clamp_steps(&self, tenant: &str, asked: Option<u64>) -> u64 {
+        let quota = self.config_for(tenant).step_quota;
+        asked.map_or(quota, |steps| steps.min(quota))
+    }
+
+    /// Clamps a request's asked deadline to the tenant's cap.
+    pub fn clamp_deadline(&self, tenant: &str, asked: Option<Duration>) -> Duration {
+        let cap = self.config_for(tenant).deadline_cap;
+        asked.map_or(cap, |d| d.min(cap))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller(refill_per_sec: u32, burst: u32) -> AdmissionController {
+        AdmissionController::new(TenantConfig {
+            refill_per_sec,
+            burst,
+            ..TenantConfig::default()
+        })
+    }
+
+    #[test]
+    fn bursts_up_to_capacity_then_denies() {
+        let c = controller(10, 3);
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            assert_eq!(c.try_admit_at("a", t0), Admission::Granted);
+        }
+        let Admission::Denied { retry_after } = c.try_admit_at("a", t0) else {
+            panic!("fourth request must be denied");
+        };
+        // Empty bucket at 10/s: the next token is 100ms away.
+        assert_eq!(retry_after, Duration::from_millis(100));
+    }
+
+    #[test]
+    fn refill_restores_tokens_at_the_configured_rate() {
+        let c = controller(10, 2);
+        let t0 = Instant::now();
+        assert_eq!(c.try_admit_at("a", t0), Admission::Granted);
+        assert_eq!(c.try_admit_at("a", t0), Admission::Granted);
+        assert!(matches!(c.try_admit_at("a", t0), Admission::Denied { .. }));
+        // 100ms refills exactly one token at 10/s.
+        let t1 = t0 + Duration::from_millis(100);
+        assert_eq!(c.try_admit_at("a", t1), Admission::Granted);
+        assert!(matches!(c.try_admit_at("a", t1), Admission::Denied { .. }));
+        // A long quiet period saturates at burst, not beyond.
+        let t2 = t1 + Duration::from_secs(60);
+        assert_eq!(c.try_admit_at("a", t2), Admission::Granted);
+        assert_eq!(c.try_admit_at("a", t2), Admission::Granted);
+        assert!(matches!(c.try_admit_at("a", t2), Admission::Denied { .. }));
+    }
+
+    #[test]
+    fn tenants_have_independent_buckets() {
+        let c = controller(1, 1);
+        let t0 = Instant::now();
+        assert_eq!(c.try_admit_at("a", t0), Admission::Granted);
+        assert!(matches!(c.try_admit_at("a", t0), Admission::Denied { .. }));
+        assert_eq!(c.try_admit_at("b", t0), Admission::Granted);
+    }
+
+    #[test]
+    fn overrides_beat_the_default() {
+        let c = controller(1, 1).with_tenant(
+            "vip",
+            TenantConfig {
+                refill_per_sec: 100,
+                burst: 50,
+                step_quota: 9,
+                deadline_cap: Duration::from_millis(500),
+            },
+        );
+        assert_eq!(c.config_for("vip").burst, 50);
+        assert_eq!(c.config_for("other").burst, 1);
+        assert_eq!(c.clamp_steps("vip", Some(1_000_000)), 9);
+        assert_eq!(c.clamp_steps("vip", None), 9);
+        assert_eq!(
+            c.clamp_deadline("vip", Some(Duration::from_secs(30))),
+            Duration::from_millis(500)
+        );
+        assert_eq!(c.clamp_deadline("vip", None), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn time_going_backwards_is_harmless() {
+        let c = controller(10, 1);
+        let t0 = Instant::now() + Duration::from_secs(10);
+        assert_eq!(c.try_admit_at("a", t0), Admission::Granted);
+        // An earlier `now` (monotonic clock oddity) must not panic or
+        // mint tokens.
+        let earlier = t0 - Duration::from_secs(5);
+        assert!(matches!(
+            c.try_admit_at("a", earlier),
+            Admission::Denied { .. }
+        ));
+    }
+}

@@ -1,0 +1,206 @@
+//! Solution cache keyed by canonical problem fingerprints.
+//!
+//! Production compilers re-submit structurally identical allocation
+//! problems constantly — recompiles, autotuning sweeps, multi-replica
+//! deploys — differing only in buffer naming/order or a uniform shift of
+//! the schedule. [`CanonicalForm`] erases exactly those differences, so
+//! one solved instance serves the whole equivalence class: a hit is
+//! *translated* back through the requesting problem's buffer order
+//! rather than replayed verbatim.
+//!
+//! Lookups verify the stored canonical form against the requester's
+//! (`matches`), not just the 128-bit fingerprint, so even a hash
+//! collision can never hand a tenant a solution to someone else's
+//! problem. Eviction is least-recently-used at a fixed entry capacity.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use tela_model::{Address, CanonicalForm, Solution};
+
+#[derive(Debug)]
+struct CacheEntry {
+    form: CanonicalForm,
+    /// Addresses in canonical slot order (rename-independent).
+    slots: Vec<Address>,
+    /// Logical LRU stamp.
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct CacheState {
+    entries: HashMap<u128, CacheEntry>,
+    tick: u64,
+}
+
+/// A bounded, thread-safe, rename-invariant solution cache.
+#[derive(Debug)]
+pub struct SolutionCache {
+    state: Mutex<CacheState>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SolutionCache {
+    /// Creates a cache holding at most `capacity` solved forms.
+    pub fn new(capacity: usize) -> Self {
+        SolutionCache {
+            state: Mutex::new(CacheState::default()),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn locked(&self) -> std::sync::MutexGuard<'_, CacheState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Looks up a solution for `form`, translated into its buffer
+    /// order. Counts a hit or miss either way.
+    pub fn lookup(&self, form: &CanonicalForm) -> Option<Solution> {
+        let key = form.fingerprint().as_u128();
+        let mut state = self.locked();
+        state.tick += 1;
+        let tick = state.tick;
+        let translated = state.entries.get_mut(&key).and_then(|entry| {
+            // Collision guard: the full canonical forms must agree.
+            if !entry.form.matches(form) {
+                return None;
+            }
+            entry.last_used = tick;
+            form.translate(&entry.slots)
+        });
+        drop(state);
+        match &translated {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        translated
+    }
+
+    /// Stores `solution` (addressed in `form`'s buffer order) under the
+    /// form's fingerprint, evicting the least-recently-used entry when
+    /// full.
+    pub fn insert(&self, form: &CanonicalForm, solution: &Solution) {
+        let key = form.fingerprint().as_u128();
+        let slots = form.slot_addresses(solution);
+        let mut state = self.locked();
+        state.tick += 1;
+        let tick = state.tick;
+        if !state.entries.contains_key(&key) && state.entries.len() >= self.capacity {
+            if let Some(victim) = state
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            {
+                state.entries.remove(&victim);
+            }
+        }
+        state.entries.insert(
+            key,
+            CacheEntry {
+                form: form.clone(),
+                slots,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Number of cached forms.
+    pub fn len(&self) -> usize {
+        self.locked().entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total lookup hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Total lookup misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tela_model::{Buffer, Problem};
+
+    fn problem(buffers: &[(u32, u32, u64)], capacity: u64) -> Problem {
+        Problem::new(
+            buffers
+                .iter()
+                .map(|&(s, e, z)| Buffer::new(s, e, z))
+                .collect(),
+            capacity,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hit_after_insert_translates_across_renaming() {
+        let cache = SolutionCache::new(8);
+        let p = problem(&[(0, 4, 6), (2, 6, 4), (0, 2, 4)], 10);
+        let solution = Solution::new(vec![0, 6, 6]);
+        assert!(solution.validate(&p).is_ok());
+        let form = CanonicalForm::of(&p);
+        assert!(cache.lookup(&form).is_none());
+        cache.insert(&form, &solution);
+        // Same problem, buffers renamed and schedule shifted by 5.
+        let renamed = problem(&[(5, 7, 4), (5, 9, 6), (7, 11, 4)], 10);
+        let hit = cache
+            .lookup(&CanonicalForm::of(&renamed))
+            .expect("renamed instance must hit");
+        assert!(hit.validate(&renamed).is_ok());
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn different_problems_miss() {
+        let cache = SolutionCache::new(8);
+        let p = problem(&[(0, 4, 6)], 10);
+        cache.insert(&CanonicalForm::of(&p), &Solution::new(vec![0]));
+        let other = problem(&[(0, 4, 7)], 10);
+        assert!(cache.lookup(&CanonicalForm::of(&other)).is_none());
+    }
+
+    #[test]
+    fn lru_eviction_keeps_recent_entries() {
+        let cache = SolutionCache::new(2);
+        let a = problem(&[(0, 1, 1)], 4);
+        let b = problem(&[(0, 1, 2)], 4);
+        let c = problem(&[(0, 1, 3)], 4);
+        cache.insert(&CanonicalForm::of(&a), &Solution::new(vec![0]));
+        cache.insert(&CanonicalForm::of(&b), &Solution::new(vec![0]));
+        // Touch `a` so `b` is the LRU victim.
+        assert!(cache.lookup(&CanonicalForm::of(&a)).is_some());
+        cache.insert(&CanonicalForm::of(&c), &Solution::new(vec![0]));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(&CanonicalForm::of(&a)).is_some());
+        assert!(cache.lookup(&CanonicalForm::of(&b)).is_none());
+        assert!(cache.lookup(&CanonicalForm::of(&c)).is_some());
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict() {
+        let cache = SolutionCache::new(2);
+        let a = problem(&[(0, 1, 1)], 4);
+        let b = problem(&[(0, 1, 2)], 4);
+        cache.insert(&CanonicalForm::of(&a), &Solution::new(vec![0]));
+        cache.insert(&CanonicalForm::of(&b), &Solution::new(vec![0]));
+        cache.insert(&CanonicalForm::of(&a), &Solution::new(vec![1]));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(&CanonicalForm::of(&b)).is_some());
+    }
+}

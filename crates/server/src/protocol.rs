@@ -1,0 +1,459 @@
+//! Wire protocol: length-prefixed JSON frames over TCP.
+//!
+//! Every frame is a big-endian `u32` byte length followed by exactly
+//! that many bytes of UTF-8 JSON. Requests embed the allocation problem
+//! in the workspace's trace text format ([`tela_model::parse_problem`])
+//! as a JSON string, so the wire schema never has to track the model's
+//! builder API.
+//!
+//! The cardinal protocol rule mirrors the server's: **every request that
+//! parses far enough to carry an `id` receives exactly one terminal
+//! [`Response`]** — `solved`, `infeasible`, `best_effort`, `rejected`,
+//! or `timed_out`. There is no "try again later" non-answer; rejection
+//! with a retry hint *is* the backpressure signal.
+
+use crate::json::{self, JsonError, Value};
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use tela_model::Address;
+
+/// Upper bound on a frame payload (16 MiB) — a stall/garbage guard, far
+/// above any real problem.
+pub const MAX_FRAME_LEN: u32 = 16 << 20;
+
+/// A client's allocation request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// Tenant name for admission control and quotas.
+    pub tenant: String,
+    /// The problem, in trace text format (`capacity N` / `buffer ...`).
+    pub problem: String,
+    /// Optional step-budget cap; clamped to the tenant's quota.
+    pub max_steps: Option<u64>,
+    /// Optional deadline in milliseconds from receipt; clamped to the
+    /// tenant's cap.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Terminal status of one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// A valid full placement was found (addresses included).
+    Solved,
+    /// The solver proved no placement exists.
+    Infeasible,
+    /// The server degraded: partial placement or no answer within
+    /// budget, with whatever diagnostics it had.
+    BestEffort,
+    /// Admission control or load shedding refused the work;
+    /// `retry_after_ms` hints when to come back.
+    Rejected,
+    /// The deadline expired before the solve could finish (or start).
+    TimedOut,
+}
+
+impl Status {
+    /// Stable wire tag.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Status::Solved => "solved",
+            Status::Infeasible => "infeasible",
+            Status::BestEffort => "best_effort",
+            Status::Rejected => "rejected",
+            Status::TimedOut => "timed_out",
+        }
+    }
+
+    fn from_tag(tag: &str) -> Option<Status> {
+        Some(match tag {
+            "solved" => Status::Solved,
+            "infeasible" => Status::Infeasible,
+            "best_effort" => Status::BestEffort,
+            "rejected" => Status::Rejected,
+            "timed_out" => Status::TimedOut,
+            _ => return None,
+        })
+    }
+}
+
+/// The server's terminal answer to one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Echo of the request id (0 when the request was too malformed to
+    /// carry one).
+    pub id: u64,
+    /// Terminal status.
+    pub status: Status,
+    /// Buffer addresses, in the problem's buffer order (solved only).
+    pub addresses: Option<Vec<Address>>,
+    /// Backpressure hint for rejected requests.
+    pub retry_after_ms: Option<u64>,
+    /// Human-readable detail (rejection reason, degradation cause).
+    pub detail: String,
+    /// Whether the answer came from the solution cache.
+    pub cache_hit: bool,
+    /// Search steps spent on this request.
+    pub steps: u64,
+}
+
+impl Response {
+    /// A rejection with a retry hint.
+    pub fn rejected(id: u64, retry_after_ms: u64, detail: impl Into<String>) -> Self {
+        Response {
+            id,
+            status: Status::Rejected,
+            addresses: None,
+            retry_after_ms: Some(retry_after_ms),
+            detail: detail.into(),
+            cache_hit: false,
+            steps: 0,
+        }
+    }
+
+    /// A bare terminal response with `status` and `detail`.
+    pub fn terminal(id: u64, status: Status, detail: impl Into<String>) -> Self {
+        Response {
+            id,
+            status,
+            addresses: None,
+            retry_after_ms: None,
+            detail: detail.into(),
+            cache_hit: false,
+            steps: 0,
+        }
+    }
+}
+
+/// Why a frame or payload could not become a [`Request`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The payload was not valid JSON.
+    Json(JsonError),
+    /// The JSON parsed but a required field was missing or mistyped.
+    Shape(&'static str),
+    /// The frame length prefix exceeded [`MAX_FRAME_LEN`].
+    Oversized(u32),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Json(e) => write!(f, "{e}"),
+            ProtocolError::Shape(what) => write!(f, "malformed request: {what}"),
+            ProtocolError::Oversized(len) => {
+                write!(f, "frame of {len} bytes exceeds {MAX_FRAME_LEN}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Parses a request payload. On shape errors the caller can still
+/// extract a best-effort id via [`request_id_of`] to address the
+/// rejection.
+pub fn parse_request(payload: &str) -> Result<Request, ProtocolError> {
+    let value = json::parse(payload).map_err(ProtocolError::Json)?;
+    let id = value
+        .get("id")
+        .and_then(Value::as_u64)
+        .ok_or(ProtocolError::Shape("missing numeric 'id'"))?;
+    let tenant = value
+        .get("tenant")
+        .and_then(Value::as_str)
+        .ok_or(ProtocolError::Shape("missing string 'tenant'"))?
+        .to_string();
+    let problem = value
+        .get("problem")
+        .and_then(Value::as_str)
+        .ok_or(ProtocolError::Shape("missing string 'problem'"))?
+        .to_string();
+    let optional_u64 = |key: &str| -> Result<Option<u64>, ProtocolError> {
+        match value.get(key) {
+            None | Some(Value::Null) => Ok(None),
+            Some(v) => v
+                .as_u64()
+                .map(Some)
+                .ok_or(ProtocolError::Shape("optional field must be an integer")),
+        }
+    };
+    Ok(Request {
+        id,
+        tenant,
+        problem,
+        max_steps: optional_u64("max_steps")?,
+        deadline_ms: optional_u64("deadline_ms")?,
+    })
+}
+
+/// Best-effort id extraction from a payload that failed shape checks,
+/// so even malformed requests get an addressed terminal response.
+pub fn request_id_of(payload: &str) -> u64 {
+    json::parse(payload)
+        .ok()
+        .and_then(|v| v.get("id").and_then(Value::as_u64))
+        .unwrap_or(0)
+}
+
+/// Renders a request payload (used by the client and the bench driver).
+pub fn render_request(request: &Request) -> String {
+    let mut map = BTreeMap::new();
+    map.insert("id".to_string(), Value::U64(request.id));
+    map.insert("tenant".to_string(), Value::Str(request.tenant.clone()));
+    map.insert("problem".to_string(), Value::Str(request.problem.clone()));
+    if let Some(steps) = request.max_steps {
+        map.insert("max_steps".to_string(), Value::U64(steps));
+    }
+    if let Some(ms) = request.deadline_ms {
+        map.insert("deadline_ms".to_string(), Value::U64(ms));
+    }
+    json::render(&Value::Object(map))
+}
+
+/// Renders a response payload.
+pub fn render_response(response: &Response) -> String {
+    let mut map = BTreeMap::new();
+    map.insert("id".to_string(), Value::U64(response.id));
+    map.insert(
+        "status".to_string(),
+        Value::Str(response.status.tag().to_string()),
+    );
+    if let Some(addresses) = &response.addresses {
+        map.insert(
+            "addresses".to_string(),
+            Value::Array(addresses.iter().map(|a| Value::U64(*a)).collect()),
+        );
+    }
+    if let Some(ms) = response.retry_after_ms {
+        map.insert("retry_after_ms".to_string(), Value::U64(ms));
+    }
+    map.insert("detail".to_string(), Value::Str(response.detail.clone()));
+    map.insert("cache_hit".to_string(), Value::Bool(response.cache_hit));
+    map.insert("steps".to_string(), Value::U64(response.steps));
+    json::render(&Value::Object(map))
+}
+
+/// Parses a response payload (client side).
+pub fn parse_response(payload: &str) -> Result<Response, ProtocolError> {
+    let value = json::parse(payload).map_err(ProtocolError::Json)?;
+    let id = value
+        .get("id")
+        .and_then(Value::as_u64)
+        .ok_or(ProtocolError::Shape("missing numeric 'id'"))?;
+    let status = value
+        .get("status")
+        .and_then(Value::as_str)
+        .and_then(Status::from_tag)
+        .ok_or(ProtocolError::Shape("missing or unknown 'status'"))?;
+    let addresses = match value.get("addresses") {
+        None | Some(Value::Null) => None,
+        Some(v) => Some(
+            v.as_array()
+                .ok_or(ProtocolError::Shape("'addresses' must be an array"))?
+                .iter()
+                .map(|a| {
+                    a.as_u64()
+                        .ok_or(ProtocolError::Shape("addresses must be integers"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+    };
+    Ok(Response {
+        id,
+        status,
+        addresses,
+        retry_after_ms: value.get("retry_after_ms").and_then(Value::as_u64),
+        detail: value
+            .get("detail")
+            .and_then(Value::as_str)
+            .unwrap_or_default()
+            .to_string(),
+        cache_hit: value
+            .get("cache_hit")
+            .and_then(Value::as_bool)
+            .unwrap_or(false),
+        steps: value.get("steps").and_then(Value::as_u64).unwrap_or(0),
+    })
+}
+
+/// Writes one frame: 4-byte big-endian length, then the payload.
+pub fn write_frame(stream: &mut impl Write, payload: &str) -> io::Result<()> {
+    let bytes = payload.as_bytes();
+    let len = u32::try_from(bytes.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "payload too large"))?;
+    stream.write_all(&len.to_be_bytes())?;
+    stream.write_all(bytes)?;
+    stream.flush()
+}
+
+/// Outcome of one [`FrameReader::poll`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// A complete payload arrived.
+    Payload(String),
+    /// The peer closed the connection cleanly.
+    Eof,
+    /// No complete frame yet (timeout or partial read); poll again.
+    Pending,
+}
+
+/// Incremental frame reader tolerating short reads and read timeouts.
+///
+/// The server reads with a short socket timeout so it can observe
+/// shutdown and disconnects between polls; `WouldBlock`/`TimedOut`
+/// surface as [`Frame::Pending`], and partially received frames are
+/// carried across polls.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    /// Creates an empty reader.
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Reads from `stream` until a full frame, EOF, or a would-block.
+    ///
+    /// # Errors
+    ///
+    /// Propagates real I/O errors, an oversized length prefix, or a
+    /// payload that is not UTF-8.
+    pub fn poll(&mut self, stream: &mut impl Read) -> io::Result<Frame> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(frame) = self.take_frame()? {
+                return Ok(Frame::Payload(frame));
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => return Ok(Frame::Eof),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(Frame::Pending)
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn take_frame(&mut self) -> io::Result<Option<String>> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
+        if len > MAX_FRAME_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                ProtocolError::Oversized(len).to_string(),
+            ));
+        }
+        let total = 4 + len as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let payload = self.buf[4..total].to_vec();
+        self.buf.drain(..total);
+        String::from_utf8(payload)
+            .map(Some)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let request = Request {
+            id: 42,
+            tenant: "prod".into(),
+            problem: "capacity 10\nbuffer 0 4 6\n".into(),
+            max_steps: Some(1000),
+            deadline_ms: None,
+        };
+        assert_eq!(parse_request(&render_request(&request)).unwrap(), request);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let response = Response {
+            id: 9,
+            status: Status::Solved,
+            addresses: Some(vec![0, 6, 0]),
+            retry_after_ms: None,
+            detail: String::new(),
+            cache_hit: true,
+            steps: 17,
+        };
+        assert_eq!(
+            parse_response(&render_response(&response)).unwrap(),
+            response
+        );
+        let rejected = Response::rejected(3, 250, "tenant over quota");
+        assert_eq!(
+            parse_response(&render_response(&rejected)).unwrap(),
+            rejected
+        );
+    }
+
+    #[test]
+    fn malformed_requests_still_yield_an_id() {
+        assert_eq!(request_id_of(r#"{"id":5,"tenant":17}"#), 5);
+        assert_eq!(request_id_of("not json"), 0);
+        assert!(matches!(
+            parse_request(r#"{"id":5,"tenant":17}"#),
+            Err(ProtocolError::Shape(_))
+        ));
+    }
+
+    #[test]
+    fn frame_reader_handles_split_and_batched_frames() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, "first").unwrap();
+        write_frame(&mut wire, "second").unwrap();
+        // Feed the bytes one at a time through a reader that times out
+        // when its script is exhausted.
+        let mut reader = FrameReader::new();
+        let mut got = Vec::new();
+        for byte in wire {
+            let mut cursor = std::io::Cursor::new(vec![byte]);
+            loop {
+                match reader.poll(&mut cursor).unwrap() {
+                    Frame::Payload(p) => got.push(p),
+                    Frame::Eof => break,
+                    Frame::Pending => unreachable!("cursor never blocks"),
+                }
+            }
+        }
+        assert_eq!(got, vec!["first".to_string(), "second".to_string()]);
+    }
+
+    #[test]
+    fn oversized_frames_error_instead_of_allocating() {
+        let mut reader = FrameReader::new();
+        let mut cursor = std::io::Cursor::new((MAX_FRAME_LEN + 1).to_be_bytes().to_vec());
+        // First poll ingests the prefix and hits EOF without a frame...
+        let err = loop {
+            match reader.poll(&mut cursor) {
+                Ok(Frame::Eof) => {
+                    // ...the length check happens before waiting for the
+                    // (never-arriving) payload on the next poll.
+                    break reader.poll(&mut cursor).unwrap_err();
+                }
+                Ok(_) => continue,
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,249 @@
+//! Bounded work queue with deadline-ordered service and load shedding.
+//!
+//! The queue is the server's only buffer between accept threads and
+//! solver workers, and it is *bounded*: when full, pushing sheds the
+//! entry with the **earliest deadline** — incoming or already queued —
+//! and hands it back to the caller to answer with a terminal
+//! `Rejected { retry_after }`. Under overload the earliest deadline is
+//! the request most likely to time out anyway, so shedding it converts
+//! a doomed slow `TimedOut` into an immediate, honest rejection while
+//! the queue keeps the work that still has headroom.
+//!
+//! Service order is earliest-deadline-first too, so urgent work that
+//! *was* admitted jumps ahead of lazy deadlines.
+//!
+//! Deadlines are explicit `Instant`s supplied by the caller, keeping the
+//! queue itself clock-free and deterministic under test.
+
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Result of a push.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Push<T> {
+    /// The item was queued (nothing was shed).
+    Accepted,
+    /// The queue was full: this item (the incoming one or a previously
+    /// queued one, whichever has the earliest deadline) was shed and
+    /// must be answered with a terminal rejection.
+    Shed(T),
+    /// The queue is closed; the item is handed back.
+    Closed(T),
+}
+
+/// Result of a pop.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Pop<T> {
+    /// The earliest-deadline item.
+    Item(T),
+    /// Nothing arrived within the wait.
+    Empty,
+    /// The queue is closed and drained.
+    Closed,
+}
+
+#[derive(Debug)]
+struct Entry<T> {
+    deadline: Instant,
+    /// Arrival order, to break deadline ties FIFO.
+    seq: u64,
+    item: T,
+}
+
+#[derive(Debug)]
+struct State<T> {
+    entries: Vec<Entry<T>>,
+    closed: bool,
+    seq: u64,
+}
+
+/// A bounded, deadline-ordered, sheddable MPMC queue.
+#[derive(Debug)]
+pub struct WorkQueue<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> WorkQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        WorkQueue {
+            state: Mutex::new(State {
+                entries: Vec::new(),
+                closed: false,
+                seq: 0,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn locked(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Current queue depth.
+    pub fn depth(&self) -> usize {
+        self.locked().entries.len()
+    }
+
+    /// Queues `item` under `deadline`, shedding on overflow.
+    pub fn push(&self, item: T, deadline: Instant) -> Push<T> {
+        let mut state = self.locked();
+        if state.closed {
+            return Push::Closed(item);
+        }
+        state.seq += 1;
+        let entry = Entry {
+            deadline,
+            seq: state.seq,
+            item,
+        };
+        if state.entries.len() < self.capacity {
+            state.entries.push(entry);
+            drop(state);
+            self.available.notify_one();
+            return Push::Accepted;
+        }
+        // Full: find the earliest deadline among queued entries; if the
+        // incoming one is even earlier (ties shed the incoming, which
+        // is the younger claim on the slot), shed it instead.
+        let victim_idx = state
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| (e.deadline, e.seq))
+            .map(|(i, _)| i)
+            .expect("full queue is non-empty");
+        if entry.deadline <= state.entries[victim_idx].deadline {
+            return Push::Shed(entry.item);
+        }
+        let shed = state.entries.swap_remove(victim_idx);
+        state.entries.push(entry);
+        drop(state);
+        self.available.notify_one();
+        Push::Shed(shed.item)
+    }
+
+    /// Pops the earliest-deadline item, waiting up to `wait`.
+    pub fn pop_timeout(&self, wait: Duration) -> Pop<T> {
+        let mut state = self.locked();
+        let deadline = Instant::now() + wait;
+        loop {
+            if let Some(idx) = state
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| (e.deadline, e.seq))
+                .map(|(i, _)| i)
+            {
+                return Pop::Item(state.entries.swap_remove(idx).item);
+            }
+            if state.closed {
+                return Pop::Closed;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Pop::Empty;
+            }
+            let (next, timeout) = self
+                .available
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            state = next;
+            if timeout.timed_out() && state.entries.is_empty() {
+                return if state.closed {
+                    Pop::Closed
+                } else {
+                    Pop::Empty
+                };
+            }
+        }
+    }
+
+    /// Closes the queue and drains everything still waiting, so the
+    /// caller can answer each with a terminal rejection. Subsequent
+    /// pushes return [`Push::Closed`]; blocked pops wake with
+    /// [`Pop::Closed`].
+    pub fn close(&self) -> Vec<T> {
+        let mut state = self.locked();
+        state.closed = true;
+        let drained = std::mem::take(&mut state.entries)
+            .into_iter()
+            .map(|e| e.item)
+            .collect();
+        drop(state);
+        self.available.notify_all();
+        drained
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_deadline_order_with_fifo_ties() {
+        let q = WorkQueue::new(8);
+        let t0 = Instant::now();
+        q.push("late", t0 + Duration::from_secs(3));
+        q.push("early", t0 + Duration::from_secs(1));
+        q.push("mid-a", t0 + Duration::from_secs(2));
+        q.push("mid-b", t0 + Duration::from_secs(2));
+        let mut order = Vec::new();
+        while let Pop::Item(item) = q.pop_timeout(Duration::ZERO) {
+            order.push(item);
+        }
+        assert_eq!(order, vec!["early", "mid-a", "mid-b", "late"]);
+    }
+
+    #[test]
+    fn overflow_sheds_the_earliest_deadline() {
+        let q = WorkQueue::new(2);
+        let t0 = Instant::now();
+        assert_eq!(q.push("a", t0 + Duration::from_secs(1)), Push::Accepted);
+        assert_eq!(q.push("b", t0 + Duration::from_secs(2)), Push::Accepted);
+        // Incoming with the latest deadline evicts the queued "a".
+        assert_eq!(q.push("c", t0 + Duration::from_secs(3)), Push::Shed("a"));
+        assert_eq!(q.depth(), 2);
+        // Incoming with the earliest deadline is itself shed.
+        assert_eq!(q.push("d", t0 + Duration::from_millis(1)), Push::Shed("d"));
+        let mut kept = Vec::new();
+        while let Pop::Item(item) = q.pop_timeout(Duration::ZERO) {
+            kept.push(item);
+        }
+        assert_eq!(kept, vec!["b", "c"]);
+    }
+
+    #[test]
+    fn close_drains_and_wakes() {
+        let q = WorkQueue::new(4);
+        let t0 = Instant::now();
+        q.push(1, t0);
+        q.push(2, t0);
+        assert_eq!(q.close(), vec![1, 2]);
+        assert_eq!(q.push(3, t0), Push::Closed(3));
+        assert_eq!(q.pop_timeout(Duration::ZERO), Pop::Closed);
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn pop_blocks_until_a_push_arrives() {
+        let q = WorkQueue::new(4);
+        std::thread::scope(|scope| {
+            let popper = scope.spawn(|| q.pop_timeout(Duration::from_secs(5)));
+            std::thread::sleep(Duration::from_millis(20));
+            q.push(7, Instant::now());
+            assert_eq!(popper.join().unwrap(), Pop::Item(7));
+        });
+    }
+
+    #[test]
+    fn empty_pop_times_out() {
+        let q: WorkQueue<i32> = WorkQueue::new(1);
+        assert_eq!(q.pop_timeout(Duration::from_millis(5)), Pop::Empty);
+    }
+}

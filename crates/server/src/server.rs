@@ -1,0 +1,651 @@
+//! The allocation service: accept loop, worker pool, and the
+//! request-lifecycle state machine.
+//!
+//! # The one rule
+//!
+//! **Every request gets exactly one terminal response.** Every path out
+//! of the pipeline — malformed payload, admission denial, queue shed,
+//! queue-expired deadline, solver success, proven infeasibility, budget
+//! exhaustion, worker panic, even server shutdown with work still
+//! queued — ends in a [`Response`] with a terminal [`Status`]. The
+//! chaos suite's core assertion is that this holds under fault
+//! injection.
+//!
+//! # Pipeline
+//!
+//! ```text
+//! frame → parse → cache lookup ──hit──────────────────────→ Solved
+//!                    │ miss
+//!                 admission (token bucket) ──deny──────────→ Rejected{retry_after}
+//!                    │ grant (clamp steps/deadline to tenant quota)
+//!                 saturated? ──yes── greedy only ──────────→ Solved | BestEffort
+//!                    │ no
+//!                 bounded EDF queue ──shed────────────────→ Rejected{retry_after}
+//!                    │ pop (worker)
+//!                 deadline already passed? ──yes──────────→ TimedOut
+//!                    │ no
+//!                 escalation ladder under Budget ─────────→ Solved | Infeasible
+//!                    │ panic / budget out                    | BestEffort | TimedOut
+//!                    └─ reply-then-die: the worker answers
+//!                       terminally *before* its panic
+//!                       propagates, and the supervisor
+//!                       respawns it
+//! ```
+//!
+//! Fault tolerance is structural, not exceptional: workers run under a
+//! supervisor that respawns them after a panic, client disconnects flip
+//! the request's shared cancel flag so the solver stops burning budget
+//! on an answer nobody will read, and shutdown drains the queue into
+//! rejections rather than silence.
+
+use crate::admission::{Admission, AdmissionController, TenantConfig};
+use crate::cache::SolutionCache;
+use crate::protocol::{
+    parse_request, request_id_of, write_frame, Frame, FrameReader, Response, Status,
+};
+use crate::queue::{Pop, Push, WorkQueue};
+use std::io::{self, Write};
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+use tela_model::{Budget, CanonicalForm, Problem, SolveOutcome};
+use telamalloc::{EscalationLadder, TelaConfig};
+
+#[cfg(feature = "fault-inject")]
+use tela_model::ServerFaultPlan;
+
+/// How the service behaves under load.
+#[derive(Debug)]
+pub struct ServerConfig {
+    /// Solver worker threads.
+    pub workers: usize,
+    /// Work-queue capacity; beyond it, pushes shed.
+    pub queue_capacity: usize,
+    /// Queue depth at which *new* admitted work degrades to the greedy
+    /// heuristic instead of queuing for the full ladder.
+    pub degrade_watermark: usize,
+    /// Solution-cache capacity (canonical forms).
+    pub cache_capacity: usize,
+    /// Default per-tenant limits (overridable per tenant).
+    pub admission: TenantConfig,
+    /// Solver configuration for the escalation ladder; its tracer also
+    /// carries the server's own metrics.
+    pub tela: TelaConfig,
+    /// Scripted server-level faults (chaos testing only).
+    #[cfg(feature = "fault-inject")]
+    pub fault_plan: Option<ServerFaultPlan>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 64,
+            degrade_watermark: 48,
+            cache_capacity: 256,
+            admission: TenantConfig::default(),
+            tela: TelaConfig::default(),
+            #[cfg(feature = "fault-inject")]
+            fault_plan: None,
+        }
+    }
+}
+
+/// Monotonic counters describing everything the server has done.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Terminal responses issued, total and by status.
+    pub responses: AtomicU64,
+    /// `Solved` responses.
+    pub solved: AtomicU64,
+    /// `Infeasible` responses.
+    pub infeasible: AtomicU64,
+    /// `BestEffort` responses.
+    pub best_effort: AtomicU64,
+    /// `Rejected` responses (admission, shed, malformed, shutdown).
+    pub rejected: AtomicU64,
+    /// `TimedOut` responses.
+    pub timed_out: AtomicU64,
+    /// Responses served from the solution cache.
+    pub cache_hits: AtomicU64,
+    /// Jobs evicted by queue overflow.
+    pub shed: AtomicU64,
+    /// Admitted requests degraded to greedy-only under saturation.
+    pub degraded: AtomicU64,
+    /// Worker threads respawned after a panic.
+    pub worker_respawns: AtomicU64,
+    /// Full escalation-ladder solves actually run.
+    pub solve_calls: AtomicU64,
+    /// Requests whose client vanished before the terminal reply.
+    pub disconnects: AtomicU64,
+}
+
+impl ServerStats {
+    fn record(&self, response: &Response) {
+        self.responses.fetch_add(1, Ordering::Relaxed);
+        let by_status = match response.status {
+            Status::Solved => &self.solved,
+            Status::Infeasible => &self.infeasible,
+            Status::BestEffort => &self.best_effort,
+            Status::Rejected => &self.rejected,
+            Status::TimedOut => &self.timed_out,
+        };
+        by_status.fetch_add(1, Ordering::Relaxed);
+        if response.cache_hit {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Sum of the per-status counters (must equal `responses`: the
+    /// zero-non-terminal invariant in countable form).
+    pub fn terminal_total(&self) -> u64 {
+        self.solved.load(Ordering::Relaxed)
+            + self.infeasible.load(Ordering::Relaxed)
+            + self.best_effort.load(Ordering::Relaxed)
+            + self.rejected.load(Ordering::Relaxed)
+            + self.timed_out.load(Ordering::Relaxed)
+    }
+}
+
+/// One admitted unit of work, owned by the queue until a worker or the
+/// shutdown drain answers it.
+#[derive(Debug)]
+struct Job {
+    id: u64,
+    /// Global admission ordinal (fault plans key on it).
+    #[cfg_attr(not(feature = "fault-inject"), allow(dead_code))]
+    ordinal: u64,
+    problem: Problem,
+    form: CanonicalForm,
+    max_steps: u64,
+    deadline: Instant,
+    /// Flipped when the requesting client disconnects.
+    cancel: Arc<AtomicBool>,
+    reply: mpsc::Sender<Response>,
+}
+
+/// The allocation service. Construct once, then [`Server::serve`].
+#[derive(Debug)]
+pub struct Server {
+    config: ServerConfig,
+    admission: AdmissionController,
+    cache: SolutionCache,
+    queue: WorkQueue<Job>,
+    ladder: EscalationLadder,
+    stats: ServerStats,
+    ordinal: AtomicU64,
+}
+
+/// Poll interval for shutdown/disconnect observation.
+const POLL: Duration = Duration::from_millis(20);
+
+impl Server {
+    /// Builds a server from `config`; every tenant gets
+    /// `config.admission` as its limits.
+    pub fn new(config: ServerConfig) -> Self {
+        let admission = AdmissionController::new(config.admission.clone());
+        Server::with_admission(admission, config)
+    }
+
+    /// Builds a server with an explicit admission controller (for
+    /// per-tenant overrides beyond the config's default).
+    pub fn with_admission(admission: AdmissionController, mut config: ServerConfig) -> Self {
+        config.workers = config.workers.max(1);
+        Server {
+            cache: SolutionCache::new(config.cache_capacity),
+            queue: WorkQueue::new(config.queue_capacity),
+            ladder: EscalationLadder::new(config.tela.clone()),
+            stats: ServerStats::default(),
+            ordinal: AtomicU64::new(0),
+            admission,
+            config,
+        }
+    }
+
+    /// Live counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// The solution cache (for tests and bench assertions).
+    pub fn cache(&self) -> &SolutionCache {
+        &self.cache
+    }
+
+    /// Runs the accept loop on `listener` until `shutdown` flips, then
+    /// drains the queue into terminal rejections and joins every
+    /// connection and worker thread.
+    pub fn serve(&self, listener: TcpListener, shutdown: &AtomicBool) -> io::Result<()> {
+        listener.set_nonblocking(true)?;
+        std::thread::scope(|scope| {
+            for index in 0..self.config.workers {
+                scope.spawn(move || self.supervise_worker(index));
+            }
+            while !shutdown.load(Ordering::Acquire) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        scope.spawn(move || self.handle_connection(stream, shutdown));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        // Accept failures (fd exhaustion, transient
+                        // network errors) must not kill the service.
+                        self.tracer().count("server.accept_errors", 1);
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                }
+            }
+            // Drain: everything still queued gets an honest rejection
+            // instead of silence. Workers observe the closed queue and
+            // exit once their in-flight job (if any) is answered.
+            let drained = self.queue.close();
+            let count = drained.len();
+            for job in drained {
+                let _ = job
+                    .reply
+                    .send(Response::rejected(job.id, 1_000, "server shutting down"));
+            }
+            if count > 0 {
+                self.tracer()
+                    .add_gauge("server.queue_depth", -(count as i64));
+            }
+        });
+        Ok(())
+    }
+
+    fn tracer(&self) -> &tela_trace::Tracer {
+        &self.config.tela.tracer
+    }
+
+    // ---- worker side -----------------------------------------------
+
+    /// Runs `worker_loop` until clean exit, respawning it (in place, on
+    /// this same supervisor thread) every time it panics. Panic isolation
+    /// is the contract that lets `process_job` adopt reply-then-die.
+    fn supervise_worker(&self, index: usize) {
+        loop {
+            match catch_unwind(AssertUnwindSafe(|| self.worker_loop(index))) {
+                Ok(()) => return,
+                Err(_) => {
+                    self.stats.worker_respawns.fetch_add(1, Ordering::Relaxed);
+                    self.tracer().count("server.worker_respawns", 1);
+                }
+            }
+        }
+    }
+
+    fn worker_loop(&self, _index: usize) {
+        loop {
+            match self.queue.pop_timeout(POLL) {
+                Pop::Closed => return,
+                Pop::Empty => continue,
+                Pop::Item(job) => {
+                    self.tracer().add_gauge("server.queue_depth", -1);
+                    self.process_job(job);
+                }
+            }
+        }
+    }
+
+    /// Solves one job and sends its terminal response. On a panic —
+    /// scripted or organic — the terminal response is sent *first*, then
+    /// the panic resumes so the supervisor replaces this worker: the
+    /// client never pays for the server's crash with silence.
+    fn process_job(&self, job: Job) {
+        let now = Instant::now();
+        if now >= job.deadline {
+            // Spent its whole deadline waiting in the queue.
+            self.send(
+                &job.reply,
+                Response::terminal(job.id, Status::TimedOut, "deadline expired in queue"),
+            );
+            return;
+        }
+        #[cfg(feature = "fault-inject")]
+        if let Some(plan) = &self.config.fault_plan {
+            if plan.worker_panics_on(job.ordinal) {
+                self.send(
+                    &job.reply,
+                    Response::terminal(
+                        job.id,
+                        Status::BestEffort,
+                        "worker fault while solving; degraded answer",
+                    ),
+                );
+                panic!("fault-inject: worker panic on request {}", job.ordinal);
+            }
+        }
+        let budget = self.budget_for(&job);
+        self.stats.solve_calls.fetch_add(1, Ordering::Relaxed);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            self.ladder.solve(&job.problem, &budget)
+        }));
+        let response = match result {
+            Ok(ladder) => {
+                let steps = ladder.stats.steps;
+                match ladder.outcome {
+                    SolveOutcome::Solved(solution) => {
+                        self.cache.insert(&job.form, &solution);
+                        Response {
+                            id: job.id,
+                            status: Status::Solved,
+                            addresses: Some(solution.addresses().to_vec()),
+                            retry_after_ms: None,
+                            detail: String::new(),
+                            cache_hit: false,
+                            steps,
+                        }
+                    }
+                    SolveOutcome::Infeasible => Response {
+                        steps,
+                        ..Response::terminal(job.id, Status::Infeasible, "proven infeasible")
+                    },
+                    SolveOutcome::BestEffort(be) => {
+                        let (status, detail) = if Instant::now() >= job.deadline {
+                            (Status::TimedOut, "deadline expired mid-solve".to_string())
+                        } else if job.cancel.load(Ordering::Acquire) {
+                            (Status::BestEffort, "cancelled by client".to_string())
+                        } else {
+                            (
+                                Status::BestEffort,
+                                format!(
+                                    "budget exhausted at stage {:?}; {} of {} buffers placed",
+                                    be.stage,
+                                    be.partial.len(),
+                                    job.problem.len()
+                                ),
+                            )
+                        };
+                        Response {
+                            steps,
+                            ..Response::terminal(job.id, status, detail)
+                        }
+                    }
+                    // The ladder contract says these never surface, but
+                    // a terminal answer beats trusting a contract.
+                    SolveOutcome::GaveUp | SolveOutcome::BudgetExceeded => Response {
+                        steps,
+                        ..Response::terminal(job.id, Status::BestEffort, "solver gave up")
+                    },
+                }
+            }
+            Err(payload) => {
+                self.send(
+                    &job.reply,
+                    Response::terminal(
+                        job.id,
+                        Status::BestEffort,
+                        "solver panicked; degraded answer",
+                    ),
+                );
+                resume_unwind(payload);
+            }
+        };
+        self.send(&job.reply, response);
+    }
+
+    fn budget_for(&self, job: &Job) -> Budget {
+        let budget = Budget::unlimited()
+            .with_max_steps(job.max_steps)
+            .with_deadline(job.deadline)
+            .with_cancel(job.cancel.clone());
+        #[cfg(feature = "fault-inject")]
+        if let Some(plan) = &self.config.fault_plan {
+            if let Some(solver_plan) = plan.solver_plan_for(job.ordinal) {
+                return budget.with_fault_injector(Arc::new(solver_plan.injector()));
+            }
+        }
+        budget
+    }
+
+    // ---- connection side -------------------------------------------
+
+    fn handle_connection(&self, mut stream: TcpStream, shutdown: &AtomicBool) {
+        let _ = stream.set_read_timeout(Some(POLL));
+        let _ = stream.set_nodelay(true);
+        let mut reader = FrameReader::new();
+        loop {
+            if shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            match reader.poll(&mut stream) {
+                Ok(Frame::Payload(payload)) => self.serve_request(&mut stream, &payload),
+                Ok(Frame::Eof) => return,
+                Ok(Frame::Pending) => {}
+                Err(_) => {
+                    // Oversized or non-UTF-8 frame: the stream is no
+                    // longer parseable, so answer terminally and drop it.
+                    self.reply(
+                        &mut stream,
+                        Response::terminal(0, Status::Rejected, "unparseable frame"),
+                    );
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Runs one request through the pipeline and writes its terminal
+    /// response (requests on one connection are served in order).
+    fn serve_request(&self, stream: &mut TcpStream, payload: &str) {
+        let span = self.tracer().begin("server", "request", vec![]);
+        let request = match parse_request(payload) {
+            Ok(request) => request,
+            Err(e) => {
+                self.reply(
+                    stream,
+                    Response::terminal(
+                        request_id_of(payload),
+                        Status::Rejected,
+                        format!("malformed request: {e}"),
+                    ),
+                );
+                self.end_request(span, "rejected");
+                return;
+            }
+        };
+        let problem = match tela_model::parse_problem(&request.problem) {
+            Ok(problem) => problem,
+            Err(e) => {
+                self.reply(
+                    stream,
+                    Response::terminal(
+                        request.id,
+                        Status::Rejected,
+                        format!("malformed problem: {e}"),
+                    ),
+                );
+                self.end_request(span, "rejected");
+                return;
+            }
+        };
+
+        // Cache hits are served before admission: answering from memory
+        // costs nearly nothing, so even a throttled tenant gets them.
+        let form = CanonicalForm::of(&problem);
+        if let Some(solution) = self.cache.lookup(&form) {
+            self.reply(
+                stream,
+                Response {
+                    id: request.id,
+                    status: Status::Solved,
+                    addresses: Some(solution.addresses().to_vec()),
+                    retry_after_ms: None,
+                    detail: String::new(),
+                    cache_hit: true,
+                    steps: 0,
+                },
+            );
+            self.end_request(span, "cache_hit");
+            return;
+        }
+
+        let now = Instant::now();
+        if let Admission::Denied { retry_after } = self.admission.try_admit_at(&request.tenant, now)
+        {
+            self.reply(
+                stream,
+                Response::rejected(
+                    request.id,
+                    (retry_after.as_millis() as u64).max(1),
+                    format!("tenant '{}' over admission rate", request.tenant),
+                ),
+            );
+            self.end_request(span, "rejected");
+            return;
+        }
+        let max_steps = self
+            .admission
+            .clamp_steps(&request.tenant, request.max_steps);
+        let deadline = now
+            + self.admission.clamp_deadline(
+                &request.tenant,
+                request.deadline_ms.map(Duration::from_millis),
+            );
+        let ordinal = self.ordinal.fetch_add(1, Ordering::Relaxed);
+
+        // Graceful degradation: when the queue is saturated, admitted
+        // work gets the greedy heuristic inline instead of a spot in
+        // line it would mostly spend timing out.
+        if self.queue.depth() >= self.config.degrade_watermark {
+            self.stats.degraded.fetch_add(1, Ordering::Relaxed);
+            self.tracer().count("server.degraded", 1);
+            let response = self.solve_degraded(request.id, &problem, &form);
+            self.reply(stream, response);
+            self.end_request(span, "degraded");
+            return;
+        }
+
+        let cancel = Arc::new(AtomicBool::new(false));
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let job = Job {
+            id: request.id,
+            ordinal,
+            problem,
+            form,
+            max_steps,
+            deadline,
+            cancel: Arc::clone(&cancel),
+            reply: reply_tx,
+        };
+        match self.queue.push(job, deadline) {
+            Push::Accepted => {
+                self.tracer().add_gauge("server.queue_depth", 1);
+            }
+            Push::Shed(shed) => {
+                self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                self.tracer().count("server.shed", 1);
+                let _ = shed.reply.send(Response::rejected(
+                    shed.id,
+                    self.retry_hint_ms(),
+                    "queue full; earliest-deadline request shed",
+                ));
+            }
+            Push::Closed(job) => {
+                let _ = job
+                    .reply
+                    .send(Response::rejected(job.id, 1_000, "server shutting down"));
+            }
+        }
+        // `job.reply` is the only sender left; a terminal response is
+        // guaranteed by the worker, the shed path, or the shutdown
+        // drain, so this loop always ends.
+        let mut probe = [0u8; 1];
+        let response = loop {
+            match reply_rx.recv_timeout(POLL) {
+                Ok(response) => break response,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    // Liveness probe: EOF means the client hung up —
+                    // stop burning solver budget on it.
+                    if let Ok(0) = stream.peek(&mut probe) {
+                        if !cancel.swap(true, Ordering::Release) {
+                            self.stats.disconnects.fetch_add(1, Ordering::Relaxed);
+                            self.tracer().count("server.disconnects", 1);
+                        }
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    // Every sender died without answering — a bug, but
+                    // the client still gets a terminal response.
+                    break Response::terminal(
+                        request.id,
+                        Status::BestEffort,
+                        "internal: reply channel dropped",
+                    );
+                }
+            }
+        };
+        let tag = response.status.tag();
+        self.reply(stream, response);
+        self.end_request(span, tag);
+    }
+
+    /// The saturated-path answer: one greedy pass, no queue, no ladder.
+    fn solve_degraded(&self, id: u64, problem: &Problem, form: &CanonicalForm) -> Response {
+        let greedy = tela_heuristics::greedy::solve_traced(problem, self.tracer());
+        match greedy.solution {
+            Some(solution) => {
+                self.cache.insert(form, &solution);
+                Response {
+                    id,
+                    status: Status::Solved,
+                    addresses: Some(solution.addresses().to_vec()),
+                    retry_after_ms: None,
+                    detail: "degraded: greedy-only under load".to_string(),
+                    cache_hit: false,
+                    steps: 0,
+                }
+            }
+            None => Response::terminal(
+                id,
+                Status::BestEffort,
+                format!(
+                    "degraded under load: greedy needs {} of {} capacity",
+                    greedy.peak,
+                    problem.capacity()
+                ),
+            ),
+        }
+    }
+
+    /// Backpressure hint after a shed: roughly one queue-drain's worth
+    /// of time per queued entry, floored at 50ms.
+    fn retry_hint_ms(&self) -> u64 {
+        (self.queue.depth() as u64 * 20).max(50)
+    }
+
+    /// Writes a terminal response and records it. Write errors are
+    /// swallowed: a vanished client doesn't un-terminate the request.
+    fn reply(&self, stream: &mut TcpStream, response: Response) {
+        self.send_to_stream(stream, &response);
+    }
+
+    fn send_to_stream(&self, stream: &mut TcpStream, response: &Response) {
+        self.stats.record(response);
+        let payload = crate::protocol::render_response(response);
+        let _ = write_frame(stream, &payload);
+        let _ = stream.flush();
+    }
+
+    /// Sends a terminal response through a job's reply channel (the
+    /// owning connection thread writes it to the wire and records it).
+    fn send(&self, reply: &mpsc::Sender<Response>, response: Response) {
+        let _ = reply.send(response);
+    }
+
+    fn end_request(&self, span: tela_trace::SpanId, outcome: &str) {
+        if self.tracer().enabled() {
+            self.tracer().end(
+                span,
+                "server",
+                "request",
+                vec![("outcome".into(), outcome.into())],
+            );
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! End-to-end tests over real TCP: the full request pipeline, the
+//! cache/no-solve-path guarantee, admission, degradation, deadlines,
+//! and the 32-client concurrency smoke with a latency budget.
+
+use std::net::{SocketAddr, TcpListener};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+use tela_model::{examples, problem_to_text, Buffer, Problem, Solution};
+use tela_server::{
+    AdmissionController, Client, Request, Server, ServerConfig, Status, TenantConfig,
+};
+
+/// Runs `body` against a live server, guaranteeing shutdown (and thread
+/// join) even when the body panics, so failed assertions fail fast
+/// instead of hanging the suite.
+fn with_server<T>(server: Server, body: impl FnOnce(SocketAddr, &Server) -> T) -> T {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let shutdown = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let serving = scope.spawn(|| server.serve(listener, &shutdown));
+        let result = catch_unwind(AssertUnwindSafe(|| body(addr, &server)));
+        shutdown.store(true, Ordering::Release);
+        serving.join().unwrap().unwrap();
+        match result {
+            Ok(value) => value,
+            Err(payload) => resume_unwind(payload),
+        }
+    })
+}
+
+fn request(id: u64, problem: &Problem) -> Request {
+    Request {
+        id,
+        tenant: "test".into(),
+        problem: problem_to_text(problem),
+        max_steps: Some(500_000),
+        deadline_ms: Some(5_000),
+    }
+}
+
+/// A solvable problem unique to `tag` (distinct canonical form per tag).
+fn unique_problem(tag: u64) -> Problem {
+    Problem::builder(64 + tag)
+        .buffer(Buffer::new(0, 4, 30 + tag))
+        .buffer(Buffer::new(2, 6, 20))
+        .buffer(Buffer::new(5, 9, 34))
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn solves_over_the_wire_and_validates() {
+    with_server(Server::new(ServerConfig::default()), |addr, server| {
+        let mut client = Client::connect(addr).unwrap();
+        let problem = examples::figure1();
+        let response = client.request(&request(1, &problem)).unwrap();
+        assert_eq!(response.status, Status::Solved);
+        assert!(!response.cache_hit);
+        let solution = Solution::new(response.addresses.unwrap());
+        assert!(solution.validate(&problem).is_ok());
+        assert_eq!(server.stats().solve_calls.load(Ordering::Relaxed), 1);
+    });
+}
+
+#[test]
+fn warm_cache_answers_without_entering_the_solve_path() {
+    with_server(Server::new(ServerConfig::default()), |addr, server| {
+        let mut client = Client::connect(addr).unwrap();
+        let problem = examples::figure1();
+        let cold = client.request(&request(1, &problem)).unwrap();
+        assert_eq!(cold.status, Status::Solved);
+        assert!(!cold.cache_hit);
+        let solves_after_cold = server.stats().solve_calls.load(Ordering::Relaxed);
+
+        // Same problem, buffers renamed and schedule shifted: still a hit.
+        let mut renamed: Vec<Buffer> = problem
+            .buffers()
+            .iter()
+            .map(|b| Buffer::new(b.start() + 7, b.end() + 7, b.size()).with_align(b.align()))
+            .collect();
+        renamed.reverse();
+        let renamed = Problem::new(renamed, problem.capacity()).unwrap();
+        for id in 2..5 {
+            let warm = client.request(&request(id, &renamed)).unwrap();
+            assert_eq!(warm.status, Status::Solved);
+            assert!(warm.cache_hit, "request {id} must be served from cache");
+            assert_eq!(warm.steps, 0);
+            let solution = Solution::new(warm.addresses.unwrap());
+            assert!(solution.validate(&renamed).is_ok());
+        }
+        // The solve path ran exactly once — for the cold request.
+        assert_eq!(
+            server.stats().solve_calls.load(Ordering::Relaxed),
+            solves_after_cold
+        );
+        assert_eq!(server.stats().cache_hits.load(Ordering::Relaxed), 3);
+    });
+}
+
+#[test]
+fn infeasible_problems_get_a_terminal_infeasible() {
+    with_server(Server::new(ServerConfig::default()), |addr, _| {
+        let mut client = Client::connect(addr).unwrap();
+        let response = client
+            .request(&request(1, &examples::infeasible()))
+            .unwrap();
+        assert_eq!(response.status, Status::Infeasible);
+    });
+}
+
+#[test]
+fn malformed_requests_are_rejected_terminally() {
+    with_server(Server::new(ServerConfig::default()), |addr, _| {
+        let mut client = Client::connect(addr).unwrap();
+        // Parseable JSON, wrong shape: keeps the id in the rejection.
+        let bad_shape = Request {
+            id: 9,
+            tenant: "t".into(),
+            problem: "capacity ten\nbuffer what\n".into(),
+            max_steps: None,
+            deadline_ms: None,
+        };
+        let response = client.request(&bad_shape).unwrap();
+        assert_eq!(response.status, Status::Rejected);
+        assert_eq!(response.id, 9);
+        assert!(response.detail.contains("malformed problem"));
+        // The connection survives a malformed request.
+        let ok = client.request(&request(10, &examples::tiny())).unwrap();
+        assert_eq!(ok.status, Status::Solved);
+    });
+}
+
+#[test]
+fn admission_control_rejects_with_a_retry_hint() {
+    let admission = AdmissionController::new(TenantConfig::default()).with_tenant(
+        "throttled",
+        TenantConfig {
+            refill_per_sec: 1,
+            burst: 1,
+            ..TenantConfig::default()
+        },
+    );
+    let server = Server::with_admission(admission, ServerConfig::default());
+    with_server(server, |addr, _| {
+        let mut client = Client::connect(addr).unwrap();
+        let mut first = request(1, &unique_problem(1));
+        first.tenant = "throttled".into();
+        let mut second = request(2, &unique_problem(2));
+        second.tenant = "throttled".into();
+        assert_eq!(client.request(&first).unwrap().status, Status::Solved);
+        let denied = client.request(&second).unwrap();
+        assert_eq!(denied.status, Status::Rejected);
+        let retry = denied
+            .retry_after_ms
+            .expect("rejection carries a retry hint");
+        assert!(retry >= 1, "retry hint must be positive");
+        // An un-throttled tenant is unaffected.
+        let other = client.request(&request(3, &unique_problem(3))).unwrap();
+        assert_eq!(other.status, Status::Solved);
+    });
+}
+
+#[test]
+fn cache_hits_are_served_even_when_the_tenant_is_throttled() {
+    let admission = AdmissionController::new(TenantConfig::default()).with_tenant(
+        "throttled",
+        TenantConfig {
+            refill_per_sec: 1,
+            burst: 1,
+            ..TenantConfig::default()
+        },
+    );
+    let server = Server::with_admission(admission, ServerConfig::default());
+    with_server(server, |addr, _| {
+        let mut client = Client::connect(addr).unwrap();
+        let problem = unique_problem(7);
+        let mut solve = request(1, &problem);
+        solve.tenant = "throttled".into();
+        assert_eq!(client.request(&solve).unwrap().status, Status::Solved);
+        // The bucket is now empty, but the repeat is a cache hit and is
+        // served unconditionally.
+        let mut repeat = request(2, &problem);
+        repeat.tenant = "throttled".into();
+        let warm = client.request(&repeat).unwrap();
+        assert_eq!(warm.status, Status::Solved);
+        assert!(warm.cache_hit);
+    });
+}
+
+#[test]
+fn zero_deadline_times_out_terminally() {
+    with_server(Server::new(ServerConfig::default()), |addr, _| {
+        let mut client = Client::connect(addr).unwrap();
+        let mut r = request(1, &unique_problem(11));
+        r.deadline_ms = Some(0);
+        let response = client.request(&r).unwrap();
+        assert_eq!(response.status, Status::TimedOut);
+    });
+}
+
+#[test]
+fn saturation_degrades_to_greedy_with_a_terminal_answer() {
+    // degrade_watermark 0: every admitted request takes the inline
+    // greedy path, deterministically.
+    let server = Server::new(ServerConfig {
+        degrade_watermark: 0,
+        ..ServerConfig::default()
+    });
+    with_server(server, |addr, server| {
+        let mut client = Client::connect(addr).unwrap();
+        let problem = examples::figure1();
+        let response = client.request(&request(1, &problem)).unwrap();
+        assert!(
+            matches!(response.status, Status::Solved | Status::BestEffort),
+            "degraded path must still answer terminally"
+        );
+        assert!(response.detail.contains("degraded"));
+        assert_eq!(server.stats().degraded.load(Ordering::Relaxed), 1);
+        // The full ladder never ran.
+        assert_eq!(server.stats().solve_calls.load(Ordering::Relaxed), 0);
+    });
+}
+
+#[test]
+fn thirty_two_concurrent_clients_all_get_terminal_answers() {
+    const CLIENTS: u64 = 32;
+    const PER_CLIENT: u64 = 4;
+    let server = Server::new(ServerConfig {
+        workers: 4,
+        ..ServerConfig::default()
+    });
+    with_server(server, |addr, server| {
+        let mut latencies: Vec<Duration> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|c| {
+                    scope.spawn(move || {
+                        let mut client = Client::connect(addr).unwrap();
+                        let mut latencies = Vec::new();
+                        for i in 0..PER_CLIENT {
+                            // Half unique problems, half shared (cacheable).
+                            let problem = if i % 2 == 0 {
+                                unique_problem(c * PER_CLIENT + i)
+                            } else {
+                                examples::figure1()
+                            };
+                            let t0 = Instant::now();
+                            let response = client.request(&request(c * 100 + i, &problem)).unwrap();
+                            latencies.push(t0.elapsed());
+                            // Every status in the enum is terminal; a
+                            // solvable workload must never be Infeasible.
+                            assert_ne!(response.status, Status::Infeasible);
+                        }
+                        latencies
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        let total = CLIENTS * PER_CLIENT;
+        let stats = server.stats();
+        // Zero non-terminal responses: every request answered, and every
+        // answer carried a terminal status.
+        assert_eq!(stats.responses.load(Ordering::Relaxed), total);
+        assert_eq!(stats.terminal_total(), total);
+        // p99 latency stays within a generous smoke budget.
+        latencies.sort_unstable();
+        let p99 = latencies[(latencies.len() * 99 / 100).min(latencies.len() - 1)];
+        assert!(
+            p99 < Duration::from_secs(5),
+            "p99 latency {p99:?} exceeds the smoke budget"
+        );
+    });
+}
+
+#[test]
+fn shutdown_drains_queued_work_into_rejections() {
+    // One worker, tiny watermark avoided; stuff the queue with slow-ish
+    // work, then shut down and verify every response is terminal.
+    let server = Server::new(ServerConfig {
+        workers: 1,
+        queue_capacity: 8,
+        degrade_watermark: 8,
+        ..ServerConfig::default()
+    });
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let shutdown = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let serving = scope.spawn(|| server.serve(listener, &shutdown));
+        let clients: Vec<_> = (0..4)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    client
+                        .request(&request(c, &unique_problem(c)))
+                        .map(|r| r.status)
+                })
+            })
+            .collect();
+        // Give the requests a moment to land, then pull the plug.
+        std::thread::sleep(Duration::from_millis(150));
+        shutdown.store(true, Ordering::Release);
+        serving.join().unwrap().unwrap();
+        for handle in clients {
+            // Either a terminal response arrived (possibly the shutdown
+            // rejection) or the connection closed before the reply could
+            // be written — but never a hang and never a non-terminal.
+            if let Ok(status) = handle.join().unwrap() {
+                assert!(matches!(
+                    status,
+                    Status::Solved
+                        | Status::Infeasible
+                        | Status::BestEffort
+                        | Status::Rejected
+                        | Status::TimedOut
+                ));
+            }
+        }
+    });
+}

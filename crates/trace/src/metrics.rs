@@ -145,6 +145,22 @@ impl MetricsRegistry {
         });
     }
 
+    /// Adds `delta` (possibly negative) to the gauge `name`, creating it
+    /// at zero first. Lets concurrent holders track a level — a queue
+    /// depth, in-flight request count — without an external read-modify-
+    /// write race: the adjustment happens under the registry lock.
+    pub fn add_gauge(&self, name: &str, delta: i64) {
+        self.with_series(|series| {
+            match series
+                .entry(name.to_string())
+                .or_insert(MetricValue::Gauge(0))
+            {
+                MetricValue::Gauge(v) => *v += delta,
+                other => *other = MetricValue::Gauge(delta),
+            }
+        });
+    }
+
     /// Records `value` into the histogram `name`, creating it if needed.
     pub fn observe(&self, name: &str, value: u64) {
         self.with_series(|series| {
@@ -254,6 +270,19 @@ mod tests {
         m.set_gauge("g", 4);
         m.set_gauge("g", -2);
         assert_eq!(m.snapshot()[0].value, MetricValue::Gauge(-2));
+    }
+
+    #[test]
+    fn add_gauge_accumulates_deltas() {
+        let m = MetricsRegistry::new();
+        m.add_gauge("depth", 3);
+        m.add_gauge("depth", 2);
+        m.add_gauge("depth", -4);
+        assert_eq!(m.snapshot()[0].value, MetricValue::Gauge(1));
+        // set_gauge still overwrites, and add_gauge adjusts from there.
+        m.set_gauge("depth", 10);
+        m.add_gauge("depth", -3);
+        assert_eq!(m.snapshot()[0].value, MetricValue::Gauge(7));
     }
 
     #[test]

@@ -244,6 +244,15 @@ impl Tracer {
         }
     }
 
+    /// Adds `delta` (possibly negative) to the gauge `name` (no-op when
+    /// disabled). See [`MetricsRegistry::add_gauge`].
+    #[inline]
+    pub fn add_gauge(&self, name: &str, delta: i64) {
+        if let Some(shared) = &self.inner {
+            shared.metrics.add_gauge(name, delta);
+        }
+    }
+
     /// Records `value` into the histogram `name` (no-op when disabled).
     #[inline]
     pub fn observe(&self, name: &str, value: u64) {
@@ -419,6 +428,7 @@ impl Drop for TraceBuffer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::MetricValue;
 
     #[test]
     fn disabled_tracer_records_nothing() {
@@ -501,10 +511,14 @@ mod tests {
         t.count("c", 2);
         t.count("c", 3);
         t.set_gauge("g", 7);
+        t.add_gauge("g", -2);
         t.observe("h", 4);
         let trace = t.snapshot().unwrap();
         assert_eq!(trace.metrics.len(), 3);
         assert_eq!(trace.metrics[0].value.as_counter(), Some(5));
+        assert_eq!(trace.metrics[1].value, MetricValue::Gauge(5));
+        // Disabled tracers drop gauge deltas without side effects.
+        Tracer::disabled().add_gauge("g", 1);
     }
 
     #[test]
