@@ -70,6 +70,15 @@ impl Value {
     }
 }
 
+/// Maximum container nesting depth.
+///
+/// The parser recurses per `[`/`{`, so without a bound a frame of a few
+/// tens of KB of `[` (far under the frame-size cap) would overflow the
+/// connection thread's stack — and a stack overflow aborts the whole
+/// process, which no `catch_unwind` can contain. The protocol nests
+/// three or four levels deep; 64 is bottomless by comparison.
+pub const MAX_DEPTH: usize = 64;
+
 /// Why a payload failed to parse.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonError {
@@ -91,7 +100,7 @@ impl std::error::Error for JsonError {}
 pub fn parse(input: &str) -> Result<Value, JsonError> {
     let bytes = input.as_bytes();
     let mut pos = 0;
-    let value = parse_value(bytes, &mut pos)?;
+    let value = parse_value(bytes, &mut pos, 0)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(JsonError {
@@ -121,11 +130,17 @@ fn expect(bytes: &[u8], pos: &mut usize, byte: u8, reason: &'static str) -> Resu
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, JsonError> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, JsonError> {
     skip_ws(bytes, pos);
+    if depth > MAX_DEPTH {
+        return Err(JsonError {
+            at: *pos,
+            reason: "nesting too deep",
+        });
+    }
     match bytes.get(*pos) {
-        Some(b'{') => parse_object(bytes, pos),
-        Some(b'[') => parse_array(bytes, pos),
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'[') => parse_array(bytes, pos, depth),
         Some(b'"') => parse_string(bytes, pos).map(Value::Str),
         Some(b'0'..=b'9') => parse_number(bytes, pos),
         Some(b't') => parse_keyword(bytes, pos, b"true", Value::Bool(true)),
@@ -174,6 +189,12 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, JsonError> {
             reason: "only unsigned integers are supported",
         });
     }
+    if bytes[start] == b'0' && *pos - start > 1 {
+        return Err(JsonError {
+            at: start,
+            reason: "leading zeros are not valid JSON",
+        });
+    }
     Ok(Value::U64(value))
 }
 
@@ -213,6 +234,14 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                             at: *pos,
                             reason: "truncated \\u escape",
                         })?;
+                        // `from_str_radix` alone also accepts a leading
+                        // '+'; JSON requires exactly four hex digits.
+                        if !hex.iter().all(u8::is_ascii_hexdigit) {
+                            return Err(JsonError {
+                                at: *pos,
+                                reason: "invalid \\u escape",
+                            });
+                        }
                         let code = std::str::from_utf8(hex)
                             .ok()
                             .and_then(|h| u32::from_str_radix(h, 16).ok())
@@ -255,7 +284,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
     }
 }
 
-fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, JsonError> {
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, JsonError> {
     expect(bytes, pos, b'[', "expected an array")?;
     let mut items = Vec::new();
     skip_ws(bytes, pos);
@@ -264,7 +293,7 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, JsonError> {
         return Ok(Value::Array(items));
     }
     loop {
-        items.push(parse_value(bytes, pos)?);
+        items.push(parse_value(bytes, pos, depth + 1)?);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
@@ -282,7 +311,7 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, JsonError> {
     }
 }
 
-fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, JsonError> {
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, JsonError> {
     expect(bytes, pos, b'{', "expected an object")?;
     let mut map = BTreeMap::new();
     skip_ws(bytes, pos);
@@ -295,7 +324,7 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, JsonError> {
         let key = parse_string(bytes, pos)?;
         skip_ws(bytes, pos);
         expect(bytes, pos, b':', "expected ':' after key")?;
-        let value = parse_value(bytes, pos)?;
+        let value = parse_value(bytes, pos, depth + 1)?;
         map.insert(key, value);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
@@ -418,5 +447,32 @@ mod tests {
         let outer = value.as_array().unwrap();
         assert_eq!(outer.len(), 2);
         assert!(outer[0].get("a").is_some());
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing_the_stack() {
+        // Well past MAX_DEPTH but nowhere near enough bytes to matter:
+        // without the depth limit this many '[' would blow the stack
+        // and abort the process.
+        let bomb = "[".repeat(100_000);
+        let err = parse(&bomb).unwrap_err();
+        assert_eq!(err.reason, "nesting too deep");
+        // Mixed nesting is caught too, and at the limit parsing works.
+        assert_eq!(parse(&"[{\"k\":".repeat(20_000)).unwrap_err().reason, "nesting too deep");
+        let ok = format!("{}0{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&ok).is_ok());
+        let too_deep = format!("{}0{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        assert_eq!(parse(&too_deep).unwrap_err().reason, "nesting too deep");
+    }
+
+    #[test]
+    fn non_json_lookalikes_are_rejected() {
+        // from_str_radix would happily take the '+'.
+        assert_eq!(parse(r#""\u+04A""#).unwrap_err().reason, "invalid \\u escape");
+        assert_eq!(parse(r#""\u00 1""#).unwrap_err().reason, "invalid \\u escape");
+        // Leading zeros are not JSON numbers; a bare zero is.
+        assert_eq!(parse("007").unwrap_err().reason, "leading zeros are not valid JSON");
+        assert_eq!(parse("0").unwrap(), Value::U64(0));
+        assert_eq!(parse("10").unwrap(), Value::U64(10));
     }
 }

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! tela-server [--addr 127.0.0.1:7171] [--workers 4] [--queue 64]
-//!             [--degrade 48] [--cache 256] [--run-seconds 0]
+//!             [--degrade 48] [--cache 256] [--max-conns 128]
+//!             [--run-seconds 0]
 //! ```
 //!
 //! `--run-seconds 0` (the default) serves until the process is killed;
@@ -37,6 +38,7 @@ fn main() -> std::io::Result<()> {
         queue_capacity: arg("--queue", 64),
         degrade_watermark: arg("--degrade", 48),
         cache_capacity: arg("--cache", 256),
+        max_connections: arg("--max-conns", 128),
         ..ServerConfig::default()
     };
     let listener = TcpListener::bind(&addr)?;

@@ -17,9 +17,11 @@ use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 use tela_model::Address;
 
-/// Upper bound on a frame payload (16 MiB) — a stall/garbage guard, far
-/// above any real problem.
-pub const MAX_FRAME_LEN: u32 = 16 << 20;
+/// Upper bound on a frame payload (1 MiB) — far above any real problem
+/// (the canonical suite's biggest request is a few KB), and small enough
+/// that `max_connections` half-read frames bound worst-case buffering at
+/// a few hundred MB rather than gigabytes.
+pub const MAX_FRAME_LEN: u32 = 1 << 20;
 
 /// A client's allocation request.
 #[derive(Debug, Clone, PartialEq, Eq)]

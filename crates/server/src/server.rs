@@ -47,7 +47,7 @@ use crate::queue::{Pop, Push, WorkQueue};
 use std::io::{self, Write};
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 use tela_model::{Budget, CanonicalForm, Problem, SolveOutcome};
@@ -61,6 +61,12 @@ use tela_model::ServerFaultPlan;
 pub struct ServerConfig {
     /// Solver worker threads.
     pub workers: usize,
+    /// Maximum concurrent client connections. Each connection costs a
+    /// thread plus up to [`crate::protocol::MAX_FRAME_LEN`] of buffer,
+    /// so the cap is the flood guard that per-request admission control
+    /// (which runs after the thread exists) cannot be; connections over
+    /// the cap get a terminal `Rejected{retry_after}` and are closed.
+    pub max_connections: usize,
     /// Work-queue capacity; beyond it, pushes shed.
     pub queue_capacity: usize,
     /// Queue depth at which *new* admitted work degrades to the greedy
@@ -82,6 +88,7 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             workers: 4,
+            max_connections: 128,
             queue_capacity: 64,
             degrade_watermark: 48,
             cache_capacity: 256,
@@ -120,6 +127,9 @@ pub struct ServerStats {
     pub solve_calls: AtomicU64,
     /// Requests whose client vanished before the terminal reply.
     pub disconnects: AtomicU64,
+    /// Connections refused at accept because `max_connections` was
+    /// reached (each also counts one `Rejected` response).
+    pub conn_refused: AtomicU64,
 }
 
 impl ServerStats {
@@ -176,6 +186,8 @@ pub struct Server {
     ladder: EscalationLadder,
     stats: ServerStats,
     ordinal: AtomicU64,
+    /// Live connection-thread count, bounded by `max_connections`.
+    connections: AtomicUsize,
 }
 
 /// Poll interval for shutdown/disconnect observation.
@@ -193,12 +205,14 @@ impl Server {
     /// per-tenant overrides beyond the config's default).
     pub fn with_admission(admission: AdmissionController, mut config: ServerConfig) -> Self {
         config.workers = config.workers.max(1);
+        config.max_connections = config.max_connections.max(1);
         Server {
             cache: SolutionCache::new(config.cache_capacity),
             queue: WorkQueue::new(config.queue_capacity),
             ladder: EscalationLadder::new(config.tela.clone()),
             stats: ServerStats::default(),
             ordinal: AtomicU64::new(0),
+            connections: AtomicUsize::new(0),
             admission,
             config,
         }
@@ -225,8 +239,34 @@ impl Server {
             }
             while !shutdown.load(Ordering::Acquire) {
                 match listener.accept() {
-                    Ok((stream, _peer)) => {
-                        scope.spawn(move || self.handle_connection(stream, shutdown));
+                    Ok((mut stream, _peer)) => {
+                        // Bound concurrency *at accept*: admission
+                        // control runs per-request, after a connection
+                        // thread (and its frame buffer) already exists,
+                        // so a connection flood has to be refused here.
+                        if self.connections.fetch_add(1, Ordering::AcqRel)
+                            >= self.config.max_connections
+                        {
+                            self.connections.fetch_sub(1, Ordering::AcqRel);
+                            self.stats.conn_refused.fetch_add(1, Ordering::Relaxed);
+                            self.tracer().count("server.conn_refused", 1);
+                            // Short write timeout: the refusal must not
+                            // let a slow client stall the accept loop.
+                            let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+                            self.reply(
+                                &mut stream,
+                                Response::rejected(
+                                    0,
+                                    self.retry_hint_ms(),
+                                    "server at connection capacity",
+                                ),
+                            );
+                            continue;
+                        }
+                        scope.spawn(move || {
+                            self.handle_connection(stream, shutdown);
+                            self.connections.fetch_sub(1, Ordering::AcqRel);
+                        });
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(2));
@@ -560,8 +600,13 @@ impl Server {
             match reply_rx.recv_timeout(POLL) {
                 Ok(response) => break response,
                 Err(mpsc::RecvTimeoutError::Timeout) => {
-                    // Liveness probe: EOF means the client hung up —
-                    // stop burning solver budget on it.
+                    // Liveness probe: a zero-byte peek means the peer
+                    // sent FIN. TCP cannot distinguish a full close
+                    // from a write-side shutdown, so half-close is
+                    // *defined* as abandonment by this protocol: a
+                    // client must keep its write side open until the
+                    // terminal response arrives, or its in-flight solve
+                    // is cancelled and answered best-effort.
                     if let Ok(0) = stream.peek(&mut probe) {
                         if !cancel.swap(true, Ordering::Release) {
                             self.stats.disconnects.fetch_add(1, Ordering::Relaxed);

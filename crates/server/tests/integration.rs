@@ -278,6 +278,54 @@ fn thirty_two_concurrent_clients_all_get_terminal_answers() {
 }
 
 #[test]
+fn connection_flood_is_refused_with_terminal_rejections() {
+    let server = Server::new(ServerConfig {
+        max_connections: 2,
+        ..ServerConfig::default()
+    });
+    with_server(server, |addr, server| {
+        // Fill the cap, round-tripping a request on each connection so
+        // both connection threads are provably live.
+        let mut held: Vec<Client> = (0..2).map(|_| Client::connect(addr).unwrap()).collect();
+        for (i, client) in held.iter_mut().enumerate() {
+            let r = client
+                .request(&request(i as u64, &unique_problem(900 + i as u64)))
+                .unwrap();
+            assert_eq!(r.status, Status::Solved);
+        }
+        // The connection over the cap gets a terminal rejection with a
+        // retry hint, then the server closes it — no thread is spawned.
+        let mut extra = Client::connect(addr).unwrap();
+        extra
+            .set_reply_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let refused = extra.read_response().unwrap();
+        assert_eq!(refused.status, Status::Rejected);
+        assert!(refused.detail.contains("connection capacity"));
+        assert!(refused.retry_after_ms.is_some());
+        assert!(server.stats().conn_refused.load(Ordering::Relaxed) >= 1);
+        // Closing a held connection frees its slot (after the server's
+        // poll notices the EOF), and new connections are served again.
+        drop(held.pop());
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let mut fresh = Client::connect(addr).unwrap();
+            fresh
+                .set_reply_timeout(Some(Duration::from_secs(5)))
+                .unwrap();
+            let response = fresh.request(&request(99, &unique_problem(990))).unwrap();
+            match response.status {
+                Status::Solved => break,
+                Status::Rejected if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                other => panic!("expected the freed slot to serve, got {other:?}"),
+            }
+        }
+    });
+}
+
+#[test]
 fn shutdown_drains_queued_work_into_rejections() {
     // One worker, tiny watermark avoided; stuff the queue with slow-ish
     // work, then shut down and verify every response is terminal.

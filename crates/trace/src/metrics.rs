@@ -126,14 +126,18 @@ impl MetricsRegistry {
     }
 
     /// Adds `delta` to the counter `name`, creating it at zero first.
+    ///
+    /// A series never changes type: if `name` already names a gauge or
+    /// histogram, the update is dropped rather than clobbering the
+    /// existing value (same rule as [`MetricsRegistry::add_gauge`] and
+    /// [`MetricsRegistry::observe`]).
     pub fn add(&self, name: &str, delta: u64) {
         self.with_series(|series| {
-            match series
+            if let MetricValue::Counter(v) = series
                 .entry(name.to_string())
                 .or_insert(MetricValue::Counter(0))
             {
-                MetricValue::Counter(v) => *v += delta,
-                other => *other = MetricValue::Counter(delta),
+                *v += delta;
             }
         });
     }
@@ -149,31 +153,31 @@ impl MetricsRegistry {
     /// at zero first. Lets concurrent holders track a level — a queue
     /// depth, in-flight request count — without an external read-modify-
     /// write race: the adjustment happens under the registry lock.
+    ///
+    /// If `name` already names a counter or histogram, the delta is
+    /// dropped: a type conflict must not silently discard the existing
+    /// series.
     pub fn add_gauge(&self, name: &str, delta: i64) {
         self.with_series(|series| {
-            match series
+            if let MetricValue::Gauge(v) = series
                 .entry(name.to_string())
                 .or_insert(MetricValue::Gauge(0))
             {
-                MetricValue::Gauge(v) => *v += delta,
-                other => *other = MetricValue::Gauge(delta),
+                *v += delta;
             }
         });
     }
 
     /// Records `value` into the histogram `name`, creating it if needed.
+    /// Dropped if `name` already names a counter or gauge (see
+    /// [`MetricsRegistry::add`]).
     pub fn observe(&self, name: &str, value: u64) {
         self.with_series(|series| {
-            match series
+            if let MetricValue::Histogram(h) = series
                 .entry(name.to_string())
                 .or_insert(MetricValue::Histogram(Histogram::new()))
             {
-                MetricValue::Histogram(h) => h.record(value),
-                other => {
-                    let mut h = Histogram::new();
-                    h.record(value);
-                    *other = MetricValue::Histogram(h);
-                }
+                h.record(value);
             }
         });
     }
@@ -283,6 +287,23 @@ mod tests {
         m.set_gauge("depth", 10);
         m.add_gauge("depth", -3);
         assert_eq!(m.snapshot()[0].value, MetricValue::Gauge(7));
+    }
+
+    #[test]
+    fn type_conflicts_keep_the_first_registration() {
+        let m = MetricsRegistry::new();
+        m.add("c", 5);
+        m.add_gauge("c", -3);
+        m.observe("c", 9);
+        assert_eq!(m.snapshot()[0].value, MetricValue::Counter(5));
+        let m = MetricsRegistry::new();
+        m.add_gauge("g", 2);
+        m.add("g", 7);
+        m.observe("g", 9);
+        assert_eq!(m.snapshot()[0].value, MetricValue::Gauge(2));
+        // set_gauge is the explicit overwrite and still replaces.
+        m.set_gauge("g", -1);
+        assert_eq!(m.snapshot()[0].value, MetricValue::Gauge(-1));
     }
 
     #[test]
