@@ -29,7 +29,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use tela_bench::{
-    arg_f64, arg_string, arg_usize, compare_trend, render_trend_json, Gate, TextTable,
+    arg_f64, arg_string, arg_usize, compare_trend, percentile, render_trend_json, Gate, TextTable,
 };
 use tela_model::{problem_to_text, Buffer, Problem};
 use tela_server::{Client, Request, Server, ServerConfig, Status, TenantConfig};
@@ -195,6 +195,7 @@ fn measure(n: usize, workers: usize, requests: usize) -> (Phase, Phase, bool) {
                     problem: problem_to_text(&warm_problem(0)),
                     max_steps: Some(500_000),
                     deadline_ms: Some(5_000),
+                    trace: false,
                 })
                 .expect("prime the cache");
             assert_eq!(primed.status, Status::Solved, "warm primer must solve");
@@ -245,6 +246,7 @@ fn drive(
                             problem: problem_to_text(&problem_of(index)),
                             max_steps: Some(500_000),
                             deadline_ms: Some(5_000),
+                            trace: false,
                         };
                         let sent = Instant::now();
                         let response = client.request(&request).expect("terminal response");
@@ -266,12 +268,11 @@ fn drive(
     });
     let wall = t0.elapsed();
     latencies.sort_unstable();
-    let total = latencies.len();
-    let pct = |p: usize| latencies[(total * p / 100).min(total - 1)].as_secs_f64() * 1e3;
+    let pct = |p: usize| percentile(&latencies, p).as_secs_f64() * 1e3;
     Phase {
-        rps: total as f64 / wall.as_secs_f64().max(1e-9),
+        rps: latencies.len() as f64 / wall.as_secs_f64().max(1e-9),
         p50_ms: pct(50),
         p99_ms: pct(99),
-        max_ms: latencies[total - 1].as_secs_f64() * 1e3,
+        max_ms: pct(100),
     }
 }

@@ -34,6 +34,19 @@
 //! artifact can gate against the previous PR's snapshot. Refresh the
 //! snapshot by committing the new artifact: `cargo bench-trend` (alias
 //! for this binary) writes `BENCH_pr8.json` in place.
+//!
+//! Every run additionally performs one **traced re-run**: a wall-clock
+//! traced solve of a fixed representative instance (the largest
+//! certified configuration, independent of `--inputs`/`--certified` so
+//! traces from different runs are comparable), exported as
+//! `--trace-out` JSONL plus a `--flame` flamegraph SVG — the CI
+//! artifacts. When a gate fails, the committed `--baseline-trace` is
+//! diffed against the fresh trace via `tela-prof` and the top guilty
+//! spans are printed next to the `REGRESSION:` lines, closing the loop
+//! from "a gate failed" to "this span regressed" (the same attribution
+//! `cargo prof diff old.jsonl new.jsonl` gives offline). Refresh the
+//! baseline alongside the snapshot by committing `--trace-out` as
+//! `traces/trend_baseline.jsonl`.
 
 use std::hint::black_box;
 use std::sync::Arc;
@@ -44,8 +57,12 @@ use tela_bench::{
 };
 use tela_cp::CpSolver;
 use tela_model::{Budget, BufferId, SolveOutcome};
+use tela_prof::{build_tree, diff, flamegraph, profile_jsonl, render_diff, rollup, Rollup};
+use tela_trace::{write_jsonl, Tracer};
 use tela_workloads::sweep::{certified_configs, giant_config, sweep_configs, SweepConfig};
-use telamalloc::{solve, solve_portfolio, AdaptiveConfig, TelaConfig, VariantRanker};
+use telamalloc::{
+    solve, solve_portfolio, AdaptiveConfig, EscalationLadder, TelaConfig, VariantRanker,
+};
 
 fn main() {
     let inputs = arg_usize("--inputs", 4);
@@ -58,6 +75,9 @@ fn main() {
     let slack = arg_f64("--slack", 0.5);
     let out = arg_string("--out", "BENCH_pr8.json");
     let check = arg_string("--check", "");
+    let trace_out = arg_string("--trace-out", "trend_trace.jsonl");
+    let flame_out = arg_string("--flame", "trend_flame.svg");
+    let baseline_trace = arg_string("--baseline-trace", "traces/trend_baseline.jsonl");
 
     let mut configs = sweep_configs(inputs);
     configs.extend(certified_configs(certified));
@@ -186,6 +206,12 @@ fn main() {
         ("micro_trail_churn_ns", trail_ns as f64, Gate::Band),
     ];
 
+    // Traced re-run: one wall-clock solve of the fixed representative
+    // instance with tracing on, exported as JSONL + flamegraph SVG.
+    // Deliberately *after* every timed measurement so the tracer cannot
+    // perturb the gated numbers.
+    let profile = trace_representative(step_cap, &trace_out, &flame_out);
+
     // Flat metric list: `(key, value, gate)` — the JSON is generated
     // from this, so emit order and key set stay schema-stable.
     let json = render_trend_json(
@@ -204,6 +230,7 @@ fn main() {
             for f in &failures {
                 eprintln!("REGRESSION: {f}");
             }
+            print_guilty_spans(&baseline_trace, &profile);
             eprintln!(
                 "# {} of {} gates failed against {check} (tolerance {tolerance}%)",
                 failures.len(),
@@ -218,6 +245,71 @@ fn main() {
     }
     std::fs::write(&out, json).expect("write benchmark artifact");
     println!("# wrote {out}");
+}
+
+/// Solves the fixed representative instance — the largest certified
+/// configuration, the same one in every run so traces stay
+/// diff-comparable — under a wall-clock tracer, writes the trace as
+/// JSONL to `trace_out` and its flamegraph SVG to `flame_out`, and
+/// returns the span rollup.
+fn trace_representative(step_cap: u64, trace_out: &str, flame_out: &str) -> Rollup {
+    let config = certified_configs(14)
+        .pop()
+        .expect("certified suite is non-empty");
+    let tracer = Tracer::wall();
+    let ladder = EscalationLadder::new(TelaConfig {
+        tracer: tracer.clone(),
+        ..TelaConfig::default()
+    });
+    let outcome = ladder
+        .solve(&config.problem, &Budget::steps(step_cap))
+        .outcome;
+    let trace = tracer.snapshot().expect("wall tracer is enabled");
+    std::fs::write(trace_out, write_jsonl(&trace)).expect("write trace artifact");
+    let tree = build_tree(&trace);
+    let svg = tela_viz::render_flamegraph(&flamegraph(&tree), &Default::default());
+    std::fs::write(flame_out, svg).expect("write flamegraph artifact");
+    let profile = rollup(&tree);
+    println!(
+        "# traced re-run: {} -> {} in {:.2}ms over {} span keys; wrote {trace_out}, {flame_out}",
+        config.name,
+        if outcome.is_solved() {
+            "solved"
+        } else {
+            "UNSOLVED"
+        },
+        profile.root_total as f64 / 1e6,
+        profile.entries.len(),
+    );
+    profile
+}
+
+/// Attributes a failed gate to spans: diffs the committed baseline
+/// trace against the fresh traced re-run and prints the top five
+/// contributors. Falls back to the fresh rollup's top self-time spans
+/// when no baseline is committed yet.
+fn print_guilty_spans(baseline_trace: &str, fresh: &Rollup) {
+    let baseline = std::fs::read_to_string(baseline_trace)
+        .ok()
+        .and_then(|text| profile_jsonl(&text).ok());
+    match baseline {
+        Some(old) => {
+            let d = diff(&old, fresh);
+            eprintln!("# guilty spans ({baseline_trace} -> this run, self-time ns):");
+            eprint!("{}", render_diff(&d, 5));
+        }
+        None => {
+            eprintln!(
+                "# no committed baseline trace at {baseline_trace}; top self-time spans this run:"
+            );
+            for e in fresh.entries.iter().take(5) {
+                eprintln!(
+                    "#   {}: self {} ns over {} calls",
+                    e.key, e.self_time, e.count
+                );
+            }
+        }
+    }
 }
 
 /// One adaptive suite pass: `(solved, median ms, max ms)` with the

@@ -59,6 +59,17 @@ pub fn median_time<R>(runs: usize, mut f: impl FnMut() -> R) -> (Duration, R) {
     (times[times.len() / 2], last.expect("runs > 0"))
 }
 
+/// Nearest-rank percentile over an **ascending-sorted** slice: the
+/// element at rank `len · p / 100`, clamped to the last element (so
+/// `percentile(&v, 100)` is the maximum). This is the sample-based
+/// counterpart of [`tela_trace::Histogram::quantile`]: exact on the
+/// recorded samples, where the histogram trades ≤2× bucket error for
+/// O(1) space. Panics on an empty slice.
+pub fn percentile<T: Copy>(sorted: &[T], p: usize) -> T {
+    assert!(!sorted.is_empty(), "percentile of an empty slice");
+    sorted[(sorted.len() * p / 100).min(sorted.len() - 1)]
+}
+
 /// Short status string for an outcome.
 pub fn outcome_tag(outcome: &SolveOutcome) -> &'static str {
     match outcome {
@@ -300,6 +311,25 @@ mod tests {
         let s = t.render();
         assert!(s.contains("name"));
         assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank_clamped() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0), 1);
+        assert_eq!(percentile(&v, 50), 51);
+        assert_eq!(percentile(&v, 99), 100);
+        assert_eq!(percentile(&v, 100), 100);
+        // Small slices clamp to the last element instead of indexing out.
+        let two = [Duration::from_millis(1), Duration::from_millis(9)];
+        assert_eq!(percentile(&two, 99), Duration::from_millis(9));
+        assert_eq!(percentile(&[7u64], 50), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_rejects_empty_input() {
+        percentile::<u64>(&[], 50);
     }
 
     #[test]

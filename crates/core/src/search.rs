@@ -110,6 +110,8 @@ pub fn solve_with(
         tracer.count("search.steps", result.stats.steps);
         tracer.count("search.backtracks.minor", result.stats.minor_backtracks);
         tracer.count("search.backtracks.major", result.stats.major_backtracks);
+        // Work counters ride on the end event too (not just the
+        // registry) so rollups can attribute them to this span.
         tracer.end(
             span,
             "search",
@@ -117,6 +119,14 @@ pub fn solve_with(
             vec![
                 ("outcome".into(), result.outcome.label().into()),
                 ("steps".into(), result.stats.steps.into()),
+                (
+                    "backtracks_minor".into(),
+                    result.stats.minor_backtracks.into(),
+                ),
+                (
+                    "backtracks_major".into(),
+                    result.stats.major_backtracks.into(),
+                ),
             ],
         );
     }

@@ -106,6 +106,9 @@ pub fn solve_with_fixed_traced(
         tracer.count("cp.backtracks.major", stats.major_backtracks);
         tracer.count("cp.propagations", work.propagations);
         tracer.count("cp.min_pos.queries", work.min_pos_queries);
+        // The end event carries the same work counters that go to the
+        // registry, so a span-tree rollup can attribute CP work to the
+        // enclosing span instead of only seeing the global totals.
         tracer.end(
             span,
             "cp",
@@ -113,6 +116,10 @@ pub fn solve_with_fixed_traced(
             vec![
                 ("outcome".into(), outcome.label().into()),
                 ("steps".into(), stats.steps.into()),
+                ("backtracks_minor".into(), stats.minor_backtracks.into()),
+                ("backtracks_major".into(), stats.major_backtracks.into()),
+                ("propagations".into(), work.propagations.into()),
+                ("min_pos_queries".into(), work.min_pos_queries.into()),
             ],
         );
     }

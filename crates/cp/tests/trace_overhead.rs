@@ -32,4 +32,20 @@ fn disabled_tracer_adds_zero_allocations() {
         "a disabled tracer added {} allocations to the propagate loop",
         traced_allocs.saturating_sub(bare_allocs)
     );
+
+    // A *decorated* disabled tracer — the shape tela-server hands the
+    // solve path when a request does not opt into tracing — must be
+    // just as free: `with_field` on a disabled tracer returns another
+    // disabled tracer, and the common-field vector must never be built
+    // or cloned ahead of the `enabled()` guard.
+    let (decorated_allocs, decorated_propagations, _) = common::min_measure(&p, n, || {
+        Some(tela_trace::Tracer::disabled().with_field("request", 7u64))
+    });
+    assert_eq!(decorated_propagations, bare_propagations);
+    assert_eq!(
+        decorated_allocs,
+        bare_allocs,
+        "a decorated disabled tracer added {} allocations to the propagate loop",
+        decorated_allocs.saturating_sub(bare_allocs)
+    );
 }

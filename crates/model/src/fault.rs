@@ -28,6 +28,13 @@ pub struct FaultPlan {
     /// From this step on, report the virtual clock as being this much
     /// later than it really is — a deterministic stall.
     pub stall_at_step: Option<(u64, Duration)>,
+    /// Sleep the polling thread for this long, once, when the step
+    /// counter reaches the threshold — a *real* wall-clock stall, unlike
+    /// [`FaultPlan::stall_at_step`]'s virtual one. Never produced by
+    /// [`FaultPlan::from_seed`] (chaos stays wall-clock-free); it exists
+    /// so profiling tests can slow one real span and assert that
+    /// `prof diff` attributes the regression to it.
+    pub sleep_at_step: Option<(u64, Duration)>,
     /// Report the budget as cancelled from this step on, as if the
     /// solve had lost a portfolio race.
     pub cancel_at_step: Option<u64>,
@@ -100,6 +107,8 @@ pub struct FaultInjector {
     /// Virtual clock skew in nanoseconds, raised by a stall fault.
     stalled_nanos: AtomicU64,
     cancelled: AtomicBool,
+    /// Latch for the one-shot real sleep fault.
+    slept: AtomicBool,
 }
 
 impl FaultInjector {
@@ -109,6 +118,7 @@ impl FaultInjector {
             plan,
             stalled_nanos: AtomicU64::new(0),
             cancelled: AtomicBool::new(false),
+            slept: AtomicBool::new(false),
         }
     }
 
@@ -134,6 +144,11 @@ impl FaultInjector {
             if steps >= at {
                 let nanos = u64::try_from(stall.as_nanos()).unwrap_or(u64::MAX);
                 self.stalled_nanos.store(nanos, Ordering::Release);
+            }
+        }
+        if let Some((at, sleep)) = self.plan.sleep_at_step {
+            if steps >= at && !self.slept.swap(true, Ordering::AcqRel) {
+                std::thread::sleep(sleep);
             }
         }
         if let Some(at) = self.plan.cancel_at_step {
@@ -326,6 +341,28 @@ mod tests {
         // the observed clock past the deadline deterministically.
         assert!(budget.exhausted(2));
         assert!(budget.deadline_passed_at(t0));
+    }
+
+    #[test]
+    fn sleep_fault_fires_once_and_really_sleeps() {
+        let plan = FaultPlan {
+            sleep_at_step: Some((2, Duration::from_millis(30))),
+            ..FaultPlan::default()
+        };
+        let budget = Budget::steps(1_000).with_fault_injector(Arc::new(plan.injector()));
+        let t0 = Instant::now();
+        assert!(!budget.exhausted(1));
+        assert!(t0.elapsed() < Duration::from_millis(25), "slept too early");
+        assert!(!budget.exhausted(2));
+        assert!(t0.elapsed() >= Duration::from_millis(30), "did not sleep");
+        // One-shot: later polls do not sleep again.
+        let t1 = Instant::now();
+        assert!(!budget.exhausted(3));
+        assert!(t1.elapsed() < Duration::from_millis(25), "slept twice");
+        // Seeded plans never produce a real sleep.
+        for seed in 0..512 {
+            assert_eq!(FaultPlan::from_seed(seed).sleep_at_step, None);
+        }
     }
 
     #[test]

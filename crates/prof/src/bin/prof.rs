@@ -1,0 +1,93 @@
+//! `cargo prof`: profile, flamegraph, and diff exported JSONL traces.
+//!
+//! ```text
+//! cargo prof report <trace.jsonl>                sorted self-time table
+//! cargo prof flame  <trace.jsonl> [--out F.svg]  flamegraph SVG
+//! cargo prof diff   <old.jsonl> <new.jsonl> [--top N]
+//! ```
+//!
+//! Traces come from `TELA_TRACE=1` (wall clock) or `TELA_TRACE=logical`
+//! runs of the examples and benches, or from `tela-server`'s per-request
+//! tracing. Exit code 0 on success, 2 on usage or parse errors.
+
+use std::process::ExitCode;
+
+use tela_prof::{build_tree, diff, flamegraph, render_diff, render_report, rollup};
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("prof: {message}");
+    eprintln!("usage: prof report <trace.jsonl>");
+    eprintln!("       prof flame  <trace.jsonl> [--out FILE.svg]");
+    eprintln!("       prof diff   <old.jsonl> <new.jsonl> [--top N]");
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<tela_trace::Trace, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    tela_trace::parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Value of `--flag` in `args`, if present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(String::as_str) else {
+        return fail("missing command");
+    };
+    let result = match command {
+        "report" => {
+            let Some(path) = args.get(1) else {
+                return fail("report needs a trace path");
+            };
+            load(path).map(|trace| {
+                print!("{}", render_report(&rollup(&build_tree(&trace))));
+            })
+        }
+        "flame" => {
+            let Some(path) = args.get(1) else {
+                return fail("flame needs a trace path");
+            };
+            load(path).and_then(|trace| {
+                let svg = tela_viz::render_flamegraph(
+                    &flamegraph(&build_tree(&trace)),
+                    &Default::default(),
+                );
+                match flag_value(&args, "--out") {
+                    Some(out) => std::fs::write(out, &svg)
+                        .map(|()| println!("wrote {out}"))
+                        .map_err(|e| format!("cannot write {out}: {e}")),
+                    None => {
+                        print!("{svg}");
+                        Ok(())
+                    }
+                }
+            })
+        }
+        "diff" => {
+            let (Some(old_path), Some(new_path)) = (args.get(1), args.get(2)) else {
+                return fail("diff needs two trace paths");
+            };
+            let top = flag_value(&args, "--top")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(10);
+            load(old_path).and_then(|old| {
+                load(new_path).map(|new| {
+                    let old_profile = rollup(&build_tree(&old));
+                    let new_profile = rollup(&build_tree(&new));
+                    print!("{}", render_diff(&diff(&old_profile, &new_profile), top));
+                })
+            })
+        }
+        other => return fail(&format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => fail(&message),
+    }
+}

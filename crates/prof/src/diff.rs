@@ -1,0 +1,174 @@
+//! Attribution of a wall-time delta between two profiles.
+//!
+//! `diff` lines up two rollups of the same workload by span key and
+//! computes per-key self-time deltas. Because self times partition each
+//! trace's root total (see [`crate::rollup`]), the per-key deltas sum
+//! to the root-total delta: the whole regression is accounted for, and
+//! sorting by delta descending names the guilty spans first. This is
+//! what `bench trend` prints when a Floor/Band gate fails.
+
+use std::fmt::Write as _;
+
+use crate::rollup::Rollup;
+
+/// One span key's contribution to the delta.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffEntry {
+    /// The span key (`layer.name`).
+    pub key: String,
+    /// Self time in the old trace (0 when the key is new).
+    pub old_self: u64,
+    /// Self time in the new trace (0 when the key vanished).
+    pub new_self: u64,
+    /// `new_self - old_self`.
+    pub delta: i64,
+    /// Call counts, old and new.
+    pub counts: (u64, u64),
+}
+
+/// A profile-to-profile comparison.
+#[derive(Debug, Clone, Default)]
+pub struct Diff {
+    /// Old trace's root total.
+    pub old_total: u64,
+    /// New trace's root total.
+    pub new_total: u64,
+    /// Entries sorted by delta descending (regressions first), key
+    /// ascending on ties. Keys present in either profile appear.
+    pub entries: Vec<DiffEntry>,
+}
+
+impl Diff {
+    /// `new_total - old_total`.
+    pub fn total_delta(&self) -> i64 {
+        self.new_total as i64 - self.old_total as i64
+    }
+
+    /// The entry with the largest positive delta, if any grew.
+    pub fn top_regression(&self) -> Option<&DiffEntry> {
+        self.entries.first().filter(|e| e.delta > 0)
+    }
+}
+
+/// Compares two profiles of the same workload.
+pub fn diff(old: &Rollup, new: &Rollup) -> Diff {
+    let mut keys: Vec<&str> = old
+        .entries
+        .iter()
+        .chain(&new.entries)
+        .map(|e| e.key.as_str())
+        .collect();
+    keys.sort_unstable();
+    keys.dedup();
+    let mut entries: Vec<DiffEntry> = keys
+        .into_iter()
+        .map(|key| {
+            let o = old.entry(key);
+            let n = new.entry(key);
+            let old_self = o.map_or(0, |e| e.self_time);
+            let new_self = n.map_or(0, |e| e.self_time);
+            DiffEntry {
+                key: key.to_string(),
+                old_self,
+                new_self,
+                delta: new_self as i64 - old_self as i64,
+                counts: (o.map_or(0, |e| e.count), n.map_or(0, |e| e.count)),
+            }
+        })
+        .collect();
+    entries.sort_by(|a, b| b.delta.cmp(&a.delta).then_with(|| a.key.cmp(&b.key)));
+    Diff {
+        old_total: old.root_total,
+        new_total: new.root_total,
+        entries,
+    }
+}
+
+/// Renders the top `top` contributors (by |delta| relevance: entries
+/// are already regression-first; shrinks appear at the bottom of the
+/// listing and are included only as far as `top` allows).
+pub fn render_diff(d: &Diff, top: usize) -> String {
+    let mut out = format!(
+        "# diff: root total {} -> {} ({}{})\n",
+        d.old_total,
+        d.new_total,
+        if d.total_delta() >= 0 { "+" } else { "" },
+        d.total_delta(),
+    );
+    out.push_str("delta      old_self   new_self   calls      span\n");
+    for entry in d.entries.iter().take(top) {
+        let _ = writeln!(
+            out,
+            "{:<+10} {:<10} {:<10} {:<10} {}",
+            entry.delta,
+            entry.old_self,
+            entry.new_self,
+            format!("{}->{}", entry.counts.0, entry.counts.1),
+            entry.key,
+        );
+    }
+    if d.entries.len() > top {
+        let _ = writeln!(out, "# ({} more span keys)", d.entries.len() - top);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rollup::RollupEntry;
+
+    fn profile(entries: &[(&str, u64)]) -> Rollup {
+        Rollup {
+            clock: None,
+            root_total: entries.iter().map(|(_, s)| s).sum(),
+            entries: entries
+                .iter()
+                .map(|(key, self_time)| RollupEntry {
+                    key: key.to_string(),
+                    count: 1,
+                    total: *self_time,
+                    self_time: *self_time,
+                    max: *self_time,
+                    counters: Default::default(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn deltas_account_for_the_whole_regression() {
+        let old = profile(&[("cp.solve", 100), ("heuristic.greedy", 20)]);
+        let new = profile(&[
+            ("cp.solve", 700),
+            ("heuristic.greedy", 25),
+            ("ladder.run", 5),
+        ]);
+        let d = diff(&old, &new);
+        assert_eq!(d.total_delta(), 610);
+        let delta_sum: i64 = d.entries.iter().map(|e| e.delta).sum();
+        assert_eq!(delta_sum, d.total_delta());
+        assert_eq!(d.top_regression().unwrap().key, "cp.solve");
+        assert_eq!(d.entries[0].delta, 600);
+        // Vanished keys still show up, as negative contributors.
+        let d_rev = diff(&new, &old);
+        assert_eq!(d_rev.entries.last().unwrap().key, "cp.solve");
+        assert!(d_rev.top_regression().is_none() || d_rev.entries[0].delta > 0);
+    }
+
+    #[test]
+    fn render_caps_at_top_and_is_deterministic() {
+        let old = profile(&[("a.x", 10), ("b.y", 10), ("c.z", 10)]);
+        let new = profile(&[("a.x", 30), ("b.y", 5), ("c.z", 10)]);
+        let text = render_diff(&diff(&old, &new), 2);
+        assert!(text.contains("a.x"));
+        assert!(text.contains("(1 more span keys)"));
+        assert_eq!(text, render_diff(&diff(&old, &new), 2));
+    }
+
+    #[test]
+    fn no_regression_means_no_top_regression() {
+        let p = profile(&[("a.x", 10)]);
+        assert!(diff(&p, &p).top_regression().is_none());
+    }
+}

@@ -1,0 +1,123 @@
+//! Trace profiling for the TelaMalloc reproduction.
+//!
+//! `tela-trace` records what happened; this crate answers *where the
+//! time went*. It parses exported JSONL traces (or live
+//! [`tela_trace::Trace`] snapshots) into a reconstructed span tree,
+//! rolls the tree up into a per-span-name profile (self/total time,
+//! call counts, folded work counters like `propagations` and
+//! `min_pos_queries`), renders that as a text report or a flamegraph
+//! SVG via `tela-viz`, and diffs two profiles to attribute a wall-time
+//! delta to the spans responsible.
+//!
+//! The `prof` binary (`cargo prof`) exposes all of it:
+//!
+//! ```text
+//! cargo prof report trace.jsonl          # sorted self-time table
+//! cargo prof flame  trace.jsonl -o x.svg # flamegraph
+//! cargo prof diff   old.jsonl new.jsonl  # delta attribution
+//! ```
+//!
+//! Everything is deterministic for logical-clock traces — same trace,
+//! same bytes out — which is what makes profiles golden-file testable
+//! and regressions diffable in CI.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod diff;
+mod rollup;
+mod tree;
+
+pub use diff::{diff, render_diff, Diff, DiffEntry};
+pub use rollup::{render_report, rollup, Rollup, RollupEntry};
+pub use tree::{build_tree, SpanNode, SpanTree};
+
+use tela_viz::FlameFrame;
+
+/// Convenience: parse JSONL, build the tree, and roll it up.
+pub fn profile_jsonl(input: &str) -> Result<Rollup, tela_trace::ParseError> {
+    let trace = tela_trace::parse_jsonl(input)?;
+    Ok(rollup(&build_tree(&trace)))
+}
+
+/// Collapses a span tree into a flamegraph frame: a synthetic `all`
+/// root spanning the trace's root total, with same-key sibling spans
+/// merged at every level (the classic flamegraph collapse, so two
+/// `cp.solve` calls under one stage render as one wide frame).
+pub fn flamegraph(tree: &SpanTree) -> FlameFrame {
+    fn merge(tree: &SpanTree, indices: &[usize]) -> Vec<FlameFrame> {
+        // Preserve first-appearance order for determinism.
+        let mut frames: Vec<(String, Vec<usize>)> = Vec::new();
+        for &i in indices {
+            let key = tree.nodes[i].key();
+            match frames.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, members)) => members.push(i),
+                None => frames.push((key, vec![i])),
+            }
+        }
+        frames
+            .into_iter()
+            .map(|(key, members)| {
+                let value = members.iter().map(|&i| tree.nodes[i].dur()).sum();
+                let child_indices: Vec<usize> = members
+                    .iter()
+                    .flat_map(|&i| tree.nodes[i].children.iter().copied())
+                    .collect();
+                FlameFrame {
+                    name: key,
+                    value,
+                    children: merge(tree, &child_indices),
+                }
+            })
+            .collect()
+    }
+    FlameFrame {
+        name: "all".to_string(),
+        value: tree.root_total(),
+        children: merge(tree, &tree.roots),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tela_trace::{write_jsonl, Tracer};
+
+    #[test]
+    fn profile_jsonl_round_trips_a_real_trace() {
+        let t = Tracer::logical();
+        let s = t.begin("search", "solve", vec![]);
+        t.end(s, "search", "solve", vec![("steps".into(), 3u64.into())]);
+        let text = write_jsonl(&t.snapshot().unwrap());
+        let profile = profile_jsonl(&text).unwrap();
+        assert_eq!(profile.entries.len(), 1);
+        assert_eq!(profile.entries[0].key, "search.solve");
+        assert_eq!(profile.entries[0].counters.get("steps"), Some(&3));
+        assert!(profile_jsonl("not json").is_err());
+    }
+
+    #[test]
+    fn flamegraph_merges_same_key_siblings() {
+        let t = Tracer::logical();
+        let run = t.begin("ladder", "run", vec![]);
+        for _ in 0..3 {
+            let cp = t.begin("cp", "solve", vec![]);
+            t.end(cp, "cp", "solve", vec![]);
+        }
+        t.end(run, "ladder", "run", vec![]);
+        let tree = build_tree(&t.snapshot().unwrap());
+        let flame = flamegraph(&tree);
+        assert_eq!(flame.name, "all");
+        assert_eq!(flame.value, tree.root_total());
+        assert_eq!(flame.children.len(), 1);
+        let run_frame = &flame.children[0];
+        assert_eq!(run_frame.name, "ladder.run");
+        // Three cp.solve spans merge into one frame of summed width.
+        assert_eq!(run_frame.children.len(), 1);
+        assert_eq!(run_frame.children[0].name, "cp.solve");
+        assert_eq!(run_frame.children[0].value, 3);
+        // The SVG renderer accepts the collapsed tree.
+        let svg = tela_viz::render_flamegraph(&flame, &Default::default());
+        assert!(svg.contains("<title>cp.solve: 3"));
+    }
+}

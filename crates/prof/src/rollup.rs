@@ -1,0 +1,246 @@
+//! Per-span-name aggregation and the text profile report.
+//!
+//! The rollup answers "where did the time go" for a whole trace:
+//! one entry per span key (`layer.name`) with call count, total
+//! (inclusive) time, self time, and the work counters folded from the
+//! spans' end events and enclosed instants. Self times partition the
+//! trace — summed over every entry they equal the sum of root span
+//! durations — which is what makes the sorted self-time table an
+//! attribution rather than a leaderboard of overlapping numbers.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use tela_trace::ClockMode;
+
+use crate::tree::SpanTree;
+
+/// Aggregated numbers for one span key.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RollupEntry {
+    /// The span key (`layer.name`).
+    pub key: String,
+    /// Number of spans with this key.
+    pub count: u64,
+    /// Inclusive time: sum of durations of spans with this key that are
+    /// not nested inside another span with the same key (the standard
+    /// recursion guard, so a self-recursive span is not counted twice).
+    pub total: u64,
+    /// Exclusive time: durations minus direct children, summed.
+    pub self_time: u64,
+    /// Longest single span with this key.
+    pub max: u64,
+    /// Folded work counters (name-ordered).
+    pub counters: BTreeMap<String, u64>,
+}
+
+/// A whole-trace profile.
+#[derive(Debug, Clone, Default)]
+pub struct Rollup {
+    /// The clock the trace was recorded under.
+    pub clock: Option<ClockMode>,
+    /// Sum of root span durations (the 100% mark for self%).
+    pub root_total: u64,
+    /// Entries sorted by self time descending, key ascending on ties.
+    pub entries: Vec<RollupEntry>,
+}
+
+impl Rollup {
+    /// Looks up an entry by span key.
+    pub fn entry(&self, key: &str) -> Option<&RollupEntry> {
+        self.entries.iter().find(|e| e.key == key)
+    }
+}
+
+/// Aggregates a span tree into per-key entries.
+pub fn rollup(tree: &SpanTree) -> Rollup {
+    let mut by_key: BTreeMap<String, RollupEntry> = BTreeMap::new();
+    for (i, node) in tree.nodes.iter().enumerate() {
+        let key = node.key();
+        let entry = by_key.entry(key.clone()).or_default();
+        entry.key = key.clone();
+        entry.count += 1;
+        entry.self_time += tree.self_time(i);
+        entry.max = entry.max.max(node.dur());
+        // Recursion guard: only spans without a same-key ancestor
+        // contribute to the inclusive total.
+        let mut ancestor = node.parent;
+        let mut nested_same_key = false;
+        while let Some(a) = ancestor {
+            if tree.nodes[a].key() == key {
+                nested_same_key = true;
+                break;
+            }
+            ancestor = tree.nodes[a].parent;
+        }
+        if !nested_same_key {
+            entry.total += node.dur();
+        }
+        for (name, value) in &node.counters {
+            *entry.counters.entry(name.clone()).or_insert(0) += value;
+        }
+    }
+    let mut entries: Vec<RollupEntry> = by_key.into_values().collect();
+    entries.sort_by(|a, b| {
+        b.self_time
+            .cmp(&a.self_time)
+            .then_with(|| a.key.cmp(&b.key))
+    });
+    Rollup {
+        clock: tree.clock,
+        root_total: tree.root_total(),
+        entries,
+    }
+}
+
+/// Clock units label for report headers.
+fn unit(clock: Option<ClockMode>) -> &'static str {
+    match clock {
+        Some(ClockMode::Wall) => "ns",
+        Some(ClockMode::Logical) => "ticks",
+        None => "units",
+    }
+}
+
+/// Renders the profile as an aligned text table sorted by self time,
+/// followed by the folded counters per span key. Deterministic for a
+/// given rollup, so logical-clock profiles golden-file cleanly.
+pub fn render_report(profile: &Rollup) -> String {
+    let mut out = format!(
+        "# profile: {} span keys, root total {} {}\n",
+        profile.entries.len(),
+        profile.root_total,
+        unit(profile.clock),
+    );
+    let rows: Vec<[String; 6]> = profile
+        .entries
+        .iter()
+        .map(|e| {
+            let pct = if profile.root_total == 0 {
+                0.0
+            } else {
+                e.self_time as f64 / profile.root_total as f64 * 100.0
+            };
+            [
+                e.key.clone(),
+                e.count.to_string(),
+                e.total.to_string(),
+                e.self_time.to_string(),
+                format!("{pct:.1}%"),
+                e.max.to_string(),
+            ]
+        })
+        .collect();
+    let header = ["span", "count", "total", "self", "self%", "max"];
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in &rows {
+        for (w, cell) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let render_row = |out: &mut String, cells: &[String]| {
+        for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let _ = write!(out, "{cell:<w$}");
+        }
+        // Trailing spaces would make golden files fragile to editors.
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    let header_cells: Vec<String> = header.iter().map(|h| h.to_string()).collect();
+    render_row(&mut out, &header_cells);
+    for row in &rows {
+        render_row(&mut out, row.as_slice());
+    }
+    let with_counters: Vec<&RollupEntry> = profile
+        .entries
+        .iter()
+        .filter(|e| !e.counters.is_empty())
+        .collect();
+    if !with_counters.is_empty() {
+        out.push_str("# counters\n");
+        for entry in with_counters {
+            let _ = write!(out, "{}:", entry.key);
+            for (name, value) in &entry.counters {
+                let _ = write!(out, " {name}={value}");
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::build_tree;
+    use tela_trace::Tracer;
+
+    fn sample_rollup() -> Rollup {
+        let t = Tracer::logical();
+        let run = t.begin("ladder", "run", vec![]);
+        for _ in 0..2 {
+            let stage = t.begin("ladder", "stage", vec![]);
+            let cp = t.begin("cp", "solve", vec![]);
+            t.end(
+                cp,
+                "cp",
+                "solve",
+                vec![("propagations".into(), 5u64.into())],
+            );
+            t.end(stage, "ladder", "stage", vec![]);
+        }
+        t.end(run, "ladder", "run", vec![]);
+        rollup(&build_tree(&t.snapshot().unwrap()))
+    }
+
+    #[test]
+    fn self_times_partition_the_root_total() {
+        let profile = sample_rollup();
+        let self_sum: u64 = profile.entries.iter().map(|e| e.self_time).sum();
+        assert_eq!(self_sum, profile.root_total);
+        assert_eq!(profile.root_total, 9);
+    }
+
+    #[test]
+    fn counters_fold_by_key() {
+        let profile = sample_rollup();
+        let cp = profile.entry("cp.solve").unwrap();
+        assert_eq!(cp.count, 2);
+        assert_eq!(cp.counters.get("propagations"), Some(&10));
+    }
+
+    #[test]
+    fn recursion_does_not_double_count_totals() {
+        let t = Tracer::logical();
+        let outer = t.begin("search", "solve", vec![]);
+        let inner = t.begin("search", "solve", vec![]);
+        t.end(inner, "search", "solve", vec![]);
+        t.end(outer, "search", "solve", vec![]);
+        let profile = rollup(&build_tree(&t.snapshot().unwrap()));
+        let entry = profile.entry("search.solve").unwrap();
+        assert_eq!(entry.count, 2);
+        // Only the outer span counts toward total (dur 3, not 3 + 1).
+        assert_eq!(entry.total, 3);
+        assert_eq!(entry.self_time, 3);
+    }
+
+    #[test]
+    fn report_is_sorted_and_deterministic() {
+        let profile = sample_rollup();
+        let report = render_report(&profile);
+        assert_eq!(report, render_report(&sample_rollup()));
+        assert!(report.starts_with("# profile:"));
+        // Sorted by self time: the two stages (self 2 each -> 4) beat
+        // the run's own bookkeeping.
+        let first_data_line = report.lines().nth(2).unwrap();
+        assert!(first_data_line.starts_with("ladder.stage"), "{report}");
+        assert!(report.contains("# counters"));
+        assert!(report.contains("cp.solve: propagations=10"));
+        assert!(!report.lines().any(|l| l.ends_with(' ')));
+    }
+}

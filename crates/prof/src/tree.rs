@@ -1,0 +1,293 @@
+//! Span-tree reconstruction from a flat event stream.
+//!
+//! A trace is a seq-ordered list of begin/end/instant events; this
+//! module rebuilds the nesting. The sweep keeps a list of *open* spans
+//! (pairing begins with their ends by span id up front, so every span's
+//! closing seq is known when its begin is seen) and parents each new
+//! span under the deepest open span whose `[begin_seq, end_seq]`
+//! interval fully contains it. For a single-threaded trace that is
+//! exactly the call stack; for a multi-threaded trace (portfolio
+//! workers interleave their seqs) partial overlaps walk up to the
+//! nearest common ancestor — a variant span started on another thread
+//! lands under `portfolio.race`, not under whichever sibling happened
+//! to be open.
+//!
+//! Works identically for both clocks: nesting is decided by sequence
+//! numbers (unique and totally ordered), durations come from
+//! timestamps (logical ticks or nanoseconds).
+
+use std::collections::HashMap;
+
+use tela_trace::{ClockMode, Event, Phase, Trace, Value};
+
+/// One reconstructed span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    /// Emitting subsystem (`search`, `cp`, `server`, ...).
+    pub layer: String,
+    /// Span name within the layer.
+    pub name: String,
+    /// The span id shared by the begin/end pair.
+    pub span_id: u64,
+    /// Sequence number of the begin event.
+    pub begin_seq: u64,
+    /// Sequence number of the end event (last trace seq if unclosed).
+    pub end_seq: u64,
+    /// Begin timestamp (clock units).
+    pub begin_ts: u64,
+    /// End timestamp (clock units; last trace ts if unclosed).
+    pub end_ts: u64,
+    /// False when the trace ended before the span did.
+    pub closed: bool,
+    /// Arena index of the parent span, if nested.
+    pub parent: Option<usize>,
+    /// Arena indices of directly nested spans, in begin order.
+    pub children: Vec<usize>,
+    /// Work counters attributed to this span: every `u64` field of the
+    /// end event (except the bookkeeping `dur` and correlation
+    /// `request` fields) plus one `<layer>.<name>` count per instant
+    /// event that occurred inside this span and no deeper one.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl SpanNode {
+    /// The rollup key: `layer.name`.
+    pub fn key(&self) -> String {
+        format!("{}.{}", self.layer, self.name)
+    }
+
+    /// The span's duration in clock units.
+    pub fn dur(&self) -> u64 {
+        self.end_ts.saturating_sub(self.begin_ts)
+    }
+}
+
+/// A reconstructed forest of spans backed by one arena.
+#[derive(Debug, Clone, Default)]
+pub struct SpanTree {
+    /// The clock the trace was recorded under.
+    pub clock: Option<ClockMode>,
+    /// All spans, in begin-seq order.
+    pub nodes: Vec<SpanNode>,
+    /// Indices of spans with no parent, in begin order.
+    pub roots: Vec<usize>,
+}
+
+impl SpanTree {
+    /// Sum of root span durations: the trace's attributable total.
+    pub fn root_total(&self) -> u64 {
+        self.roots.iter().map(|&i| self.nodes[i].dur()).sum()
+    }
+
+    /// Self time of span `i`: its duration minus its direct children's.
+    pub fn self_time(&self, i: usize) -> u64 {
+        let node = &self.nodes[i];
+        let child_total: u64 = node.children.iter().map(|&c| self.nodes[c].dur()).sum();
+        node.dur().saturating_sub(child_total)
+    }
+}
+
+/// Fields that decorate events rather than measure work; never folded
+/// into span counters.
+fn is_bookkeeping(key: &str) -> bool {
+    matches!(key, "dur" | "request")
+}
+
+/// Rebuilds the span forest from a parsed trace.
+pub fn build_tree(trace: &Trace) -> SpanTree {
+    // Pass 1: find each span's end event so containment is decidable
+    // the moment its begin is swept. Unclosed spans extend to the
+    // trace's final seq/ts.
+    let last_seq = trace.events.iter().map(|e| e.seq).max().unwrap_or(0);
+    let last_ts = trace.events.iter().map(|e| e.ts).max().unwrap_or(0);
+    let mut ends: HashMap<u64, &Event> = HashMap::new();
+    for event in &trace.events {
+        if event.phase == Phase::End {
+            ends.entry(event.span).or_insert(event);
+        }
+    }
+
+    let mut tree = SpanTree {
+        clock: Some(trace.clock),
+        ..SpanTree::default()
+    };
+    // Open spans as arena indices, outermost first. Not a strict stack:
+    // an end event may close a span below the top (cross-thread
+    // interleaving), so closing removes by position.
+    let mut open: Vec<usize> = Vec::new();
+
+    for event in &trace.events {
+        match event.phase {
+            Phase::Begin => {
+                // An unclosed span (its thread panicked, or the trace
+                // was snapshotted mid-solve) is clipped to the end of
+                // its innermost still-live enclosing span: a search
+                // killed by an injected panic ends when the variant's
+                // catch_unwind does, instead of swallowing the rest of
+                // the trace. With no enclosing span it runs to the
+                // trace edge.
+                let enclosing = open
+                    .iter()
+                    .rev()
+                    .copied()
+                    .find(|&i| tree.nodes[i].end_seq >= event.seq);
+                let (end_seq, end_ts, closed) = match ends.get(&event.span) {
+                    Some(end) => (end.seq, end.ts, true),
+                    None => match enclosing {
+                        Some(p) => (tree.nodes[p].end_seq, tree.nodes[p].end_ts, false),
+                        None => (last_seq, last_ts, false),
+                    },
+                };
+                // Deepest open span whose interval contains this one.
+                let parent = open
+                    .iter()
+                    .rev()
+                    .copied()
+                    .find(|&i| tree.nodes[i].end_seq >= end_seq);
+                let index = tree.nodes.len();
+                let mut counters: Vec<(String, u64)> = Vec::new();
+                if let Some(end) = ends.get(&event.span) {
+                    for (k, v) in &end.fields {
+                        if is_bookkeeping(k) {
+                            continue;
+                        }
+                        if let Value::U64(v) = v {
+                            counters.push((k.to_string(), *v));
+                        }
+                    }
+                }
+                tree.nodes.push(SpanNode {
+                    layer: event.layer.to_string(),
+                    name: event.name.to_string(),
+                    span_id: event.span,
+                    begin_seq: event.seq,
+                    end_seq,
+                    begin_ts: event.ts,
+                    end_ts,
+                    closed,
+                    parent,
+                    children: Vec::new(),
+                    counters,
+                });
+                match parent {
+                    Some(p) => tree.nodes[p].children.push(index),
+                    None => tree.roots.push(index),
+                }
+                open.push(index);
+            }
+            Phase::End => {
+                if let Some(pos) = open
+                    .iter()
+                    .rposition(|&i| tree.nodes[i].span_id == event.span)
+                {
+                    open.remove(pos);
+                }
+            }
+            Phase::Instant => {
+                // Attribute the instant to the innermost open span that
+                // is still live at this seq.
+                if let Some(&owner) = open
+                    .iter()
+                    .rev()
+                    .find(|&&i| tree.nodes[i].end_seq >= event.seq)
+                {
+                    let key = format!("{}.{}", event.layer, event.name);
+                    let node = &mut tree.nodes[owner];
+                    match node.counters.iter_mut().find(|(k, _)| *k == key) {
+                        Some((_, n)) => *n += 1,
+                        None => node.counters.push((key, 1)),
+                    }
+                }
+            }
+        }
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tela_trace::Tracer;
+
+    #[test]
+    fn nested_spans_reconstruct_as_a_tree() {
+        let t = Tracer::logical();
+        let outer = t.begin("search", "solve", vec![]);
+        let inner = t.begin("cp", "solve", vec![]);
+        t.instant("cp", "conflict", vec![]);
+        t.instant("cp", "conflict", vec![]);
+        t.end(inner, "cp", "solve", vec![("steps".into(), 9u64.into())]);
+        t.end(outer, "search", "solve", vec![]);
+        let tree = build_tree(&t.snapshot().unwrap());
+        assert_eq!(tree.roots, vec![0]);
+        assert_eq!(tree.nodes[0].key(), "search.solve");
+        assert_eq!(tree.nodes[0].children, vec![1]);
+        assert_eq!(tree.nodes[1].parent, Some(0));
+        assert!(tree.nodes[1].closed);
+        // End fields fold into counters; instants count under the
+        // innermost span.
+        assert!(tree.nodes[1].counters.contains(&("steps".to_string(), 9)));
+        assert!(tree.nodes[1]
+            .counters
+            .contains(&("cp.conflict".to_string(), 2)));
+        assert!(tree.nodes[0].counters.is_empty());
+    }
+
+    #[test]
+    fn siblings_stay_siblings() {
+        let t = Tracer::logical();
+        let root = t.begin("ladder", "run", vec![]);
+        let a = t.begin("ladder", "stage", vec![]);
+        t.end(a, "ladder", "stage", vec![]);
+        let b = t.begin("ladder", "stage", vec![]);
+        t.end(b, "ladder", "stage", vec![]);
+        t.end(root, "ladder", "run", vec![]);
+        let tree = build_tree(&t.snapshot().unwrap());
+        assert_eq!(tree.roots.len(), 1);
+        assert_eq!(tree.nodes[0].children.len(), 2);
+        // Self time: root dur 5 minus two stage durs of 1 each.
+        assert_eq!(tree.nodes[0].dur(), 5);
+        assert_eq!(tree.self_time(0), 3);
+    }
+
+    #[test]
+    fn cross_thread_partial_overlap_walks_to_the_common_ancestor() {
+        // Simulate two workers: variant A and variant B overlap
+        // partially (neither contains the other), both inside race.
+        // Reconstructed from the merged stream, B must become a child
+        // of race, not of A.
+        let t = Tracer::logical();
+        let race = t.begin("portfolio", "race", vec![]);
+        let a = t.begin("portfolio", "variant", vec![]);
+        let b = t.begin("portfolio", "variant", vec![]);
+        t.end(a, "portfolio", "variant", vec![]);
+        t.end(b, "portfolio", "variant", vec![]);
+        t.end(race, "portfolio", "race", vec![]);
+        let tree = build_tree(&t.snapshot().unwrap());
+        assert_eq!(tree.nodes[0].children, vec![1, 2]);
+        assert_eq!(tree.nodes[2].parent, Some(0));
+    }
+
+    #[test]
+    fn unclosed_spans_extend_to_the_trace_edge() {
+        let t = Tracer::logical();
+        let _open = t.begin("server", "request", vec![]);
+        t.instant("server", "tick", vec![]);
+        let tree = build_tree(&t.snapshot().unwrap());
+        assert_eq!(tree.nodes.len(), 1);
+        assert!(!tree.nodes[0].closed);
+        assert_eq!(tree.nodes[0].end_ts, 2);
+        assert_eq!(tree.root_total(), 1);
+        // The instant still attributes to the unclosed span.
+        assert!(tree.nodes[0]
+            .counters
+            .contains(&("server.tick".to_string(), 1)));
+    }
+
+    #[test]
+    fn empty_trace_gives_empty_tree() {
+        let tree = build_tree(&Tracer::logical().snapshot().unwrap());
+        assert!(tree.nodes.is_empty());
+        assert_eq!(tree.root_total(), 0);
+    }
+}

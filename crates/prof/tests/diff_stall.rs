@@ -1,0 +1,64 @@
+//! The acceptance scenario for `cargo prof diff`: solve the same
+//! instance twice on the wall clock — once calm, once with an injected
+//! real stall (`FaultPlan::sleep_at_step`) inside the CP search — and
+//! the differ must name the stalled span as the top delta contributor.
+//!
+//! This is the loop the trend gate closes automatically: "the gate
+//! failed" becomes "cp.solve regressed by N ms".
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use tela_model::fault::FaultPlan;
+use tela_model::Budget;
+use tela_prof::{build_tree, diff, render_diff, rollup};
+use tela_trace::Tracer;
+
+#[test]
+fn diff_names_the_stalled_span_as_top_regression() {
+    let problem = tela_model::examples::figure1();
+
+    let calm = Tracer::wall();
+    let (outcome, _) =
+        tela_cp::search::solve_cp_only_traced(&problem, &Budget::steps(200_000), &calm);
+    assert!(outcome.is_solved());
+
+    // Same instance, same entry point, but the budget carries a fault
+    // injector that really sleeps 40ms the first time the search polls
+    // it past step 2 — a one-shot wall-clock stall inside cp.solve.
+    let plan = FaultPlan {
+        sleep_at_step: Some((2, Duration::from_millis(40))),
+        ..FaultPlan::default()
+    };
+    let stalled_budget = Budget::steps(200_000).with_fault_injector(Arc::new(plan.injector()));
+    let slow = Tracer::wall();
+    let (outcome, _) = tela_cp::search::solve_cp_only_traced(&problem, &stalled_budget, &slow);
+    assert!(
+        outcome.is_solved(),
+        "a stall slows the solve, never breaks it"
+    );
+
+    let old = rollup(&build_tree(&calm.snapshot().unwrap()));
+    let new = rollup(&build_tree(&slow.snapshot().unwrap()));
+    let d = diff(&old, &new);
+
+    let top = d.top_regression().expect("the stalled run regressed");
+    assert_eq!(
+        top.key, "cp.solve",
+        "the stall lands in the span that slept"
+    );
+    assert!(
+        top.delta >= 30_000_000,
+        "a 40ms injected sleep dominates a sub-millisecond solve (saw {} ns)",
+        top.delta
+    );
+    assert!(d.total_delta() >= 30_000_000);
+
+    // The rendered report leads with the guilty span.
+    let rendered = render_diff(&d, 5);
+    let first_data_line = rendered.lines().nth(2).expect("header + columns + rows");
+    assert!(
+        first_data_line.ends_with("cp.solve"),
+        "top line names the stalled span: {first_data_line:?}"
+    );
+}

@@ -1,0 +1,82 @@
+//! Property tests for the rollup invariant: however a well-nested span
+//! sequence interleaves begins, ends, instants, and abandoned
+//! (unclosed) spans, every tick of root time is attributed to exactly
+//! one span's self time — `Σ self == root_total`, no double counting,
+//! no leaks.
+
+use proptest::prelude::*;
+use tela_prof::{build_tree, rollup};
+use tela_trace::{SpanId, Tracer};
+
+/// Span names drawn from a small pool so rollup keys collide (the
+/// interesting case: recursion guards and per-key aggregation).
+const NAMES: [(&str, &str); 4] = [
+    ("search", "solve"),
+    ("cp", "solve"),
+    ("ladder", "stage"),
+    ("heuristic", "greedy"),
+];
+
+/// Replays a random op stream against a logical-clock tracer. Ops:
+/// 0 = begin a span, 1 = end the innermost open span, 2 = instant.
+/// Whatever is still open when the stream runs out stays unclosed —
+/// the panic/mid-snapshot case the tree builder clips.
+fn record(ops: &[u8]) -> Tracer {
+    let tracer = Tracer::logical();
+    let mut stack: Vec<(SpanId, usize)> = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        match op % 3 {
+            0 => {
+                let name = i % NAMES.len();
+                let (layer, n) = NAMES[name];
+                stack.push((tracer.begin(layer, n, vec![]), name));
+            }
+            1 => {
+                if let Some((span, name)) = stack.pop() {
+                    let (layer, n) = NAMES[name];
+                    tracer.end(span, layer, n, vec![("work".into(), (i as u64).into())]);
+                } else {
+                    tracer.instant("loose", "tick", vec![]);
+                }
+            }
+            _ => tracer.instant("loose", "tick", vec![]),
+        }
+    }
+    tracer
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn self_times_partition_the_root_total(ops in prop::collection::vec(0u8..=2, 0..64)) {
+        let tracer = record(&ops);
+        let tree = build_tree(&tracer.snapshot().unwrap());
+        let profile = rollup(&tree);
+
+        // The invariant: per-key self times sum to the root total.
+        let self_sum: u64 = profile.entries.iter().map(|e| e.self_time).sum();
+        prop_assert_eq!(self_sum, profile.root_total);
+        prop_assert_eq!(profile.root_total, tree.root_total());
+
+        // Per-node sanity: children are contained in their parents, so
+        // node-level self times partition too, and nobody's total is
+        // smaller than their self time.
+        let node_self: u64 = (0..tree.nodes.len()).map(|i| tree.self_time(i)).sum();
+        prop_assert_eq!(node_self, tree.root_total());
+        for entry in &profile.entries {
+            prop_assert!(entry.total >= entry.self_time);
+            prop_assert!(entry.count >= 1);
+            prop_assert!(entry.max <= entry.total);
+        }
+    }
+
+    #[test]
+    fn every_span_lands_in_exactly_one_rollup_entry(ops in prop::collection::vec(0u8..=2, 0..64)) {
+        let tracer = record(&ops);
+        let tree = build_tree(&tracer.snapshot().unwrap());
+        let profile = rollup(&tree);
+        let counted: u64 = profile.entries.iter().map(|e| e.count).sum();
+        prop_assert_eq!(counted, tree.nodes.len() as u64);
+    }
+}

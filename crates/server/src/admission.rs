@@ -46,6 +46,19 @@ struct Bucket {
     level: u128,
     /// Last refill instant.
     refreshed: Instant,
+    /// Requests granted a token so far.
+    admitted: u64,
+    /// Requests refused for lack of a token so far.
+    denied: u64,
+}
+
+/// One tenant's admission history (for the server's `stats` command).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TenantStats {
+    /// Requests granted a token.
+    pub admitted: u64,
+    /// Requests refused for lack of a token.
+    pub denied: u64,
 }
 
 const NANOS_PER_TOKEN: u128 = 1_000_000_000;
@@ -106,6 +119,8 @@ impl AdmissionController {
         let bucket = buckets.entry(tenant.to_string()).or_insert(Bucket {
             level: capacity,
             refreshed: now,
+            admitted: 0,
+            denied: 0,
         });
         // Refill for elapsed time, saturating at the burst capacity.
         let elapsed = now.saturating_duration_since(bucket.refreshed).as_nanos();
@@ -113,14 +128,39 @@ impl AdmissionController {
         bucket.refreshed = now;
         if bucket.level >= NANOS_PER_TOKEN {
             bucket.level -= NANOS_PER_TOKEN;
+            bucket.admitted += 1;
             Admission::Granted
         } else {
+            bucket.denied += 1;
             let deficit = NANOS_PER_TOKEN - bucket.level;
             let wait_nanos = deficit.div_ceil(rate);
             Admission::Denied {
                 retry_after: Duration::from_nanos(wait_nanos.min(u128::from(u64::MAX)) as u64),
             }
         }
+    }
+
+    /// Per-tenant admitted/denied counts, name-ordered. Only tenants
+    /// that have actually sent a request appear.
+    pub fn tenant_stats(&self) -> Vec<(String, TenantStats)> {
+        let buckets = self
+            .buckets
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut stats: Vec<(String, TenantStats)> = buckets
+            .iter()
+            .map(|(name, b)| {
+                (
+                    name.clone(),
+                    TenantStats {
+                        admitted: b.admitted,
+                        denied: b.denied,
+                    },
+                )
+            })
+            .collect();
+        stats.sort_by(|a, b| a.0.cmp(&b.0));
+        stats
     }
 
     /// Clamps a request's asked step budget to the tenant's quota.
@@ -187,6 +227,26 @@ mod tests {
         assert_eq!(c.try_admit_at("a", t0), Admission::Granted);
         assert!(matches!(c.try_admit_at("a", t0), Admission::Denied { .. }));
         assert_eq!(c.try_admit_at("b", t0), Admission::Granted);
+        // Each decision lands in its tenant's admitted/denied history.
+        assert_eq!(
+            c.tenant_stats(),
+            vec![
+                (
+                    "a".to_string(),
+                    TenantStats {
+                        admitted: 1,
+                        denied: 1
+                    }
+                ),
+                (
+                    "b".to_string(),
+                    TenantStats {
+                        admitted: 1,
+                        denied: 0
+                    }
+                ),
+            ]
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! A minimal blocking client, used by the integration tests, the chaos
 //! harness, and the throughput bench.
 
+use crate::json::{self, Value};
 use crate::protocol::{
     parse_response, render_request, write_frame, Frame, FrameReader, Request, Response,
 };
@@ -48,6 +49,35 @@ impl Client {
     pub fn read_response(&mut self) -> io::Result<Response> {
         match self.reader.poll(&mut self.stream)? {
             Frame::Payload(payload) => parse_response(&payload)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+            Frame::Eof => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before replying",
+            )),
+            Frame::Pending => Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "reply timeout elapsed",
+            )),
+        }
+    }
+
+    /// Requests the server's live metrics snapshot (`{"cmd": "stats"}`):
+    /// counters, gauges, histogram quantiles, queue depth, cache hit
+    /// rate, and per-tenant admission stats, as parsed JSON.
+    pub fn stats(&mut self) -> io::Result<Value> {
+        self.command("stats")
+    }
+
+    /// Requests the server's aggregate span rollup (`{"cmd": "trace"}`):
+    /// span keys, counts, and totals from the shared trace.
+    pub fn trace_rollup(&mut self) -> io::Result<Value> {
+        self.command("trace")
+    }
+
+    fn command(&mut self, cmd: &str) -> io::Result<Value> {
+        write_frame(&mut self.stream, &format!("{{\"cmd\":\"{cmd}\",\"id\":1}}"))?;
+        match self.reader.poll(&mut self.stream)? {
+            Frame::Payload(payload) => json::parse(&payload)
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
             Frame::Eof => Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,

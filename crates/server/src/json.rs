@@ -458,20 +458,36 @@ mod tests {
         let err = parse(&bomb).unwrap_err();
         assert_eq!(err.reason, "nesting too deep");
         // Mixed nesting is caught too, and at the limit parsing works.
-        assert_eq!(parse(&"[{\"k\":".repeat(20_000)).unwrap_err().reason, "nesting too deep");
+        assert_eq!(
+            parse(&"[{\"k\":".repeat(20_000)).unwrap_err().reason,
+            "nesting too deep"
+        );
         let ok = format!("{}0{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
         assert!(parse(&ok).is_ok());
-        let too_deep = format!("{}0{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        let too_deep = format!(
+            "{}0{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
         assert_eq!(parse(&too_deep).unwrap_err().reason, "nesting too deep");
     }
 
     #[test]
     fn non_json_lookalikes_are_rejected() {
         // from_str_radix would happily take the '+'.
-        assert_eq!(parse(r#""\u+04A""#).unwrap_err().reason, "invalid \\u escape");
-        assert_eq!(parse(r#""\u00 1""#).unwrap_err().reason, "invalid \\u escape");
+        assert_eq!(
+            parse(r#""\u+04A""#).unwrap_err().reason,
+            "invalid \\u escape"
+        );
+        assert_eq!(
+            parse(r#""\u00 1""#).unwrap_err().reason,
+            "invalid \\u escape"
+        );
         // Leading zeros are not JSON numbers; a bare zero is.
-        assert_eq!(parse("007").unwrap_err().reason, "leading zeros are not valid JSON");
+        assert_eq!(
+            parse("007").unwrap_err().reason,
+            "leading zeros are not valid JSON"
+        );
         assert_eq!(parse("0").unwrap(), Value::U64(0));
         assert_eq!(parse("10").unwrap(), Value::U64(10));
     }

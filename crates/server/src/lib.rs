@@ -41,9 +41,9 @@ pub mod protocol;
 pub mod queue;
 mod server;
 
-pub use admission::{Admission, AdmissionController, TenantConfig};
+pub use admission::{Admission, AdmissionController, TenantConfig, TenantStats};
 pub use cache::SolutionCache;
 pub use client::Client;
-pub use protocol::{Request, Response, Status};
+pub use protocol::{Command, CommandKind, Payload, Request, Response, Status};
 pub use queue::{Pop, Push, WorkQueue};
 pub use server::{Server, ServerConfig, ServerStats};

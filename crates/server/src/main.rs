@@ -10,6 +10,13 @@
 //! `--run-seconds 0` (the default) serves until the process is killed;
 //! a positive value runs a timed session and prints a stats summary —
 //! which is how the CI smoke drives it.
+//!
+//! `TELA_TRACE=1` (wall clock) opts the shared pipeline into tracing:
+//! the `stats` command then reports mirrored response counters and
+//! histogram quantiles from the live metrics registry, and the `trace`
+//! command returns a span rollup. Off by default — a shared tracer's
+//! event buffer grows for the life of the process. Per-request tracing
+//! (`"trace": true` on a solve request) works either way.
 
 use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -39,6 +46,10 @@ fn main() -> std::io::Result<()> {
         degrade_watermark: arg("--degrade", 48),
         cache_capacity: arg("--cache", 256),
         max_connections: arg("--max-conns", 128),
+        tela: telamalloc::TelaConfig {
+            tracer: tela_trace::Tracer::from_env(),
+            ..telamalloc::TelaConfig::default()
+        },
         ..ServerConfig::default()
     };
     let listener = TcpListener::bind(&addr)?;

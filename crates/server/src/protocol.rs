@@ -37,6 +37,61 @@ pub struct Request {
     /// Optional deadline in milliseconds from receipt; clamped to the
     /// tenant's cap.
     pub deadline_ms: Option<u64>,
+    /// Opt-in per-request tracing: the solve runs under a fresh tracer
+    /// and the terminal response carries that request's span events (and
+    /// only that request's — tenants never see each other's spans) in
+    /// `trace_jsonl`.
+    pub trace: bool,
+}
+
+/// A live-introspection command (`{"cmd": ..., "id": ...}` payloads).
+///
+/// Commands share the request framing but are *not* allocation
+/// requests: they are answered immediately on the connection thread
+/// with a JSON snapshot frame, never enter the solve pipeline, and are
+/// excluded from the terminal-response accounting ([`Status`] counters
+/// only describe allocation outcomes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Command {
+    /// Client-chosen correlation id, echoed in the snapshot.
+    pub id: u64,
+    /// What to introspect.
+    pub kind: CommandKind,
+}
+
+/// The introspection surfaces a [`Command`] can ask for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommandKind {
+    /// Metrics snapshot: counters, gauges, histogram quantiles, queue
+    /// depth, cache hit rate, per-tenant admission stats.
+    Stats,
+    /// Aggregate span rollup of the server's shared trace (names,
+    /// counts, totals only — no per-request fields).
+    Trace,
+}
+
+/// Either kind of inbound payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Payload {
+    /// An allocation request for the solve pipeline.
+    Solve(Request),
+    /// An introspection command.
+    Command(Command),
+}
+
+/// Parses an inbound payload, dispatching on the presence of `"cmd"`.
+pub fn parse_payload(payload: &str) -> Result<Payload, ProtocolError> {
+    let value = json::parse(payload).map_err(ProtocolError::Json)?;
+    let Some(cmd) = value.get("cmd") else {
+        return parse_request(payload).map(Payload::Solve);
+    };
+    let id = value.get("id").and_then(Value::as_u64).unwrap_or(0);
+    let kind = match cmd.as_str() {
+        Some("stats") => CommandKind::Stats,
+        Some("trace") => CommandKind::Trace,
+        _ => return Err(ProtocolError::Shape("unknown 'cmd'")),
+    };
+    Ok(Payload::Command(Command { id, kind }))
 }
 
 /// Terminal status of one request.
@@ -98,6 +153,11 @@ pub struct Response {
     pub cache_hit: bool,
     /// Search steps spent on this request.
     pub steps: u64,
+    /// This request's span events in trace JSONL, present only when the
+    /// request opted in with `"trace": true`. Rides inside the terminal
+    /// response — no extra frames, so the one-terminal-response
+    /// invariant is untouched.
+    pub trace_jsonl: Option<String>,
 }
 
 impl Response {
@@ -111,6 +171,7 @@ impl Response {
             detail: detail.into(),
             cache_hit: false,
             steps: 0,
+            trace_jsonl: None,
         }
     }
 
@@ -124,6 +185,7 @@ impl Response {
             detail: detail.into(),
             cache_hit: false,
             steps: 0,
+            trace_jsonl: None,
         }
     }
 }
@@ -187,6 +249,7 @@ pub fn parse_request(payload: &str) -> Result<Request, ProtocolError> {
         problem,
         max_steps: optional_u64("max_steps")?,
         deadline_ms: optional_u64("deadline_ms")?,
+        trace: value.get("trace").and_then(Value::as_bool).unwrap_or(false),
     })
 }
 
@@ -211,6 +274,9 @@ pub fn render_request(request: &Request) -> String {
     if let Some(ms) = request.deadline_ms {
         map.insert("deadline_ms".to_string(), Value::U64(ms));
     }
+    if request.trace {
+        map.insert("trace".to_string(), Value::Bool(true));
+    }
     json::render(&Value::Object(map))
 }
 
@@ -234,6 +300,9 @@ pub fn render_response(response: &Response) -> String {
     map.insert("detail".to_string(), Value::Str(response.detail.clone()));
     map.insert("cache_hit".to_string(), Value::Bool(response.cache_hit));
     map.insert("steps".to_string(), Value::U64(response.steps));
+    if let Some(trace) = &response.trace_jsonl {
+        map.insert("trace_jsonl".to_string(), Value::Str(trace.clone()));
+    }
     json::render(&Value::Object(map))
 }
 
@@ -277,6 +346,10 @@ pub fn parse_response(payload: &str) -> Result<Response, ProtocolError> {
             .and_then(Value::as_bool)
             .unwrap_or(false),
         steps: value.get("steps").and_then(Value::as_u64).unwrap_or(0),
+        trace_jsonl: value
+            .get("trace_jsonl")
+            .and_then(Value::as_str)
+            .map(str::to_string),
     })
 }
 
@@ -382,8 +455,42 @@ mod tests {
             problem: "capacity 10\nbuffer 0 4 6\n".into(),
             max_steps: Some(1000),
             deadline_ms: None,
+            trace: false,
         };
         assert_eq!(parse_request(&render_request(&request)).unwrap(), request);
+        let traced = Request {
+            trace: true,
+            ..request
+        };
+        assert_eq!(parse_request(&render_request(&traced)).unwrap(), traced);
+    }
+
+    #[test]
+    fn payloads_dispatch_on_cmd() {
+        assert_eq!(
+            parse_payload(r#"{"cmd":"stats","id":7}"#).unwrap(),
+            Payload::Command(Command {
+                id: 7,
+                kind: CommandKind::Stats
+            })
+        );
+        assert_eq!(
+            parse_payload(r#"{"cmd":"trace"}"#).unwrap(),
+            Payload::Command(Command {
+                id: 0,
+                kind: CommandKind::Trace
+            })
+        );
+        assert!(matches!(
+            parse_payload(r#"{"cmd":"reboot","id":1}"#),
+            Err(ProtocolError::Shape(_))
+        ));
+        // No "cmd" key → an ordinary solve request.
+        let solve = r#"{"id":1,"tenant":"t","problem":"capacity 4\n"}"#;
+        assert!(matches!(
+            parse_payload(solve).unwrap(),
+            Payload::Solve(r) if r.id == 1 && !r.trace
+        ));
     }
 
     #[test]
@@ -396,6 +503,7 @@ mod tests {
             detail: String::new(),
             cache_hit: true,
             steps: 17,
+            trace_jsonl: Some("{\"trace\":\"tela\"}\n".to_string()),
         };
         assert_eq!(
             parse_response(&render_response(&response)).unwrap(),

@@ -40,10 +40,13 @@
 
 use crate::admission::{Admission, AdmissionController, TenantConfig};
 use crate::cache::SolutionCache;
+use crate::json::{self, Value};
 use crate::protocol::{
-    parse_request, request_id_of, write_frame, Frame, FrameReader, Response, Status,
+    parse_payload, request_id_of, write_frame, Command, CommandKind, Frame, FrameReader, Payload,
+    Response, Status,
 };
 use crate::queue::{Pop, Push, WorkQueue};
+use std::collections::BTreeMap;
 use std::io::{self, Write};
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -51,6 +54,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 use tela_model::{Budget, CanonicalForm, Problem, SolveOutcome};
+use tela_trace::{write_jsonl, MetricValue, Tracer};
 use telamalloc::{EscalationLadder, TelaConfig};
 
 #[cfg(feature = "fault-inject")]
@@ -173,6 +177,12 @@ struct Job {
     deadline: Instant,
     /// Flipped when the requesting client disconnects.
     cancel: Arc<AtomicBool>,
+    /// Present when the request opted into tracing: a fresh per-request
+    /// tracer the solve runs under, whose span events ride back in the
+    /// terminal response. Isolation is structural — the tracer is
+    /// created for this request and shared with nobody, so tenants can
+    /// never see each other's spans.
+    tracer: Option<Tracer>,
     reply: mpsc::Sender<Response>,
 }
 
@@ -342,7 +352,10 @@ impl Server {
             // Spent its whole deadline waiting in the queue.
             self.send(
                 &job.reply,
-                Response::terminal(job.id, Status::TimedOut, "deadline expired in queue"),
+                attach_trace(
+                    job.tracer.as_ref(),
+                    Response::terminal(job.id, Status::TimedOut, "deadline expired in queue"),
+                ),
             );
             return;
         }
@@ -351,10 +364,13 @@ impl Server {
             if plan.worker_panics_on(job.ordinal) {
                 self.send(
                     &job.reply,
-                    Response::terminal(
-                        job.id,
-                        Status::BestEffort,
-                        "worker fault while solving; degraded answer",
+                    attach_trace(
+                        job.tracer.as_ref(),
+                        Response::terminal(
+                            job.id,
+                            Status::BestEffort,
+                            "worker fault while solving; degraded answer",
+                        ),
                     ),
                 );
                 panic!("fault-inject: worker panic on request {}", job.ordinal);
@@ -362,9 +378,21 @@ impl Server {
         }
         let budget = self.budget_for(&job);
         self.stats.solve_calls.fetch_add(1, Ordering::Relaxed);
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            self.ladder.solve(&job.problem, &budget)
-        }));
+        self.tracer().count("server.solve_calls", 1);
+        // A traced request solves on its own ladder wired to its own
+        // tracer; everyone else shares the server's ladder.
+        let traced_ladder;
+        let ladder = match &job.tracer {
+            Some(tracer) => {
+                traced_ladder = EscalationLadder::new(TelaConfig {
+                    tracer: tracer.clone(),
+                    ..self.config.tela.clone()
+                });
+                &traced_ladder
+            }
+            None => &self.ladder,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| ladder.solve(&job.problem, &budget)));
         let response = match result {
             Ok(ladder) => {
                 let steps = ladder.stats.steps;
@@ -379,6 +407,7 @@ impl Server {
                             detail: String::new(),
                             cache_hit: false,
                             steps,
+                            trace_jsonl: None,
                         }
                     }
                     SolveOutcome::Infeasible => Response {
@@ -417,16 +446,19 @@ impl Server {
             Err(payload) => {
                 self.send(
                     &job.reply,
-                    Response::terminal(
-                        job.id,
-                        Status::BestEffort,
-                        "solver panicked; degraded answer",
+                    attach_trace(
+                        job.tracer.as_ref(),
+                        Response::terminal(
+                            job.id,
+                            Status::BestEffort,
+                            "solver panicked; degraded answer",
+                        ),
                     ),
                 );
                 resume_unwind(payload);
             }
         };
-        self.send(&job.reply, response);
+        self.send(&job.reply, attach_trace(job.tracer.as_ref(), response));
     }
 
     fn budget_for(&self, job: &Job) -> Budget {
@@ -472,23 +504,34 @@ impl Server {
 
     /// Runs one request through the pipeline and writes its terminal
     /// response (requests on one connection are served in order).
+    ///
+    /// Introspection commands (`{"cmd": ...}`) are dispatched before the
+    /// pipeline and answered inline; everything else gets a `server.request`
+    /// span whose every event carries the request id.
     fn serve_request(&self, stream: &mut TcpStream, payload: &str) {
-        let span = self.tracer().begin("server", "request", vec![]);
-        let request = match parse_request(payload) {
-            Ok(request) => request,
+        let request = match parse_payload(payload) {
+            Ok(Payload::Command(command)) => return self.serve_command(stream, &command),
+            Ok(Payload::Solve(request)) => request,
             Err(e) => {
+                let id = request_id_of(payload);
+                let tracer = self.tracer().with_field("request", id);
+                let span = tracer.begin("server", "request", vec![]);
                 self.reply(
                     stream,
-                    Response::terminal(
-                        request_id_of(payload),
-                        Status::Rejected,
-                        format!("malformed request: {e}"),
-                    ),
+                    Response::terminal(id, Status::Rejected, format!("malformed request: {e}")),
                 );
-                self.end_request(span, "rejected");
+                self.end_request(&tracer, span, "rejected");
                 return;
             }
         };
+        let tracer = self.tracer().with_field("request", request.id);
+        let span = tracer.begin("server", "request", vec![]);
+        // Opt-in per-request tracing: a fresh wall-clock tracer whose
+        // span events (and only this request's) ride back in the
+        // terminal response.
+        let request_tracer = request
+            .trace
+            .then(|| Tracer::wall().with_field("request", request.id));
         let problem = match tela_model::parse_problem(&request.problem) {
             Ok(problem) => problem,
             Err(e) => {
@@ -500,7 +543,7 @@ impl Server {
                         format!("malformed problem: {e}"),
                     ),
                 );
-                self.end_request(span, "rejected");
+                self.end_request(&tracer, span, "rejected");
                 return;
             }
         };
@@ -509,19 +552,26 @@ impl Server {
         // costs nearly nothing, so even a throttled tenant gets them.
         let form = CanonicalForm::of(&problem);
         if let Some(solution) = self.cache.lookup(&form) {
+            if let Some(rt) = &request_tracer {
+                rt.instant("server", "cache_hit", vec![]);
+            }
             self.reply(
                 stream,
-                Response {
-                    id: request.id,
-                    status: Status::Solved,
-                    addresses: Some(solution.addresses().to_vec()),
-                    retry_after_ms: None,
-                    detail: String::new(),
-                    cache_hit: true,
-                    steps: 0,
-                },
+                attach_trace(
+                    request_tracer.as_ref(),
+                    Response {
+                        id: request.id,
+                        status: Status::Solved,
+                        addresses: Some(solution.addresses().to_vec()),
+                        retry_after_ms: None,
+                        detail: String::new(),
+                        cache_hit: true,
+                        steps: 0,
+                        trace_jsonl: None,
+                    },
+                ),
             );
-            self.end_request(span, "cache_hit");
+            self.end_request(&tracer, span, "cache_hit");
             return;
         }
 
@@ -536,7 +586,7 @@ impl Server {
                     format!("tenant '{}' over admission rate", request.tenant),
                 ),
             );
-            self.end_request(span, "rejected");
+            self.end_request(&tracer, span, "rejected");
             return;
         }
         let max_steps = self
@@ -555,9 +605,10 @@ impl Server {
         if self.queue.depth() >= self.config.degrade_watermark {
             self.stats.degraded.fetch_add(1, Ordering::Relaxed);
             self.tracer().count("server.degraded", 1);
-            let response = self.solve_degraded(request.id, &problem, &form);
-            self.reply(stream, response);
-            self.end_request(span, "degraded");
+            let response =
+                self.solve_degraded(request.id, &problem, &form, request_tracer.as_ref());
+            self.reply(stream, attach_trace(request_tracer.as_ref(), response));
+            self.end_request(&tracer, span, "degraded");
             return;
         }
 
@@ -571,6 +622,7 @@ impl Server {
             max_steps,
             deadline,
             cancel: Arc::clone(&cancel),
+            tracer: request_tracer,
             reply: reply_tx,
         };
         match self.queue.push(job, deadline) {
@@ -627,12 +679,20 @@ impl Server {
         };
         let tag = response.status.tag();
         self.reply(stream, response);
-        self.end_request(span, tag);
+        self.end_request(&tracer, span, tag);
     }
 
     /// The saturated-path answer: one greedy pass, no queue, no ladder.
-    fn solve_degraded(&self, id: u64, problem: &Problem, form: &CanonicalForm) -> Response {
-        let greedy = tela_heuristics::greedy::solve_traced(problem, self.tracer());
+    /// A traced request's greedy pass records into its own tracer.
+    fn solve_degraded(
+        &self,
+        id: u64,
+        problem: &Problem,
+        form: &CanonicalForm,
+        request_tracer: Option<&Tracer>,
+    ) -> Response {
+        let greedy =
+            tela_heuristics::greedy::solve_traced(problem, request_tracer.unwrap_or(self.tracer()));
         match greedy.solution {
             Some(solution) => {
                 self.cache.insert(form, &solution);
@@ -644,6 +704,7 @@ impl Server {
                     detail: "degraded: greedy-only under load".to_string(),
                     cache_hit: false,
                     steps: 0,
+                    trace_jsonl: None,
                 }
             }
             None => Response::terminal(
@@ -672,9 +733,33 @@ impl Server {
 
     fn send_to_stream(&self, stream: &mut TcpStream, response: &Response) {
         self.stats.record(response);
+        self.mirror_response(response);
         let payload = crate::protocol::render_response(response);
         let _ = write_frame(stream, &payload);
         let _ = stream.flush();
+    }
+
+    /// Mirrors the response into the metrics registry so the `stats`
+    /// command and the JSONL dump agree with [`ServerStats`]'s atomics
+    /// (`server.responses` equals `terminal_total()` by construction:
+    /// both are bumped on exactly the same send).
+    fn mirror_response(&self, response: &Response) {
+        let tracer = self.tracer();
+        if !tracer.enabled() {
+            return;
+        }
+        tracer.count("server.responses", 1);
+        let by_status = match response.status {
+            Status::Solved => "server.responses.solved",
+            Status::Infeasible => "server.responses.infeasible",
+            Status::BestEffort => "server.responses.best_effort",
+            Status::Rejected => "server.responses.rejected",
+            Status::TimedOut => "server.responses.timed_out",
+        };
+        tracer.count(by_status, 1);
+        if response.cache_hit {
+            tracer.count("server.cache_hits", 1);
+        }
     }
 
     /// Sends a terminal response through a job's reply channel (the
@@ -683,9 +768,9 @@ impl Server {
         let _ = reply.send(response);
     }
 
-    fn end_request(&self, span: tela_trace::SpanId, outcome: &str) {
-        if self.tracer().enabled() {
-            self.tracer().end(
+    fn end_request(&self, tracer: &Tracer, span: tela_trace::SpanId, outcome: &str) {
+        if tracer.enabled() {
+            tracer.end(
                 span,
                 "server",
                 "request",
@@ -693,4 +778,178 @@ impl Server {
             );
         }
     }
+
+    // ---- introspection ---------------------------------------------
+
+    /// Answers a `stats`/`trace` command with one JSON snapshot frame.
+    /// Command replies are not terminal [`Response`]s: they bypass
+    /// [`ServerStats::record`] so introspection never perturbs the
+    /// one-terminal-response accounting it reports on.
+    fn serve_command(&self, stream: &mut TcpStream, command: &Command) {
+        self.tracer().count("server.introspections", 1);
+        let mut map = BTreeMap::new();
+        map.insert("id".to_string(), Value::U64(command.id));
+        match command.kind {
+            CommandKind::Stats => {
+                map.insert("stats".to_string(), self.stats_snapshot());
+            }
+            CommandKind::Trace => {
+                map.insert("trace".to_string(), self.trace_snapshot());
+            }
+        }
+        let _ = write_frame(stream, &json::render(&Value::Object(map)));
+        let _ = stream.flush();
+    }
+
+    /// The `stats` command body: counters/gauges/histogram quantiles
+    /// from the metrics registry, queue depth, cache hit rate, and
+    /// per-tenant admission stats.
+    fn stats_snapshot(&self) -> Value {
+        let mut map = BTreeMap::new();
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+
+        let mut responses = BTreeMap::new();
+        for (key, counter) in [
+            ("total", &self.stats.responses),
+            ("solved", &self.stats.solved),
+            ("infeasible", &self.stats.infeasible),
+            ("best_effort", &self.stats.best_effort),
+            ("rejected", &self.stats.rejected),
+            ("timed_out", &self.stats.timed_out),
+        ] {
+            responses.insert(key.to_string(), Value::U64(load(counter)));
+        }
+        map.insert("responses".to_string(), Value::Object(responses));
+
+        let hits = self.cache.hits();
+        let misses = self.cache.misses();
+        let mut cache = BTreeMap::new();
+        cache.insert("entries".to_string(), Value::U64(self.cache.len() as u64));
+        cache.insert("hits".to_string(), Value::U64(hits));
+        cache.insert("misses".to_string(), Value::U64(misses));
+        cache.insert(
+            "hit_rate_pct".to_string(),
+            Value::U64(hits * 100 / (hits + misses).max(1)),
+        );
+        map.insert("cache".to_string(), Value::Object(cache));
+
+        map.insert(
+            "queue_depth".to_string(),
+            Value::U64(self.queue.depth() as u64),
+        );
+        map.insert(
+            "connections".to_string(),
+            Value::U64(self.connections.load(Ordering::Relaxed) as u64),
+        );
+        for (key, counter) in [
+            ("shed", &self.stats.shed),
+            ("degraded", &self.stats.degraded),
+            ("worker_respawns", &self.stats.worker_respawns),
+            ("conn_refused", &self.stats.conn_refused),
+            ("disconnects", &self.stats.disconnects),
+            ("solve_calls", &self.stats.solve_calls),
+        ] {
+            map.insert(key.to_string(), Value::U64(load(counter)));
+        }
+
+        let mut tenants = BTreeMap::new();
+        for (name, stats) in self.admission.tenant_stats() {
+            let mut tenant = BTreeMap::new();
+            tenant.insert("admitted".to_string(), Value::U64(stats.admitted));
+            tenant.insert("denied".to_string(), Value::U64(stats.denied));
+            tenants.insert(name, Value::Object(tenant));
+        }
+        map.insert("tenants".to_string(), Value::Object(tenants));
+
+        map.insert("metrics".to_string(), self.metrics_snapshot());
+        Value::Object(map)
+    }
+
+    /// The metrics registry as JSON: counters and gauges as numbers
+    /// (gauges clamp at zero — the wire format has no negatives),
+    /// histograms as `{count, sum, min, max, p50, p90, p99}` objects.
+    /// Empty when the server runs without a tracer.
+    fn metrics_snapshot(&self) -> Value {
+        let mut map = BTreeMap::new();
+        let Some(trace) = self.tracer().snapshot() else {
+            return Value::Object(map);
+        };
+        for entry in trace.metrics {
+            let value = match entry.value {
+                MetricValue::Counter(v) => Value::U64(v),
+                MetricValue::Gauge(v) => Value::U64(v.max(0) as u64),
+                MetricValue::Histogram(h) => {
+                    let mut hist = BTreeMap::new();
+                    hist.insert("count".to_string(), Value::U64(h.count));
+                    hist.insert("sum".to_string(), Value::U64(h.sum));
+                    hist.insert(
+                        "min".to_string(),
+                        Value::U64(if h.count == 0 { 0 } else { h.min }),
+                    );
+                    hist.insert("max".to_string(), Value::U64(h.max));
+                    for (tag, q) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99)] {
+                        hist.insert(tag.to_string(), Value::U64(h.quantile(q).unwrap_or(0)));
+                    }
+                    Value::Object(hist)
+                }
+            };
+            map.insert(entry.name, value);
+        }
+        Value::Object(map)
+    }
+
+    /// The `trace` command body: an aggregate span rollup of the
+    /// server's shared trace — span keys, counts, totals, self times.
+    /// Aggregates only: per-request span fields never leave the server
+    /// through this surface, so one tenant cannot read another's
+    /// request parameters. Reports `enabled: false` when the server
+    /// runs without a tracer.
+    fn trace_snapshot(&self) -> Value {
+        let mut map = BTreeMap::new();
+        let Some(trace) = self.tracer().snapshot() else {
+            map.insert("enabled".to_string(), Value::Bool(false));
+            return Value::Object(map);
+        };
+        map.insert("enabled".to_string(), Value::Bool(true));
+        map.insert(
+            "clock".to_string(),
+            Value::Str(
+                match trace.clock {
+                    tela_trace::ClockMode::Wall => "wall",
+                    tela_trace::ClockMode::Logical => "logical",
+                }
+                .to_string(),
+            ),
+        );
+        let profile = tela_prof::rollup(&tela_prof::build_tree(&trace));
+        map.insert("root_total".to_string(), Value::U64(profile.root_total));
+        map.insert(
+            "spans".to_string(),
+            Value::Array(
+                profile
+                    .entries
+                    .iter()
+                    .map(|entry| {
+                        let mut span = BTreeMap::new();
+                        span.insert("span".to_string(), Value::Str(entry.key.clone()));
+                        span.insert("count".to_string(), Value::U64(entry.count));
+                        span.insert("total".to_string(), Value::U64(entry.total));
+                        span.insert("self".to_string(), Value::U64(entry.self_time));
+                        span.insert("max".to_string(), Value::U64(entry.max));
+                        Value::Object(span)
+                    })
+                    .collect(),
+            ),
+        );
+        Value::Object(map)
+    }
+}
+
+/// Serializes a per-request tracer's events into the response's
+/// `trace_jsonl` field (a no-op for untraced requests).
+fn attach_trace(tracer: Option<&Tracer>, mut response: Response) -> Response {
+    if let Some(trace) = tracer.and_then(Tracer::snapshot) {
+        response.trace_jsonl = Some(write_jsonl(&trace));
+    }
+    response
 }

@@ -65,6 +65,7 @@ fn request(id: u64, problem: &Problem) -> Request {
         problem: problem_to_text(problem),
         max_steps: Some(200_000),
         deadline_ms: Some(3_000),
+        trace: false,
     }
 }
 

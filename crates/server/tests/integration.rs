@@ -1,5 +1,6 @@
 //! End-to-end tests over real TCP: the full request pipeline, the
 //! cache/no-solve-path guarantee, admission, degradation, deadlines,
+//! live introspection (`stats`/`trace` commands, per-request tracing),
 //! and the 32-client concurrency smoke with a latency budget.
 
 use std::net::{SocketAddr, TcpListener};
@@ -7,6 +8,7 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 use tela_model::{examples, problem_to_text, Buffer, Problem, Solution};
+use tela_server::json::Value;
 use tela_server::{
     AdmissionController, Client, Request, Server, ServerConfig, Status, TenantConfig,
 };
@@ -37,6 +39,7 @@ fn request(id: u64, problem: &Problem) -> Request {
         problem: problem_to_text(problem),
         max_steps: Some(500_000),
         deadline_ms: Some(5_000),
+        trace: false,
     }
 }
 
@@ -121,6 +124,7 @@ fn malformed_requests_are_rejected_terminally() {
             problem: "capacity ten\nbuffer what\n".into(),
             max_steps: None,
             deadline_ms: None,
+            trace: false,
         };
         let response = client.request(&bad_shape).unwrap();
         assert_eq!(response.status, Status::Rejected);
@@ -320,6 +324,191 @@ fn connection_flood_is_refused_with_terminal_rejections() {
                     std::thread::sleep(Duration::from_millis(20));
                 }
                 other => panic!("expected the freed slot to serve, got {other:?}"),
+            }
+        }
+    });
+}
+
+/// A server whose shared tracer is live (the introspection tests need
+/// a metrics registry and a span stream to look at).
+fn traced_server() -> Server {
+    Server::new(ServerConfig {
+        tela: telamalloc::TelaConfig {
+            tracer: tela_trace::Tracer::wall(),
+            ..telamalloc::TelaConfig::default()
+        },
+        ..ServerConfig::default()
+    })
+}
+
+#[test]
+fn stats_command_reports_counters_quantiles_and_tenants() {
+    with_server(traced_server(), |addr, server| {
+        let mut client = Client::connect(addr).unwrap();
+        let problem = examples::figure1();
+        assert_eq!(
+            client.request(&request(1, &problem)).unwrap().status,
+            Status::Solved
+        );
+        let warm = client.request(&request(2, &problem)).unwrap();
+        assert!(warm.cache_hit);
+
+        let snapshot = client.stats().unwrap();
+        assert_eq!(snapshot.get("id").and_then(Value::as_u64), Some(1));
+        let stats = snapshot.get("stats").expect("stats body");
+        let responses = stats.get("responses").expect("responses object");
+        assert_eq!(responses.get("total").and_then(Value::as_u64), Some(2));
+        assert_eq!(responses.get("solved").and_then(Value::as_u64), Some(2));
+        let cache = stats.get("cache").expect("cache object");
+        assert_eq!(cache.get("hits").and_then(Value::as_u64), Some(1));
+        assert_eq!(cache.get("misses").and_then(Value::as_u64), Some(1));
+        assert_eq!(cache.get("hit_rate_pct").and_then(Value::as_u64), Some(50));
+        assert_eq!(stats.get("queue_depth").and_then(Value::as_u64), Some(0));
+        let tenants = stats.get("tenants").expect("tenants object");
+        let test_tenant = tenants.get("test").expect("the requesting tenant appears");
+        // Admission saw exactly the cold request (the warm one was a
+        // cache hit, served before admission).
+        assert_eq!(test_tenant.get("admitted").and_then(Value::as_u64), Some(1));
+        assert_eq!(test_tenant.get("denied").and_then(Value::as_u64), Some(0));
+
+        // The registry mirror agrees with the atomics: the JSONL dump
+        // and the stats command tell the same story as terminal_total().
+        let metrics = stats.get("metrics").expect("metrics object");
+        assert_eq!(
+            metrics.get("server.responses").and_then(Value::as_u64),
+            Some(server.stats().terminal_total())
+        );
+        assert_eq!(
+            metrics
+                .get("server.responses.solved")
+                .and_then(Value::as_u64),
+            Some(2)
+        );
+        assert_eq!(
+            metrics.get("server.cache_hits").and_then(Value::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            metrics.get("server.solve_calls").and_then(Value::as_u64),
+            Some(1)
+        );
+        // Histogram series carry quantiles (ladder stage steps exist
+        // after one real solve).
+        let histogram = metrics
+            .get("ladder.stage.steps")
+            .expect("ladder histogram present after a solve");
+        for key in ["count", "p50", "p90", "p99"] {
+            assert!(
+                histogram.get(key).and_then(Value::as_u64).is_some(),
+                "histogram carries {key}"
+            );
+        }
+        // Introspection is not a terminal response: counts unchanged.
+        assert_eq!(server.stats().terminal_total(), 2);
+    });
+}
+
+#[test]
+fn trace_command_returns_an_aggregate_rollup_without_request_fields() {
+    with_server(traced_server(), |addr, _| {
+        let mut client = Client::connect(addr).unwrap();
+        assert_eq!(
+            client
+                .request(&request(1, &unique_problem(40)))
+                .unwrap()
+                .status,
+            Status::Solved
+        );
+        let snapshot = client.trace_rollup().unwrap();
+        let trace = snapshot.get("trace").expect("trace body");
+        assert_eq!(trace.get("enabled").and_then(Value::as_bool), Some(true));
+        assert_eq!(trace.get("clock").and_then(Value::as_str), Some("wall"));
+        let spans = trace
+            .get("spans")
+            .and_then(Value::as_array)
+            .expect("spans array");
+        let request_span = spans
+            .iter()
+            .find(|s| s.get("span").and_then(Value::as_str) == Some("server.request"))
+            .expect("server.request span in the rollup");
+        assert!(request_span.get("count").and_then(Value::as_u64) >= Some(1));
+        // Aggregates only: no per-request payloads anywhere in the body.
+        let rendered = tela_server::json::render(trace);
+        assert!(!rendered.contains("problem"), "no request payloads leak");
+    });
+}
+
+#[test]
+fn stats_command_works_without_a_tracer() {
+    with_server(Server::new(ServerConfig::default()), |addr, _| {
+        let mut client = Client::connect(addr).unwrap();
+        let snapshot = client.stats().unwrap();
+        let stats = snapshot.get("stats").expect("stats body");
+        assert_eq!(
+            stats
+                .get("responses")
+                .and_then(|r| r.get("total"))
+                .and_then(Value::as_u64),
+            Some(0)
+        );
+        // No tracer → no registry, but the command still answers.
+        assert!(matches!(stats.get("metrics"), Some(Value::Object(m)) if m.is_empty()));
+        let trace = client.trace_rollup().unwrap();
+        assert_eq!(
+            trace
+                .get("trace")
+                .and_then(|t| t.get("enabled"))
+                .and_then(Value::as_bool),
+            Some(false)
+        );
+    });
+}
+
+#[test]
+fn traced_requests_get_their_own_spans_and_only_theirs() {
+    with_server(traced_server(), |addr, _| {
+        let mut client = Client::connect(addr).unwrap();
+
+        // An untraced request carries no trace.
+        let plain = client.request(&request(1, &unique_problem(50))).unwrap();
+        assert_eq!(plain.status, Status::Solved);
+        assert!(plain.trace_jsonl.is_none());
+
+        // Two traced requests from different tenants: each response
+        // carries that request's spans, stamped with its id, and
+        // nothing from the other.
+        let mut traced_a = request(51, &unique_problem(51));
+        traced_a.trace = true;
+        let mut traced_b = request(52, &unique_problem(52));
+        traced_b.trace = true;
+        traced_b.tenant = "other".into();
+        let a = client.request(&traced_a).unwrap();
+        let b = client.request(&traced_b).unwrap();
+        for (response, id) in [(&a, 51u64), (&b, 52u64)] {
+            assert_eq!(response.status, Status::Solved);
+            let jsonl = response
+                .trace_jsonl
+                .as_ref()
+                .expect("traced request returns spans");
+            let trace = tela_trace::parse_jsonl(jsonl).expect("returned trace parses");
+            assert!(!trace.events.is_empty(), "the solve produced spans");
+            // The ladder ran under the per-request tracer.
+            assert!(trace
+                .events
+                .iter()
+                .any(|e| e.layer.as_ref() == "ladder" && e.name.as_ref() == "solve"));
+            // Per-request isolation: every event carries this request's
+            // id and no event carries the other's.
+            for event in &trace.events {
+                let stamped = event
+                    .fields
+                    .iter()
+                    .any(|(k, v)| k.as_ref() == "request" && *v == tela_trace::Value::U64(id));
+                assert!(
+                    stamped,
+                    "event {}.{} missing request id",
+                    event.layer, event.name
+                );
             }
         }
     });

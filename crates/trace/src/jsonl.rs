@@ -122,12 +122,20 @@ pub fn write_jsonl(trace: &Trace) -> String {
             MetricValue::Histogram(h) => {
                 let _ = write!(
                     out,
-                    ",\"type\":\"histogram\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+                    ",\"type\":\"histogram\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{}",
                     h.count,
                     h.sum,
                     if h.count == 0 { 0 } else { h.min },
                     h.max
                 );
+                // Derived quantiles (see [`Histogram::quantile`] for the
+                // error bound). The parser ignores them — they are
+                // recomputable from the buckets — so the round trip is
+                // unaffected.
+                for (tag, q) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99)] {
+                    let _ = write!(out, ",\"{tag}\":{}", h.quantile(q).unwrap_or(0));
+                }
+                out.push_str(",\"buckets\":[");
                 for (i, b) in h.buckets.iter().enumerate() {
                     if i > 0 {
                         out.push(',');
@@ -625,6 +633,19 @@ mod tests {
             panic_event.field("message").and_then(Value::as_str),
             Some("boom \"quoted\"\nline2")
         );
+    }
+
+    #[test]
+    fn histogram_lines_carry_quantiles() {
+        let text = write_jsonl(&sample_trace());
+        let hist_line = text
+            .lines()
+            .find(|l| l.contains("cp.conflict.clique_size"))
+            .unwrap();
+        // Samples 3 and 17: p50 -> bucket 1 upper bound 3, p99 -> 17.
+        assert!(hist_line.contains("\"p50\":3"), "{hist_line}");
+        assert!(hist_line.contains("\"p90\":17"), "{hist_line}");
+        assert!(hist_line.contains("\"p99\":17"), "{hist_line}");
     }
 
     #[test]

@@ -63,6 +63,38 @@ impl Histogram {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), estimated from the log2
+    /// buckets; `None` when the histogram is empty.
+    ///
+    /// The estimate is the inclusive upper bound of the bucket holding
+    /// the `ceil(q * count)`-th smallest value, clamped to the observed
+    /// `[min, max]`. Because bucket `i` spans `[2^i, 2^(i+1))`, the
+    /// reported value is never below the true quantile and at most 2×
+    /// above it (exact for counts of 0 and 1, which share bucket 0 with
+    /// upper bound 1) — tight enough to gate on order-of-magnitude
+    /// latency shifts, which is all a 16-bucket summary can promise.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // The overflow bucket has no upper bound; `max` is the
+                // only honest estimate there (the 2× bound does not
+                // hold for it).
+                if i == Histogram::BUCKETS - 1 {
+                    return Some(self.max);
+                }
+                let upper = (1u64 << (i + 1)) - 1;
+                return Some(upper.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
 }
 
 /// One metric's aggregated value.
@@ -322,6 +354,41 @@ mod tests {
         assert_eq!(h.buckets[0], 1);
         assert_eq!(h.buckets[1], 2);
         assert_eq!(h.buckets[6], 1);
+    }
+
+    #[test]
+    fn quantiles_within_one_bucket_of_truth() {
+        let m = MetricsRegistry::new();
+        // 100 values 1..=100: true p50 = 50, p90 = 90, p99 = 99.
+        for v in 1..=100 {
+            m.observe("h", v);
+        }
+        let snap = m.snapshot();
+        let h = snap[0].value.as_histogram().unwrap();
+        // 50 lands in bucket 5 ([32, 64)) -> upper bound 63.
+        assert_eq!(h.quantile(0.5), Some(63));
+        // 90 and 99 land in bucket 6 ([64, 128)) -> clamped to max 100.
+        assert_eq!(h.quantile(0.9), Some(100));
+        assert_eq!(h.quantile(0.99), Some(100));
+        // Never below the true quantile, at most 2x above.
+        for (q, truth) in [(0.5, 50u64), (0.9, 90), (0.99, 99)] {
+            let est = h.quantile(q).unwrap();
+            assert!(est >= truth && est <= truth * 2, "q={q}: {est} vs {truth}");
+        }
+        // Edges: empty -> None; single value is exact; q clamps.
+        assert_eq!(Histogram::new().quantile(0.5), None);
+        let m = MetricsRegistry::new();
+        m.observe("one", 7);
+        let snap = m.snapshot();
+        let one = snap[0].value.as_histogram().unwrap();
+        assert_eq!(one.quantile(0.0), Some(7));
+        assert_eq!(one.quantile(1.0), Some(7));
+        // Overflow bucket reports max (the 2x bound cannot hold there).
+        let m = MetricsRegistry::new();
+        m.observe("big", 1 << 20);
+        let snap = m.snapshot();
+        let big = snap[0].value.as_histogram().unwrap();
+        assert_eq!(big.quantile(0.5), Some(1 << 20));
     }
 
     #[test]

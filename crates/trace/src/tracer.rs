@@ -92,12 +92,19 @@ pub struct Trace {
 #[derive(Debug, Clone, Default)]
 pub struct Tracer {
     inner: Option<Arc<Shared>>,
+    /// Fields appended to every event this handle records (see
+    /// [`Tracer::with_field`]). `None` for plain handles, so the common
+    /// case pays nothing — not even an empty-slice iteration.
+    common: Option<Arc<Vec<(FieldName, Value)>>>,
 }
 
 impl Tracer {
     /// A tracer that records nothing. All methods are near-free no-ops.
     pub fn disabled() -> Self {
-        Tracer { inner: None }
+        Tracer {
+            inner: None,
+            common: None,
+        }
     }
 
     fn with_mode(mode: ClockMode) -> Self {
@@ -109,6 +116,7 @@ impl Tracer {
                 sink: Mutex::new(Vec::new()),
                 metrics: MetricsRegistry::new(),
             })),
+            common: None,
         }
     }
 
@@ -143,6 +151,37 @@ impl Tracer {
         self.inner.is_some()
     }
 
+    /// A handle that appends `(name, value)` to every event it records,
+    /// on top of any fields inherited from `self`. The sink, sequence
+    /// counter, and metrics registry stay shared — only the event
+    /// decoration differs — so a server can hand each request a
+    /// `tracer.with_field("request", id)` handle and every span and
+    /// instant the solve emits through it carries the request id,
+    /// joinable across request → ladder stage → CP engine.
+    ///
+    /// On a disabled tracer this is free and returns another disabled
+    /// handle.
+    pub fn with_field(&self, name: impl Into<FieldName>, value: impl Into<Value>) -> Tracer {
+        if self.inner.is_none() {
+            return Tracer::disabled();
+        }
+        let mut fields: Vec<(FieldName, Value)> =
+            self.common.as_deref().cloned().unwrap_or_default();
+        fields.push((name.into(), value.into()));
+        Tracer {
+            inner: self.inner.clone(),
+            common: Some(Arc::new(fields)),
+        }
+    }
+
+    /// Appends this handle's common fields (if any) to `fields`.
+    #[inline]
+    fn decorate(&self, fields: &mut Vec<(FieldName, Value)>) {
+        if let Some(common) = &self.common {
+            fields.extend(common.iter().cloned());
+        }
+    }
+
     /// The clock mode, or `None` when disabled. Call sites recording
     /// real wall-clock durations as metrics should skip them under
     /// [`ClockMode::Logical`] to keep deterministic traces diffable.
@@ -156,9 +195,10 @@ impl Tracer {
         &self,
         layer: &'static str,
         name: &'static str,
-        fields: Vec<(FieldName, Value)>,
+        mut fields: Vec<(FieldName, Value)>,
     ) {
         if let Some(shared) = &self.inner {
+            self.decorate(&mut fields);
             let seq = shared.next_seq();
             shared.push(Event {
                 seq,
@@ -178,11 +218,12 @@ impl Tracer {
         &self,
         layer: &'static str,
         name: &'static str,
-        fields: Vec<(FieldName, Value)>,
+        mut fields: Vec<(FieldName, Value)>,
     ) -> SpanId {
         match &self.inner {
             None => SpanId::NULL,
             Some(shared) => {
+                self.decorate(&mut fields);
                 let seq = shared.next_seq();
                 let ts = shared.ts_for(seq);
                 shared.push(Event {
@@ -213,6 +254,7 @@ impl Tracer {
             return;
         }
         if let Some(shared) = &self.inner {
+            self.decorate(&mut fields);
             let seq = shared.next_seq();
             let ts = shared.ts_for(seq);
             fields.push(("dur".into(), Value::U64(ts.saturating_sub(span.ts))));
@@ -331,9 +373,10 @@ impl TraceBuffer {
         &mut self,
         layer: &'static str,
         name: &'static str,
-        fields: Vec<(FieldName, Value)>,
+        mut fields: Vec<(FieldName, Value)>,
     ) {
         if let Some(shared) = &self.tracer.inner {
+            self.tracer.decorate(&mut fields);
             let seq = shared.next_seq();
             self.pending.push(Event {
                 seq,
@@ -353,11 +396,12 @@ impl TraceBuffer {
         &mut self,
         layer: &'static str,
         name: &'static str,
-        fields: Vec<(FieldName, Value)>,
+        mut fields: Vec<(FieldName, Value)>,
     ) -> SpanId {
         match &self.tracer.inner {
             None => SpanId::NULL,
             Some(shared) => {
+                self.tracer.decorate(&mut fields);
                 let seq = shared.next_seq();
                 let ts = shared.ts_for(seq);
                 self.pending.push(Event {
@@ -387,6 +431,7 @@ impl TraceBuffer {
             return;
         }
         if let Some(shared) = &self.tracer.inner {
+            self.tracer.decorate(&mut fields);
             let seq = shared.next_seq();
             let ts = shared.ts_for(seq);
             fields.push(("dur".into(), Value::U64(ts.saturating_sub(span.ts))));
@@ -519,6 +564,44 @@ mod tests {
         assert_eq!(trace.metrics[1].value, MetricValue::Gauge(5));
         // Disabled tracers drop gauge deltas without side effects.
         Tracer::disabled().add_gauge("g", 1);
+    }
+
+    #[test]
+    fn with_field_decorates_every_event() {
+        let t = Tracer::logical();
+        let req = t.with_field("request", 7u64);
+        let span = req.begin("server", "request", vec![]);
+        req.instant("server", "tick", vec![("k".into(), Value::U64(1))]);
+        req.end(span, "server", "request", vec![]);
+        // Buffers created from the decorated handle inherit the field.
+        let mut buf = req.buffer();
+        buf.instant("worker", "w", vec![]);
+        buf.flush();
+        // The plain handle stays undecorated and shares the sink.
+        t.instant("main", "plain", vec![]);
+        let trace = t.snapshot().unwrap();
+        assert_eq!(trace.events.len(), 5);
+        for e in &trace.events[..4] {
+            assert_eq!(e.field("request").and_then(Value::as_u64), Some(7));
+        }
+        assert!(trace.events[4].field("request").is_none());
+        // Caller fields come first, common fields after, dur last.
+        let end = &trace.events[2];
+        assert_eq!(end.fields.last().unwrap().0, "dur");
+    }
+
+    #[test]
+    fn with_field_stacks_and_is_free_when_disabled() {
+        let t = Tracer::logical();
+        let inner = t.with_field("a", 1u64).with_field("b", 2u64);
+        inner.instant("test", "i", vec![]);
+        let e = &t.snapshot().unwrap().events[0];
+        assert_eq!(e.field("a").and_then(Value::as_u64), Some(1));
+        assert_eq!(e.field("b").and_then(Value::as_u64), Some(2));
+
+        let d = Tracer::disabled().with_field("a", 1u64);
+        assert!(!d.enabled());
+        assert!(d.common.is_none());
     }
 
     #[test]

@@ -327,6 +327,107 @@ pub fn render_trace_timeline(trace: &tela_trace::Trace, style: &Style) -> String
     out
 }
 
+/// One frame of a flamegraph: a named node whose width is proportional
+/// to `value` (inclusive of its children). Built by callers — typically
+/// `tela-prof` collapsing a span tree — so this crate stays agnostic
+/// about where the hierarchy came from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlameFrame {
+    /// Frame label (e.g. `search.solve`).
+    pub name: String,
+    /// Inclusive value (clock units); must be ≥ the sum of children.
+    pub value: u64,
+    /// Nested frames, drawn left-to-right in order above this one.
+    pub children: Vec<FlameFrame>,
+}
+
+impl FlameFrame {
+    /// A leaf frame.
+    pub fn new(name: impl Into<String>, value: u64) -> Self {
+        FlameFrame {
+            name: name.into(),
+            value,
+            children: Vec::new(),
+        }
+    }
+
+    fn depth(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(FlameFrame::depth)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Renders a flamegraph: the root frame spans the full width at the
+/// bottom, children stack upward, each frame's width proportional to its
+/// inclusive value. Deterministic — frames are drawn in the order the
+/// caller provides — and self-contained like every renderer here.
+/// Tooltips carry `name: value (percent of root)`.
+pub fn render_flamegraph(root: &FlameFrame, style: &Style) -> String {
+    let mut out = header(style);
+    let plot_w = f64::from(style.width - 2 * style.margin);
+    let plot_h = f64::from(style.height - 2 * style.margin);
+    let margin = f64::from(style.margin);
+    let depth = root.depth();
+    let row_h = (plot_h / depth.max(1) as f64).min(18.0);
+    let total = root.value.max(1) as f64;
+    let base_y = margin + plot_h;
+
+    // Same-name frames share a color (FNV-1a over the name), so a span
+    // split across branches still reads as one thing.
+    let color_of = |name: &str| {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        color(h as usize % 4096)
+    };
+
+    // (frame, cumulative offset in root units, depth) — explicit stack,
+    // pushed in reverse so siblings render left-to-right.
+    let mut stack: Vec<(&FlameFrame, u64, usize)> = vec![(root, 0, 0)];
+    while let Some((frame, offset, level)) = stack.pop() {
+        let x0 = margin + offset as f64 / total * plot_w;
+        let w = frame.value as f64 / total * plot_w;
+        let y_top = base_y - (level + 1) as f64 * row_h;
+        let pct = frame.value as f64 / total * 100.0;
+        let _ = writeln!(
+            out,
+            "<rect x=\"{x0:.1}\" y=\"{y_top:.1}\" width=\"{:.1}\" height=\"{:.1}\" \
+             fill=\"{}\" stroke=\"white\" stroke-width=\"0.5\"><title>{}: {} ({pct:.1}%)\
+             </title></rect>",
+            w.max(0.5),
+            row_h - 1.0,
+            color_of(&frame.name),
+            frame.name,
+            frame.value,
+        );
+        // Only label frames wide enough to hold readable text.
+        if w > 6.0 * frame.name.len() as f64 {
+            let _ = writeln!(
+                out,
+                "<text x=\"{:.1}\" y=\"{:.1}\">{}</text>",
+                x0 + 3.0,
+                y_top + row_h / 2.0 + 3.0,
+                frame.name,
+            );
+        }
+        let mut child_offset = offset;
+        let mut children: Vec<(&FlameFrame, u64, usize)> = Vec::with_capacity(frame.children.len());
+        for child in &frame.children {
+            children.push((child, child_offset, level + 1));
+            child_offset += child.value;
+        }
+        stack.extend(children.into_iter().rev());
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -433,6 +534,68 @@ mod tests {
         let tracer = tela_trace::Tracer::logical();
         let svg = render_trace_timeline(&tracer.snapshot().unwrap(), &Style::default());
         assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("</svg>"));
+    }
+
+    fn sample_flame() -> FlameFrame {
+        FlameFrame {
+            name: "all".into(),
+            value: 100,
+            children: vec![
+                FlameFrame {
+                    name: "search.solve".into(),
+                    value: 70,
+                    children: vec![FlameFrame::new("cp.solve", 50)],
+                },
+                FlameFrame::new("heuristic.greedy", 20),
+            ],
+        }
+    }
+
+    #[test]
+    fn flamegraph_draws_every_frame_with_tooltips() {
+        let svg = render_flamegraph(&sample_flame(), &Style::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // 4 frames plus the background rect.
+        assert_eq!(svg.matches("<rect").count(), 5);
+        assert!(svg.contains("<title>all: 100 (100.0%)"));
+        assert!(svg.contains("<title>search.solve: 70 (70.0%)"));
+        assert!(svg.contains("<title>cp.solve: 50 (50.0%)"));
+        assert!(svg.contains("<title>heuristic.greedy: 20 (20.0%)"));
+    }
+
+    #[test]
+    fn flamegraph_is_deterministic_and_name_colored() {
+        let a = render_flamegraph(&sample_flame(), &Style::default());
+        let b = render_flamegraph(&sample_flame(), &Style::default());
+        assert_eq!(a, b);
+        // Two frames with the same name get the same fill.
+        let twins = FlameFrame {
+            name: "root".into(),
+            value: 10,
+            children: vec![FlameFrame::new("x", 5), FlameFrame::new("x", 5)],
+        };
+        let svg = render_flamegraph(&twins, &Style::default());
+        let fills: Vec<&str> = svg
+            .lines()
+            .filter(|l| l.contains("<title>x:"))
+            .map(|l| {
+                l.split("fill=\"")
+                    .nth(1)
+                    .unwrap()
+                    .split('"')
+                    .next()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(fills.len(), 2);
+        assert_eq!(fills[0], fills[1]);
+    }
+
+    #[test]
+    fn flamegraph_handles_zero_value_root() {
+        let svg = render_flamegraph(&FlameFrame::new("empty", 0), &Style::default());
         assert!(svg.contains("</svg>"));
     }
 
